@@ -1,0 +1,46 @@
+//! Criterion benchmark for the `(1 + ε)`-approximate histogram construction
+//! (Section 3.5) against the exact dynamic program, at a size where the
+//! candidate thinning pays off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pds_bench::movie_workload;
+use pds_core::metrics::ErrorMetric;
+use pds_histogram::approx::approx_histogram;
+use pds_histogram::oracle::oracle_for_metric;
+use pds_histogram::DpTables;
+
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_vs_exact_dp");
+    group.sample_size(10);
+    let metric = ErrorMetric::Ssre { c: 0.5 };
+    let b = 16;
+    for n in [1024usize, 2048] {
+        let relation = movie_workload(n, 42);
+        let oracle = oracle_for_metric(&relation, metric);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |bench, _| {
+            bench.iter(|| black_box(DpTables::build(&oracle, b).unwrap().optimal_cost(b)))
+        });
+        for eps in [0.1, 0.5] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("approx_eps{eps}"), n),
+                &n,
+                |bench, _| {
+                    bench.iter(|| {
+                        black_box(
+                            approx_histogram(&oracle, b, eps)
+                                .unwrap()
+                                .histogram
+                                .total_cost(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_approx);
+criterion_main!(benches);

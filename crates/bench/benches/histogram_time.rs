@@ -1,0 +1,69 @@
+//! Criterion benchmark behind Figure 3: scaling of the optimal histogram
+//! dynamic program with the domain size `n` and the bucket budget `B`
+//! (sum-squared-relative-error, movie-like workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pds_bench::movie_workload;
+use pds_core::metrics::ErrorMetric;
+use pds_histogram::oracle::oracle_for_metric;
+use pds_histogram::DpTables;
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3a_time_vs_n");
+    group.sample_size(10);
+    let metric = ErrorMetric::Ssre { c: 0.5 };
+    for n in [256usize, 512, 1024, 2048] {
+        let relation = movie_workload(n, 42);
+        let oracle = oracle_for_metric(&relation, metric);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let tables = DpTables::build(&oracle, 50).unwrap();
+                black_box(tables.optimal_cost(50))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3b_time_vs_buckets");
+    group.sample_size(10);
+    let metric = ErrorMetric::Ssre { c: 0.5 };
+    let relation = movie_workload(1024, 42);
+    let oracle = oracle_for_metric(&relation, metric);
+    for b in [25usize, 50, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            bench.iter(|| {
+                let tables = DpTables::build(&oracle, b).unwrap();
+                black_box(tables.optimal_cost(b))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_per_metric_n512_b32");
+    group.sample_size(10);
+    let relation = movie_workload(512, 42);
+    for metric in [
+        ErrorMetric::Sse,
+        ErrorMetric::Ssre { c: 0.5 },
+        ErrorMetric::Sae,
+        ErrorMetric::Sare { c: 0.5 },
+    ] {
+        let oracle = oracle_for_metric(&relation, metric);
+        group.bench_function(metric.name(), |bench| {
+            bench.iter(|| {
+                let tables = DpTables::build(&oracle, 32).unwrap();
+                black_box(tables.optimal_cost(32))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_n, bench_vs_b, bench_metrics);
+criterion_main!(benches);

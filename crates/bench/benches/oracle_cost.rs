@@ -1,0 +1,114 @@
+//! Criterion benchmark for the per-bucket cost oracles: after preprocessing,
+//! a single-bucket query must be O(1) (SSE, SSRE) or O(log |V|) (SAE, SARE),
+//! independent of the bucket width — the property Theorems 1–4 rely on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pds_bench::{movie_workload, tpch_workload};
+use pds_histogram::oracle::abs::WeightedAbsOracle;
+use pds_histogram::oracle::maxerr::MaxErrOracle;
+use pds_histogram::oracle::sse::{SseObjective, SseOracle, TupleSseMode};
+use pds_histogram::oracle::ssre::SsreOracle;
+use pds_histogram::oracle::BucketCostOracle;
+
+const N: usize = 4096;
+
+fn bench_single_bucket_queries(c: &mut Criterion) {
+    let relation = movie_workload(N, 42);
+    let mut group = c.benchmark_group("single_bucket_query");
+    let buckets: Vec<(usize, usize)> = (0..1000)
+        .map(|i| {
+            let s = (i * 37) % (N / 2);
+            (s, s + (i * 13) % (N / 2))
+        })
+        .collect();
+
+    let sse = SseOracle::new(&relation, SseObjective::PaperEq5);
+    group.bench_function("sse", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &(s, e) in &buckets {
+                acc += sse.bucket(s, e).cost;
+            }
+            black_box(acc)
+        })
+    });
+
+    let ssre = SsreOracle::new(&relation, 0.5);
+    group.bench_function("ssre", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &(s, e) in &buckets {
+                acc += ssre.bucket(s, e).cost;
+            }
+            black_box(acc)
+        })
+    });
+
+    let sae = WeightedAbsOracle::sae(&relation);
+    group.bench_function("sae", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &(s, e) in &buckets {
+                acc += sae.bucket(s, e).cost;
+            }
+            black_box(acc)
+        })
+    });
+
+    let sare = WeightedAbsOracle::sare(&relation, 0.5);
+    group.bench_function("sare", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &(s, e) in &buckets {
+                acc += sare.bucket(s, e).cost;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    // MAE is O(n_b log |V|) per bucket, so bench it separately on narrower
+    // buckets.
+    let mut group = c.benchmark_group("single_bucket_query_maxerr");
+    group.sample_size(20);
+    let mae = MaxErrOracle::mae(&relation);
+    let narrow: Vec<(usize, usize)> = (0..200).map(|i| (i * 16, i * 16 + 15)).collect();
+    group.bench_function("mae_width16", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for &(s, e) in &narrow {
+                acc += mae.bucket(s, e).cost;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_oracle_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_preprocessing");
+    for n in [1024usize, 4096] {
+        let movie = movie_workload(n, 42);
+        let tpch = tpch_workload(n, 42);
+        group.bench_with_input(BenchmarkId::new("sse_basic", n), &n, |bench, _| {
+            bench.iter(|| black_box(SseOracle::new(&movie, SseObjective::PaperEq5).n()))
+        });
+        group.bench_with_input(BenchmarkId::new("sse_tuple_exact", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    SseOracle::with_tuple_mode(&tpch, SseObjective::PaperEq5, TupleSseMode::Exact)
+                        .n(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sae_tables", n), &n, |bench, _| {
+            bench.iter(|| black_box(WeightedAbsOracle::sae(&movie).n()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_bucket_queries, bench_oracle_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmark for the wavelet construction paths: the linear-time
+//! expected-SSE thresholding of Theorem 7 (used in Figure 4, where both
+//! methods "take much less than a second") and the restricted non-SSE
+//! error-tree DP of Theorem 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pds_bench::{movie_workload, tpch_workload};
+use pds_core::metrics::ErrorMetric;
+use pds_wavelet::nonsse::build_restricted_wavelet;
+use pds_wavelet::sse::{build_sse_wavelet, ExpectedCoefficients};
+
+fn bench_sse_wavelet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_sse_wavelet_build");
+    for n in [1usize << 12, 1 << 15] {
+        let movie = movie_workload(n, 42);
+        group.bench_with_input(BenchmarkId::new("movie", n), &n, |bench, _| {
+            bench.iter(|| black_box(build_sse_wavelet(&movie, 1000).unwrap().len()))
+        });
+        let tpch = tpch_workload(n, 42);
+        group.bench_with_input(BenchmarkId::new("tpch", n), &n, |bench, _| {
+            bench.iter(|| black_box(build_sse_wavelet(&tpch, 1000).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_expected_coefficients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_coefficient_transform");
+    for n in [1usize << 12, 1 << 15] {
+        let movie = movie_workload(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(ExpectedCoefficients::of(&movie).normalised()[0]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_restricted_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restricted_nonsse_wavelet_dp");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let relation = movie_workload(n, 42);
+        group.bench_with_input(BenchmarkId::new("sae_b8", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    build_restricted_wavelet(&relation, ErrorMetric::Sae, 8)
+                        .unwrap()
+                        .objective,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sse_wavelet,
+    bench_expected_coefficients,
+    bench_restricted_dp
+);
+criterion_main!(benches);

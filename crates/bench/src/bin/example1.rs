@@ -1,0 +1,72 @@
+//! Reproduces Example 1 of the paper: the possible-worlds tables of the same
+//! three-item input expressed in the basic, tuple pdf and value pdf models,
+//! together with the expected frequencies quoted in the text.
+//!
+//! ```text
+//! cargo run --release -p pds-bench --bin example1
+//! ```
+
+use pds_bench::report::{fmt, Table};
+use pds_core::model::{BasicModel, ProbabilisticRelation, TuplePdfModel, ValuePdf, ValuePdfModel};
+use pds_core::worlds::PossibleWorlds;
+
+fn describe(name: &str, relation: &ProbabilisticRelation) {
+    let worlds = PossibleWorlds::enumerate(relation).expect("tiny example");
+    // Collect distinct frequency vectors with merged probabilities.
+    let mut distinct: Vec<(Vec<f64>, f64)> = Vec::new();
+    for (w, p) in worlds.worlds() {
+        match distinct.iter_mut().find(|(v, _)| v == w) {
+            Some(entry) => entry.1 += p,
+            None => distinct.push((w.clone(), *p)),
+        }
+    }
+    distinct.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    let mut table = Table::new(
+        format!("Example 1 — {} model ({} distinct worlds)", name, distinct.len()),
+        &["world (g1,g2,g3)", "probability"],
+    );
+    for (w, p) in &distinct {
+        let desc = format!("({}, {}, {})", w[0], w[1], w[2]);
+        table.push_row(vec![desc, fmt(*p)]);
+    }
+    table.emit(None);
+
+    let freqs = relation.expected_frequencies();
+    println!(
+        "expected frequencies: E[g1] = {}, E[g2] = {}, E[g3] = {}\n",
+        fmt(freqs[0]),
+        fmt(freqs[1]),
+        fmt(freqs[2])
+    );
+}
+
+fn main() {
+    // <1, 1/2>, <2, 1/3>, <2, 1/4>, <3, 1/2> (items re-indexed to 0..2).
+    let basic: ProbabilisticRelation =
+        BasicModel::from_pairs(3, [(0, 0.5), (1, 1.0 / 3.0), (1, 0.25), (2, 0.5)])
+            .unwrap()
+            .into();
+    // <(1, 1/2), (2, 1/3)>, <(2, 1/4), (3, 1/2)>.
+    let tuple: ProbabilisticRelation = TuplePdfModel::from_alternatives(
+        3,
+        [vec![(0, 0.5), (1, 1.0 / 3.0)], vec![(1, 0.25), (2, 0.5)]],
+    )
+    .unwrap()
+    .into();
+    // <1: (1, 1/2)>, <2: (1, 1/3), (2, 1/4)>, <3: (1, 1/2)>.
+    let value: ProbabilisticRelation = ValuePdfModel::from_sparse(
+        3,
+        [
+            (0, ValuePdf::new([(1.0, 0.5)]).unwrap()),
+            (1, ValuePdf::new([(1.0, 1.0 / 3.0), (2.0, 0.25)]).unwrap()),
+            (2, ValuePdf::new([(1.0, 0.5)]).unwrap()),
+        ],
+    )
+    .unwrap()
+    .into();
+
+    describe("basic", &basic);
+    describe("tuple pdf", &tuple);
+    describe("value pdf", &value);
+}

@@ -1,0 +1,106 @@
+//! Regenerates **Figure 2** of the paper: histogram quality (error %) as a
+//! function of the number of buckets, comparing the optimal probabilistic
+//! construction against the expectation and sampled-world heuristics, for
+//! every cumulative error metric.
+//!
+//! ```text
+//! # one panel (reduced scale, n = 2048, B <= 200)
+//! cargo run --release -p pds-bench --bin figure2 -- --metric ssre --c 0.5
+//!
+//! # all six panels
+//! cargo run --release -p pds-bench --bin figure2 -- --metric all
+//!
+//! # the paper's scale (n = 10^4, B <= 1000; this is the O(B n^2) DP — slow)
+//! cargo run --release -p pds-bench --bin figure2 -- --metric all --full
+//! ```
+//!
+//! Flags: `--metric {ssre|sse|sare|sae|all}`, `--c <sanity bound>`,
+//! `--n <domain size>`, `--bmax <max buckets>`, `--points <curve points>`,
+//! `--samples <sampled worlds>`, `--seed <seed>`, `--data {movie|tpch}`,
+//! `--csv <dir>`, `--full`.
+
+use std::path::PathBuf;
+
+use pds_bench::report::{fmt, Args, Table};
+use pds_bench::{budget_ladder, histogram_quality_curve, workload_by_name, Scale};
+use pds_core::metrics::ErrorMetric;
+
+fn run_panel(
+    panel: &str,
+    metric: ErrorMetric,
+    relation: &pds_core::model::ProbabilisticRelation,
+    budgets: &[usize],
+    samples: usize,
+    seed: u64,
+    csv_dir: Option<&str>,
+) {
+    let rows = histogram_quality_curve(relation, metric, budgets, samples, seed);
+    let mut headers = vec!["buckets".to_string(), "probabilistic".to_string(), "expectation".to_string()];
+    for i in 0..samples {
+        headers.push(format!("sampled_world_{}", i + 1));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        format!("Figure 2{panel}: {metric}, n = {}, error %", relation.n()),
+        &header_refs,
+    );
+    for row in rows {
+        let mut cells = vec![
+            row.buckets.to_string(),
+            fmt(row.probabilistic),
+            fmt(row.expectation),
+        ];
+        cells.extend(row.sampled.iter().map(|&s| fmt(s)));
+        table.push_row(cells);
+    }
+    let csv = csv_dir.map(|d| PathBuf::from(d).join(format!("figure2{panel}_{}.csv", metric.name())));
+    table.emit(csv.as_deref());
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = Scale::from_flag(args.has_flag("full"));
+    let n = args.get_or("n", scale.histogram_n());
+    let b_max = args.get_or("bmax", scale.histogram_b_max()).min(n);
+    let points = args.get_or("points", 10usize);
+    let samples = args.get_or("samples", 3usize);
+    let seed = args.get_or("seed", 42u64);
+    let c = args.get_or("c", 0.5f64);
+    let data = args.get("data").unwrap_or("movie");
+    let metric_name = args.get("metric").unwrap_or("all").to_string();
+    let csv_dir = args.get("csv");
+
+    let relation = workload_by_name(data, n, seed).unwrap_or_else(|| {
+        eprintln!("unknown --data {data}; expected movie or tpch");
+        std::process::exit(1);
+    });
+    let budgets = budget_ladder(b_max, points);
+
+    println!(
+        "Figure 2 reproduction — workload {data} ({} model, n = {n}, m = {}), B up to {b_max}\n",
+        relation.model_name(),
+        relation.m()
+    );
+
+    // The six panels of Figure 2, in the paper's order.
+    let panels: Vec<(&str, ErrorMetric)> = vec![
+        ("a", ErrorMetric::Ssre { c: 0.5 }),
+        ("b", ErrorMetric::Ssre { c: 1.0 }),
+        ("c", ErrorMetric::Sse),
+        ("d", ErrorMetric::Sare { c: 0.5 }),
+        ("e", ErrorMetric::Sare { c: 1.0 }),
+        ("f", ErrorMetric::Sae),
+    ];
+
+    if metric_name == "all" {
+        for (panel, metric) in panels {
+            run_panel(&format!("({panel})"), metric, &relation, &budgets, samples, seed, csv_dir);
+        }
+    } else {
+        let metric = ErrorMetric::from_name(&metric_name, c).unwrap_or_else(|| {
+            eprintln!("unknown --metric {metric_name}");
+            std::process::exit(1);
+        });
+        run_panel("", metric, &relation, &budgets, samples, seed, csv_dir);
+    }
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Figure 3** of the paper: histogram construction time as a
+//! function of (a) the domain size `n` and (b) the number of buckets `B`,
+//! under the sum-squared-relative-error objective.
+//!
+//! ```text
+//! # both sweeps at reduced scale
+//! cargo run --release -p pds-bench --bin figure3
+//!
+//! # the paper's scale (n up to 30,000 at B = 200; B up to 1000 at n = 10^4)
+//! cargo run --release -p pds-bench --bin figure3 -- --full
+//! ```
+//!
+//! Flags: `--sweep {n|b|both}`, `--c <sanity bound>`, `--seed <seed>`,
+//! `--csv <dir>`, `--full`.
+
+use std::path::PathBuf;
+
+use pds_bench::report::{fmt, Args, Table};
+use pds_bench::{movie_workload, time_histogram_construction, Scale};
+use pds_core::metrics::ErrorMetric;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = Scale::from_flag(args.has_flag("full"));
+    let seed = args.get_or("seed", 42u64);
+    let c = args.get_or("c", 0.5f64);
+    let sweep = args.get("sweep").unwrap_or("both").to_string();
+    let csv_dir = args.get("csv");
+    let metric = ErrorMetric::Ssre { c };
+
+    // Figure 3(a): time vs n at fixed B.
+    if sweep == "n" || sweep == "both" {
+        let (sizes, b): (Vec<usize>, usize) = match scale {
+            Scale::Reduced => (vec![512, 1024, 2048, 3072, 4096], 50),
+            Scale::Paper => (vec![2_500, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000], 200),
+        };
+        let mut table = Table::new(
+            format!("Figure 3(a): {metric} construction time, B = {b}"),
+            &["n", "seconds"],
+        );
+        for &n in &sizes {
+            let relation = movie_workload(n, seed);
+            let row = time_histogram_construction(&relation, metric, b);
+            table.push_row(vec![n.to_string(), fmt(row.seconds)]);
+            eprintln!("  n = {n}: {:.3} s", row.seconds);
+        }
+        let csv = csv_dir.map(|d| PathBuf::from(d).join("figure3a.csv"));
+        table.emit(csv.as_deref());
+    }
+
+    // Figure 3(b): time vs B at fixed n.
+    if sweep == "b" || sweep == "both" {
+        let (n, budgets): (usize, Vec<usize>) = match scale {
+            Scale::Reduced => (2_048, vec![25, 50, 100, 150, 200]),
+            Scale::Paper => (10_000, vec![100, 200, 400, 600, 800, 1_000]),
+        };
+        let relation = movie_workload(n, seed);
+        let mut table = Table::new(
+            format!("Figure 3(b): {metric} construction time, n = {n}"),
+            &["buckets", "seconds"],
+        );
+        for &b in &budgets {
+            let row = time_histogram_construction(&relation, metric, b);
+            table.push_row(vec![b.to_string(), fmt(row.seconds)]);
+            eprintln!("  B = {b}: {:.3} s", row.seconds);
+        }
+        let csv = csv_dir.map(|d| PathBuf::from(d).join("figure3b.csv"));
+        table.emit(csv.as_deref());
+    }
+}

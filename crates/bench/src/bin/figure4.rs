@@ -1,0 +1,77 @@
+//! Regenerates **Figure 4** of the paper: SSE wavelet synopsis quality
+//! (retained-energy error %) as a function of the number of coefficients,
+//! comparing the probabilistic (expected-coefficient) selection against
+//! sampled-world selections, on the movie-like and TPC-H-like workloads.
+//!
+//! ```text
+//! cargo run --release -p pds-bench --bin figure4                 # both panels
+//! cargo run --release -p pds-bench --bin figure4 -- --data movie # panel (a)
+//! cargo run --release -p pds-bench --bin figure4 -- --data tpch  # panel (b)
+//! ```
+//!
+//! Flags: `--data {movie|tpch|both}`, `--n <domain>`, `--bmax <coefficients>`,
+//! `--points <curve points>`, `--samples <sampled worlds>`, `--seed <seed>`,
+//! `--csv <dir>`.
+
+use std::path::PathBuf;
+
+use pds_bench::report::{fmt, Args, Table};
+use pds_bench::{budget_ladder, wavelet_quality_curve, workload_by_name, Scale};
+
+fn run_panel(
+    panel: &str,
+    data: &str,
+    n: usize,
+    b_max: usize,
+    points: usize,
+    samples: usize,
+    seed: u64,
+    csv_dir: Option<&str>,
+) {
+    let relation = workload_by_name(data, n, seed).expect("known workload");
+    // Include the empty synopsis (100% error) so the curve starts where the
+    // paper's does.
+    let mut budgets = vec![0];
+    budgets.extend(budget_ladder(b_max, points));
+    let rows = wavelet_quality_curve(&relation, &budgets, samples, seed);
+    let mut headers = vec!["coefficients".to_string(), "probabilistic".to_string()];
+    for i in 0..samples {
+        headers.push(format!("sampled_world_{}", i + 1));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        format!(
+            "Figure 4{panel}: SSE wavelets, {data} data ({} model, n = {n}), error %",
+            relation.model_name()
+        ),
+        &header_refs,
+    );
+    for row in rows {
+        let mut cells = vec![row.coefficients.to_string(), fmt(row.probabilistic)];
+        cells.extend(row.sampled.iter().map(|&s| fmt(s)));
+        table.push_row(cells);
+    }
+    let csv = csv_dir.map(|d| PathBuf::from(d).join(format!("figure4{panel}_{data}.csv")));
+    table.emit(csv.as_deref());
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = Scale::from_flag(args.has_flag("full"));
+    let n = args.get_or("n", scale.wavelet_n());
+    let points = args.get_or("points", 12usize);
+    let samples = args.get_or("samples", 3usize);
+    let seed = args.get_or("seed", 42u64);
+    let data = args.get("data").unwrap_or("both").to_string();
+    let csv_dir = args.get("csv");
+
+    println!("Figure 4 reproduction — n = {n} (2^15 = 32768 in the paper)\n");
+    if data == "movie" || data == "both" {
+        let b_max = args.get_or("bmax", scale.wavelet_b_max(true));
+        run_panel("(a)", "movie", n, b_max, points, samples, seed, csv_dir);
+    }
+    if data == "tpch" || data == "both" {
+        let b_max = args.get_or("bmax", scale.wavelet_b_max(false));
+        run_panel("(b)", "tpch", n, b_max, points, samples, seed, csv_dir);
+    }
+}

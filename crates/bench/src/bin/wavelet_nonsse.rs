@@ -1,0 +1,62 @@
+//! Extension A3 (Section 4.2, Theorem 8): the restricted error-tree dynamic
+//! program for non-SSE wavelet thresholding on probabilistic data, compared
+//! against naively reusing the SSE (largest expected coefficient) selection
+//! under the same non-SSE metric.
+//!
+//! ```text
+//! cargo run --release -p pds-bench --bin wavelet_nonsse
+//! ```
+//!
+//! Flags: `--n <domain>` (kept small; the DP explores O(n²B) states),
+//! `--c <sanity bound>`, `--seed <seed>`, `--csv <dir>`.
+
+use std::path::PathBuf;
+
+use pds_bench::movie_workload;
+use pds_bench::report::{fmt, Args, Table};
+use pds_core::metrics::ErrorMetric;
+use pds_wavelet::nonsse::{build_restricted_wavelet, expected_wavelet_cost};
+use pds_wavelet::sse::build_sse_wavelet;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.get_or("n", 128usize);
+    let c = args.get_or("c", 1.0f64);
+    let seed = args.get_or("seed", 42u64);
+    let csv_dir = args.get("csv");
+
+    let relation = movie_workload(n, seed);
+    let metrics = [
+        ErrorMetric::Sae,
+        ErrorMetric::Sare { c },
+        ErrorMetric::Mae,
+        ErrorMetric::Mare { c },
+    ];
+
+    let mut table = Table::new(
+        format!("A3: restricted non-SSE wavelet DP vs SSE selection, n = {n}"),
+        &["metric", "coefficients", "restricted DP", "SSE selection", "improvement %"],
+    );
+    for metric in metrics {
+        for b in [4usize, 8, 16, 32] {
+            let restricted = build_restricted_wavelet(&relation, metric, b).expect("valid");
+            let sse_selection = build_sse_wavelet(&relation, b).expect("valid");
+            let sse_cost = expected_wavelet_cost(&relation, metric, &sse_selection);
+            let improvement = if sse_cost > 0.0 {
+                100.0 * (sse_cost - restricted.objective) / sse_cost
+            } else {
+                0.0
+            };
+            table.push_row(vec![
+                metric.to_string(),
+                b.to_string(),
+                fmt(restricted.objective),
+                fmt(sse_cost),
+                fmt(improvement),
+            ]);
+        }
+    }
+
+    let csv = csv_dir.map(|d| PathBuf::from(d).join("wavelet_nonsse.csv"));
+    table.emit(csv.as_deref());
+}

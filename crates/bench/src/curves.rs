@@ -1,0 +1,286 @@
+//! Computation of the error-vs-budget curves behind Figures 2 and 4 and the
+//! timing sweeps behind Figure 3.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pds_core::metrics::ErrorMetric;
+use pds_core::model::{ProbabilisticRelation, ValuePdfModel};
+use pds_core::worlds::sample_world;
+use pds_histogram::evaluate::{error_percentage, expected_cost_from_pdfs};
+use pds_histogram::oracle::sse::{SseObjective, SseOracle, TupleSseMode};
+use pds_histogram::oracle::{oracle_for_metric, BucketCostOracle};
+use pds_histogram::{DpTables, Histogram};
+use pds_wavelet::haar::HaarTransform;
+use pds_wavelet::sse::{selection_error_percentage, top_indices_by_magnitude, ExpectedCoefficients};
+
+/// One row of a Figure 2 style table: the error percentage reached by each
+/// method at a given bucket budget.
+#[derive(Debug, Clone)]
+pub struct QualityRow {
+    /// Bucket budget `B`.
+    pub buckets: usize,
+    /// Error % of the optimal probabilistic histogram.
+    pub probabilistic: f64,
+    /// Error % of the expectation heuristic.
+    pub expectation: f64,
+    /// Error % of each independently sampled-world heuristic run.
+    pub sampled: Vec<f64>,
+}
+
+/// How histograms are scored, mirroring Section 5.1 of the paper.
+enum Evaluator {
+    /// The paper's equation-(5) SSE objective (boundary-only).
+    PaperSse(SseOracle),
+    /// Expected per-item error with the histogram's stored representatives.
+    PerItem(ValuePdfModel, ErrorMetric),
+}
+
+impl Evaluator {
+    fn new(relation: &ProbabilisticRelation, metric: ErrorMetric) -> Self {
+        match metric {
+            ErrorMetric::Sse => Evaluator::PaperSse(SseOracle::with_tuple_mode(
+                relation,
+                SseObjective::PaperEq5,
+                TupleSseMode::Exact,
+            )),
+            _ => Evaluator::PerItem(relation.induced_value_pdfs(), metric),
+        }
+    }
+
+    fn cost(&self, histogram: &Histogram) -> f64 {
+        match self {
+            Evaluator::PaperSse(oracle) => histogram
+                .buckets()
+                .iter()
+                .map(|b| oracle.bucket(b.start, b.end).cost)
+                .sum(),
+            Evaluator::PerItem(pdfs, metric) => expected_cost_from_pdfs(pdfs, *metric, histogram),
+        }
+    }
+}
+
+/// Computes the Figure 2 curve: error % (relative to the one-bucket worst
+/// case and the n-bucket best case) of the probabilistic optimum, the
+/// expectation heuristic and `num_samples` sampled-world heuristics, at every
+/// budget in `bucket_counts`.
+pub fn histogram_quality_curve(
+    relation: &ProbabilisticRelation,
+    metric: ErrorMetric,
+    bucket_counts: &[usize],
+    num_samples: usize,
+    seed: u64,
+) -> Vec<QualityRow> {
+    let n = relation.n();
+    let b_max = bucket_counts.iter().copied().max().unwrap_or(1).min(n);
+    let evaluator = Evaluator::new(relation, metric);
+
+    // Probabilistic optimum: one DP run yields every budget.
+    let oracle = oracle_for_metric(relation, metric);
+    let tables = DpTables::build(&oracle, b_max).expect("valid DP parameters");
+
+    // Best (n buckets: every item on its own) and worst (a single bucket)
+    // achievable costs under the evaluation objective.
+    let singleton_ends: Vec<usize> = (0..n).collect();
+    let singleton_reps: Vec<f64> = (0..n).map(|i| oracle.bucket(i, i).representative).collect();
+    let best_hist = Histogram::from_boundaries(n, &singleton_ends, &singleton_reps)
+        .expect("singleton histogram is a valid partition");
+    let best = evaluator.cost(&best_hist);
+    let worst_hist = tables.extract(1, &oracle).expect("one-bucket extraction");
+    let worst = evaluator.cost(&worst_hist);
+
+    // Heuristic inputs: the expected-frequency vector and sampled worlds,
+    // each optimised by the very same DP code on deterministic data.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let expectation_rel: ProbabilisticRelation =
+        ValuePdfModel::deterministic(&relation.expected_frequencies()).into();
+    let expectation_oracle = oracle_for_metric(&expectation_rel, metric);
+    let expectation_tables =
+        DpTables::build(&expectation_oracle, b_max).expect("valid DP parameters");
+    let sampled: Vec<(Box<dyn BucketCostOracle>, DpTables)> = (0..num_samples)
+        .map(|_| {
+            let world = sample_world(relation, &mut rng);
+            let world_rel: ProbabilisticRelation = ValuePdfModel::deterministic(&world).into();
+            let world_oracle = oracle_for_metric(&world_rel, metric);
+            let tables = DpTables::build(&world_oracle, b_max).expect("valid DP parameters");
+            (world_oracle, tables)
+        })
+        .collect();
+
+    bucket_counts
+        .iter()
+        .map(|&b| {
+            let b = b.clamp(1, b_max);
+            let optimal = tables.extract(b, &oracle).expect("extraction");
+            let expectation = expectation_tables
+                .extract(b, &expectation_oracle)
+                .expect("extraction");
+            let sampled_pct: Vec<f64> = sampled
+                .iter()
+                .map(|(o, t)| {
+                    let h = t.extract(b, o).expect("extraction");
+                    error_percentage(evaluator.cost(&h), best, worst)
+                })
+                .collect();
+            QualityRow {
+                buckets: b,
+                probabilistic: error_percentage(evaluator.cost(&optimal), best, worst),
+                expectation: error_percentage(evaluator.cost(&expectation), best, worst),
+                sampled: sampled_pct,
+            }
+        })
+        .collect()
+}
+
+/// One row of a Figure 4 style table.
+#[derive(Debug, Clone)]
+pub struct WaveletRow {
+    /// Coefficient budget `B`.
+    pub coefficients: usize,
+    /// Retained-energy error % of the probabilistic (expected-coefficient)
+    /// selection.
+    pub probabilistic: f64,
+    /// Retained-energy error % of each sampled-world selection.
+    pub sampled: Vec<f64>,
+}
+
+/// Computes the Figure 4 curve: the percentage of expected-coefficient energy
+/// missed by the probabilistic selection and by `num_samples` sampled-world
+/// selections, at every budget in `budgets`.
+pub fn wavelet_quality_curve(
+    relation: &ProbabilisticRelation,
+    budgets: &[usize],
+    num_samples: usize,
+    seed: u64,
+) -> Vec<WaveletRow> {
+    let coeffs = ExpectedCoefficients::of(relation);
+    let mu = coeffs.normalised();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampled_transforms: Vec<HaarTransform> = (0..num_samples)
+        .map(|_| HaarTransform::forward(&sample_world(relation, &mut rng)))
+        .collect();
+    budgets
+        .iter()
+        .map(|&b| {
+            let optimal = coeffs.top_indices(b);
+            let sampled: Vec<f64> = sampled_transforms
+                .iter()
+                .map(|t| {
+                    let sel = top_indices_by_magnitude(t.normalised(), b);
+                    selection_error_percentage(mu, &sel)
+                })
+                .collect();
+            WaveletRow {
+                coefficients: b,
+                probabilistic: selection_error_percentage(mu, &optimal),
+                sampled,
+            }
+        })
+        .collect()
+}
+
+/// One row of a Figure 3 style timing table.
+#[derive(Debug, Clone)]
+pub struct TimingRow {
+    /// Domain size `n`.
+    pub n: usize,
+    /// Bucket budget `B`.
+    pub buckets: usize,
+    /// Wall-clock seconds to preprocess and run the dynamic program.
+    pub seconds: f64,
+}
+
+/// Times the full histogram construction (oracle preprocessing plus DP) for
+/// the given metric and budget.
+pub fn time_histogram_construction(
+    relation: &ProbabilisticRelation,
+    metric: ErrorMetric,
+    b: usize,
+) -> TimingRow {
+    let start = Instant::now();
+    let oracle = oracle_for_metric(relation, metric);
+    let tables = DpTables::build(&oracle, b).expect("valid DP parameters");
+    let histogram = tables.extract(b, &oracle).expect("extraction");
+    let seconds = start.elapsed().as_secs_f64();
+    // Keep the optimiser from discarding the work.
+    assert!(histogram.total_cost().is_finite());
+    TimingRow {
+        n: relation.n(),
+        buckets: b,
+        seconds,
+    }
+}
+
+/// Standard geometric-ish ladder of budgets used by the figure binaries
+/// (always includes 1 and `max`).
+pub fn budget_ladder(max: usize, points: usize) -> Vec<usize> {
+    let points = points.max(2);
+    let mut out: Vec<usize> = (0..points)
+        .map(|i| ((i + 1) as f64 / points as f64 * max as f64).round() as usize)
+        .map(|b| b.max(1))
+        .collect();
+    out.insert(0, 1);
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{movie_workload, tpch_workload};
+
+    #[test]
+    fn budget_ladder_is_monotone_and_bounded() {
+        let ladder = budget_ladder(100, 10);
+        assert_eq!(*ladder.first().unwrap(), 1);
+        assert_eq!(*ladder.last().unwrap(), 100);
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(budget_ladder(1, 5), vec![1]);
+    }
+
+    #[test]
+    fn quality_curve_orders_methods_as_in_the_paper() {
+        let rel = movie_workload(96, 3);
+        for metric in [ErrorMetric::Ssre { c: 0.5 }, ErrorMetric::Sse, ErrorMetric::Sae] {
+            let rows = histogram_quality_curve(&rel, metric, &[1, 4, 16, 48, 96], 2, 7);
+            for row in &rows {
+                // The optimal probabilistic histogram is never worse than the
+                // heuristics under the evaluation objective.
+                assert!(row.probabilistic <= row.expectation + 1e-6, "{metric}");
+                for &s in &row.sampled {
+                    assert!(row.probabilistic <= s + 1e-6, "{metric}");
+                }
+                assert!(row.probabilistic >= -1e-9 && row.probabilistic <= 100.0);
+            }
+            // Error decreases with the budget and hits ~0 at B = n.
+            assert!(rows.first().unwrap().probabilistic >= rows.last().unwrap().probabilistic);
+            assert!(rows.last().unwrap().probabilistic < 1e-6);
+            assert!((rows.first().unwrap().probabilistic - 100.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn wavelet_curve_orders_methods_as_in_the_paper() {
+        let rel = tpch_workload(256, 5);
+        let rows = wavelet_quality_curve(&rel, &[1, 8, 32, 128, 256], 2, 11);
+        for row in &rows {
+            for &s in &row.sampled {
+                assert!(row.probabilistic <= s + 1e-9);
+            }
+        }
+        assert!(rows.last().unwrap().probabilistic < 1e-9);
+        let first = &rows[0];
+        assert!(first.probabilistic <= 100.0 && first.probabilistic > 0.0);
+    }
+
+    #[test]
+    fn timing_rows_report_positive_durations() {
+        let rel = movie_workload(128, 1);
+        let row = time_histogram_construction(&rel, ErrorMetric::Ssre { c: 0.5 }, 16);
+        assert_eq!(row.n, 128);
+        assert_eq!(row.buckets, 16);
+        assert!(row.seconds > 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Tail bounds on item frequencies.
+//!
+//! Section 4.2 of the paper notes that, for the unrestricted non-SSE wavelet
+//! problem, the range of candidate coefficient values can be bounded either
+//! pessimistically (minimum/maximum possible frequencies) or with
+//! high-probability ranges derived from Chernoff-style tail bounds, "since
+//! tuples can be seen as binomial variables".  This module provides both:
+//! per-item deterministic frequency ranges and Chernoff/Hoeffding bounds on
+//! `Pr[g_i ≥ t]` for the basic and tuple-pdf models (where `g_i` is a sum of
+//! independent Bernoulli contributions), together with high-probability
+//! ranges usable to quantise coefficient search spaces.
+
+use crate::model::ProbabilisticRelation;
+use crate::moments::item_moments;
+
+/// Deterministic (worst-case) frequency range of one item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyRange {
+    /// Smallest frequency the item can take in any possible world.
+    pub min: f64,
+    /// Largest frequency the item can take in any possible world.
+    pub max: f64,
+}
+
+/// The worst-case frequency range of every item (the "pessimistic" option of
+/// Section 4.2).
+pub fn frequency_ranges(relation: &ProbabilisticRelation) -> Vec<FrequencyRange> {
+    let n = relation.n();
+    match relation {
+        ProbabilisticRelation::Basic(m) => {
+            let mut max = vec![0.0f64; n];
+            let mut min = vec![0.0f64; n];
+            for t in m.tuples() {
+                if t.prob > 0.0 {
+                    max[t.item] += 1.0;
+                }
+                if t.prob >= 1.0 {
+                    min[t.item] += 1.0;
+                }
+            }
+            min.into_iter()
+                .zip(max)
+                .map(|(min, max)| FrequencyRange { min, max })
+                .collect()
+        }
+        ProbabilisticRelation::TuplePdf(m) => {
+            let mut max = vec![0.0f64; n];
+            let mut min = vec![0.0f64; n];
+            for t in m.tuples() {
+                for &(item, p) in t.alternatives() {
+                    if p > 0.0 {
+                        max[item] += 1.0;
+                    }
+                    if p >= 1.0 {
+                        min[item] += 1.0;
+                    }
+                }
+            }
+            min.into_iter()
+                .zip(max)
+                .map(|(min, max)| FrequencyRange { min, max })
+                .collect()
+        }
+        ProbabilisticRelation::ValuePdf(m) => m
+            .items()
+            .iter()
+            .map(|pdf| {
+                let support = pdf.support();
+                FrequencyRange {
+                    min: support.iter().cloned().fold(f64::INFINITY, f64::min).min(0.0),
+                    max: support.iter().cloned().fold(0.0, f64::max),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// A Chernoff upper bound on the upper tail `Pr[g_i ≥ t]` of a
+/// Poisson-binomial frequency with mean `mu`: for `t > mu`,
+/// `Pr[g ≥ t] ≤ exp(−mu) (e·mu / t)^t` (and 1 otherwise).
+pub fn chernoff_upper_tail(mu: f64, t: f64) -> f64 {
+    if t <= mu || t <= 0.0 {
+        return 1.0;
+    }
+    if mu <= 0.0 {
+        return 0.0;
+    }
+    // Standard multiplicative Chernoff bound written via the relative
+    // deviation delta = t/mu - 1:
+    // Pr[g >= (1+delta) mu] <= exp(-mu ((1+delta) ln(1+delta) - delta)).
+    let ratio = t / mu;
+    let exponent = mu * (ratio * ratio.ln() - (ratio - 1.0));
+    (-exponent).exp().min(1.0)
+}
+
+/// A Hoeffding upper bound on `Pr[g_i ≥ t]` for a sum of `k` independent
+/// `[0, 1]` contributions with mean `mu`: `exp(−2 (t − mu)² / k)`.
+pub fn hoeffding_upper_tail(mu: f64, k: usize, t: f64) -> f64 {
+    if t <= mu {
+        return 1.0;
+    }
+    if k == 0 {
+        return 0.0;
+    }
+    let d = t - mu;
+    (-2.0 * d * d / k as f64).exp().min(1.0)
+}
+
+/// A per-item high-probability frequency range: the exact range for the value
+/// pdf model, and the tighter of the worst-case and Chernoff-derived upper
+/// limits for the Bernoulli-sum models, such that
+/// `Pr[g_i outside the range] ≤ delta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HighProbabilityRange {
+    /// Lower end of the range (zero for the Bernoulli-sum models).
+    pub low: f64,
+    /// Upper end of the range.
+    pub high: f64,
+    /// The failure probability the range was computed for.
+    pub delta: f64,
+}
+
+/// Computes a high-probability frequency range for every item: the smallest
+/// integer threshold whose Chernoff upper tail drops below `delta`, capped by
+/// the worst-case range.
+pub fn high_probability_ranges(
+    relation: &ProbabilisticRelation,
+    delta: f64,
+) -> Vec<HighProbabilityRange> {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    let worst_case = frequency_ranges(relation);
+    let moments = item_moments(relation);
+    worst_case
+        .iter()
+        .zip(&moments)
+        .map(|(range, m)| {
+            let mut high = range.max;
+            // Walk integer thresholds upward from the mean until the tail
+            // bound drops below delta.
+            let mut t = m.mean.ceil().max(1.0);
+            while t < range.max {
+                if chernoff_upper_tail(m.mean, t) <= delta {
+                    high = t;
+                    break;
+                }
+                t += 1.0;
+            }
+            HighProbabilityRange {
+                low: range.min,
+                high,
+                delta,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{mystiq_like, MystiqLikeConfig};
+    use crate::model::{BasicModel, TuplePdfModel, ValuePdf, ValuePdfModel};
+    use crate::worlds::PossibleWorlds;
+
+    #[test]
+    fn worst_case_ranges_cover_every_possible_world() {
+        let relations: Vec<ProbabilisticRelation> = vec![
+            BasicModel::from_pairs(3, [(0, 0.5), (1, 1.0), (1, 0.25), (2, 0.5)])
+                .unwrap()
+                .into(),
+            TuplePdfModel::from_alternatives(
+                3,
+                [vec![(0, 0.5), (1, 0.3)], vec![(1, 0.25), (2, 0.5)]],
+            )
+            .unwrap()
+            .into(),
+            ValuePdfModel::from_sparse(
+                3,
+                [(1, ValuePdf::new([(2.0, 0.4), (5.0, 0.1)]).unwrap())],
+            )
+            .unwrap()
+            .into(),
+        ];
+        for rel in relations {
+            let ranges = frequency_ranges(&rel);
+            let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+            for (w, _) in worlds.worlds() {
+                for (i, &g) in w.iter().enumerate() {
+                    assert!(g >= ranges[i].min - 1e-12 && g <= ranges[i].max + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certain_tuples_raise_the_minimum() {
+        let rel: ProbabilisticRelation =
+            BasicModel::from_pairs(2, [(0, 1.0), (0, 1.0), (0, 0.5), (1, 0.2)])
+                .unwrap()
+                .into();
+        let ranges = frequency_ranges(&rel);
+        assert_eq!(ranges[0].min, 2.0);
+        assert_eq!(ranges[0].max, 3.0);
+        assert_eq!(ranges[1].min, 0.0);
+        assert_eq!(ranges[1].max, 1.0);
+    }
+
+    #[test]
+    fn chernoff_bound_dominates_the_true_tail() {
+        // Item with 6 tuples of probability 0.3: g ~ Binomial(6, 0.3).
+        let rel: ProbabilisticRelation =
+            BasicModel::from_pairs(1, (0..6).map(|_| (0usize, 0.3))).unwrap().into();
+        let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+        let mu = 1.8;
+        for t in [2.0, 3.0, 4.0, 5.0, 6.0] {
+            let true_tail = worlds.expectation(|w| if w[0] >= t { 1.0 } else { 0.0 });
+            let bound = chernoff_upper_tail(mu, t);
+            assert!(
+                bound >= true_tail - 1e-12,
+                "t={t}: bound {bound} < true {true_tail}"
+            );
+        }
+        // The bound is trivial at or below the mean and shrinks with t.
+        assert_eq!(chernoff_upper_tail(mu, 1.0), 1.0);
+        assert!(chernoff_upper_tail(mu, 5.0) < chernoff_upper_tail(mu, 3.0));
+        assert_eq!(chernoff_upper_tail(0.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn hoeffding_bound_dominates_the_true_tail() {
+        let rel: ProbabilisticRelation =
+            BasicModel::from_pairs(1, (0..5).map(|_| (0usize, 0.4))).unwrap().into();
+        let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+        let mu = 2.0;
+        for t in [3.0, 4.0, 5.0] {
+            let true_tail = worlds.expectation(|w| if w[0] >= t { 1.0 } else { 0.0 });
+            assert!(hoeffding_upper_tail(mu, 5, t) >= true_tail - 1e-12);
+        }
+        assert_eq!(hoeffding_upper_tail(2.0, 5, 1.0), 1.0);
+        assert_eq!(hoeffding_upper_tail(2.0, 0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn high_probability_ranges_are_valid_and_tighter_than_worst_case() {
+        // Item 0 has many low-probability tuples (the regime where Chernoff
+        // ranges beat the worst case); item 1 has a handful.
+        let mut pairs: Vec<(usize, f64)> = (0..30).map(|_| (0usize, 0.1)).collect();
+        pairs.extend([(1, 0.6), (1, 0.3), (1, 0.8)]);
+        let rel: ProbabilisticRelation = BasicModel::from_pairs(2, pairs).unwrap().into();
+        let delta = 0.01;
+        let hp = high_probability_ranges(&rel, delta);
+        let worst = frequency_ranges(&rel);
+        let pdfs = rel.induced_value_pdfs();
+        for (i, r) in hp.iter().enumerate() {
+            assert!(r.high <= worst[i].max + 1e-12);
+            assert!(r.low >= worst[i].min - 1e-12);
+            assert_eq!(r.delta, delta);
+            // The exact (induced-pdf) probability of exceeding the range is
+            // at most delta.
+            let outside = pdfs.item(i).tail(r.high);
+            assert!(outside <= delta + 1e-9, "item {i}: {outside} > {delta}");
+        }
+        // The heavy item gets a strictly tighter-than-worst-case high end.
+        assert!(hp[0].high < worst[0].max - 1e-12);
+        // The generated workload path also runs without panicking.
+        let generated: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+            n: 12,
+            avg_tuples_per_item: 6.0,
+            skew: 0.3,
+            seed: 5,
+        })
+        .into();
+        assert_eq!(high_probability_ranges(&generated, 0.05).len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn invalid_delta_panics() {
+        let rel: ProbabilisticRelation =
+            BasicModel::from_pairs(1, [(0, 0.5)]).unwrap().into();
+        let _ = high_probability_ranges(&rel, 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! # pds-core
+//!
+//! Core data structures for building histogram and wavelet synopses on
+//! probabilistic (uncertain) data, reproducing *Cormode & Garofalakis,
+//! "Histograms and Wavelets on Probabilistic Data", ICDE 2009*.
+//!
+//! This crate provides the substrate shared by the synopsis crates:
+//!
+//! * the three uncertainty models of Section 2.1 ([`model::BasicModel`],
+//!   [`model::TuplePdfModel`], [`model::ValuePdfModel`]) unified behind
+//!   [`model::ProbabilisticRelation`];
+//! * possible-worlds semantics: exhaustive enumeration for validation and
+//!   world sampling for the paper's baselines ([`worlds`]);
+//! * per-item frequency moments in closed form ([`moments`]);
+//! * the frequency value domain `V` ([`values`]);
+//! * the cumulative and maximum error metrics of Section 2.2 ([`metrics`]);
+//! * synthetic workload generators standing in for the paper's MystiQ and
+//!   MayBMS/TPC-H data sets ([`generator`]).
+//!
+//! Synopsis construction itself lives in the `pds-histogram` and
+//! `pds-wavelet` crates; `probsyn` re-exports everything under one roof.
+//!
+//! ## Example
+//!
+//! ```
+//! use pds_core::model::{BasicModel, ProbabilisticRelation};
+//! use pds_core::worlds::PossibleWorlds;
+//!
+//! // Example 1 of the paper: four uncertain tuples over a three-item domain.
+//! let relation: ProbabilisticRelation =
+//!     BasicModel::from_pairs(3, [(0, 0.5), (1, 1.0 / 3.0), (1, 0.25), (2, 0.5)])
+//!         .unwrap()
+//!         .into();
+//!
+//! let worlds = PossibleWorlds::enumerate(&relation).unwrap();
+//! assert!((worlds.total_probability() - 1.0).abs() < 1e-12);
+//! assert!((relation.expected_frequencies()[0] - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bounds;
+pub mod error;
+pub mod generator;
+pub mod io;
+pub mod metrics;
+pub mod model;
+pub mod moments;
+pub mod values;
+pub mod worlds;
+
+pub use error::{PdsError, Result};
+pub use metrics::ErrorMetric;
+pub use model::{
+    BasicModel, BasicTuple, ProbabilisticRelation, TupleAlternatives, TuplePdfModel, ValuePdf,
+    ValuePdfModel,
+};
+pub use moments::{item_moments, ItemMoments};
+pub use values::ValueDomain;
+pub use worlds::{sample_world, PossibleWorlds};

@@ -1,0 +1,285 @@
+//! `(1 + ε)`-approximate histogram construction (Section 3.5 of the paper,
+//! Theorem 5), following the approach of Guha, Koudas and Shim.
+//!
+//! The exact dynamic program spends `Ω(B n²)` bucket-cost evaluations.  All
+//! the error measures considered satisfy the conditions listed in the paper
+//! (interval-locality, additivity, `O(1)`/`O(log |V|)` single-bucket queries,
+//! monotonicity, polynomially-bounded totals), so the candidate split points
+//! of the recurrence can be thinned: for every budget level we keep only
+//! split positions whose prefix error grows by a factor of `(1 + δ)`,
+//! `δ = ε / (2B)`.  Because prefix errors are non-decreasing in the prefix
+//! length, restricting the minimisation to these `O((B/ε) log(total error))`
+//! break positions loses at most a factor `(1 + δ)` per level and therefore
+//! at most `(1 + ε)` overall.
+
+use pds_core::error::{PdsError, Result};
+
+use crate::histogram::{Bucket, Histogram};
+use crate::oracle::BucketCostOracle;
+
+/// Diagnostics of an approximate run, used by the ablation benchmarks to
+/// compare against the exact DP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxStats {
+    /// Number of single-bucket cost evaluations performed.
+    pub bucket_evaluations: usize,
+    /// Number of candidate split positions retained, summed over levels.
+    pub retained_candidates: usize,
+    /// The approximation parameter that was used.
+    pub epsilon: f64,
+}
+
+/// Result of the approximate construction: the histogram plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct ApproxHistogram {
+    /// The constructed histogram (cost within `(1 + ε)` of optimal).
+    pub histogram: Histogram,
+    /// Diagnostics about the run.
+    pub stats: ApproxStats,
+}
+
+/// Builds a `b`-bucket histogram whose error is at most `(1 + epsilon)` times
+/// the optimal error, using far fewer bucket-cost evaluations than the exact
+/// dynamic program.
+///
+/// Only cumulative metrics are supported (the paper's Theorem 5 covers SSE,
+/// SSRE, SAE and SARE); an error is returned for maximum-error oracles.
+pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
+    oracle: &O,
+    b: usize,
+    epsilon: f64,
+) -> Result<ApproxHistogram> {
+    let n = oracle.n();
+    if n == 0 || b == 0 {
+        return Err(PdsError::InvalidParameter {
+            message: "the domain and the bucket budget must be non-empty".into(),
+        });
+    }
+    if epsilon <= 0.0 || epsilon.is_nan() {
+        return Err(PdsError::InvalidParameter {
+            message: format!("epsilon must be positive, got {epsilon}"),
+        });
+    }
+    if !oracle.is_cumulative() {
+        return Err(PdsError::InvalidParameter {
+            message: "the (1+eps) approximation applies to cumulative error metrics only".into(),
+        });
+    }
+    let b = b.min(n);
+    let delta = epsilon / (2.0 * b as f64);
+
+    let mut evaluations = 0usize;
+    let mut retained = 0usize;
+    let mut cost_of = |s: usize, e: usize| {
+        evaluations += 1;
+        oracle.bucket(s, e).cost
+    };
+
+    // value[level][j] = approximate optimal error of a (level+1)-bucket
+    // histogram over the prefix [0, j]; split[level][j] = chosen start of the
+    // final bucket.  Values are computed for every j, but the inner
+    // minimisation only looks at the retained candidate positions of the
+    // previous level.
+    let mut value = vec![vec![f64::INFINITY; n]; b];
+    let mut split = vec![vec![u32::MAX; n]; b];
+
+    // Level 0: a single bucket [0, j].
+    for j in 0..n {
+        value[0][j] = cost_of(0, j);
+        split[0][j] = 0;
+    }
+
+    for level in 1..b {
+        // Candidate split positions from the previous level: positions p such
+        // that the final bucket of the current level starts at p + 1.
+        // Invariant: candidates partition the processed prefix into runs whose
+        // approximate value grows by at most (1 + delta); the right end of the
+        // closed run is retained.
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut run_start_value = f64::INFINITY;
+        for j in 0..n {
+            // Maintain the candidate list over the prefix positions < j of the
+            // previous level.
+            if j > 0 {
+                let p = j - 1;
+                let v = value[level - 1][p];
+                if v.is_finite() {
+                    if run_start_value.is_infinite() {
+                        run_start_value = v;
+                        candidates.push(p);
+                    } else if v > (1.0 + delta) * run_start_value {
+                        // Close the previous run at p (keep it) and start a new
+                        // run here.
+                        candidates.push(p);
+                        run_start_value = v;
+                    } else {
+                        // Extend the current run: replace its right end with p.
+                        *candidates.last_mut().expect("non-empty run") = p;
+                    }
+                }
+            }
+            if j < level {
+                // Not enough items for level+1 buckets.
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            let mut best_s = u32::MAX;
+            for &p in &candidates {
+                let left = value[level - 1][p];
+                if !left.is_finite() || p + 1 > j {
+                    continue;
+                }
+                let total = left + cost_of(p + 1, j);
+                if total < best {
+                    best = total;
+                    best_s = (p + 1) as u32;
+                }
+            }
+            value[level][j] = best;
+            split[level][j] = best_s;
+        }
+        retained += candidates.len();
+    }
+
+    // Reconstruct the bucketing.
+    let mut buckets_rev: Vec<Bucket> = Vec::with_capacity(b);
+    let mut level = b - 1;
+    let mut j = n - 1;
+    loop {
+        let s = split[level][j] as usize;
+        let sol = oracle.bucket(s, j);
+        buckets_rev.push(Bucket {
+            start: s,
+            end: j,
+            representative: sol.representative,
+            cost: sol.cost,
+        });
+        if level == 0 || s == 0 {
+            break;
+        }
+        j = s - 1;
+        level -= 1;
+    }
+    buckets_rev.reverse();
+    let histogram = Histogram::new(n, buckets_rev)?;
+    Ok(ApproxHistogram {
+        histogram,
+        stats: ApproxStats {
+            bucket_evaluations: evaluations,
+            retained_candidates: retained,
+            epsilon,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpTables;
+    use crate::oracle::sse::{SseObjective, SseOracle};
+    use crate::oracle::{abs::WeightedAbsOracle, maxerr::MaxErrOracle, ssre::SsreOracle};
+    use pds_core::generator::{mystiq_like, zipf_value_pdf, MystiqLikeConfig, ValuePdfConfig};
+    use pds_core::model::ProbabilisticRelation;
+
+    fn workload(n: usize, seed: u64) -> ProbabilisticRelation {
+        mystiq_like(MystiqLikeConfig {
+            n,
+            avg_tuples_per_item: 2.5,
+            skew: 0.8,
+            seed,
+        })
+        .into()
+    }
+
+    #[test]
+    fn approximation_guarantee_holds_for_sse() {
+        for seed in [1, 2, 3] {
+            let rel = workload(60, seed);
+            let oracle = SseOracle::new(&rel, SseObjective::PaperEq5);
+            for (b, eps) in [(4, 0.1), (8, 0.25), (6, 0.05)] {
+                let exact = DpTables::build(&oracle, b).unwrap().optimal_cost(b);
+                let approx = approx_histogram(&oracle, b, eps).unwrap();
+                assert!(
+                    approx.histogram.total_cost() <= (1.0 + eps) * exact + 1e-9,
+                    "seed {seed}, b={b}, eps={eps}: {} vs (1+eps)*{exact}",
+                    approx.histogram.total_cost()
+                );
+                assert!(approx.histogram.total_cost() >= exact - 1e-9);
+                assert_eq!(approx.histogram.num_buckets().min(b), approx.histogram.num_buckets());
+            }
+        }
+    }
+
+    #[test]
+    fn approximation_guarantee_holds_for_ssre_and_sae() {
+        let rel: ProbabilisticRelation = zipf_value_pdf(ValuePdfConfig {
+            n: 48,
+            max_entries_per_item: 3,
+            max_frequency: 8.0,
+            skew: 1.0,
+            zero_mass: 0.2,
+            seed: 4,
+        })
+        .into();
+        let eps = 0.1;
+        let b = 6;
+        let ssre = SsreOracle::new(&rel, 0.5);
+        let exact = DpTables::build(&ssre, b).unwrap().optimal_cost(b);
+        let approx = approx_histogram(&ssre, b, eps).unwrap();
+        assert!(approx.histogram.total_cost() <= (1.0 + eps) * exact + 1e-9);
+
+        let sae = WeightedAbsOracle::sae(&rel);
+        let exact = DpTables::build(&sae, b).unwrap().optimal_cost(b);
+        let approx = approx_histogram(&sae, b, eps).unwrap();
+        assert!(approx.histogram.total_cost() <= (1.0 + eps) * exact + 1e-9);
+    }
+
+    #[test]
+    fn approximate_run_thins_the_candidate_splits() {
+        let n = 160;
+        let b = 12;
+        let rel = workload(n, 9);
+        let oracle = SseOracle::new(&rel, SseObjective::PaperEq5);
+        let approx = approx_histogram(&oracle, b, 0.25).unwrap();
+        // The textbook O(Bn²) recurrence evaluates a bucket error for every
+        // (prefix, budget, split) triple; the approximation must do less.
+        let exact_recurrence_evals = b * n * (n + 1) / 2;
+        assert!(
+            approx.stats.bucket_evaluations < exact_recurrence_evals,
+            "{} evaluations vs {exact_recurrence_evals} for the exact recurrence",
+            approx.stats.bucket_evaluations
+        );
+        // Candidate splits per level are a strict subset of all positions.
+        assert!(approx.stats.retained_candidates > 0);
+        assert!(approx.stats.retained_candidates < (b - 1) * n);
+        assert_eq!(approx.stats.epsilon, 0.25);
+        // A looser epsilon keeps fewer candidates and evaluates fewer buckets.
+        let looser = approx_histogram(&oracle, b, 4.0).unwrap();
+        assert!(looser.stats.bucket_evaluations <= approx.stats.bucket_evaluations);
+        assert!(
+            looser.stats.bucket_evaluations < exact_recurrence_evals / 4,
+            "{} evaluations with eps=4",
+            looser.stats.bucket_evaluations
+        );
+    }
+
+    #[test]
+    fn degenerate_budgets_and_parameters() {
+        let rel = workload(10, 2);
+        let oracle = SseOracle::new(&rel, SseObjective::PaperEq5);
+        // One bucket: approximation equals the exact single bucket.
+        let approx = approx_histogram(&oracle, 1, 0.5).unwrap();
+        assert_eq!(approx.histogram.num_buckets(), 1);
+        assert!((approx.histogram.total_cost() - oracle.bucket(0, 9).cost).abs() < 1e-12);
+        // More buckets than items clamps to n and reaches the minimum error.
+        let approx = approx_histogram(&oracle, 30, 0.5).unwrap();
+        let exact = DpTables::build(&oracle, 10).unwrap().optimal_cost(10);
+        assert!(approx.histogram.total_cost() <= (1.0 + 0.5) * exact + 1e-9);
+        // Invalid parameters.
+        assert!(approx_histogram(&oracle, 0, 0.5).is_err());
+        assert!(approx_histogram(&oracle, 3, 0.0).is_err());
+        assert!(approx_histogram(&oracle, 3, -1.0).is_err());
+        let max_oracle = MaxErrOracle::mae(&rel);
+        assert!(approx_histogram(&max_oracle, 3, 0.1).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! The optimal-histogram dynamic program (equation (2) of the paper).
+//!
+//! The principle of optimality holds for probabilistic data exactly as for
+//! deterministic data: removing the final bucket of an optimal `B`-bucket
+//! histogram leaves an optimal `(B−1)`-bucket histogram over the remaining
+//! prefix.  The recurrence
+//!
+//! ```text
+//! OPT[j, b] = min_{0 ≤ i < j} h( OPT[i, b−1], BERR([i+1, j]) )
+//! ```
+//!
+//! with `h = +` for cumulative metrics and `h = max` for maximum-error
+//! metrics, is evaluated with `O(B n²)` bucket-cost lookups.  The DP is
+//! generic over a [`BucketCostOracle`]; bucket costs for a fixed right
+//! endpoint are obtained in one batch via
+//! [`BucketCostOracle::costs_ending_at`] so that oracles with cross-item
+//! interactions can amortise their work.
+//!
+//! The full DP table is retained: building it once for `B_max` buckets yields
+//! the optimal histogram for *every* `b ≤ B_max`, which is how the error-vs-
+//! buckets curves of Figure 2 are produced with a single DP run.
+
+use pds_core::error::{PdsError, Result};
+
+use crate::histogram::{Bucket, Histogram};
+use crate::oracle::BucketCostOracle;
+
+/// The filled dynamic-programming tables: optimal costs and back-pointers for
+/// every prefix length and every bucket budget up to `b_max`.
+#[derive(Debug, Clone)]
+pub struct DpTables {
+    n: usize,
+    b_max: usize,
+    cumulative: bool,
+    /// `cost[(b-1) * n + j]` = optimal error of a `b`-bucket histogram over
+    /// the prefix `[0, j]`.
+    cost: Vec<f64>,
+    /// `back[(b-1) * n + j]` = start index of the final bucket in that
+    /// optimal histogram.
+    back: Vec<u32>,
+}
+
+impl DpTables {
+    /// Runs the dynamic program for up to `b_max` buckets.
+    pub fn build<O: BucketCostOracle + ?Sized>(oracle: &O, b_max: usize) -> Result<Self> {
+        let n = oracle.n();
+        if n == 0 || b_max == 0 {
+            return Err(PdsError::InvalidParameter {
+                message: "the domain and the bucket budget must be non-empty".into(),
+            });
+        }
+        let b_max = b_max.min(n);
+        let cumulative = oracle.is_cumulative();
+        let combine = |left: f64, bucket: f64| {
+            if cumulative {
+                left + bucket
+            } else {
+                left.max(bucket)
+            }
+        };
+        let mut cost = vec![f64::INFINITY; b_max * n];
+        let mut back = vec![u32::MAX; b_max * n];
+        let mut bucket_costs: Vec<f64> = Vec::with_capacity(n);
+        for j in 0..n {
+            oracle.costs_ending_at(j, &mut bucket_costs);
+            // b = 1: a single bucket covering [0, j].
+            cost[j] = bucket_costs[0];
+            back[j] = 0;
+            let max_b = b_max.min(j + 1);
+            for b in 2..=max_b {
+                let mut best = f64::INFINITY;
+                let mut best_s = u32::MAX;
+                let prev_row = (b - 2) * n;
+                // The final bucket starts at s; the first b−1 buckets cover
+                // [0, s−1], which needs at least b−1 items, so s ≥ b−1.
+                for s in (b - 1)..=j {
+                    let left = cost[prev_row + s - 1];
+                    if !left.is_finite() {
+                        continue;
+                    }
+                    let total = combine(left, bucket_costs[s]);
+                    if total < best {
+                        best = total;
+                        best_s = s as u32;
+                    }
+                }
+                cost[(b - 1) * n + j] = best;
+                back[(b - 1) * n + j] = best_s;
+            }
+        }
+        Ok(DpTables {
+            n,
+            b_max,
+            cumulative,
+            cost,
+            back,
+        })
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Largest bucket budget the tables were built for.
+    pub fn b_max(&self) -> usize {
+        self.b_max
+    }
+
+    /// Whether the DP combined bucket costs additively.
+    pub fn is_cumulative(&self) -> bool {
+        self.cumulative
+    }
+
+    /// The optimal objective value of a `b`-bucket histogram over the whole
+    /// domain (for `b > n` the `n`-bucket value is returned).
+    pub fn optimal_cost(&self, b: usize) -> f64 {
+        let b = b.clamp(1, self.b_max).min(self.n);
+        self.cost[(b - 1) * self.n + self.n - 1]
+    }
+
+    /// Extracts the optimal `b`-bucket histogram, using `oracle` to recover
+    /// the representative value (and per-bucket cost) of each final bucket.
+    pub fn extract<O: BucketCostOracle + ?Sized>(
+        &self,
+        b: usize,
+        oracle: &O,
+    ) -> Result<Histogram> {
+        if b == 0 {
+            return Err(PdsError::InvalidParameter {
+                message: "at least one bucket is required".into(),
+            });
+        }
+        let mut b = b.min(self.b_max).min(self.n);
+        let mut j = self.n - 1;
+        let mut buckets_rev: Vec<Bucket> = Vec::with_capacity(b);
+        loop {
+            let s = self.back[(b - 1) * self.n + j] as usize;
+            let sol = oracle.bucket(s, j);
+            buckets_rev.push(Bucket {
+                start: s,
+                end: j,
+                representative: sol.representative,
+                cost: sol.cost,
+            });
+            if b == 1 || s == 0 {
+                break;
+            }
+            j = s - 1;
+            b -= 1;
+        }
+        buckets_rev.reverse();
+        Histogram::new(self.n, buckets_rev)
+    }
+}
+
+/// Builds the optimal `b`-bucket histogram for the given oracle.
+pub fn optimal_histogram<O: BucketCostOracle + ?Sized>(
+    oracle: &O,
+    b: usize,
+) -> Result<Histogram> {
+    let tables = DpTables::build(oracle, b)?;
+    tables.extract(b, oracle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::sse::{SseObjective, SseOracle};
+    use crate::oracle::{abs::WeightedAbsOracle, maxerr::MaxErrOracle, BucketSolution};
+    use pds_core::generator::{mystiq_like, MystiqLikeConfig};
+    use pds_core::model::{ProbabilisticRelation, ValuePdfModel};
+
+    /// Brute-force optimal histogram cost by enumerating all bucketings.
+    fn brute_force_optimal<O: BucketCostOracle>(oracle: &O, b: usize, cumulative: bool) -> f64 {
+        fn recurse<O: BucketCostOracle>(
+            oracle: &O,
+            start: usize,
+            b: usize,
+            cumulative: bool,
+        ) -> f64 {
+            let n = oracle.n();
+            if start == n {
+                return if cumulative { 0.0 } else { f64::NEG_INFINITY.max(0.0) };
+            }
+            if b == 1 {
+                return oracle.bucket(start, n - 1).cost;
+            }
+            let mut best = f64::INFINITY;
+            for end in start..n {
+                if n - end - 1 < b - 1 {
+                    break;
+                }
+                let here = oracle.bucket(start, end).cost;
+                let rest = recurse(oracle, end + 1, b - 1, cumulative);
+                let total = if cumulative { here + rest } else { here.max(rest) };
+                best = best.min(total);
+            }
+            best
+        }
+        recurse(oracle, 0, b.min(oracle.n()), cumulative)
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_small_probabilistic_inputs() {
+        let rel: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+            n: 9,
+            avg_tuples_per_item: 2.0,
+            skew: 0.7,
+            seed: 5,
+        })
+        .into();
+        let oracle = SseOracle::new(&rel, SseObjective::PaperEq5);
+        for b in 1..=5 {
+            let tables = DpTables::build(&oracle, b).unwrap();
+            let brute = brute_force_optimal(&oracle, b, true);
+            assert!(
+                (tables.optimal_cost(b) - brute).abs() < 1e-9,
+                "b={b}: {} vs {brute}",
+                tables.optimal_cost(b)
+            );
+            // The extracted histogram is a valid partition with the same cost.
+            let h = tables.extract(b, &oracle).unwrap();
+            assert_eq!(h.num_buckets(), b.min(9));
+            assert!((h.total_cost() - brute).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_for_max_error_metrics() {
+        let rel: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+            n: 8,
+            avg_tuples_per_item: 2.0,
+            skew: 0.7,
+            seed: 11,
+        })
+        .into();
+        let oracle = MaxErrOracle::mae(&rel);
+        for b in 1..=4 {
+            let tables = DpTables::build(&oracle, b).unwrap();
+            let brute = brute_force_optimal(&oracle, b, false);
+            assert!(
+                (tables.optimal_cost(b) - brute).abs() < 1e-9,
+                "b={b}: {} vs {brute}",
+                tables.optimal_cost(b)
+            );
+            let h = tables.extract(b, &oracle).unwrap();
+            assert!((h.max_bucket_cost() - brute).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_v_optimal_histogram_matches_known_answer() {
+        // Classic V-optimal instance: [1, 1, 1, 9, 9, 9] with 2 buckets has
+        // zero error split between items 2 and 3.
+        let rel: ProbabilisticRelation =
+            ValuePdfModel::deterministic(&[1.0, 1.0, 1.0, 9.0, 9.0, 9.0]).into();
+        let oracle = SseOracle::new(&rel, SseObjective::FixedRepresentative);
+        let h = optimal_histogram(&oracle, 2).unwrap();
+        assert_eq!(h.boundaries(), vec![2, 5]);
+        assert!(h.total_cost().abs() < 1e-12);
+        assert_eq!(h.estimates(), vec![1.0, 1.0, 1.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn one_run_yields_all_smaller_budgets_consistently() {
+        let rel: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+            n: 16,
+            avg_tuples_per_item: 2.5,
+            skew: 0.8,
+            seed: 3,
+        })
+        .into();
+        let oracle = WeightedAbsOracle::sae(&rel);
+        let tables = DpTables::build(&oracle, 8).unwrap();
+        let mut prev = f64::INFINITY;
+        for b in 1..=8 {
+            let from_table = tables.optimal_cost(b);
+            let fresh = optimal_histogram(&oracle, b).unwrap().total_cost();
+            assert!((from_table - fresh).abs() < 1e-9, "b={b}");
+            // More buckets never hurt.
+            assert!(from_table <= prev + 1e-9);
+            prev = from_table;
+        }
+    }
+
+    #[test]
+    fn n_bucket_histogram_puts_every_item_in_its_own_bucket() {
+        let rel: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+            n: 6,
+            avg_tuples_per_item: 2.0,
+            skew: 0.5,
+            seed: 1,
+        })
+        .into();
+        let oracle = SseOracle::new(&rel, SseObjective::PaperEq5);
+        let h = optimal_histogram(&oracle, 6).unwrap();
+        assert_eq!(h.num_buckets(), 6);
+        for (i, bucket) in h.buckets().iter().enumerate() {
+            assert_eq!(bucket.start, i);
+            assert_eq!(bucket.end, i);
+        }
+        // Requesting more buckets than items clamps to n.
+        let h2 = optimal_histogram(&oracle, 50).unwrap();
+        assert_eq!(h2.num_buckets(), 6);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let rel: ProbabilisticRelation = ValuePdfModel::deterministic(&[1.0, 2.0]).into();
+        let oracle = SseOracle::new(&rel, SseObjective::PaperEq5);
+        assert!(DpTables::build(&oracle, 0).is_err());
+        let tables = DpTables::build(&oracle, 2).unwrap();
+        assert!(tables.extract(0, &oracle).is_err());
+    }
+
+    /// A tiny oracle with hand-crafted costs to pin down the recurrence.
+    struct ToyOracle;
+    impl BucketCostOracle for ToyOracle {
+        fn n(&self) -> usize {
+            3
+        }
+        fn bucket(&self, s: usize, e: usize) -> BucketSolution {
+            // cost = width - 1 (so singleton buckets are free).
+            BucketSolution {
+                representative: 0.0,
+                cost: (e - s) as f64,
+            }
+        }
+    }
+
+    #[test]
+    fn toy_oracle_recurrence() {
+        let tables = DpTables::build(&ToyOracle, 3).unwrap();
+        assert_eq!(tables.optimal_cost(1), 2.0);
+        assert_eq!(tables.optimal_cost(2), 1.0);
+        assert_eq!(tables.optimal_cost(3), 0.0);
+        let h = tables.extract(2, &ToyOracle).unwrap();
+        assert_eq!(h.num_buckets(), 2);
+    }
+}

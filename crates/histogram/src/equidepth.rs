@@ -1,0 +1,173 @@
+//! Equi-depth histograms over probabilistic data.
+//!
+//! The paper's related-work discussion (Section 1.1) notes that prior work on
+//! quantiles of uncertain data [5, 21] "can be thought of as the equi-depth
+//! histogram": boundaries are chosen so that each bucket carries (roughly)
+//! the same total *expected* frequency, i.e. the quantiles of the
+//! expected-weight distribution.  Equi-depth bucketing ignores the error
+//! objective entirely, which makes it a useful additional baseline for the
+//! error-optimal constructions of Section 3: it is cheap (one prefix-sum
+//! pass) but generally suboptimal under every metric.
+
+use pds_core::error::{PdsError, Result};
+use pds_core::metrics::ErrorMetric;
+use pds_core::model::ProbabilisticRelation;
+
+use crate::histogram::{Bucket, Histogram};
+use crate::oracle::{oracle_for_metric, BucketCostOracle};
+
+/// Builds a `b`-bucket equi-depth histogram of `relation`: boundaries at the
+/// quantiles of the expected frequencies, representatives fitted optimally
+/// for `metric` within each bucket (so the comparison against the optimal
+/// histogram isolates the effect of the boundary choice).
+pub fn equidepth_histogram(
+    relation: &ProbabilisticRelation,
+    metric: ErrorMetric,
+    b: usize,
+) -> Result<Histogram> {
+    let n = relation.n();
+    if n == 0 || b == 0 {
+        return Err(PdsError::InvalidParameter {
+            message: "the domain and the bucket budget must be non-empty".into(),
+        });
+    }
+    let b = b.min(n);
+    let means = relation.expected_frequencies();
+    let total: f64 = means.iter().sum();
+    let oracle = oracle_for_metric(relation, metric);
+
+    // Walk the domain accumulating expected weight; close a bucket whenever
+    // the running share reaches the next quantile (always leaving enough
+    // items for the remaining buckets).
+    let mut buckets = Vec::with_capacity(b);
+    let mut start = 0usize;
+    let mut acc = 0.0;
+    for k in 1..=b {
+        let target = total * k as f64 / b as f64;
+        let mut end = start;
+        // Leave at least (b - k) items for the remaining buckets.
+        let last_allowed = n - (b - k) - 1;
+        while end < last_allowed {
+            acc += means[end];
+            if acc + 1e-12 >= target {
+                break;
+            }
+            end += 1;
+        }
+        if k == b {
+            end = n - 1;
+        } else if end >= last_allowed {
+            end = last_allowed;
+            // Account for the items consumed up to the forced boundary.
+            acc = means[..=end].iter().sum();
+        } else {
+            // `end` stopped before consuming means[end..]; acc already
+            // includes means[start..end]; include the boundary item.
+            acc = means[..=end].iter().sum();
+        }
+        let sol = oracle.bucket(start, end);
+        buckets.push(Bucket {
+            start,
+            end,
+            representative: sol.representative,
+            cost: sol.cost,
+        });
+        start = end + 1;
+        if start >= n {
+            break;
+        }
+    }
+    Histogram::new(n, buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::optimal_histogram;
+    use crate::evaluate::expected_cost;
+    use pds_core::generator::{mystiq_like, MystiqLikeConfig};
+    use pds_core::model::ValuePdfModel;
+
+    fn relation(n: usize) -> ProbabilisticRelation {
+        mystiq_like(MystiqLikeConfig {
+            n,
+            avg_tuples_per_item: 3.0,
+            skew: 0.9,
+            seed: 41,
+        })
+        .into()
+    }
+
+    #[test]
+    fn produces_a_valid_partition_with_the_requested_buckets() {
+        let rel = relation(40);
+        for b in [1usize, 3, 7, 16, 40] {
+            let h = equidepth_histogram(&rel, ErrorMetric::Sae, b).unwrap();
+            assert_eq!(h.n(), 40);
+            assert!(h.num_buckets() <= b);
+            assert_eq!(h.buckets().first().unwrap().start, 0);
+            assert_eq!(h.buckets().last().unwrap().end, 39);
+        }
+    }
+
+    #[test]
+    fn buckets_carry_roughly_equal_expected_weight() {
+        let rel = relation(64);
+        let b = 8;
+        let h = equidepth_histogram(&rel, ErrorMetric::Sse, b).unwrap();
+        let means = rel.expected_frequencies();
+        let total: f64 = means.iter().sum();
+        let target = total / b as f64;
+        let max_item: f64 = means.iter().cloned().fold(0.0, f64::max);
+        for bucket in h.buckets() {
+            let weight: f64 = means[bucket.start..=bucket.end].iter().sum();
+            // Each bucket's weight is within one item of the target (the
+            // classic equi-depth slack) except possibly the last one.
+            if bucket.end != 63 {
+                assert!(
+                    weight <= target + max_item + 1e-9,
+                    "bucket [{}, {}] weight {weight} vs target {target}",
+                    bucket.start,
+                    bucket.end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn never_beats_the_error_optimal_histogram() {
+        let rel = relation(48);
+        for metric in [ErrorMetric::Sse, ErrorMetric::Ssre { c: 0.5 }, ErrorMetric::Sae] {
+            for b in [4usize, 8, 12] {
+                let equi = equidepth_histogram(&rel, metric, b).unwrap();
+                let oracle = oracle_for_metric(&rel, metric);
+                let optimal = optimal_histogram(&oracle, b).unwrap();
+                assert!(
+                    expected_cost(&rel, metric, &equi)
+                        >= expected_cost(&rel, metric, &optimal) - 1e-9,
+                    "{metric} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_data_gives_equal_width_buckets() {
+        let rel: ProbabilisticRelation = ValuePdfModel::deterministic(&[2.0; 32]).into();
+        let h = equidepth_histogram(&rel, ErrorMetric::Sae, 4).unwrap();
+        assert_eq!(h.num_buckets(), 4);
+        for bucket in h.buckets() {
+            assert_eq!(bucket.width(), 8);
+            assert_eq!(bucket.representative, 2.0);
+            assert!(bucket.cost.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected_or_clamped() {
+        let rel = relation(10);
+        assert!(equidepth_histogram(&rel, ErrorMetric::Sae, 0).is_err());
+        let h = equidepth_histogram(&rel, ErrorMetric::Sae, 100).unwrap();
+        assert!(h.num_buckets() <= 10);
+    }
+}

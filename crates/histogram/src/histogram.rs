@@ -1,0 +1,281 @@
+//! The histogram synopsis type: a partition of the ordered domain into
+//! buckets, each with a single representative value.
+
+use serde::{Deserialize, Serialize};
+
+use pds_core::error::{PdsError, Result};
+
+/// One histogram bucket: the inclusive span `[start, end]` of domain items it
+/// covers and the representative value used to approximate every frequency in
+/// the span.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// First item of the span (inclusive, 0-based).
+    pub start: usize,
+    /// Last item of the span (inclusive, 0-based).
+    pub end: usize,
+    /// Representative value `b̂` approximating every item in the span.
+    pub representative: f64,
+    /// The (expected) error contribution of this bucket under the metric the
+    /// histogram was built for.
+    pub cost: f64,
+}
+
+impl Bucket {
+    /// Number of distinct items in the span (the paper's `n_b`).
+    pub fn width(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Whether the bucket spans item `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        i >= self.start && i <= self.end
+    }
+}
+
+/// A `B`-bucket histogram synopsis over the domain `[0, n)`.
+///
+/// Buckets are contiguous, non-overlapping and cover the whole domain
+/// (`s_1 = 0`, `e_B = n − 1`, `s_{k+1} = e_k + 1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    n: usize,
+    buckets: Vec<Bucket>,
+    total_cost: f64,
+}
+
+impl Histogram {
+    /// Builds a histogram from buckets, validating that they partition
+    /// `[0, n)`.
+    pub fn new(n: usize, buckets: Vec<Bucket>) -> Result<Self> {
+        if buckets.is_empty() || n == 0 {
+            return Err(PdsError::InvalidParameter {
+                message: "histogram needs a non-empty domain and at least one bucket".into(),
+            });
+        }
+        let mut expected_start = 0usize;
+        for b in &buckets {
+            if b.start != expected_start || b.end < b.start || b.end >= n {
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "bucket [{}, {}] does not continue the partition of [0, {})",
+                        b.start, b.end, n
+                    ),
+                });
+            }
+            expected_start = b.end + 1;
+        }
+        if expected_start != n {
+            return Err(PdsError::InvalidParameter {
+                message: format!("buckets cover [0, {expected_start}) but the domain is [0, {n})"),
+            });
+        }
+        let total_cost = buckets.iter().map(|b| b.cost).sum();
+        Ok(Histogram {
+            n,
+            buckets,
+            total_cost,
+        })
+    }
+
+    /// Builds a histogram from bucket boundaries (the end index of every
+    /// bucket) and representative values; costs are set to zero.
+    pub fn from_boundaries(
+        n: usize,
+        ends: &[usize],
+        representatives: &[f64],
+    ) -> Result<Self> {
+        if ends.len() != representatives.len() {
+            return Err(PdsError::InvalidParameter {
+                message: "one representative per bucket is required".into(),
+            });
+        }
+        let mut buckets = Vec::with_capacity(ends.len());
+        let mut start = 0usize;
+        for (&end, &rep) in ends.iter().zip(representatives) {
+            buckets.push(Bucket {
+                start,
+                end,
+                representative: rep,
+                cost: 0.0,
+            });
+            start = end + 1;
+        }
+        Histogram::new(n, buckets)
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The buckets, in domain order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Number of buckets `B`.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Sum of the per-bucket costs recorded at construction time (the DP
+    /// objective value for cumulative metrics).
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Maximum of the per-bucket costs (the DP objective value for
+    /// maximum-error metrics).
+    pub fn max_bucket_cost(&self) -> f64 {
+        self.buckets.iter().map(|b| b.cost).fold(0.0, f64::max)
+    }
+
+    /// The estimated frequency `ĝ_i` of item `i` (the representative of the
+    /// bucket containing it).
+    pub fn estimate(&self, i: usize) -> f64 {
+        let idx = self
+            .buckets
+            .partition_point(|b| b.end < i)
+            .min(self.buckets.len() - 1);
+        self.buckets[idx].representative
+    }
+
+    /// All estimated frequencies as a dense vector.
+    pub fn estimates(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n);
+        for b in &self.buckets {
+            out.extend(std::iter::repeat_n(b.representative, b.width()));
+        }
+        out
+    }
+
+    /// The bucket end boundaries.
+    pub fn boundaries(&self) -> Vec<usize> {
+        self.buckets.iter().map(|b| b.end).collect()
+    }
+
+    /// Returns a copy of this histogram with the representative of every
+    /// bucket replaced by the supplied values (used when re-fitting
+    /// representatives of a heuristic bucketing).
+    pub fn with_representatives(&self, representatives: &[f64]) -> Result<Self> {
+        if representatives.len() != self.buckets.len() {
+            return Err(PdsError::InvalidParameter {
+                message: "one representative per bucket is required".into(),
+            });
+        }
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(representatives)
+            .map(|(b, &rep)| Bucket {
+                representative: rep,
+                ..*b
+            })
+            .collect();
+        Histogram::new(self.n, buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Histogram {
+        Histogram::new(
+            6,
+            vec![
+                Bucket {
+                    start: 0,
+                    end: 1,
+                    representative: 2.0,
+                    cost: 0.5,
+                },
+                Bucket {
+                    start: 2,
+                    end: 4,
+                    representative: 5.0,
+                    cost: 1.5,
+                },
+                Bucket {
+                    start: 5,
+                    end: 5,
+                    representative: 0.0,
+                    cost: 0.0,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn estimates_follow_bucket_representatives() {
+        let h = sample();
+        assert_eq!(h.estimate(0), 2.0);
+        assert_eq!(h.estimate(1), 2.0);
+        assert_eq!(h.estimate(2), 5.0);
+        assert_eq!(h.estimate(4), 5.0);
+        assert_eq!(h.estimate(5), 0.0);
+        assert_eq!(h.estimates(), vec![2.0, 2.0, 5.0, 5.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn totals_and_shape() {
+        let h = sample();
+        assert_eq!(h.num_buckets(), 3);
+        assert_eq!(h.n(), 6);
+        assert!((h.total_cost() - 2.0).abs() < 1e-12);
+        assert!((h.max_bucket_cost() - 1.5).abs() < 1e-12);
+        assert_eq!(h.boundaries(), vec![1, 4, 5]);
+        assert_eq!(h.buckets()[1].width(), 3);
+        assert!(h.buckets()[1].contains(3));
+        assert!(!h.buckets()[1].contains(5));
+    }
+
+    #[test]
+    fn invalid_partitions_are_rejected() {
+        // Gap between buckets.
+        assert!(Histogram::new(
+            4,
+            vec![
+                Bucket { start: 0, end: 1, representative: 0.0, cost: 0.0 },
+                Bucket { start: 3, end: 3, representative: 0.0, cost: 0.0 },
+            ],
+        )
+        .is_err());
+        // Does not reach the end of the domain.
+        assert!(Histogram::new(
+            4,
+            vec![Bucket { start: 0, end: 2, representative: 0.0, cost: 0.0 }],
+        )
+        .is_err());
+        // Beyond the domain.
+        assert!(Histogram::new(
+            2,
+            vec![Bucket { start: 0, end: 2, representative: 0.0, cost: 0.0 }],
+        )
+        .is_err());
+        // Empty.
+        assert!(Histogram::new(2, vec![]).is_err());
+    }
+
+    #[test]
+    fn from_boundaries_and_refit() {
+        let h = Histogram::from_boundaries(5, &[1, 4], &[1.0, 2.0]).unwrap();
+        assert_eq!(h.num_buckets(), 2);
+        assert_eq!(h.estimate(3), 2.0);
+        let refit = h.with_representatives(&[7.0, 8.0]).unwrap();
+        assert_eq!(refit.estimate(0), 7.0);
+        assert_eq!(refit.estimate(4), 8.0);
+        assert!(h.with_representatives(&[1.0]).is_err());
+        assert!(Histogram::from_boundaries(5, &[1, 4], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = sample();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

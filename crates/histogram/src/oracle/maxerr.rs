@@ -1,0 +1,427 @@
+//! Maximum-absolute-error and maximum-absolute-relative-error bucket-cost
+//! oracles (Section 3.6 of the paper, Theorem 6).
+//!
+//! The bucket cost is the *maximum over items* of the per-item expected
+//! error, `max_{s ≤ i ≤ e} Σ_j w_{i,j} |v_j − b̂|`, where the weights are
+//! `w_{i,j} = Pr[g_i = v_j]` (MAE) or `Pr[g_i = v_j]/max(c, v_j)` (MARE).
+//! Every per-item function `f_i(b̂)` is convex piecewise linear with
+//! breakpoints in `V`, so their upper envelope is convex as well.  Following
+//! the paper we
+//!
+//! 1. ternary-search over the values of `V` to bracket the segment containing
+//!    the optimum (each evaluation costs `O(n_b)` using per-item prefix sums
+//!    over the value domain), then
+//! 2. minimise the maximum of `n_b` univariate linear functions on that
+//!    segment exactly, via the upper envelope of the lines.
+
+use pds_core::model::ProbabilisticRelation;
+use pds_core::values::ValueDomain;
+
+use super::{BucketCostOracle, BucketSolution};
+
+/// Which maximum-error metric the oracle evaluates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaxMetricKind {
+    /// Maximum absolute error.
+    Mae,
+    /// Maximum absolute relative error with the given sanity bound.
+    Mare {
+        /// Sanity bound.
+        c: f64,
+    },
+}
+
+/// Maximum-error bucket-cost oracle (MAE and MARE).
+#[derive(Debug, Clone)]
+pub struct MaxErrOracle {
+    n: usize,
+    kind: MaxMetricKind,
+    domain: ValueDomain,
+    /// `w_cum[i][l] = Σ_{r ≤ l} w_{i,r}` (per item, cumulative over values).
+    w_cum: Vec<Vec<f64>>,
+    /// `m_cum[i][l] = Σ_{r ≤ l} w_{i,r} v_r`.
+    m_cum: Vec<Vec<f64>>,
+    /// `Σ_r w_{i,r}` per item.
+    total_w: Vec<f64>,
+    /// `Σ_r w_{i,r} v_r` per item.
+    total_m: Vec<f64>,
+}
+
+impl MaxErrOracle {
+    /// Builds the MAE oracle.
+    pub fn mae(relation: &ProbabilisticRelation) -> Self {
+        Self::with_kind(relation, MaxMetricKind::Mae)
+    }
+
+    /// Builds the MARE oracle with sanity bound `c > 0`.
+    pub fn mare(relation: &ProbabilisticRelation, c: f64) -> Self {
+        assert!(c > 0.0, "the sanity bound c must be positive");
+        Self::with_kind(relation, MaxMetricKind::Mare { c })
+    }
+
+    /// Builds the oracle for an explicit metric kind.
+    pub fn with_kind(relation: &ProbabilisticRelation, kind: MaxMetricKind) -> Self {
+        let n = relation.n();
+        let pdfs = relation.induced_value_pdfs();
+        let domain = ValueDomain::from_value_pdfs(&pdfs);
+        let dense = domain.dense_probabilities(&pdfs);
+        let v = domain.values();
+        let k = v.len();
+        let weight = |value: f64| match kind {
+            MaxMetricKind::Mae => 1.0,
+            MaxMetricKind::Mare { c } => 1.0 / c.max(value.abs()),
+        };
+        let mut w_cum = vec![vec![0.0; k]; n];
+        let mut m_cum = vec![vec![0.0; k]; n];
+        let mut total_w = vec![0.0; n];
+        let mut total_m = vec![0.0; n];
+        for i in 0..n {
+            let mut wc = 0.0;
+            let mut mc = 0.0;
+            for j in 0..k {
+                let w = dense[i][j] * weight(v[j]);
+                wc += w;
+                mc += w * v[j];
+                w_cum[i][j] = wc;
+                m_cum[i][j] = mc;
+            }
+            total_w[i] = wc;
+            total_m[i] = mc;
+        }
+        MaxErrOracle {
+            n,
+            kind,
+            domain,
+            w_cum,
+            m_cum,
+            total_w,
+            total_m,
+        }
+    }
+
+    /// The metric kind this oracle evaluates.
+    pub fn kind(&self) -> MaxMetricKind {
+        self.kind
+    }
+
+    /// The frequency value domain `V`.
+    pub fn domain(&self) -> &ValueDomain {
+        &self.domain
+    }
+
+    /// The per-item expected error `f_i(b̂) = Σ_j w_{i,j} |v_j − b̂|` as a
+    /// linear function of `b̂` on the segment `[v_l, v_{l+1}]`, returned as
+    /// `(slope, intercept)`.
+    fn item_line(&self, i: usize, l: usize) -> (f64, f64) {
+        let slope = 2.0 * self.w_cum[i][l] - self.total_w[i];
+        let intercept = self.total_m[i] - 2.0 * self.m_cum[i][l];
+        (slope, intercept)
+    }
+
+    /// `max_i f_i(v_l)` over the bucket `[s, e]`.
+    fn envelope_at_value(&self, s: usize, e: usize, l: usize) -> f64 {
+        let x = self.domain.value(l);
+        let mut best = f64::NEG_INFINITY;
+        for i in s..=e {
+            let (a, c) = self.item_line(i, l);
+            best = best.max(a * x + c);
+        }
+        best
+    }
+
+    /// Minimises `max_i f_i(b̂)` over `b̂ ∈ [v_l, v_{l+1}]` exactly.
+    fn minimise_segment(&self, s: usize, e: usize, l: usize) -> (f64, f64) {
+        let lo = self.domain.value(l);
+        let hi = self.domain.value((l + 1).min(self.domain.len() - 1));
+        let lines: Vec<(f64, f64)> = (s..=e).map(|i| self.item_line(i, l)).collect();
+        minimise_max_of_lines(&lines, lo, hi)
+    }
+}
+
+/// Minimises the upper envelope `max_i (a_i x + c_i)` over `x ∈ [lo, hi]`,
+/// returning `(argmin, min)`.  Exact: the minimum of a convex piecewise-linear
+/// function over an interval is attained at an endpoint or at a breakpoint of
+/// its upper envelope.
+pub fn minimise_max_of_lines(lines: &[(f64, f64)], lo: f64, hi: f64) -> (f64, f64) {
+    assert!(!lines.is_empty(), "at least one line is required");
+    let eval = |x: f64| {
+        lines
+            .iter()
+            .map(|&(a, c)| a * x + c)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    if hi <= lo {
+        return (lo, eval(lo));
+    }
+    // Upper envelope via the convex-hull trick: sort by slope, drop dominated
+    // lines, keep the hull of lines that attain the maximum somewhere.
+    let mut sorted: Vec<(f64, f64)> = lines.to_vec();
+    sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite lines"));
+    // For equal slopes only the largest intercept matters.
+    let mut dedup: Vec<(f64, f64)> = Vec::with_capacity(sorted.len());
+    for (a, c) in sorted {
+        match dedup.last_mut() {
+            Some(last) if (last.0 - a).abs() < 1e-15 => last.1 = last.1.max(c),
+            _ => dedup.push((a, c)),
+        }
+    }
+    let intersect = |l1: (f64, f64), l2: (f64, f64)| -> f64 {
+        // x where a1 x + c1 == a2 x + c2 (slopes differ).
+        (l2.1 - l1.1) / (l1.0 - l2.0)
+    };
+    let mut hull: Vec<(f64, f64)> = Vec::with_capacity(dedup.len());
+    for line in dedup {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            // `b` is unnecessary if the new line already dominates it at the
+            // point where `b` overtakes `a`.
+            if intersect(a, line) <= intersect(a, b) {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(line);
+    }
+    // Candidate minimisers: the interval endpoints and every envelope
+    // breakpoint inside the interval.
+    let mut best_x = lo;
+    let mut best = eval(lo);
+    let consider = |x: f64, best_x: &mut f64, best: &mut f64| {
+        let v = eval(x);
+        if v < *best {
+            *best = v;
+            *best_x = x;
+        }
+    };
+    consider(hi, &mut best_x, &mut best);
+    for pair in hull.windows(2) {
+        let x = intersect(pair[0], pair[1]);
+        if x > lo && x < hi {
+            consider(x, &mut best_x, &mut best);
+        }
+    }
+    (best_x, best)
+}
+
+impl BucketCostOracle for MaxErrOracle {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn bucket(&self, s: usize, e: usize) -> BucketSolution {
+        let k = self.domain.len();
+        // Ternary search over the value grid for the segment containing the
+        // minimum of the (convex) upper envelope.
+        let mut lo = 0usize;
+        let mut hi = k - 1;
+        while hi - lo > 2 {
+            let m1 = lo + (hi - lo) / 3;
+            let m2 = hi - (hi - lo) / 3;
+            if self.envelope_at_value(s, e, m1) <= self.envelope_at_value(s, e, m2) {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        // The optimum lies within [v_{lo-1}, v_{hi+1}]; minimise each candidate
+        // segment exactly and keep the best.
+        let seg_lo = lo.saturating_sub(1);
+        let seg_hi = (hi + 1).min(k - 1);
+        let mut best = (self.domain.value(seg_lo), f64::INFINITY);
+        for l in seg_lo..seg_hi.max(seg_lo + 1) {
+            let (x, val) = self.minimise_segment(s, e, l);
+            if val < best.1 {
+                best = (x, val);
+            }
+        }
+        if k == 1 {
+            best = (self.domain.value(0), self.envelope_at_value(s, e, 0));
+        }
+        BucketSolution {
+            representative: best.0,
+            cost: best.1.max(0.0),
+        }
+    }
+
+    fn is_cumulative(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_core::metrics::ErrorMetric;
+    use pds_core::model::{BasicModel, TuplePdfModel, ValuePdf, ValuePdfModel};
+
+    fn relations() -> Vec<ProbabilisticRelation> {
+        vec![
+            BasicModel::from_pairs(3, [(0, 0.5), (1, 1.0 / 3.0), (1, 0.25), (2, 0.5)])
+                .unwrap()
+                .into(),
+            TuplePdfModel::from_alternatives(
+                3,
+                [vec![(0, 0.5), (1, 1.0 / 3.0)], vec![(1, 0.25), (2, 0.5)]],
+            )
+            .unwrap()
+            .into(),
+            ValuePdfModel::from_sparse(
+                5,
+                [
+                    (0, ValuePdf::new([(1.0, 0.5)]).unwrap()),
+                    (1, ValuePdf::new([(1.0, 1.0 / 3.0), (2.5, 0.25)]).unwrap()),
+                    (2, ValuePdf::new([(6.0, 0.1)]).unwrap()),
+                    (3, ValuePdf::new([(4.0, 0.75), (0.5, 0.2)]).unwrap()),
+                ],
+            )
+            .unwrap()
+            .into(),
+        ]
+    }
+
+    fn metric_for(kind: MaxMetricKind) -> ErrorMetric {
+        match kind {
+            MaxMetricKind::Mae => ErrorMetric::Mae,
+            MaxMetricKind::Mare { c } => ErrorMetric::Mare { c },
+        }
+    }
+
+    /// Grid-scan reference: evaluate the per-item expected error at many
+    /// candidate representatives and return the smallest maximum.
+    fn grid_min(rel: &ProbabilisticRelation, s: usize, e: usize, kind: MaxMetricKind) -> f64 {
+        let pdfs = rel.induced_value_pdfs();
+        let metric = metric_for(kind);
+        let mut best = f64::INFINITY;
+        for step in 0..=6000 {
+            let cand = step as f64 * 0.001 * 7.0; // covers [0, 7]
+            let cost = (s..=e)
+                .map(|i| metric.expected_point_error(pdfs.item(i), cand))
+                .fold(0.0, f64::max);
+            best = best.min(cost);
+        }
+        best
+    }
+
+    fn envelope_at(rel: &ProbabilisticRelation, s: usize, e: usize, kind: MaxMetricKind, rep: f64) -> f64 {
+        let pdfs = rel.induced_value_pdfs();
+        let metric = metric_for(kind);
+        (s..=e)
+            .map(|i| metric.expected_point_error(pdfs.item(i), rep))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn mae_cost_is_consistent_and_optimal_up_to_grid_resolution() {
+        for rel in relations() {
+            let oracle = MaxErrOracle::mae(&rel);
+            for s in 0..rel.n() {
+                for e in s..rel.n() {
+                    let sol = oracle.bucket(s, e);
+                    // The reported cost is exactly the envelope at the reported
+                    // representative.
+                    let at_rep = envelope_at(&rel, s, e, MaxMetricKind::Mae, sol.representative);
+                    assert!(
+                        (sol.cost - at_rep).abs() < 1e-9,
+                        "{} [{s},{e}]",
+                        rel.model_name()
+                    );
+                    // And no grid candidate does meaningfully better.
+                    let grid = grid_min(&rel, s, e, MaxMetricKind::Mae);
+                    assert!(
+                        sol.cost <= grid + 1e-6,
+                        "{} [{s},{e}]: {} vs grid {grid}",
+                        rel.model_name(),
+                        sol.cost
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mare_cost_is_consistent_and_optimal_up_to_grid_resolution() {
+        for rel in relations() {
+            for c in [0.5, 1.0] {
+                let kind = MaxMetricKind::Mare { c };
+                let oracle = MaxErrOracle::mare(&rel, c);
+                for s in 0..rel.n() {
+                    for e in s..rel.n() {
+                        let sol = oracle.bucket(s, e);
+                        let at_rep = envelope_at(&rel, s, e, kind, sol.representative);
+                        assert!((sol.cost - at_rep).abs() < 1e-9);
+                        let grid = grid_min(&rel, s, e, kind);
+                        assert!(sol.cost <= grid + 1e-6);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_data_reduces_to_midrange() {
+        // For deterministic data the optimal max-absolute-error representative
+        // is the midrange and the cost is half the spread.
+        let freqs = [5.0, 1.0, 2.0, 9.0, 2.0];
+        let rel: ProbabilisticRelation = ValuePdfModel::deterministic(&freqs).into();
+        let oracle = MaxErrOracle::mae(&rel);
+        for s in 0..freqs.len() {
+            for e in s..freqs.len() {
+                let max = freqs[s..=e].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let min = freqs[s..=e].iter().cloned().fold(f64::INFINITY, f64::min);
+                let sol = oracle.bucket(s, e);
+                assert!(
+                    (sol.cost - (max - min) / 2.0).abs() < 1e-9,
+                    "[{s},{e}] cost {} vs {}",
+                    sol.cost,
+                    (max - min) / 2.0
+                );
+                assert!((sol.representative - (max + min) / 2.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn minimise_max_of_lines_basic_cases() {
+        // Two crossing lines: minimum of the max at their intersection.
+        let (x, v) = minimise_max_of_lines(&[(1.0, 0.0), (-1.0, 4.0)], 0.0, 10.0);
+        assert!((x - 2.0).abs() < 1e-12);
+        assert!((v - 2.0).abs() < 1e-12);
+        // Minimum clamped to the interval.
+        let (x, v) = minimise_max_of_lines(&[(1.0, 0.0), (-1.0, 4.0)], 3.0, 10.0);
+        assert!((x - 3.0).abs() < 1e-12);
+        assert!((v - 3.0).abs() < 1e-12);
+        // A dominated middle line does not affect the result.
+        let (x, v) = minimise_max_of_lines(&[(1.0, 0.0), (0.0, 1.0), (-1.0, 4.0)], 0.0, 10.0);
+        assert!((x - 2.0).abs() < 1e-12);
+        assert!((v - 2.0).abs() < 1e-12);
+        // A single flat line.
+        let (_, v) = minimise_max_of_lines(&[(0.0, 3.0)], -1.0, 1.0);
+        assert!((v - 3.0).abs() < 1e-12);
+        // Degenerate interval.
+        let (x, v) = minimise_max_of_lines(&[(2.0, 1.0)], 5.0, 5.0);
+        assert_eq!(x, 5.0);
+        assert!((v - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_oracle_reports_non_cumulative() {
+        let rel = &relations()[0];
+        let oracle = MaxErrOracle::mae(rel);
+        assert!(!oracle.is_cumulative());
+        assert_eq!(oracle.n(), 3);
+        assert_eq!(oracle.kind(), MaxMetricKind::Mae);
+    }
+
+    #[test]
+    fn singleton_bucket_cost_is_item_expected_error_minimum() {
+        let rel = &relations()[2];
+        let oracle = MaxErrOracle::mae(rel);
+        // Item 2 has Pr[g=6] = 0.1, Pr[g=0] = 0.9: the optimal estimate
+        // minimises 0.9|b| + 0.1|6-b|, optimum at b = 0 with cost 0.6.
+        let sol = oracle.bucket(2, 2);
+        assert!((sol.cost - 0.6).abs() < 1e-9);
+        assert!(sol.representative.abs() < 1e-9);
+    }
+}

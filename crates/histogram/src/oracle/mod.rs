@@ -1,0 +1,99 @@
+//! Bucket-cost oracles.
+//!
+//! The histogram dynamic program (Section 3 of the paper) is generic: all it
+//! needs is, for any candidate bucket `[s, e]`, the optimal representative
+//! value `b̂` and the corresponding (expected) error contribution
+//! `min_{b̂} E_W[BERR([s, e], b̂)]`.  Each error metric gets its own oracle
+//! that answers these queries in `O(1)`–`O(n_b log |V|)` time after a
+//! preprocessing pass that builds prefix-sum arrays over the input:
+//!
+//! * [`sse::SseOracle`] — sum squared error (Section 3.1, Theorem 1);
+//! * [`ssre::SsreOracle`] — sum squared relative error (Section 3.2, Theorem 2);
+//! * [`abs::WeightedAbsOracle`] — sum absolute (relative) error
+//!   (Sections 3.3–3.4, Theorems 3 and 4);
+//! * [`maxerr::MaxErrOracle`] — maximum absolute (relative) error
+//!   (Section 3.6, Theorem 6).
+
+pub mod abs;
+pub mod maxerr;
+pub mod sse;
+pub mod ssre;
+
+use pds_core::metrics::ErrorMetric;
+use pds_core::model::ProbabilisticRelation;
+
+/// The answer to a single-bucket query: the optimal representative and the
+/// bucket's error under it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketSolution {
+    /// The optimal representative value `b̂` for the bucket.
+    pub representative: f64,
+    /// `min_{b̂} E_W[BERR(bucket, b̂)]`.
+    pub cost: f64,
+}
+
+/// A bucket-cost oracle for one error metric over one probabilistic relation.
+pub trait BucketCostOracle {
+    /// Domain size `n` of the underlying relation.
+    fn n(&self) -> usize;
+
+    /// Optimal representative and cost of the bucket spanning the inclusive
+    /// item range `[s, e]` (0-based, `s <= e < n`).
+    fn bucket(&self, s: usize, e: usize) -> BucketSolution;
+
+    /// Costs of every bucket ending at `e`: `out[s] = bucket(s, e).cost` for
+    /// `s = 0..=e` (entries beyond `e` are left untouched).
+    ///
+    /// The dynamic program calls this once per right endpoint; oracles whose
+    /// cost has cross-item interactions (the exact tuple-pdf SSE oracle)
+    /// override it with an incremental sweep that amortises the work.
+    fn costs_ending_at(&self, e: usize, out: &mut Vec<f64>) {
+        out.resize(e + 1, 0.0);
+        for s in 0..=e {
+            out[s] = self.bucket(s, e).cost;
+        }
+    }
+
+    /// Whether per-bucket costs combine additively (`true`, cumulative
+    /// metrics) or by maximum (`false`, max-error metrics).
+    fn is_cumulative(&self) -> bool {
+        true
+    }
+}
+
+/// Builds the appropriate oracle for `metric` over `relation`.
+///
+/// This is the convenience entry point used by `optimal_histogram`; advanced
+/// callers can construct the concrete oracles directly (e.g. to choose the
+/// tuple-pdf SSE mode).
+pub fn oracle_for_metric(
+    relation: &ProbabilisticRelation,
+    metric: ErrorMetric,
+) -> Box<dyn BucketCostOracle> {
+    match metric {
+        ErrorMetric::Sse => Box::new(sse::SseOracle::new(relation, sse::SseObjective::PaperEq5)),
+        ErrorMetric::Ssre { c } => Box::new(ssre::SsreOracle::new(relation, c)),
+        ErrorMetric::Sae => Box::new(abs::WeightedAbsOracle::sae(relation)),
+        ErrorMetric::Sare { c } => Box::new(abs::WeightedAbsOracle::sare(relation, c)),
+        ErrorMetric::Mae => Box::new(maxerr::MaxErrOracle::mae(relation)),
+        ErrorMetric::Mare { c } => Box::new(maxerr::MaxErrOracle::mare(relation, c)),
+    }
+}
+
+impl BucketCostOracle for Box<dyn BucketCostOracle> {
+    fn n(&self) -> usize {
+        self.as_ref().n()
+    }
+
+    fn bucket(&self, s: usize, e: usize) -> BucketSolution {
+        self.as_ref().bucket(s, e)
+    }
+
+    fn costs_ending_at(&self, e: usize, out: &mut Vec<f64>) {
+        self.as_ref().costs_ending_at(e, out)
+    }
+
+    fn is_cumulative(&self) -> bool {
+        self.as_ref().is_cumulative()
+    }
+}

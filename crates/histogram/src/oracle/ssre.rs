@@ -1,0 +1,230 @@
+//! Sum-squared-relative-error bucket-cost oracle (Section 3.2 of the paper).
+//!
+//! The expected bucket cost for a representative `b̂` is
+//! `Σ_{i∈b} Σ_{v_j∈V} Pr[g_i = v_j] (v_j − b̂)² w(v_j)` with the relative
+//! weight `w(x) = 1/max(c, |x|)²`.  This is a quadratic in `b̂`; the optimal
+//! representative is the weight-weighted mean and the optimal cost follows
+//! from three per-item prefix arrays `X`, `Y`, `Z` (Theorem 2), so any bucket
+//! is answered in `O(1)`.
+//!
+//! For the tuple-pdf model the cost depends only on the per-item marginal
+//! (induced) value pdfs, so the very same oracle applies after the
+//! `O(m |V|)` induced-pdf conversion.
+
+use pds_core::model::ProbabilisticRelation;
+
+use super::{BucketCostOracle, BucketSolution};
+
+/// Sum-squared-relative-error bucket-cost oracle.
+#[derive(Debug, Clone)]
+pub struct SsreOracle {
+    n: usize,
+    c: f64,
+    /// `X[e+1] = Σ_{i ≤ e} Σ_j Pr[g_i=v_j] v_j² w(v_j)`.
+    x: Vec<f64>,
+    /// `Y[e+1] = Σ_{i ≤ e} Σ_j Pr[g_i=v_j] v_j w(v_j)`.
+    y: Vec<f64>,
+    /// `Z[e+1] = Σ_{i ≤ e} Σ_j Pr[g_i=v_j] w(v_j)` (including the implicit
+    /// zero-frequency mass, whose weight is `1/c²`).
+    z: Vec<f64>,
+}
+
+impl SsreOracle {
+    /// Builds the oracle for sanity bound `c > 0`.
+    pub fn new(relation: &ProbabilisticRelation, c: f64) -> Self {
+        assert!(c > 0.0, "the sanity bound c must be positive");
+        let n = relation.n();
+        let pdfs = relation.induced_value_pdfs();
+        let weight = |v: f64| 1.0 / c.max(v.abs()).powi(2);
+        let mut x = vec![0.0; n + 1];
+        let mut y = vec![0.0; n + 1];
+        let mut z = vec![0.0; n + 1];
+        for i in 0..n {
+            let full = pdfs.item(i).with_explicit_zero();
+            let mut xi = 0.0;
+            let mut yi = 0.0;
+            let mut zi = 0.0;
+            for &(v, p) in full.entries() {
+                let w = weight(v);
+                xi += p * v * v * w;
+                yi += p * v * w;
+                zi += p * w;
+            }
+            x[i + 1] = x[i] + xi;
+            y[i + 1] = y[i] + yi;
+            z[i + 1] = z[i] + zi;
+        }
+        SsreOracle { n, c, x, y, z }
+    }
+
+    /// The sanity bound.
+    pub fn sanity_bound(&self) -> f64 {
+        self.c
+    }
+}
+
+impl BucketCostOracle for SsreOracle {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn bucket(&self, s: usize, e: usize) -> BucketSolution {
+        let xd = self.x[e + 1] - self.x[s];
+        let yd = self.y[e + 1] - self.y[s];
+        let zd = self.z[e + 1] - self.z[s];
+        // zd > 0 always: every item contributes at least its zero-frequency
+        // mass with weight 1/c².
+        let representative = if zd > 0.0 { yd / zd } else { 0.0 };
+        let cost = if zd > 0.0 { xd - yd * yd / zd } else { xd };
+        BucketSolution {
+            representative,
+            cost: cost.max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_core::model::{BasicModel, TuplePdfModel, ValuePdf, ValuePdfModel};
+    use pds_core::worlds::PossibleWorlds;
+
+    fn relations() -> Vec<ProbabilisticRelation> {
+        vec![
+            BasicModel::from_pairs(3, [(0, 0.5), (1, 1.0 / 3.0), (1, 0.25), (2, 0.5)])
+                .unwrap()
+                .into(),
+            TuplePdfModel::from_alternatives(
+                3,
+                [vec![(0, 0.5), (1, 1.0 / 3.0)], vec![(1, 0.25), (2, 0.5)]],
+            )
+            .unwrap()
+            .into(),
+            ValuePdfModel::from_sparse(
+                4,
+                [
+                    (0, ValuePdf::new([(1.0, 0.5)]).unwrap()),
+                    (1, ValuePdf::new([(1.0, 1.0 / 3.0), (2.0, 0.25)]).unwrap()),
+                    (3, ValuePdf::new([(4.0, 0.75)]).unwrap()),
+                ],
+            )
+            .unwrap()
+            .into(),
+        ]
+    }
+
+    fn brute_force_cost(
+        worlds: &PossibleWorlds,
+        s: usize,
+        e: usize,
+        c: f64,
+        rep: f64,
+    ) -> f64 {
+        worlds.expectation(|w| {
+            w[s..=e]
+                .iter()
+                .map(|&g| {
+                    let d = c.max(g.abs());
+                    (g - rep) * (g - rep) / (d * d)
+                })
+                .sum()
+        })
+    }
+
+    #[test]
+    fn oracle_cost_matches_brute_force_at_its_representative() {
+        for rel in relations() {
+            let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+            for c in [0.5, 1.0, 2.0] {
+                let oracle = SsreOracle::new(&rel, c);
+                for s in 0..rel.n() {
+                    for e in s..rel.n() {
+                        let sol = oracle.bucket(s, e);
+                        let brute = brute_force_cost(&worlds, s, e, c, sol.representative);
+                        assert!(
+                            (sol.cost - brute).abs() < 1e-9,
+                            "{} c={c} [{s},{e}]: {} vs {brute}",
+                            rel.model_name(),
+                            sol.cost
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn representative_is_a_minimiser() {
+        for rel in relations() {
+            let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+            let oracle = SsreOracle::new(&rel, 0.5);
+            for s in 0..rel.n() {
+                for e in s..rel.n() {
+                    let sol = oracle.bucket(s, e);
+                    for delta in [-0.1, -0.01, 0.01, 0.1] {
+                        let perturbed =
+                            brute_force_cost(&worlds, s, e, 0.5, sol.representative + delta);
+                        assert!(perturbed >= sol.cost - 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_data_reduces_to_classic_ssre() {
+        let freqs = [2.0, 0.0, 4.0, 4.0, 1.0];
+        let rel: ProbabilisticRelation = ValuePdfModel::deterministic(&freqs).into();
+        let c = 1.0;
+        let oracle = SsreOracle::new(&rel, c);
+        for s in 0..freqs.len() {
+            for e in s..freqs.len() {
+                let sol = oracle.bucket(s, e);
+                // Classic weighted least squares on the deterministic values.
+                let w: Vec<f64> = freqs[s..=e].iter().map(|&g| 1.0 / c.max(g).powi(2)).collect();
+                let rep: f64 = freqs[s..=e]
+                    .iter()
+                    .zip(&w)
+                    .map(|(&g, &wi)| g * wi)
+                    .sum::<f64>()
+                    / w.iter().sum::<f64>();
+                let cost: f64 = freqs[s..=e]
+                    .iter()
+                    .zip(&w)
+                    .map(|(&g, &wi)| wi * (g - rep) * (g - rep))
+                    .sum();
+                assert!((sol.representative - rep).abs() < 1e-9);
+                assert!((sol.cost - cost).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_sanity_bound_shrinks_cost() {
+        // Increasing c reduces every weight, hence the optimal cost.
+        let rel = &relations()[0];
+        let small = SsreOracle::new(rel, 0.5);
+        let large = SsreOracle::new(rel, 2.0);
+        for s in 0..rel.n() {
+            for e in s..rel.n() {
+                assert!(large.bucket(s, e).cost <= small.bucket(s, e).cost + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sanity bound")]
+    fn zero_sanity_bound_panics() {
+        let rel = &relations()[0];
+        let _ = SsreOracle::new(rel, 0.0);
+    }
+
+    #[test]
+    fn singleton_deterministic_bucket_costs_zero() {
+        let rel: ProbabilisticRelation = ValuePdfModel::deterministic(&[3.0, 7.0]).into();
+        let oracle = SsreOracle::new(&rel, 1.0);
+        assert!(oracle.bucket(0, 0).cost.abs() < 1e-12);
+        assert!(oracle.bucket(1, 1).cost.abs() < 1e-12);
+        assert!(oracle.bucket(0, 1).cost > 0.0);
+    }
+}

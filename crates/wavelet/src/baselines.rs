@@ -1,0 +1,144 @@
+//! The sampled-world wavelet baseline of the paper's experiments
+//! (Section 5.2): sample one possible world, compute its Haar transform, and
+//! keep the indices of its `B` largest normalised coefficients.  The
+//! selection quality is then measured against the expected coefficients of
+//! the full probabilistic relation, exactly as in Figure 4.
+
+use rand::Rng;
+
+use pds_core::error::Result;
+use pds_core::model::ProbabilisticRelation;
+use pds_core::worlds::sample_world;
+
+use crate::haar::HaarTransform;
+use crate::sse::{top_indices_by_magnitude, ExpectedCoefficients};
+use crate::synopsis::{RetainedCoefficient, WaveletSynopsis};
+
+/// Coefficient indices chosen by thresholding one sampled possible world.
+pub fn sampled_world_selection<R: Rng + ?Sized>(
+    relation: &ProbabilisticRelation,
+    b: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let world = sample_world(relation, rng);
+    let transform = HaarTransform::forward(&world);
+    top_indices_by_magnitude(transform.normalised(), b)
+}
+
+/// The sampled-world baseline synopsis: indices chosen from a sampled world,
+/// values taken from that same world's (unnormalised) coefficients — i.e.
+/// exactly the synopsis a deterministic system would build for the sample.
+pub fn sampled_world_wavelet<R: Rng + ?Sized>(
+    relation: &ProbabilisticRelation,
+    b: usize,
+    rng: &mut R,
+) -> Result<WaveletSynopsis> {
+    let world = sample_world(relation, rng);
+    let transform = HaarTransform::forward(&world);
+    let indices = top_indices_by_magnitude(transform.normalised(), b);
+    let unnorm = transform.unnormalised();
+    WaveletSynopsis::new(
+        relation.n(),
+        indices
+            .into_iter()
+            .map(|index| RetainedCoefficient {
+                index,
+                value: unnorm[index],
+            })
+            .collect(),
+    )
+}
+
+/// The expectation-based synopsis restricted to an arbitrary index selection:
+/// retains the *expected* coefficient values at `indices`.  Used to score
+/// index selections (optimal or sampled) on a common footing in Figure 4.
+pub fn synopsis_from_selection(
+    relation: &ProbabilisticRelation,
+    indices: &[usize],
+) -> Result<WaveletSynopsis> {
+    let coeffs = ExpectedCoefficients::of(relation);
+    let unnorm = coeffs.unnormalised();
+    WaveletSynopsis::new(
+        relation.n(),
+        indices
+            .iter()
+            .map(|&index| RetainedCoefficient {
+                index,
+                value: unnorm[index],
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sse::{build_sse_wavelet, expected_sse, selection_error_percentage};
+    use pds_core::generator::{mystiq_like, MystiqLikeConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn relation(n: usize) -> ProbabilisticRelation {
+        mystiq_like(MystiqLikeConfig {
+            n,
+            avg_tuples_per_item: 3.0,
+            skew: 0.9,
+            seed: 23,
+        })
+        .into()
+    }
+
+    #[test]
+    fn sampled_selection_has_the_requested_size() {
+        let rel = relation(32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = sampled_world_selection(&rel, 5, &mut rng);
+        assert_eq!(sel.len(), 5);
+        assert!(sel.iter().all(|&i| i < 32));
+        // Deterministic per seed.
+        let again = sampled_world_selection(&rel, 5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(sel, again);
+    }
+
+    #[test]
+    fn optimal_selection_never_loses_to_the_sampled_world_selection() {
+        // The Figure 4 claim: measured on the expected coefficients, the
+        // probabilistic (expected-coefficient) selection retains at least as
+        // much energy as the sampled-world selection.
+        let rel = relation(64);
+        let coeffs = ExpectedCoefficients::of(&rel);
+        let mut rng = StdRng::seed_from_u64(5);
+        for b in [1, 4, 8, 16, 32] {
+            let optimal = coeffs.top_indices(b);
+            let sampled = sampled_world_selection(&rel, b, &mut rng);
+            let opt_err = selection_error_percentage(coeffs.normalised(), &optimal);
+            let smp_err = selection_error_percentage(coeffs.normalised(), &sampled);
+            assert!(
+                opt_err <= smp_err + 1e-9,
+                "b={b}: optimal {opt_err}% vs sampled {smp_err}%"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_synopsis_never_loses_in_expected_sse_either() {
+        let rel = relation(32);
+        let mut rng = StdRng::seed_from_u64(9);
+        for b in [2, 8, 16] {
+            let optimal = build_sse_wavelet(&rel, b).unwrap();
+            let sampled = sampled_world_wavelet(&rel, b, &mut rng).unwrap();
+            assert!(expected_sse(&rel, &optimal) <= expected_sse(&rel, &sampled) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn synopsis_from_selection_uses_expected_values() {
+        let rel = relation(16);
+        let coeffs = ExpectedCoefficients::of(&rel);
+        let syn = synopsis_from_selection(&rel, &[0, 3, 5]).unwrap();
+        assert_eq!(syn.indices(), vec![0, 3, 5]);
+        for c in syn.retained() {
+            assert!((c.value - coeffs.unnormalised()[c.index]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The wavelet synopsis type: a sparse set of retained Haar coefficients.
+
+use serde::{Deserialize, Serialize};
+
+use pds_core::error::{PdsError, Result};
+
+use crate::haar::{next_power_of_two, reconstruct_sparse_unnormalised};
+
+/// A retained Haar coefficient: its index in the error tree and its value in
+/// the **unnormalised** convention (so reconstruction is a plain signed sum
+/// along root-to-leaf paths).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetainedCoefficient {
+    /// Coefficient index (0 = overall average).
+    pub index: usize,
+    /// Retained (unnormalised) coefficient value.
+    pub value: f64,
+}
+
+/// A `B`-term Haar wavelet synopsis over a domain of `n` items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaveletSynopsis {
+    n: usize,
+    retained: Vec<RetainedCoefficient>,
+}
+
+impl WaveletSynopsis {
+    /// Builds a synopsis from retained coefficients, validating indices and
+    /// rejecting duplicates.
+    pub fn new(n: usize, retained: Vec<RetainedCoefficient>) -> Result<Self> {
+        if n == 0 {
+            return Err(PdsError::InvalidParameter {
+                message: "the domain must be non-empty".into(),
+            });
+        }
+        let padded = next_power_of_two(n);
+        let mut seen = vec![false; padded];
+        for c in &retained {
+            if c.index >= padded {
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "coefficient index {} outside the padded domain [0, {padded})",
+                        c.index
+                    ),
+                });
+            }
+            if seen[c.index] {
+                return Err(PdsError::InvalidParameter {
+                    message: format!("coefficient {} retained twice", c.index),
+                });
+            }
+            seen[c.index] = true;
+        }
+        let mut retained = retained;
+        retained.sort_by_key(|c| c.index);
+        Ok(WaveletSynopsis { n, retained })
+    }
+
+    /// Domain size `n` (unpadded).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The retained coefficients, sorted by index.
+    pub fn retained(&self) -> &[RetainedCoefficient] {
+        &self.retained
+    }
+
+    /// Number of retained coefficients (the synopsis size `B`).
+    pub fn len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Whether no coefficient is retained (the all-zeros approximation).
+    pub fn is_empty(&self) -> bool {
+        self.retained.is_empty()
+    }
+
+    /// The retained coefficient indices.
+    pub fn indices(&self) -> Vec<usize> {
+        self.retained.iter().map(|c| c.index).collect()
+    }
+
+    /// Reconstructs the approximate frequency vector `ĝ` implied by the
+    /// synopsis (non-retained coefficients are treated as zero).
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let retained: Vec<(usize, f64)> =
+            self.retained.iter().map(|c| (c.index, c.value)).collect();
+        reconstruct_sparse_unnormalised(self.n, &retained)
+    }
+
+    /// The estimate `ĝ_i` for a single item.
+    pub fn estimate(&self, i: usize) -> f64 {
+        self.reconstruct()[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar::HaarTransform;
+
+    #[test]
+    fn retaining_every_coefficient_reconstructs_the_data() {
+        let data = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+        let t = HaarTransform::forward(&data);
+        let retained: Vec<RetainedCoefficient> = t
+            .unnormalised()
+            .iter()
+            .enumerate()
+            .map(|(index, &value)| RetainedCoefficient { index, value })
+            .collect();
+        let syn = WaveletSynopsis::new(8, retained).unwrap();
+        assert_eq!(syn.len(), 8);
+        let back = syn.reconstruct();
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((syn.estimate(5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_synopsis_reconstructs_zeros() {
+        let syn = WaveletSynopsis::new(5, vec![]).unwrap();
+        assert!(syn.is_empty());
+        assert_eq!(syn.reconstruct(), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn invalid_synopses_are_rejected() {
+        assert!(WaveletSynopsis::new(0, vec![]).is_err());
+        assert!(WaveletSynopsis::new(
+            4,
+            vec![RetainedCoefficient { index: 9, value: 1.0 }],
+        )
+        .is_err());
+        assert!(WaveletSynopsis::new(
+            4,
+            vec![
+                RetainedCoefficient { index: 1, value: 1.0 },
+                RetainedCoefficient { index: 1, value: 2.0 },
+            ],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn retained_are_sorted_and_indices_exposed() {
+        let syn = WaveletSynopsis::new(
+            8,
+            vec![
+                RetainedCoefficient { index: 5, value: 1.0 },
+                RetainedCoefficient { index: 0, value: 2.0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(syn.indices(), vec![0, 5]);
+        assert_eq!(syn.n(), 8);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let syn = WaveletSynopsis::new(
+            8,
+            vec![RetainedCoefficient { index: 0, value: 2.75 }],
+        )
+        .unwrap();
+        let json = serde_json::to_string(&syn).unwrap();
+        let back: WaveletSynopsis = serde_json::from_str(&json).unwrap();
+        assert_eq!(syn, back);
+    }
+}

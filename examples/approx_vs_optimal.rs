@@ -1,0 +1,61 @@
+//! The `(1 + ε)`-approximate histogram construction of Section 3.5: trade a
+//! provably small loss in quality for a large reduction in bucket-cost
+//! evaluations, which is what makes histogram maintenance practical for large
+//! probabilistic relations.
+//!
+//! ```text
+//! cargo run --release --example approx_vs_optimal
+//! ```
+
+use std::time::Instant;
+
+use probsyn::histogram::approx::approx_histogram;
+use probsyn::histogram::oracle::oracle_for_metric;
+use probsyn::histogram::DpTables;
+use probsyn::prelude::*;
+
+fn main() -> Result<()> {
+    let n = 4096;
+    let b = 48;
+    let metric = ErrorMetric::Ssre { c: 0.5 };
+    let relation: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+        n,
+        avg_tuples_per_item: 4.0,
+        skew: 0.8,
+        seed: 99,
+    })
+    .into();
+    println!(
+        "workload: n = {n}, m = {}, metric = {metric}, B = {b}\n",
+        relation.m()
+    );
+
+    let oracle = oracle_for_metric(&relation, metric);
+
+    let start = Instant::now();
+    let exact = DpTables::build(&oracle, b)?;
+    let exact_cost = exact.optimal_cost(b);
+    let exact_time = start.elapsed();
+    println!(
+        "exact DP      : cost {exact_cost:.4}, {} bucket evaluations, {:.2?}",
+        n * (n + 1) / 2,
+        exact_time
+    );
+
+    for eps in [0.05, 0.1, 0.25, 0.5, 1.0] {
+        let start = Instant::now();
+        let approx = approx_histogram(&oracle, b, eps)?;
+        let time = start.elapsed();
+        let cost = approx.histogram.total_cost();
+        println!(
+            "approx eps={eps:<4}: cost {cost:.4} ({:.3}x optimal, guarantee {:.2}x), {} bucket evaluations, {:.2?}",
+            cost / exact_cost,
+            1.0 + eps,
+            approx.stats.bucket_evaluations,
+            time
+        );
+        assert!(cost <= (1.0 + eps) * exact_cost + 1e-9);
+    }
+    println!("\nevery approximate cost stayed within its (1 + eps) guarantee.");
+    Ok(())
+}

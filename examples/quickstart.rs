@@ -1,0 +1,84 @@
+//! Quickstart: build histogram and wavelet synopses over a small uncertain
+//! relation and inspect them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use probsyn::prelude::*;
+
+fn main() -> Result<()> {
+    // An uncertain relation in the basic model: each tuple is an (item,
+    // probability) pair, several tuples may refer to the same item, and the
+    // item's frequency is the number of its tuples that materialise.
+    let relation: ProbabilisticRelation = BasicModel::from_pairs(
+        16,
+        [
+            (0, 0.9),
+            (0, 0.8),
+            (1, 0.6),
+            (2, 0.95),
+            (2, 0.5),
+            (2, 0.4),
+            (5, 0.3),
+            (6, 0.7),
+            (7, 0.2),
+            (10, 0.99),
+            (10, 0.85),
+            (11, 0.75),
+            (12, 0.1),
+            (15, 0.65),
+        ],
+    )?
+    .into();
+
+    println!("domain size n = {}, input pairs m = {}", relation.n(), relation.m());
+    println!("expected frequencies: {:?}\n", round(&relation.expected_frequencies()));
+
+    // ---------------------------------------------------------------- histogram
+    // Optimal 4-bucket histogram under sum-squared-relative-error (c = 1).
+    let metric = ErrorMetric::Ssre { c: 1.0 };
+    let histogram = build_histogram(&relation, metric, 4)?;
+    println!("optimal 4-bucket {metric} histogram:");
+    for bucket in histogram.buckets() {
+        println!(
+            "  [{:>2}, {:>2}]  representative = {:.3}  expected bucket error = {:.4}",
+            bucket.start, bucket.end, bucket.representative, bucket.cost
+        );
+    }
+    let cost = expected_cost(&relation, metric, &histogram);
+    println!("expected {metric} of the synopsis: {cost:.4}");
+
+    // Compare against the naive heuristics of the paper's experiments.
+    let expectation = expectation_histogram(&relation, metric, 4)?;
+    let mut rng = rand_rng();
+    let sampled = sampled_world_histogram(&relation, metric, 4, &mut rng)?;
+    println!(
+        "heuristics: expectation = {:.4}, sampled world = {:.4}\n",
+        expected_cost(&relation, metric, &expectation),
+        expected_cost(&relation, metric, &sampled)
+    );
+
+    // ------------------------------------------------------------------ wavelet
+    // Expected-SSE-optimal 5-term Haar wavelet synopsis.
+    let wavelet = build_sse_wavelet(&relation, 5)?;
+    println!("5-term SSE wavelet synopsis (expected coefficients retained):");
+    for c in wavelet.retained() {
+        println!("  c{:<2} = {:+.4}", c.index, c.value);
+    }
+    println!("reconstruction: {:?}", round(&wavelet.reconstruct()));
+    println!(
+        "expected SSE: {:.4}",
+        probsyn::wavelet::sse::expected_sse(&relation, &wavelet)
+    );
+    Ok(())
+}
+
+fn round(values: &[f64]) -> Vec<f64> {
+    values.iter().map(|v| (v * 100.0).round() / 100.0).collect()
+}
+
+fn rand_rng() -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(7)
+}

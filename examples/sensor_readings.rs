@@ -1,0 +1,84 @@
+//! Sensor-network scenario (the value pdf model of the paper): each sensor
+//! reports a small probability distribution over the frequency/level it
+//! observed, and the readings of different sensors are independent.  We build
+//! absolute-error and maximum-error histograms over the sensor array and use
+//! them for approximate range queries with per-item guarantees.
+//!
+//! ```text
+//! cargo run --release --example sensor_readings
+//! ```
+
+use probsyn::prelude::*;
+
+fn main() -> Result<()> {
+    // 256 sensors along a pipeline; each reports 2-4 possible levels with
+    // probabilities (the remaining mass means "no reading", i.e. level 0).
+    let relation: ProbabilisticRelation = zipf_value_pdf(ValuePdfConfig {
+        n: 256,
+        max_entries_per_item: 4,
+        max_frequency: 12.0,
+        skew: 0.6,
+        zero_mass: 0.15,
+        seed: 7,
+    })
+    .into();
+    println!(
+        "sensor relation: {} sensors, {} (level, probability) pairs, |V| = {}",
+        relation.n(),
+        relation.m(),
+        ValueDomain::from_relation(&relation).len()
+    );
+
+    // A sum-absolute-error histogram: the workhorse synopsis for answering
+    // "what is the expected level around position x?".
+    let sae = ErrorMetric::Sae;
+    let histogram = build_histogram(&relation, sae, 16)?;
+    println!("\n16-bucket SAE histogram:");
+    for bucket in histogram.buckets().iter().take(6) {
+        println!(
+            "  sensors [{:>3}, {:>3}] -> level {:.2} (expected absolute error {:.3})",
+            bucket.start,
+            bucket.end,
+            bucket.representative,
+            bucket.cost / bucket.width() as f64
+        );
+    }
+    println!("  ... ({} buckets total)", histogram.num_buckets());
+    println!(
+        "expected SAE of the synopsis: {:.3}",
+        expected_cost(&relation, sae, &histogram)
+    );
+
+    // A maximum-absolute-error histogram: every individual sensor estimate
+    // carries the same worst-case expected-error guarantee.
+    let mae = ErrorMetric::Mae;
+    let guarded = build_histogram(&relation, mae, 16)?;
+    println!(
+        "\n16-bucket MAE histogram: max per-sensor expected error = {:.3}",
+        expected_cost(&relation, mae, &guarded)
+    );
+
+    // Approximate query answering: expected total level over a window.
+    let window = 32..96usize;
+    let estimated: f64 = window.clone().map(|i| histogram.estimate(i)).sum();
+    let moments = item_moments(&relation);
+    let exact: f64 = window.clone().map(|i| moments[i].mean).sum();
+    println!(
+        "\nrange query E[sum of levels in sensors [{}, {})]:",
+        window.start, window.end
+    );
+    println!("  from the 16-bucket synopsis: {estimated:.1}");
+    println!("  exact expectation:           {exact:.1}");
+    println!(
+        "  relative deviation:          {:.2}%",
+        100.0 * (estimated - exact).abs() / exact.max(1e-9)
+    );
+
+    // How much resolution do we give up?  Sweep the budget.
+    println!("\nexpected SAE vs number of buckets:");
+    for b in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        let h = build_histogram(&relation, sae, b)?;
+        println!("  B = {b:>3}: {:.3}", expected_cost(&relation, sae, &h));
+    }
+    Ok(())
+}

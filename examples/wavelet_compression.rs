@@ -1,0 +1,86 @@
+//! Wavelet compression of an uncertain TPC-H-style relation (Section 4 of
+//! the paper): compute the expected-SSE-optimal Haar synopsis, compare it to
+//! the sampled-world heuristic, and look at the restricted non-SSE
+//! thresholding on a smaller slice.
+//!
+//! ```text
+//! cargo run --release --example wavelet_compression
+//! ```
+
+use probsyn::prelude::*;
+use probsyn::wavelet::nonsse::{build_restricted_wavelet, expected_wavelet_cost};
+use probsyn::wavelet::sse::{expected_sse, selection_error_percentage, ExpectedCoefficients};
+use probsyn::wavelet::{sampled_world_selection, sampled_world_wavelet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<()> {
+    // An uncertain lineitem→partkey style relation with 4096 part keys.
+    let relation: ProbabilisticRelation = tpch_like(TpchLikeConfig {
+        n: 4096,
+        tuples: 24_576,
+        max_alternatives: 4,
+        locality_window: 32,
+        skew: 0.5,
+        seed: 13,
+    })
+    .into();
+    println!(
+        "uncertain relation: n = {} part keys, {} uncertain line items",
+        relation.n(),
+        relation.m()
+    );
+
+    // Expected-SSE-optimal synopses at several budgets (Theorem 7: linear time).
+    println!("\nexpected SSE and retained-energy error vs coefficient budget:");
+    let coeffs = ExpectedCoefficients::of(&relation);
+    let mut rng = StdRng::seed_from_u64(3);
+    for b in [16usize, 64, 256, 1024] {
+        let optimal = build_sse_wavelet(&relation, b)?;
+        let optimal_pct = selection_error_percentage(coeffs.normalised(), &optimal.indices());
+        let sampled_sel = sampled_world_selection(&relation, b, &mut rng);
+        let sampled_pct = selection_error_percentage(coeffs.normalised(), &sampled_sel);
+        let sampled = sampled_world_wavelet(&relation, b, &mut rng)?;
+        println!(
+            "  B = {b:>4}: optimal energy miss {optimal_pct:>6.2}% | sampled world {sampled_pct:>6.2}% | expected SSE {:.1} vs {:.1}",
+            expected_sse(&relation, &optimal),
+            expected_sse(&relation, &sampled),
+        );
+    }
+
+    // Reconstruction quality on a small window.
+    let b = 256;
+    let synopsis = build_sse_wavelet(&relation, b)?;
+    let reconstruction = synopsis.reconstruct();
+    let truth = relation.expected_frequencies();
+    println!("\nreconstruction with B = {b} (first 8 part keys):");
+    for i in 0..8 {
+        println!(
+            "  key {i}: expected frequency {:.2}, synopsis estimate {:.2}",
+            truth[i], reconstruction[i]
+        );
+    }
+
+    // Restricted non-SSE thresholding (Theorem 8) on a smaller slice: pick
+    // the coefficients that minimise the expected *absolute* error instead.
+    let small: ProbabilisticRelation = tpch_like(TpchLikeConfig {
+        n: 128,
+        tuples: 768,
+        max_alternatives: 3,
+        locality_window: 8,
+        skew: 0.5,
+        seed: 13,
+    })
+    .into();
+    println!("\nrestricted non-SSE thresholding on a 128-key slice (B = 12):");
+    for metric in [ErrorMetric::Sae, ErrorMetric::Mae] {
+        let restricted = build_restricted_wavelet(&small, metric, 12)?;
+        let greedy = build_sse_wavelet(&small, 12)?;
+        println!(
+            "  {metric}: restricted DP {:.3} vs SSE-greedy selection {:.3}",
+            restricted.objective,
+            expected_wavelet_cost(&small, metric, &greedy)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # probsyn — histogram and wavelet synopses on probabilistic data
+//!
+//! Umbrella crate re-exporting the whole workspace, which reproduces
+//! *Cormode & Garofalakis, "Histograms and Wavelets on Probabilistic Data",
+//! ICDE 2009*:
+//!
+//! * [`core`](pds_core) — uncertainty models (basic, tuple pdf, value pdf),
+//!   possible-worlds semantics, moments, error metrics and workload
+//!   generators;
+//! * [`histogram`](pds_histogram) — optimal and `(1+ε)`-approximate
+//!   probabilistic histograms under SSE, SSRE, SAE, SARE, MAE and MARE, plus
+//!   the deterministic baselines used in the paper's experiments;
+//! * [`wavelet`](pds_wavelet) — Haar wavelet synopses: the SSE-optimal
+//!   expected-coefficient thresholding and the restricted dynamic program for
+//!   non-SSE error metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use probsyn::prelude::*;
+//!
+//! // A small uncertain relation in the basic model.
+//! let relation: ProbabilisticRelation =
+//!     BasicModel::from_pairs(8, [(0, 0.9), (1, 0.4), (1, 0.7), (4, 0.2), (6, 0.95)])
+//!         .unwrap()
+//!         .into();
+//!
+//! // Optimal 3-bucket histogram under sum-squared-relative-error.
+//! let metric = ErrorMetric::Ssre { c: 1.0 };
+//! let histogram = build_histogram(&relation, metric, 3).unwrap();
+//! assert_eq!(histogram.num_buckets(), 3);
+//!
+//! // Optimal 4-term wavelet synopsis under expected SSE.
+//! let wavelet = build_sse_wavelet(&relation, 4).unwrap();
+//! assert!(wavelet.retained().len() <= 4);
+//! ```
+
+pub use pds_core as core;
+pub use pds_histogram as histogram;
+pub use pds_wavelet as wavelet;
+
+pub mod aqp;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use pds_core::generator::{
+        mystiq_like, tpch_like, zipf_value_pdf, MystiqLikeConfig, TpchLikeConfig, ValuePdfConfig,
+    };
+    pub use pds_core::metrics::ErrorMetric;
+    pub use pds_core::model::{
+        BasicModel, ProbabilisticRelation, TupleAlternatives, TuplePdfModel, ValuePdf,
+        ValuePdfModel,
+    };
+    pub use pds_core::moments::{item_moments, ItemMoments};
+    pub use pds_core::values::ValueDomain;
+    pub use pds_core::worlds::{sample_world, PossibleWorlds};
+    pub use pds_core::{PdsError, Result};
+    pub use pds_histogram::{
+        approx_histogram, build_histogram, expectation_histogram, optimal_histogram,
+        sampled_world_histogram, Bucket, Histogram,
+    };
+    pub use pds_histogram::evaluate::{error_percentage, expected_cost};
+    pub use pds_wavelet::{build_sse_wavelet, HaarTransform, WaveletSynopsis};
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration tests: the same logical uncertain data expressed
+//! in different models must lead to consistent synopses wherever the theory
+//! says it should (per-item-linear metrics depend only on the induced value
+//! pdfs).
+
+use probsyn::core::generator::deterministic_zipf;
+use probsyn::histogram::evaluate::expected_cost;
+use probsyn::histogram::{build_histogram, optimal_histogram, oracle_for_metric};
+use probsyn::prelude::*;
+use probsyn::wavelet::sse::expected_sse;
+
+/// A basic-model relation, the same data viewed as single-alternative tuple
+/// pdf, and its induced value pdf relation.
+fn equivalent_relations() -> Vec<ProbabilisticRelation> {
+    let basic = BasicModel::from_pairs(
+        12,
+        [
+            (0, 0.9),
+            (0, 0.4),
+            (1, 0.6),
+            (3, 0.95),
+            (3, 0.5),
+            (4, 0.25),
+            (6, 0.7),
+            (7, 0.8),
+            (7, 0.15),
+            (9, 0.55),
+            (11, 0.35),
+        ],
+    )
+    .unwrap();
+    let tuple = TuplePdfModel::from_basic(&basic);
+    let value = basic.induced_value_pdfs();
+    vec![basic.into(), tuple.into(), value.into()]
+}
+
+#[test]
+fn per_item_linear_histograms_agree_across_models() {
+    let relations = equivalent_relations();
+    for metric in [
+        ErrorMetric::Ssre { c: 0.5 },
+        ErrorMetric::Sae,
+        ErrorMetric::Sare { c: 1.0 },
+        ErrorMetric::Mae,
+        ErrorMetric::Mare { c: 0.5 },
+    ] {
+        let reference = build_histogram(&relations[0], metric, 4).unwrap();
+        let reference_cost = expected_cost(&relations[0], metric, &reference);
+        for rel in &relations[1..] {
+            let h = build_histogram(rel, metric, 4).unwrap();
+            let cost = expected_cost(rel, metric, &h);
+            assert!(
+                (cost - reference_cost).abs() < 1e-9,
+                "{metric} on {}: {cost} vs {reference_cost}",
+                rel.model_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sse_histograms_agree_between_basic_and_induced_value_pdf() {
+    // For the basic model the items are independent, so the paper's eq-(5)
+    // SSE objective coincides with the value-pdf formulation of the same
+    // relation.
+    let relations = equivalent_relations();
+    let basic = &relations[0];
+    let value = &relations[2];
+    let h_basic = build_histogram(basic, ErrorMetric::Sse, 4).unwrap();
+    let h_value = build_histogram(value, ErrorMetric::Sse, 4).unwrap();
+    assert!((h_basic.total_cost() - h_value.total_cost()).abs() < 1e-9);
+    assert_eq!(h_basic.boundaries(), h_value.boundaries());
+}
+
+#[test]
+fn expected_frequencies_and_wavelets_agree_across_models() {
+    let relations = equivalent_relations();
+    let reference = relations[0].expected_frequencies();
+    for rel in &relations {
+        let freqs = rel.expected_frequencies();
+        for (a, b) in reference.iter().zip(&freqs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let syn = build_sse_wavelet(rel, 5).unwrap();
+        let reference_syn = build_sse_wavelet(&relations[0], 5).unwrap();
+        assert_eq!(syn.indices(), reference_syn.indices());
+        assert!((expected_sse(rel, &syn) - expected_sse(&relations[0], &reference_syn)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn induced_value_pdfs_preserve_possible_world_marginals() {
+    // For a *genuine* multi-alternative tuple-pdf relation the induced pdfs
+    // drop cross-item correlations but must preserve every per-item marginal.
+    let tuple = TuplePdfModel::from_alternatives(
+        6,
+        [
+            vec![(0, 0.5), (1, 0.3)],
+            vec![(1, 0.25), (2, 0.5), (3, 0.25)],
+            vec![(4, 0.4), (5, 0.6)],
+            vec![(0, 0.2), (5, 0.2)],
+        ],
+    )
+    .unwrap();
+    let rel: ProbabilisticRelation = tuple.clone().into();
+    let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+    let induced = tuple.induced_value_pdfs();
+    for i in 0..6 {
+        for v in [0.0, 1.0, 2.0] {
+            let brute = worlds.expectation(|w| if (w[i] - v).abs() < 1e-12 { 1.0 } else { 0.0 });
+            assert!(
+                (induced.item(i).probability_of(v) - brute).abs() < 1e-12,
+                "item {i}, value {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deterministic_relations_reduce_to_classical_synopses() {
+    // Running the probabilistic pipeline on certain data must give the
+    // classical deterministic synopses: zero error at full resolution.
+    let freqs = deterministic_zipf(32, 64.0, 1.0, 5);
+    let rel: ProbabilisticRelation = ValuePdfModel::deterministic(&freqs).into();
+    for metric in [ErrorMetric::Sse, ErrorMetric::Sae, ErrorMetric::Mae] {
+        let h = build_histogram(&rel, metric, 32).unwrap();
+        assert!(expected_cost(&rel, metric, &h) < 1e-9, "{metric}");
+    }
+    let w = build_sse_wavelet(&rel, 32).unwrap();
+    assert!(expected_sse(&rel, &w) < 1e-9);
+}
+
+#[test]
+fn oracle_for_metric_covers_every_metric_and_is_consistent_with_dp() {
+    let rel = &equivalent_relations()[1];
+    for metric in [
+        ErrorMetric::Sse,
+        ErrorMetric::Ssre { c: 1.0 },
+        ErrorMetric::Sae,
+        ErrorMetric::Sare { c: 1.0 },
+        ErrorMetric::Mae,
+        ErrorMetric::Mare { c: 1.0 },
+    ] {
+        let oracle = oracle_for_metric(rel, metric);
+        let h = optimal_histogram(&oracle, 3).unwrap();
+        assert_eq!(h.num_buckets(), 3);
+        assert!(h.buckets().iter().all(|b| b.cost.is_finite()));
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end optimality checks: on inputs small enough to enumerate every
+//! alternative (all bucketings, all coefficient subsets, all possible
+//! worlds), the synopses produced by the library must be exactly optimal
+//! under the expected-error semantics of Section 2.3.
+
+use probsyn::histogram::evaluate::expected_cost;
+use probsyn::histogram::{build_histogram, oracle_for_metric, BucketCostOracle, Histogram};
+use probsyn::prelude::*;
+
+/// Enumerates every partition of `[0, n)` into exactly `b` buckets, fits the
+/// oracle-optimal representative in each bucket, and returns the smallest
+/// expected cost under `metric`.
+fn best_over_all_bucketings(
+    relation: &ProbabilisticRelation,
+    metric: ErrorMetric,
+    b: usize,
+) -> f64 {
+    let n = relation.n();
+    let oracle = oracle_for_metric(relation, metric);
+    let mut best = f64::INFINITY;
+    // Choose b-1 boundaries out of n-1 gaps.
+    let mut ends = vec![0usize; b];
+    fn recurse(
+        start: usize,
+        remaining: usize,
+        n: usize,
+        ends: &mut Vec<usize>,
+        level: usize,
+        best: &mut f64,
+        relation: &ProbabilisticRelation,
+        metric: ErrorMetric,
+        oracle: &dyn BucketCostOracle,
+    ) {
+        if remaining == 1 {
+            ends[level] = n - 1;
+            let mut reps = Vec::with_capacity(ends.len());
+            let mut s = 0usize;
+            for &e in ends.iter() {
+                reps.push(oracle.bucket(s, e).representative);
+                s = e + 1;
+            }
+            let h = Histogram::from_boundaries(n, ends, &reps).unwrap();
+            let cost = expected_cost(relation, metric, &h);
+            if cost < *best {
+                *best = cost;
+            }
+            return;
+        }
+        for end in start..=(n - remaining) {
+            ends[level] = end;
+            recurse(
+                end + 1,
+                remaining - 1,
+                n,
+                ends,
+                level + 1,
+                best,
+                relation,
+                metric,
+                oracle,
+            );
+        }
+    }
+    recurse(0, b, n, &mut ends, 0, &mut best, relation, metric, &oracle);
+    best
+}
+
+fn small_workloads() -> Vec<ProbabilisticRelation> {
+    vec![
+        mystiq_like(MystiqLikeConfig {
+            n: 10,
+            avg_tuples_per_item: 2.0,
+            skew: 0.7,
+            seed: 31,
+        })
+        .into(),
+        tpch_like(TpchLikeConfig {
+            n: 10,
+            tuples: 18,
+            max_alternatives: 3,
+            locality_window: 3,
+            skew: 0.5,
+            seed: 32,
+        })
+        .into(),
+        zipf_value_pdf(ValuePdfConfig {
+            n: 10,
+            max_entries_per_item: 3,
+            max_frequency: 6.0,
+            skew: 0.8,
+            zero_mass: 0.25,
+            seed: 33,
+        })
+        .into(),
+    ]
+}
+
+#[test]
+fn dp_histograms_are_globally_optimal_for_per_item_metrics() {
+    for relation in small_workloads() {
+        for metric in [
+            ErrorMetric::Ssre { c: 0.5 },
+            ErrorMetric::Sae,
+            ErrorMetric::Sare { c: 1.0 },
+        ] {
+            for b in [2usize, 3, 4] {
+                let h = build_histogram(&relation, metric, b).unwrap();
+                let built = expected_cost(&relation, metric, &h);
+                let brute = best_over_all_bucketings(&relation, metric, b);
+                assert!(
+                    (built - brute).abs() < 1e-9,
+                    "{} {metric} b={b}: built {built} vs brute-force {brute}",
+                    relation.model_name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dp_histograms_are_globally_optimal_for_max_metrics() {
+    for relation in small_workloads() {
+        for metric in [ErrorMetric::Mae, ErrorMetric::Mare { c: 0.5 }] {
+            for b in [2usize, 3] {
+                let h = build_histogram(&relation, metric, b).unwrap();
+                let built = expected_cost(&relation, metric, &h);
+                let brute = best_over_all_bucketings(&relation, metric, b);
+                assert!(
+                    (built - brute).abs() < 1e-9,
+                    "{} {metric} b={b}: built {built} vs brute-force {brute}",
+                    relation.model_name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_costs_match_possible_world_expectations_end_to_end() {
+    // The analytic expected cost of the constructed histogram equals the
+    // brute-force expectation over all possible worlds.
+    for relation in small_workloads() {
+        let worlds = PossibleWorlds::enumerate(&relation).unwrap();
+        for metric in [ErrorMetric::Ssre { c: 1.0 }, ErrorMetric::Sae] {
+            let h = build_histogram(&relation, metric, 3).unwrap();
+            let analytic = expected_cost(&relation, metric, &h);
+            let brute = worlds.expectation(|w| {
+                (0..relation.n())
+                    .map(|i| metric.point_error(w[i], h.estimate(i)))
+                    .sum()
+            });
+            assert!(
+                (analytic - brute).abs() < 1e-9,
+                "{} {metric}",
+                relation.model_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn approximate_construction_respects_its_guarantee_end_to_end() {
+    use probsyn::histogram::approx::approx_histogram;
+    for relation in small_workloads() {
+        for metric in [ErrorMetric::Ssre { c: 0.5 }, ErrorMetric::Sae] {
+            let oracle = oracle_for_metric(&relation, metric);
+            for eps in [0.05, 0.5] {
+                let approx = approx_histogram(&oracle, 3, eps).unwrap();
+                let brute = best_over_all_bucketings(&relation, metric, 3);
+                assert!(
+                    approx.histogram.total_cost() <= (1.0 + eps) * brute + 1e-9,
+                    "{} {metric} eps={eps}",
+                    relation.model_name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) on the core invariants of the synopsis
+//! algorithms, driven by randomly generated probabilistic relations in all
+//! three uncertainty models.
+
+use proptest::prelude::*;
+
+use probsyn::histogram::evaluate::expected_cost;
+use probsyn::histogram::oracle::abs::WeightedAbsOracle;
+use probsyn::histogram::oracle::sse::{SseObjective, SseOracle, TupleSseMode};
+use probsyn::histogram::oracle::ssre::SsreOracle;
+use probsyn::histogram::{build_histogram, BucketCostOracle};
+use probsyn::prelude::*;
+use probsyn::wavelet::haar::{reconstruct_normalised, HaarTransform};
+use probsyn::wavelet::sse::expected_sse;
+
+/// Strategy: a small basic-model relation over `n` items.
+fn basic_relation(n: usize, max_tuples: usize) -> impl Strategy<Value = ProbabilisticRelation> {
+    prop::collection::vec((0..n, 0.01f64..1.0), 1..max_tuples).prop_map(move |pairs| {
+        BasicModel::from_pairs(n, pairs).unwrap().into()
+    })
+}
+
+/// Strategy: a small tuple-pdf relation over `n` items (2 alternatives per
+/// tuple, probabilities summing to at most 1).
+fn tuple_relation(n: usize, max_tuples: usize) -> impl Strategy<Value = ProbabilisticRelation> {
+    prop::collection::vec(((0..n, 0.01f64..0.6), (0..n, 0.01f64..0.4)), 1..max_tuples).prop_map(
+        move |tuples| {
+            TuplePdfModel::from_alternatives(
+                n,
+                tuples
+                    .into_iter()
+                    .map(|((i1, p1), (i2, p2))| {
+                        if i1 == i2 {
+                            vec![(i1, p1)]
+                        } else {
+                            vec![(i1, p1), (i2, p2)]
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap()
+            .into()
+        },
+    )
+}
+
+/// Strategy: a small value-pdf relation with fractional frequencies.
+fn value_relation(n: usize) -> impl Strategy<Value = ProbabilisticRelation> {
+    prop::collection::vec(
+        prop::collection::vec((0.0f64..8.0, 0.05f64..0.45), 0..3),
+        n..=n,
+    )
+    .prop_map(|items| {
+        ValuePdfModel::new(
+            items
+                .into_iter()
+                .map(|pairs| ValuePdf::new(pairs).unwrap())
+                .collect(),
+        )
+        .into()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn induced_pdfs_are_proper_distributions(rel in tuple_relation(8, 10)) {
+        let pdfs = rel.induced_value_pdfs();
+        for i in 0..rel.n() {
+            let pdf = pdfs.item(i).with_explicit_zero();
+            let total: f64 = pdf.entries().iter().map(|&(_, p)| p).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(pdf.entries().iter().all(|&(v, p)| v >= 0.0 && p >= 0.0));
+            // Moments from the pdf match the closed-form moments.
+            let moments = item_moments(&rel);
+            prop_assert!((pdf.mean() - moments[i].mean).abs() < 1e-9);
+            prop_assert!((pdf.second_moment() - moments[i].second_moment).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sse_oracle_costs_are_consistent_and_nonnegative(rel in basic_relation(8, 14)) {
+        let eq5 = SseOracle::with_tuple_mode(&rel, SseObjective::PaperEq5, TupleSseMode::Exact);
+        let fixed = SseOracle::new(&rel, SseObjective::FixedRepresentative);
+        for s in 0..rel.n() {
+            for e in s..rel.n() {
+                let a = eq5.bucket(s, e);
+                let b = fixed.bucket(s, e);
+                prop_assert!(a.cost >= -1e-12);
+                prop_assert!(b.cost >= a.cost - 1e-9);
+                // Both report the bucket mean as representative.
+                prop_assert!((a.representative - b.representative).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_costs_are_monotone_under_containment(rel in value_relation(8)) {
+        // Error monotonicity (condition (4) of Section 3.5): a bucket's cost
+        // never decreases when the bucket grows.
+        let oracles: Vec<Box<dyn BucketCostOracle>> = vec![
+            Box::new(SseOracle::new(&rel, SseObjective::FixedRepresentative)),
+            Box::new(SsreOracle::new(&rel, 0.5)),
+            Box::new(WeightedAbsOracle::sae(&rel)),
+            Box::new(WeightedAbsOracle::sare(&rel, 0.5)),
+        ];
+        for oracle in &oracles {
+            for s in 0..rel.n() {
+                for e in s..rel.n() {
+                    let cost = oracle.bucket(s, e).cost;
+                    if e + 1 < rel.n() {
+                        prop_assert!(oracle.bucket(s, e + 1).cost >= cost - 1e-9);
+                    }
+                    if s > 0 {
+                        prop_assert!(oracle.bucket(s - 1, e).cost >= cost - 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_histogram_cost_is_monotone_in_buckets(rel in basic_relation(10, 16)) {
+        let metric = ErrorMetric::Sae;
+        let mut prev = f64::INFINITY;
+        for b in 1..=6 {
+            let h = build_histogram(&rel, metric, b).unwrap();
+            let cost = expected_cost(&rel, metric, &h);
+            prop_assert!(cost <= prev + 1e-9);
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn histograms_partition_the_domain(rel in tuple_relation(12, 16)) {
+        for metric in [ErrorMetric::Sse, ErrorMetric::Sare { c: 1.0 }, ErrorMetric::Mae] {
+            let h = build_histogram(&rel, metric, 4).unwrap();
+            prop_assert_eq!(h.buckets().first().unwrap().start, 0);
+            prop_assert_eq!(h.buckets().last().unwrap().end, rel.n() - 1);
+            for pair in h.buckets().windows(2) {
+                prop_assert_eq!(pair[1].start, pair[0].end + 1);
+            }
+            // Estimates are piecewise constant over the buckets.
+            let estimates = h.estimates();
+            for bucket in h.buckets() {
+                for i in bucket.start..=bucket.end {
+                    prop_assert!((estimates[i] - bucket.representative).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn haar_transform_round_trips_and_preserves_energy(data in prop::collection::vec(-50.0f64..50.0, 1..33)) {
+        let t = HaarTransform::forward(&data);
+        let back = t.reconstruct();
+        for (a, b) in data.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+        let padded_energy: f64 = data.iter().map(|x| x * x).sum();
+        let coeff_energy: f64 = t.normalised().iter().map(|x| x * x).sum();
+        prop_assert!((padded_energy - coeff_energy).abs() < 1e-6 * (1.0 + padded_energy));
+        let back_norm = reconstruct_normalised(t.normalised());
+        for (a, b) in data.iter().zip(&back_norm) {
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn greedy_wavelet_never_beats_more_budget(rel in basic_relation(16, 24)) {
+        let mut prev = f64::INFINITY;
+        for b in 0..=8 {
+            let syn = build_sse_wavelet(&rel, b).unwrap();
+            prop_assert!(syn.len() <= b);
+            let sse = expected_sse(&rel, &syn);
+            prop_assert!(sse >= -1e-9);
+            prop_assert!(sse <= prev + 1e-9);
+            prev = sse;
+        }
+    }
+
+    #[test]
+    fn sampling_is_supported_on_every_generated_relation(rel in value_relation(10)) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let world = sample_world(&rel, &mut rng);
+        prop_assert_eq!(world.len(), rel.n());
+        prop_assert!(world.iter().all(|&g| g >= 0.0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Serde round-trip tests for every public synopsis and model type: a
+//! downstream system must be able to persist relations and synopses (e.g. in
+//! a catalog) and get byte-identical semantics back.
+
+use probsyn::histogram::build_histogram;
+use probsyn::prelude::*;
+use probsyn::wavelet::{build_restricted_wavelet, WaveletSynopsis};
+
+fn workload() -> ProbabilisticRelation {
+    tpch_like(TpchLikeConfig {
+        n: 32,
+        tuples: 96,
+        max_alternatives: 3,
+        locality_window: 4,
+        skew: 0.5,
+        seed: 77,
+    })
+    .into()
+}
+
+#[test]
+fn relations_round_trip_through_json() {
+    let relations: Vec<ProbabilisticRelation> = vec![
+        mystiq_like(MystiqLikeConfig {
+            n: 24,
+            avg_tuples_per_item: 2.0,
+            skew: 0.5,
+            seed: 3,
+        })
+        .into(),
+        workload(),
+        zipf_value_pdf(ValuePdfConfig {
+            n: 24,
+            max_entries_per_item: 3,
+            max_frequency: 8.0,
+            skew: 1.0,
+            zero_mass: 0.2,
+            seed: 4,
+        })
+        .into(),
+    ];
+    for rel in relations {
+        let json = serde_json::to_string(&rel).unwrap();
+        let back: ProbabilisticRelation = serde_json::from_str(&json).unwrap();
+        assert_eq!(rel, back);
+        // Semantics preserved: same expected frequencies and moments.
+        assert_eq!(rel.expected_frequencies(), back.expected_frequencies());
+    }
+}
+
+#[test]
+fn histograms_round_trip_and_keep_estimates() {
+    let rel = workload();
+    for metric in [ErrorMetric::Sse, ErrorMetric::Sare { c: 0.5 }, ErrorMetric::Mae] {
+        let h = build_histogram(&rel, metric, 6).unwrap();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+        for i in 0..rel.n() {
+            assert_eq!(h.estimate(i), back.estimate(i));
+        }
+        assert_eq!(expected_cost(&rel, metric, &h), expected_cost(&rel, metric, &back));
+    }
+}
+
+#[test]
+fn wavelet_synopses_round_trip_and_keep_reconstructions() {
+    let rel = workload();
+    let greedy = build_sse_wavelet(&rel, 8).unwrap();
+    let restricted = build_restricted_wavelet(&rel, ErrorMetric::Sae, 6)
+        .unwrap()
+        .synopsis;
+    for syn in [greedy, restricted] {
+        let json = serde_json::to_string(&syn).unwrap();
+        let back: WaveletSynopsis = serde_json::from_str(&json).unwrap();
+        assert_eq!(syn, back);
+        assert_eq!(syn.reconstruct(), back.reconstruct());
+    }
+}
+
+#[test]
+fn error_metrics_round_trip() {
+    for metric in [
+        ErrorMetric::Sse,
+        ErrorMetric::Ssre { c: 0.25 },
+        ErrorMetric::Sae,
+        ErrorMetric::Sare { c: 2.0 },
+        ErrorMetric::Mae,
+        ErrorMetric::Mare { c: 0.5 },
+    ] {
+        let json = serde_json::to_string(&metric).unwrap();
+        let back: ErrorMetric = serde_json::from_str(&json).unwrap();
+        assert_eq!(metric, back);
+    }
+}

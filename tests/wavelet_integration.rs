@@ -1,0 +1,138 @@
+//! Integration tests for the wavelet crate against the core substrate:
+//! possible-worlds validation of the expected-SSE analysis (Theorem 7) and
+//! the interplay between the SSE-greedy and restricted non-SSE constructions
+//! (Theorem 8).
+
+use probsyn::prelude::*;
+use probsyn::wavelet::haar::HaarTransform;
+use probsyn::wavelet::nonsse::{build_restricted_wavelet, expected_wavelet_cost};
+use probsyn::wavelet::sse::{expected_sse, ExpectedCoefficients};
+use probsyn::wavelet::{sampled_world_wavelet, synopsis_from_selection};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_relation(seed: u64) -> ProbabilisticRelation {
+    tpch_like(TpchLikeConfig {
+        n: 8,
+        tuples: 14,
+        max_alternatives: 3,
+        locality_window: 3,
+        skew: 0.5,
+        seed,
+    })
+    .into()
+}
+
+#[test]
+fn expected_sse_matches_possible_world_enumeration() {
+    for seed in [1, 2, 3] {
+        let rel = small_relation(seed);
+        let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+        for b in [0usize, 2, 4, 8] {
+            let syn = build_sse_wavelet(&rel, b).unwrap();
+            let estimates = syn.reconstruct();
+            let analytic = expected_sse(&rel, &syn);
+            let brute = worlds.expectation(|w| {
+                w.iter()
+                    .zip(&estimates)
+                    .map(|(&g, &e)| (g - e) * (g - e))
+                    .sum()
+            });
+            assert!(
+                (analytic - brute).abs() < 1e-9,
+                "seed {seed} b={b}: {analytic} vs {brute}"
+            );
+        }
+    }
+}
+
+#[test]
+fn expected_coefficients_equal_expected_world_coefficients() {
+    // Linearity of the transform (the key observation behind Theorem 7):
+    // E[H(g)] = H(E[g]), verified by enumerating the worlds and averaging
+    // their coefficient vectors.
+    for seed in [4, 5] {
+        let rel = small_relation(seed);
+        let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+        let mu = ExpectedCoefficients::of(&rel);
+        for idx in 0..8 {
+            let brute = worlds.expectation(|w| HaarTransform::forward(w).normalised()[idx]);
+            assert!(
+                (mu.normalised()[idx] - brute).abs() < 1e-9,
+                "seed {seed} coefficient {idx}"
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_selection_is_optimal_among_all_equal_size_selections() {
+    // Exhaustively check Theorem 7 on a small domain: no other index subset
+    // of the same size achieves lower expected SSE when coefficients are
+    // retained at their expected values.
+    let rel = small_relation(6);
+    for b in [1usize, 2, 3] {
+        let greedy = build_sse_wavelet(&rel, b).unwrap();
+        let greedy_sse = expected_sse(&rel, &greedy);
+        let n = 8usize;
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != b {
+                continue;
+            }
+            let indices: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            let syn = synopsis_from_selection(&rel, &indices).unwrap();
+            assert!(
+                expected_sse(&rel, &syn) >= greedy_sse - 1e-9,
+                "b={b}, subset {indices:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn restricted_dp_never_loses_to_the_sse_selection_under_its_own_metric() {
+    let rel: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+        n: 32,
+        avg_tuples_per_item: 3.0,
+        skew: 0.8,
+        seed: 11,
+    })
+    .into();
+    for metric in [
+        ErrorMetric::Sae,
+        ErrorMetric::Sare { c: 0.5 },
+        ErrorMetric::Mae,
+        ErrorMetric::Mare { c: 1.0 },
+    ] {
+        for b in [2usize, 4, 8] {
+            let restricted = build_restricted_wavelet(&rel, metric, b).unwrap();
+            let sse_selection = build_sse_wavelet(&rel, b).unwrap();
+            let sse_cost = expected_wavelet_cost(&rel, metric, &sse_selection);
+            assert!(
+                restricted.objective <= sse_cost + 1e-9,
+                "{metric} b={b}: {} vs {sse_cost}",
+                restricted.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_world_wavelets_are_valid_but_not_better_in_expectation() {
+    let rel: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+        n: 64,
+        avg_tuples_per_item: 3.0,
+        skew: 0.9,
+        seed: 17,
+    })
+    .into();
+    let mut rng = StdRng::seed_from_u64(21);
+    for b in [4usize, 16, 32] {
+        let optimal = build_sse_wavelet(&rel, b).unwrap();
+        for _ in 0..3 {
+            let sampled = sampled_world_wavelet(&rel, b, &mut rng).unwrap();
+            assert!(sampled.len() <= b);
+            assert!(expected_sse(&rel, &optimal) <= expected_sse(&rel, &sampled) + 1e-9);
+        }
+    }
+}
