@@ -110,5 +110,9 @@ fn bench_oracle_preprocessing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_bucket_queries, bench_oracle_preprocessing);
+criterion_group!(
+    benches,
+    bench_single_bucket_queries,
+    bench_oracle_preprocessing
+);
 criterion_main!(benches);

@@ -23,9 +23,21 @@ use pds_histogram::sse_paper_cost;
 
 fn analyse(name: &str, relation: &ProbabilisticRelation, b: usize, table: &mut Table) {
     let configs = [
-        ("eq5 / prefix-arrays", SseObjective::PaperEq5, TupleSseMode::PrefixArrays),
-        ("eq5 / exact-covariance", SseObjective::PaperEq5, TupleSseMode::Exact),
-        ("fixed-representative", SseObjective::FixedRepresentative, TupleSseMode::PrefixArrays),
+        (
+            "eq5 / prefix-arrays",
+            SseObjective::PaperEq5,
+            TupleSseMode::PrefixArrays,
+        ),
+        (
+            "eq5 / exact-covariance",
+            SseObjective::PaperEq5,
+            TupleSseMode::Exact,
+        ),
+        (
+            "fixed-representative",
+            SseObjective::FixedRepresentative,
+            TupleSseMode::PrefixArrays,
+        ),
     ];
     for (label, objective, mode) in configs {
         let oracle = SseOracle::with_tuple_mode(relation, objective, mode);
@@ -53,7 +65,13 @@ fn main() {
 
     let mut table = Table::new(
         format!("Ablation A2: SSE objective variants, n = {n}, B = {b}"),
-        &["workload", "dp objective", "buckets", "eq5 cost", "fixed-rep cost"],
+        &[
+            "workload",
+            "dp objective",
+            "buckets",
+            "eq5 cost",
+            "fixed-rep cost",
+        ],
     );
     analyse("movie (basic)", &movie_workload(n, seed), b, &mut table);
     analyse("tpch (tuple-pdf)", &tpch_workload(n, seed), b, &mut table);

@@ -23,7 +23,11 @@ fn describe(name: &str, relation: &ProbabilisticRelation) {
     distinct.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
 
     let mut table = Table::new(
-        format!("Example 1 — {} model ({} distinct worlds)", name, distinct.len()),
+        format!(
+            "Example 1 — {} model ({} distinct worlds)",
+            name,
+            distinct.len()
+        ),
         &["world (g1,g2,g3)", "probability"],
     );
     for (w, p) in &distinct {

@@ -35,7 +35,11 @@ fn run_panel(
     csv_dir: Option<&str>,
 ) {
     let rows = histogram_quality_curve(relation, metric, budgets, samples, seed);
-    let mut headers = vec!["buckets".to_string(), "probabilistic".to_string(), "expectation".to_string()];
+    let mut headers = vec![
+        "buckets".to_string(),
+        "probabilistic".to_string(),
+        "expectation".to_string(),
+    ];
     for i in 0..samples {
         headers.push(format!("sampled_world_{}", i + 1));
     }
@@ -53,7 +57,8 @@ fn run_panel(
         cells.extend(row.sampled.iter().map(|&s| fmt(s)));
         table.push_row(cells);
     }
-    let csv = csv_dir.map(|d| PathBuf::from(d).join(format!("figure2{panel}_{}.csv", metric.name())));
+    let csv =
+        csv_dir.map(|d| PathBuf::from(d).join(format!("figure2{panel}_{}.csv", metric.name())));
     table.emit(csv.as_deref());
 }
 
@@ -94,7 +99,15 @@ fn main() {
 
     if metric_name == "all" {
         for (panel, metric) in panels {
-            run_panel(&format!("({panel})"), metric, &relation, &budgets, samples, seed, csv_dir);
+            run_panel(
+                &format!("({panel})"),
+                metric,
+                &relation,
+                &budgets,
+                samples,
+                seed,
+                csv_dir,
+            );
         }
     } else {
         let metric = ErrorMetric::from_name(&metric_name, c).unwrap_or_else(|| {

@@ -32,7 +32,10 @@ fn main() {
     if sweep == "n" || sweep == "both" {
         let (sizes, b): (Vec<usize>, usize) = match scale {
             Scale::Reduced => (vec![512, 1024, 2048, 3072, 4096], 50),
-            Scale::Paper => (vec![2_500, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000], 200),
+            Scale::Paper => (
+                vec![2_500, 5_000, 10_000, 15_000, 20_000, 25_000, 30_000],
+                200,
+            ),
         };
         let mut table = Table::new(
             format!("Figure 3(a): {metric} construction time, B = {b}"),

@@ -18,6 +18,7 @@ use std::path::PathBuf;
 use pds_bench::report::{fmt, Args, Table};
 use pds_bench::{budget_ladder, wavelet_quality_curve, workload_by_name, Scale};
 
+#[allow(clippy::too_many_arguments)]
 fn run_panel(
     panel: &str,
     data: &str,

@@ -35,7 +35,13 @@ fn main() {
 
     let mut table = Table::new(
         format!("A3: restricted non-SSE wavelet DP vs SSE selection, n = {n}"),
-        &["metric", "coefficients", "restricted DP", "SSE selection", "improvement %"],
+        &[
+            "metric",
+            "coefficients",
+            "restricted DP",
+            "SSE selection",
+            "improvement %",
+        ],
     );
     for metric in metrics {
         for b in [4usize, 8, 16, 32] {

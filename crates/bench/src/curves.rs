@@ -14,7 +14,9 @@ use pds_histogram::oracle::sse::{SseObjective, SseOracle, TupleSseMode};
 use pds_histogram::oracle::{oracle_for_metric, BucketCostOracle};
 use pds_histogram::{DpTables, Histogram};
 use pds_wavelet::haar::HaarTransform;
-use pds_wavelet::sse::{selection_error_percentage, top_indices_by_magnitude, ExpectedCoefficients};
+use pds_wavelet::sse::{
+    selection_error_percentage, top_indices_by_magnitude, ExpectedCoefficients,
+};
 
 /// One row of a Figure 2 style table: the error percentage reached by each
 /// method at a given bucket budget.
@@ -243,7 +245,11 @@ mod tests {
     #[test]
     fn quality_curve_orders_methods_as_in_the_paper() {
         let rel = movie_workload(96, 3);
-        for metric in [ErrorMetric::Ssre { c: 0.5 }, ErrorMetric::Sse, ErrorMetric::Sae] {
+        for metric in [
+            ErrorMetric::Ssre { c: 0.5 },
+            ErrorMetric::Sse,
+            ErrorMetric::Sae,
+        ] {
             let rows = histogram_quality_curve(&rel, metric, &[1, 4, 16, 48, 96], 2, 7);
             for row in &rows {
                 // The optimal probabilistic histogram is never worse than the

@@ -146,7 +146,9 @@ impl Args {
 
     /// A parsed value with a default.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Whether the bare flag `--key` was passed.

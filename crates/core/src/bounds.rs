@@ -67,7 +67,11 @@ pub fn frequency_ranges(relation: &ProbabilisticRelation) -> Vec<FrequencyRange>
             .map(|pdf| {
                 let support = pdf.support();
                 FrequencyRange {
-                    min: support.iter().cloned().fold(f64::INFINITY, f64::min).min(0.0),
+                    min: support
+                        .iter()
+                        .cloned()
+                        .fold(f64::INFINITY, f64::min)
+                        .min(0.0),
                     max: support.iter().cloned().fold(0.0, f64::max),
                 }
             })
@@ -173,12 +177,9 @@ mod tests {
             )
             .unwrap()
             .into(),
-            ValuePdfModel::from_sparse(
-                3,
-                [(1, ValuePdf::new([(2.0, 0.4), (5.0, 0.1)]).unwrap())],
-            )
-            .unwrap()
-            .into(),
+            ValuePdfModel::from_sparse(3, [(1, ValuePdf::new([(2.0, 0.4), (5.0, 0.1)]).unwrap())])
+                .unwrap()
+                .into(),
         ];
         for rel in relations {
             let ranges = frequency_ranges(&rel);
@@ -207,8 +208,9 @@ mod tests {
     #[test]
     fn chernoff_bound_dominates_the_true_tail() {
         // Item with 6 tuples of probability 0.3: g ~ Binomial(6, 0.3).
-        let rel: ProbabilisticRelation =
-            BasicModel::from_pairs(1, (0..6).map(|_| (0usize, 0.3))).unwrap().into();
+        let rel: ProbabilisticRelation = BasicModel::from_pairs(1, (0..6).map(|_| (0usize, 0.3)))
+            .unwrap()
+            .into();
         let worlds = PossibleWorlds::enumerate(&rel).unwrap();
         let mu = 1.8;
         for t in [2.0, 3.0, 4.0, 5.0, 6.0] {
@@ -227,8 +229,9 @@ mod tests {
 
     #[test]
     fn hoeffding_bound_dominates_the_true_tail() {
-        let rel: ProbabilisticRelation =
-            BasicModel::from_pairs(1, (0..5).map(|_| (0usize, 0.4))).unwrap().into();
+        let rel: ProbabilisticRelation = BasicModel::from_pairs(1, (0..5).map(|_| (0usize, 0.4)))
+            .unwrap()
+            .into();
         let worlds = PossibleWorlds::enumerate(&rel).unwrap();
         let mu = 2.0;
         for t in [3.0, 4.0, 5.0] {
@@ -275,8 +278,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "delta")]
     fn invalid_delta_panics() {
-        let rel: ProbabilisticRelation =
-            BasicModel::from_pairs(1, [(0, 0.5)]).unwrap().into();
+        let rel: ProbabilisticRelation = BasicModel::from_pairs(1, [(0, 0.5)]).unwrap().into();
         let _ = high_probability_ranges(&rel, 0.0);
     }
 }

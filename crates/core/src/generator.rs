@@ -20,9 +20,7 @@ use rand::distributions::Distribution;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::model::{
-    BasicModel, ProbabilisticRelation, TuplePdfModel, ValuePdf, ValuePdfModel,
-};
+use crate::model::{BasicModel, ProbabilisticRelation, TuplePdfModel, ValuePdf, ValuePdfModel};
 
 /// Parameters of the MystiQ-like basic-model generator.
 #[derive(Debug, Clone, Copy)]
@@ -410,7 +408,7 @@ mod tests {
         assert_eq!(data.tuple_count(), 2000);
         for t in data.tuples() {
             let k = t.len();
-            assert!(k >= 1 && k <= 4);
+            assert!((1..=4).contains(&k));
             for &(item, p) in t.alternatives() {
                 assert!(item < 1000);
                 assert!((p - 1.0 / k as f64).abs() < 1e-12);
@@ -447,8 +445,8 @@ mod tests {
     fn deterministic_zipf_contains_expected_values() {
         let f = deterministic_zipf(64, 100.0, 1.0, 9);
         assert_eq!(f.len(), 64);
-        assert!(f.iter().any(|&x| x == 100.0));
-        assert!(f.iter().all(|&x| x >= 0.0 && x <= 100.0));
+        assert!(f.contains(&100.0));
+        assert!(f.iter().all(|&x| (0.0..=100.0).contains(&x)));
         // Deterministic per seed.
         assert_eq!(f, deterministic_zipf(64, 100.0, 1.0, 9));
     }

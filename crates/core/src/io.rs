@@ -124,10 +124,13 @@ pub fn read_relation<R: BufRead>(input: R) -> Result<ProbabilisticRelation> {
                 Some("tuple-pdf") => {
                     let mut alts = Vec::new();
                     for field in fields {
-                        let (i, p) = field.split_once(':').ok_or_else(|| parse_err("alternative"))?;
+                        let (i, p) = field
+                            .split_once(':')
+                            .ok_or_else(|| parse_err("alternative"))?;
                         alts.push((
                             i.parse().map_err(|_| parse_err("alternative item"))?,
-                            p.parse().map_err(|_| parse_err("alternative probability"))?,
+                            p.parse()
+                                .map_err(|_| parse_err("alternative probability"))?,
                         ));
                     }
                     tuple_tuples.push(alts);
@@ -200,7 +203,10 @@ pub fn read_basic_pairs<R: BufRead>(input: R) -> Result<BasicModel> {
         let cleaned = line.replace(',', " ");
         let mut fields = cleaned.split_whitespace();
         let parse_err = || PdsError::InvalidParameter {
-            message: format!("line {}: expected `<item> <probability>`: {line}", line_no + 1),
+            message: format!(
+                "line {}: expected `<item> <probability>`: {line}",
+                line_no + 1
+            ),
         };
         let item: usize = fields
             .next()
@@ -261,9 +267,7 @@ mod tests {
                 assert_eq!(a.tuple_count(), b.tuple_count());
                 for (ta, tb) in a.tuples().iter().zip(b.tuples()) {
                     assert_eq!(ta.len(), tb.len());
-                    for (&(ia, pa), &(ib, pb)) in
-                        ta.alternatives().iter().zip(tb.alternatives())
-                    {
+                    for (&(ia, pa), &(ib, pb)) in ta.alternatives().iter().zip(tb.alternatives()) {
                         assert_eq!(ia, ib);
                         assert!((pa - pb).abs() < 1e-12);
                     }

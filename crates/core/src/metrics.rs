@@ -204,12 +204,12 @@ mod tests {
                         _ => (actual - est_abs(est, actual)).abs(),
                     };
                     // weight * unweighted error == point error
-                    let unweighted = if matches!(metric, ErrorMetric::Sse | ErrorMetric::Ssre { .. })
-                    {
-                        diff
-                    } else {
-                        (actual - est).abs()
-                    };
+                    let unweighted =
+                        if matches!(metric, ErrorMetric::Sse | ErrorMetric::Ssre { .. }) {
+                            diff
+                        } else {
+                            (actual - est).abs()
+                        };
                     assert!(
                         (metric.weight(actual) * unweighted - metric.point_error(actual, est))
                             .abs()
@@ -240,13 +240,9 @@ mod tests {
         let pdf = ValuePdf::new([(1.0, 0.5), (3.0, 0.25)]).unwrap();
         // Remaining 0.25 mass at zero.
         let expected_sae = 0.25 * 2.0 + 0.5 * 1.0 + 0.25 * 1.0;
-        assert!(
-            (ErrorMetric::Sae.expected_point_error(&pdf, 2.0) - expected_sae).abs() < 1e-12
-        );
+        assert!((ErrorMetric::Sae.expected_point_error(&pdf, 2.0) - expected_sae).abs() < 1e-12);
         let expected_sse = 0.25 * 4.0 + 0.5 * 1.0 + 0.25 * 1.0;
-        assert!(
-            (ErrorMetric::Sse.expected_point_error(&pdf, 2.0) - expected_sse).abs() < 1e-12
-        );
+        assert!((ErrorMetric::Sse.expected_point_error(&pdf, 2.0) - expected_sse).abs() < 1e-12);
     }
 
     #[test]

@@ -91,9 +91,7 @@ impl ProbabilisticRelation {
     pub fn items_independent(&self) -> bool {
         match self {
             ProbabilisticRelation::Basic(_) | ProbabilisticRelation::ValuePdf(_) => true,
-            ProbabilisticRelation::TuplePdf(m) => {
-                m.tuples().iter().all(|t| t.len() <= 1)
-            }
+            ProbabilisticRelation::TuplePdf(m) => m.tuples().iter().all(|t| t.len() <= 1),
         }
     }
 

@@ -213,10 +213,7 @@ mod tests {
     pub fn paper_example() -> TuplePdfModel {
         TuplePdfModel::from_alternatives(
             3,
-            [
-                vec![(0, 0.5), (1, 1.0 / 3.0)],
-                vec![(1, 0.25), (2, 0.5)],
-            ],
+            [vec![(0, 0.5), (1, 1.0 / 3.0)], vec![(1, 0.25), (2, 0.5)]],
         )
         .unwrap()
     }

@@ -288,7 +288,10 @@ impl ValuePdfModel {
 
     /// Builds the relation from sparse input: the domain size and a list of
     /// `(item, pdf)` pairs.  Unlisted items are certainly absent.
-    pub fn from_sparse(n: usize, pairs: impl IntoIterator<Item = (usize, ValuePdf)>) -> Result<Self> {
+    pub fn from_sparse(
+        n: usize,
+        pairs: impl IntoIterator<Item = (usize, ValuePdf)>,
+    ) -> Result<Self> {
         let mut items = vec![ValuePdf::zero(); n];
         for (item, pdf) in pairs {
             if item >= n {
@@ -303,7 +306,10 @@ impl ValuePdfModel {
     /// used to run the very same synopsis code on certain data.
     pub fn deterministic(frequencies: &[f64]) -> Self {
         ValuePdfModel {
-            items: frequencies.iter().map(|&f| ValuePdf::deterministic(f)).collect(),
+            items: frequencies
+                .iter()
+                .map(|&f| ValuePdf::deterministic(f))
+                .collect(),
         }
     }
 
@@ -428,7 +434,12 @@ mod tests {
             assert!((a.probability_of(v) - b.probability_of(v)).abs() < 1e-12);
         }
         // Mass still sums to one.
-        let total: f64 = b.with_explicit_zero().entries().iter().map(|&(_, p)| p).sum();
+        let total: f64 = b
+            .with_explicit_zero()
+            .entries()
+            .iter()
+            .map(|&(_, p)| p)
+            .sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 

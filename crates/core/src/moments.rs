@@ -145,9 +145,9 @@ mod tests {
         for rel in relations() {
             let moments = item_moments(&rel);
             let pdfs = rel.induced_value_pdfs();
-            for i in 0..rel.n() {
-                assert!((moments[i].mean - pdfs.item(i).mean()).abs() < 1e-12);
-                assert!((moments[i].second_moment - pdfs.item(i).second_moment()).abs() < 1e-12);
+            for (i, m) in moments.iter().enumerate() {
+                assert!((m.mean - pdfs.item(i).mean()).abs() < 1e-12);
+                assert!((m.second_moment - pdfs.item(i).second_moment()).abs() < 1e-12);
             }
         }
     }

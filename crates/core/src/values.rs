@@ -75,11 +75,7 @@ impl ValueDomain {
         self.values
             .binary_search_by(|v| v.partial_cmp(&value).expect("finite frequencies"))
             .ok()
-            .or_else(|| {
-                self.values
-                    .iter()
-                    .position(|&v| (v - value).abs() < 1e-12)
-            })
+            .or_else(|| self.values.iter().position(|&v| (v - value).abs() < 1e-12))
     }
 
     /// Index of the largest domain value that is `<= value`, or `None` when

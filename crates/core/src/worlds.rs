@@ -29,10 +29,7 @@ pub struct PossibleWorlds {
 impl PossibleWorlds {
     /// Enumerates every possible world of `relation` together with its
     /// probability, failing if more than `limit` worlds would be produced.
-    pub fn enumerate_with_limit(
-        relation: &ProbabilisticRelation,
-        limit: usize,
-    ) -> Result<Self> {
+    pub fn enumerate_with_limit(relation: &ProbabilisticRelation, limit: usize) -> Result<Self> {
         let n = relation.n();
         // Each "component" is an independent random choice with a small set of
         // outcomes; a world is one outcome per component.  Outcome = set of
@@ -42,12 +39,7 @@ impl PossibleWorlds {
             ProbabilisticRelation::Basic(m) => m
                 .tuples()
                 .iter()
-                .map(|t| {
-                    vec![
-                        (vec![(t.item, 1.0)], t.prob),
-                        (vec![], 1.0 - t.prob),
-                    ]
-                })
+                .map(|t| vec![(vec![(t.item, 1.0)], t.prob), (vec![], 1.0 - t.prob)])
                 .collect(),
             ProbabilisticRelation::TuplePdf(m) => m
                 .tuples()
@@ -153,9 +145,7 @@ impl PossibleWorlds {
 
     /// Per-item expected frequencies computed by brute force.
     pub fn expected_frequencies(&self) -> Vec<f64> {
-        (0..self.n)
-            .map(|i| self.expectation(|w| w[i]))
-            .collect()
+        (0..self.n).map(|i| self.expectation(|w| w[i])).collect()
     }
 
     /// Probability that the frequency vector equals `target` exactly (merging
@@ -164,8 +154,7 @@ impl PossibleWorlds {
         self.worlds
             .iter()
             .filter(|(w, _)| {
-                w.len() == target.len()
-                    && w.iter().zip(target).all(|(a, b)| (a - b).abs() < 1e-12)
+                w.len() == target.len() && w.iter().zip(target).all(|(a, b)| (a - b).abs() < 1e-12)
             })
             .map(|&(_, p)| p)
             .sum()

@@ -205,7 +205,10 @@ mod tests {
                     approx.histogram.total_cost()
                 );
                 assert!(approx.histogram.total_cost() >= exact - 1e-9);
-                assert_eq!(approx.histogram.num_buckets().min(b), approx.histogram.num_buckets());
+                assert_eq!(
+                    approx.histogram.num_buckets().min(b),
+                    approx.histogram.num_buckets()
+                );
             }
         }
     }

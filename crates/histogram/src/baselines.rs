@@ -103,7 +103,11 @@ mod tests {
     fn baselines_produce_valid_histograms() {
         let rel = relation(20);
         let mut rng = StdRng::seed_from_u64(1);
-        for metric in [ErrorMetric::Sse, ErrorMetric::Ssre { c: 0.5 }, ErrorMetric::Sae] {
+        for metric in [
+            ErrorMetric::Sse,
+            ErrorMetric::Ssre { c: 0.5 },
+            ErrorMetric::Sae,
+        ] {
             for kind in [BaselineKind::Expectation, BaselineKind::SampledWorld] {
                 let h = baseline_histogram(&rel, metric, 5, kind, &mut rng).unwrap();
                 assert_eq!(h.num_buckets(), 5);

@@ -121,11 +121,7 @@ impl DpTables {
 
     /// Extracts the optimal `b`-bucket histogram, using `oracle` to recover
     /// the representative value (and per-bucket cost) of each final bucket.
-    pub fn extract<O: BucketCostOracle + ?Sized>(
-        &self,
-        b: usize,
-        oracle: &O,
-    ) -> Result<Histogram> {
+    pub fn extract<O: BucketCostOracle + ?Sized>(&self, b: usize, oracle: &O) -> Result<Histogram> {
         if b == 0 {
             return Err(PdsError::InvalidParameter {
                 message: "at least one bucket is required".into(),
@@ -155,10 +151,7 @@ impl DpTables {
 }
 
 /// Builds the optimal `b`-bucket histogram for the given oracle.
-pub fn optimal_histogram<O: BucketCostOracle + ?Sized>(
-    oracle: &O,
-    b: usize,
-) -> Result<Histogram> {
+pub fn optimal_histogram<O: BucketCostOracle + ?Sized>(oracle: &O, b: usize) -> Result<Histogram> {
     let tables = DpTables::build(oracle, b)?;
     tables.extract(b, oracle)
 }
@@ -181,7 +174,11 @@ mod tests {
         ) -> f64 {
             let n = oracle.n();
             if start == n {
-                return if cumulative { 0.0 } else { f64::NEG_INFINITY.max(0.0) };
+                return if cumulative {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY.max(0.0)
+                };
             }
             if b == 1 {
                 return oracle.bucket(start, n - 1).cost;
@@ -193,7 +190,11 @@ mod tests {
                 }
                 let here = oracle.bucket(start, end).cost;
                 let rest = recurse(oracle, end + 1, b - 1, cumulative);
-                let total = if cumulative { here + rest } else { here.max(rest) };
+                let total = if cumulative {
+                    here + rest
+                } else {
+                    here.max(rest)
+                };
                 best = best.min(total);
             }
             best

@@ -137,7 +137,11 @@ mod tests {
     #[test]
     fn never_beats_the_error_optimal_histogram() {
         let rel = relation(48);
-        for metric in [ErrorMetric::Sse, ErrorMetric::Ssre { c: 0.5 }, ErrorMetric::Sae] {
+        for metric in [
+            ErrorMetric::Sse,
+            ErrorMetric::Ssre { c: 0.5 },
+            ErrorMetric::Sae,
+        ] {
             for b in [4usize, 8, 12] {
                 let equi = equidepth_histogram(&rel, metric, b).unwrap();
                 let oracle = oracle_for_metric(&rel, metric);

@@ -80,11 +80,7 @@ impl Histogram {
 
     /// Builds a histogram from bucket boundaries (the end index of every
     /// bucket) and representative values; costs are set to zero.
-    pub fn from_boundaries(
-        n: usize,
-        ends: &[usize],
-        representatives: &[f64],
-    ) -> Result<Self> {
+    pub fn from_boundaries(n: usize, ends: &[usize], representatives: &[f64]) -> Result<Self> {
         if ends.len() != representatives.len() {
             return Err(PdsError::InvalidParameter {
                 message: "one representative per bucket is required".into(),
@@ -238,21 +234,41 @@ mod tests {
         assert!(Histogram::new(
             4,
             vec![
-                Bucket { start: 0, end: 1, representative: 0.0, cost: 0.0 },
-                Bucket { start: 3, end: 3, representative: 0.0, cost: 0.0 },
+                Bucket {
+                    start: 0,
+                    end: 1,
+                    representative: 0.0,
+                    cost: 0.0
+                },
+                Bucket {
+                    start: 3,
+                    end: 3,
+                    representative: 0.0,
+                    cost: 0.0
+                },
             ],
         )
         .is_err());
         // Does not reach the end of the domain.
         assert!(Histogram::new(
             4,
-            vec![Bucket { start: 0, end: 2, representative: 0.0, cost: 0.0 }],
+            vec![Bucket {
+                start: 0,
+                end: 2,
+                representative: 0.0,
+                cost: 0.0
+            }],
         )
         .is_err());
         // Beyond the domain.
         assert!(Histogram::new(
             2,
-            vec![Bucket { start: 0, end: 2, representative: 0.0, cost: 0.0 }],
+            vec![Bucket {
+                start: 0,
+                end: 2,
+                representative: 0.0,
+                cost: 0.0
+            }],
         )
         .is_err());
         // Empty.

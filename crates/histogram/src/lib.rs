@@ -112,7 +112,11 @@ mod tests {
     #[test]
     fn more_buckets_never_increase_the_optimal_cost() {
         for workload in test_workloads(16, 5) {
-            for metric in [ErrorMetric::Ssre { c: 1.0 }, ErrorMetric::Sae, ErrorMetric::Mae] {
+            for metric in [
+                ErrorMetric::Ssre { c: 1.0 },
+                ErrorMetric::Sae,
+                ErrorMetric::Mae,
+            ] {
                 let mut prev = f64::INFINITY;
                 for b in 1..=8 {
                     let h = build_histogram(&workload.relation, metric, b).unwrap();

@@ -207,12 +207,7 @@ mod tests {
         rep: f64,
         weight: impl Fn(f64) -> f64,
     ) -> f64 {
-        worlds.expectation(|w| {
-            w[s..=e]
-                .iter()
-                .map(|&g| weight(g) * (g - rep).abs())
-                .sum()
-        })
+        worlds.expectation(|w| w[s..=e].iter().map(|&g| weight(g) * (g - rep).abs()).sum())
     }
 
     #[test]
@@ -244,10 +239,9 @@ mod tests {
                 for s in 0..rel.n() {
                     for e in s..rel.n() {
                         let sol = oracle.bucket(s, e);
-                        let brute =
-                            brute_force_cost(&worlds, s, e, sol.representative, |g| {
-                                1.0 / c.max(g.abs())
-                            });
+                        let brute = brute_force_cost(&worlds, s, e, sol.representative, |g| {
+                            1.0 / c.max(g.abs())
+                        });
                         assert!(
                             (sol.cost - brute).abs() < 1e-9,
                             "{} c={c} [{s},{e}]",
@@ -293,8 +287,7 @@ mod tests {
                 for e in s..rel.n() {
                     let sol = oracle.bucket(s, e);
                     for &cand in &candidates {
-                        let cost =
-                            brute_force_cost(&worlds, s, e, cand, |g| 1.0 / c.max(g.abs()));
+                        let cost = brute_force_cost(&worlds, s, e, cand, |g| 1.0 / c.max(g.abs()));
                         assert!(cost >= sol.cost - 1e-9);
                     }
                 }
@@ -344,8 +337,8 @@ mod tests {
         let mut out = Vec::new();
         for e in 0..rel.n() {
             oracle.costs_ending_at(e, &mut out);
-            for s in 0..=e {
-                assert!((out[s] - oracle.bucket(s, e).cost).abs() < 1e-12);
+            for (s, &cost) in out.iter().enumerate() {
+                assert!((cost - oracle.bucket(s, e).cost).abs() < 1e-12);
             }
         }
     }

@@ -304,7 +304,13 @@ mod tests {
         best
     }
 
-    fn envelope_at(rel: &ProbabilisticRelation, s: usize, e: usize, kind: MaxMetricKind, rep: f64) -> f64 {
+    fn envelope_at(
+        rel: &ProbabilisticRelation,
+        s: usize,
+        e: usize,
+        kind: MaxMetricKind,
+        rep: f64,
+    ) -> f64 {
         let pdfs = rel.induced_value_pdfs();
         let metric = metric_for(kind);
         (s..=e)
@@ -368,7 +374,10 @@ mod tests {
         let oracle = MaxErrOracle::mae(&rel);
         for s in 0..freqs.len() {
             for e in s..freqs.len() {
-                let max = freqs[s..=e].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let max = freqs[s..=e]
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max);
                 let min = freqs[s..=e].iter().cloned().fold(f64::INFINITY, f64::min);
                 let sol = oracle.bucket(s, e);
                 assert!(

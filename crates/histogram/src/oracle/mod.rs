@@ -49,8 +49,8 @@ pub trait BucketCostOracle {
     /// override it with an incremental sweep that amortises the work.
     fn costs_ending_at(&self, e: usize, out: &mut Vec<f64>) {
         out.resize(e + 1, 0.0);
-        for s in 0..=e {
-            out[s] = self.bucket(s, e).cost;
+        for (s, slot) in out.iter_mut().enumerate() {
+            *slot = self.bucket(s, e).cost;
         }
     }
 

@@ -237,8 +237,8 @@ impl BucketCostOracle for SseOracle {
                 }
             }
             _ => {
-                for s in 0..=e {
-                    out[s] = self.cost_with_sum_q2(s, e, None);
+                for (s, slot) in out.iter_mut().enumerate().take(e + 1) {
+                    *slot = self.cost_with_sum_q2(s, e, None);
                 }
             }
         }
@@ -331,9 +331,8 @@ mod tests {
                 for e in s..rel.n() {
                     let sol = oracle.bucket(s, e);
                     let cost_at = |rep: f64| {
-                        worlds.expectation(|w| {
-                            w[s..=e].iter().map(|&g| (g - rep) * (g - rep)).sum()
-                        })
+                        worlds
+                            .expectation(|w| w[s..=e].iter().map(|&g| (g - rep) * (g - rep)).sum())
                     };
                     assert!((sol.cost - cost_at(sol.representative)).abs() < 1e-9);
                     // Perturbing the representative can only increase the cost.
@@ -401,15 +400,18 @@ mod tests {
             for (objective, mode) in [
                 (SseObjective::PaperEq5, TupleSseMode::Exact),
                 (SseObjective::PaperEq5, TupleSseMode::PrefixArrays),
-                (SseObjective::FixedRepresentative, TupleSseMode::PrefixArrays),
+                (
+                    SseObjective::FixedRepresentative,
+                    TupleSseMode::PrefixArrays,
+                ),
             ] {
                 let oracle = SseOracle::with_tuple_mode(&rel, objective, mode);
                 let mut out = Vec::new();
                 for e in 0..rel.n() {
                     oracle.costs_ending_at(e, &mut out);
-                    for s in 0..=e {
+                    for (s, &cost) in out.iter().enumerate() {
                         assert!(
-                            (out[s] - oracle.bucket(s, e).cost).abs() < 1e-12,
+                            (cost - oracle.bucket(s, e).cost).abs() < 1e-12,
                             "{objective:?} {mode:?} [{s},{e}]"
                         );
                     }

@@ -113,13 +113,7 @@ mod tests {
         ]
     }
 
-    fn brute_force_cost(
-        worlds: &PossibleWorlds,
-        s: usize,
-        e: usize,
-        c: f64,
-        rep: f64,
-    ) -> f64 {
+    fn brute_force_cost(worlds: &PossibleWorlds, s: usize, e: usize, c: f64, rep: f64) -> f64 {
         worlds.expectation(|w| {
             w[s..=e]
                 .iter()
@@ -181,7 +175,10 @@ mod tests {
             for e in s..freqs.len() {
                 let sol = oracle.bucket(s, e);
                 // Classic weighted least squares on the deterministic values.
-                let w: Vec<f64> = freqs[s..=e].iter().map(|&g| 1.0 / c.max(g).powi(2)).collect();
+                let w: Vec<f64> = freqs[s..=e]
+                    .iter()
+                    .map(|&g| 1.0 / c.max(g).powi(2))
+                    .collect();
                 let rep: f64 = freqs[s..=e]
                     .iter()
                     .zip(&w)

@@ -110,7 +110,10 @@ fn transform(padded: &[f64], scale: f64) -> Vec<f64> {
 /// Inverse of the unnormalised transform.
 pub fn reconstruct_unnormalised(coeffs: &[f64]) -> Vec<f64> {
     let n = coeffs.len();
-    assert!(n.is_power_of_two(), "coefficient vectors are power-of-two sized");
+    assert!(
+        n.is_power_of_two(),
+        "coefficient vectors are power-of-two sized"
+    );
     let mut current = vec![coeffs[0]];
     let mut len = 1;
     while len < n {
@@ -130,7 +133,10 @@ pub fn reconstruct_unnormalised(coeffs: &[f64]) -> Vec<f64> {
 /// Inverse of the orthonormal transform.
 pub fn reconstruct_normalised(coeffs: &[f64]) -> Vec<f64> {
     let n = coeffs.len();
-    assert!(n.is_power_of_two(), "coefficient vectors are power-of-two sized");
+    assert!(
+        n.is_power_of_two(),
+        "coefficient vectors are power-of-two sized"
+    );
     let s = std::f64::consts::SQRT_2;
     let mut current = vec![coeffs[0]];
     let mut len = 1;
@@ -178,7 +184,10 @@ impl ErrorTree {
     /// Builds the navigation helper for `n` coefficients (`n` a power of
     /// two).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "the error tree is defined for power-of-two n");
+        assert!(
+            n.is_power_of_two(),
+            "the error tree is defined for power-of-two n"
+        );
         ErrorTree { n }
     }
 
@@ -341,15 +350,12 @@ mod tests {
         let t = HaarTransform::forward(&PAPER_DATA);
         let c = t.unnormalised();
         let tree = ErrorTree::new(8);
-        for item in 0..8 {
+        for (item, &expected) in PAPER_DATA.iter().enumerate() {
             let mut value = 0.0;
             for (i, &coef) in c.iter().enumerate() {
                 value += tree.sign(i, item) * coef;
             }
-            assert!(
-                (value - PAPER_DATA[item]).abs() < 1e-12,
-                "item {item}: {value}"
-            );
+            assert!((value - expected).abs() < 1e-12, "item {item}: {value}");
         }
     }
 

@@ -60,8 +60,7 @@ mod tests {
         for w in test_workloads(16, 8) {
             let sse = build_sse_wavelet(&w.relation, 4).unwrap();
             assert!(sse.len() <= 4, "{}", w.name);
-            let restricted =
-                build_restricted_wavelet(&w.relation, ErrorMetric::Sae, 4).unwrap();
+            let restricted = build_restricted_wavelet(&w.relation, ErrorMetric::Sae, 4).unwrap();
             assert!(restricted.synopsis.len() <= 4, "{}", w.name);
             assert!(restricted.objective.is_finite());
         }

@@ -210,8 +210,8 @@ pub fn expected_wavelet_cost(
 ) -> f64 {
     let pdfs = relation.induced_value_pdfs();
     let estimates = synopsis.reconstruct();
-    let per_item = (0..relation.n())
-        .map(|i| metric.expected_point_error(pdfs.item(i), estimates[i]));
+    let per_item =
+        (0..relation.n()).map(|i| metric.expected_point_error(pdfs.item(i), estimates[i]));
     metric.combine(per_item)
 }
 
@@ -234,11 +234,7 @@ mod tests {
 
     /// Brute-force restricted optimum: try every subset of coefficients of
     /// size at most b, with values fixed to the expected coefficients.
-    fn brute_force(
-        relation: &ProbabilisticRelation,
-        metric: ErrorMetric,
-        b: usize,
-    ) -> f64 {
+    fn brute_force(relation: &ProbabilisticRelation, metric: ErrorMetric, b: usize) -> f64 {
         let coeffs = ExpectedCoefficients::of(relation);
         let values = coeffs.unnormalised();
         let padded = values.len();
@@ -303,7 +299,11 @@ mod tests {
     #[test]
     fn objective_is_monotone_in_the_budget() {
         let rel = small_relation(16, 5);
-        for metric in [ErrorMetric::Sae, ErrorMetric::Mae, ErrorMetric::Sare { c: 0.5 }] {
+        for metric in [
+            ErrorMetric::Sae,
+            ErrorMetric::Mae,
+            ErrorMetric::Sare { c: 0.5 },
+        ] {
             let mut prev = f64::INFINITY;
             for b in 0..=6 {
                 let dp = build_restricted_wavelet(&rel, metric, b).unwrap();

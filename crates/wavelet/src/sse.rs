@@ -112,7 +112,10 @@ pub fn selection_error_percentage(normalised_mu: &[f64], indices: &[usize]) -> f
     if total <= 0.0 {
         return 0.0;
     }
-    let kept: f64 = indices.iter().map(|&i| normalised_mu[i] * normalised_mu[i]).sum();
+    let kept: f64 = indices
+        .iter()
+        .map(|&i| normalised_mu[i] * normalised_mu[i])
+        .sum();
     (100.0 * (total - kept) / total).clamp(0.0, 100.0)
 }
 
@@ -238,10 +241,7 @@ mod tests {
             prev = pct;
         }
         assert!(prev.abs() < 1e-9, "keeping everything leaves zero error");
-        assert_eq!(
-            selection_error_percentage(coeffs.normalised(), &[]),
-            100.0
-        );
+        assert_eq!(selection_error_percentage(coeffs.normalised(), &[]), 100.0);
     }
 
     #[test]

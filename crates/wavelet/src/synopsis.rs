@@ -131,14 +131,23 @@ mod tests {
         assert!(WaveletSynopsis::new(0, vec![]).is_err());
         assert!(WaveletSynopsis::new(
             4,
-            vec![RetainedCoefficient { index: 9, value: 1.0 }],
+            vec![RetainedCoefficient {
+                index: 9,
+                value: 1.0
+            }],
         )
         .is_err());
         assert!(WaveletSynopsis::new(
             4,
             vec![
-                RetainedCoefficient { index: 1, value: 1.0 },
-                RetainedCoefficient { index: 1, value: 2.0 },
+                RetainedCoefficient {
+                    index: 1,
+                    value: 1.0
+                },
+                RetainedCoefficient {
+                    index: 1,
+                    value: 2.0
+                },
             ],
         )
         .is_err());
@@ -149,8 +158,14 @@ mod tests {
         let syn = WaveletSynopsis::new(
             8,
             vec![
-                RetainedCoefficient { index: 5, value: 1.0 },
-                RetainedCoefficient { index: 0, value: 2.0 },
+                RetainedCoefficient {
+                    index: 5,
+                    value: 1.0,
+                },
+                RetainedCoefficient {
+                    index: 0,
+                    value: 2.0,
+                },
             ],
         )
         .unwrap();
@@ -162,7 +177,10 @@ mod tests {
     fn serde_round_trip() {
         let syn = WaveletSynopsis::new(
             8,
-            vec![RetainedCoefficient { index: 0, value: 2.75 }],
+            vec![RetainedCoefficient {
+                index: 0,
+                value: 2.75,
+            }],
         )
         .unwrap();
         let json = serde_json::to_string(&syn).unwrap();

@@ -64,7 +64,10 @@ fn main() -> Result<()> {
     let metric = ErrorMetric::Sae;
     let histogram = build_histogram(&relation, metric, 3)?;
     let wavelet = build_sse_wavelet(&relation, 3)?;
-    println!("\n3-bucket SAE histogram boundaries: {:?}", histogram.boundaries());
+    println!(
+        "\n3-bucket SAE histogram boundaries: {:?}",
+        histogram.boundaries()
+    );
     println!("3-term wavelet coefficients kept: {:?}", wavelet.indices());
 
     // ----------------------------------------------------------------- queries

@@ -32,8 +32,15 @@ fn main() -> Result<()> {
     )?
     .into();
 
-    println!("domain size n = {}, input pairs m = {}", relation.n(), relation.m());
-    println!("expected frequencies: {:?}\n", round(&relation.expected_frequencies()));
+    println!(
+        "domain size n = {}, input pairs m = {}",
+        relation.n(),
+        relation.m()
+    );
+    println!(
+        "expected frequencies: {:?}\n",
+        round(&relation.expected_frequencies())
+    );
 
     // ---------------------------------------------------------------- histogram
     // Optimal 4-bucket histogram under sum-squared-relative-error (c = 1).

@@ -160,8 +160,14 @@ mod tests {
         let exact = exact_expected_answer(&rel, query);
         let h = answer_with_histogram(&histogram, query).estimate;
         let w = answer_with_wavelet(&wavelet, query).estimate;
-        assert!(relative_deviation(h, exact, 1.0) < 0.05, "histogram {h} vs {exact}");
-        assert!(relative_deviation(w, exact, 1.0) < 0.05, "wavelet {w} vs {exact}");
+        assert!(
+            relative_deviation(h, exact, 1.0) < 0.05,
+            "histogram {h} vs {exact}"
+        );
+        assert!(
+            relative_deviation(w, exact, 1.0) < 0.05,
+            "wavelet {w} vs {exact}"
+        );
     }
 
     #[test]

@@ -34,6 +34,40 @@
 //! let wavelet = build_sse_wavelet(&relation, 4).unwrap();
 //! assert!(wavelet.retained().len() <= 4);
 //! ```
+//!
+//! ## Workspace layout
+//!
+//! The repository is a five-package Cargo workspace rooted at this crate:
+//!
+//! | Path              | Package         | Contents                                   |
+//! |-------------------|-----------------|--------------------------------------------|
+//! | `.`               | `probsyn`       | umbrella re-exports, [`prelude`], [`aqp`]  |
+//! | `crates/core`     | `pds-core`      | uncertainty models, worlds, moments, generators |
+//! | `crates/histogram`| `pds-histogram` | bucket-cost oracles, DP, `(1+ε)` approximation |
+//! | `crates/wavelet`  | `pds-wavelet`   | Haar transform, SSE and non-SSE thresholding |
+//! | `crates/bench`    | `pds-bench`     | workloads, report tables, figure binaries  |
+//!
+//! `vendor/` additionally carries minimal offline stand-ins for `rand`,
+//! `serde`, `serde_json`, `criterion` and `proptest` (the build environment
+//! has no crates.io access); they are wired in via path dependencies and keep
+//! the upstream call surfaces, so swapping back to the real crates is a
+//! `Cargo.toml`-only change.
+//!
+//! ## Building, testing, benchmarks
+//!
+//! ```text
+//! cargo build --release          # builds the whole workspace
+//! cargo test -q                  # unit + integration + doc tests
+//! cargo bench -p pds-bench       # criterion micro-benchmarks (4 suites)
+//! cargo run --release -p pds-bench --bin example1    # paper Example 1
+//! cargo run --release -p pds-bench --bin figure2     # paper Figure 2 tables
+//! cargo run --release --example quickstart           # guided tour
+//! ```
+//!
+//! The figure binaries (`example1`, `figure2`, `figure3`, `figure4`,
+//! `ablation_approx`, `ablation_sse_objective`, `wavelet_nonsse`) print the
+//! tables behind the paper's plots; the `examples/` directory holds scenario
+//! walkthroughs (record linkage, sensor readings, ingest-and-query, ...).
 
 pub use pds_core as core;
 pub use pds_histogram as histogram;
@@ -55,10 +89,10 @@ pub mod prelude {
     pub use pds_core::values::ValueDomain;
     pub use pds_core::worlds::{sample_world, PossibleWorlds};
     pub use pds_core::{PdsError, Result};
+    pub use pds_histogram::evaluate::{error_percentage, expected_cost};
     pub use pds_histogram::{
         approx_histogram, build_histogram, expectation_histogram, optimal_histogram,
         sampled_world_histogram, Bucket, Histogram,
     };
-    pub use pds_histogram::evaluate::{error_percentage, expected_cost};
     pub use pds_wavelet::{build_sse_wavelet, HaarTransform, WaveletSynopsis};
 }

@@ -1,0 +1,152 @@
+//! End-to-end tests for the umbrella `probsyn::aqp` module: range-count
+//! queries answered from a histogram synopsis and from a wavelet synopsis,
+//! cross-checked against the exact possible-worlds expectation on relations
+//! small enough to enumerate.
+
+use probsyn::aqp::{
+    answer_with_histogram, answer_with_wavelet, exact_expected_answer, relative_deviation,
+    FrequencyQuery,
+};
+use probsyn::prelude::*;
+
+/// A six-item basic-model relation with 2^5 = 32 enumerable worlds.
+fn small_basic() -> ProbabilisticRelation {
+    BasicModel::from_pairs(6, [(0, 0.9), (1, 0.4), (1, 0.7), (3, 0.2), (4, 0.6)])
+        .unwrap()
+        .into()
+}
+
+/// A six-item tuple-pdf relation (three x-tuples, two alternatives each).
+fn small_tuple_pdf() -> ProbabilisticRelation {
+    TuplePdfModel::from_alternatives(
+        6,
+        [
+            vec![(0, 0.5), (2, 0.3)],
+            vec![(2, 0.25), (3, 0.5)],
+            vec![(4, 0.6), (5, 0.2)],
+        ],
+    )
+    .unwrap()
+    .into()
+}
+
+/// A four-item value-pdf relation with fractional frequencies.
+fn small_value_pdf() -> ProbabilisticRelation {
+    ValuePdfModel::new(vec![
+        ValuePdf::new([(1.0, 0.5), (2.0, 0.25)]).unwrap(),
+        ValuePdf::new([(0.5, 0.8)]).unwrap(),
+        ValuePdf::new([(3.0, 0.4), (1.0, 0.4)]).unwrap(),
+        ValuePdf::new([(2.5, 1.0)]).unwrap(),
+    ])
+    .into()
+}
+
+fn queries_over(n: usize) -> Vec<FrequencyQuery> {
+    let mut queries = Vec::new();
+    for item in 0..n {
+        queries.push(FrequencyQuery::Point { item });
+    }
+    for start in 0..n {
+        for end in start..n {
+            queries.push(FrequencyQuery::RangeSum { start, end });
+        }
+    }
+    queries
+}
+
+/// `exact_expected_answer` must agree with brute-force enumeration of the
+/// possible worlds, in every uncertainty model, for every point/range query.
+#[test]
+fn exact_answers_agree_with_world_enumeration_in_all_models() {
+    for rel in [small_basic(), small_tuple_pdf(), small_value_pdf()] {
+        let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+        for query in queries_over(rel.n()) {
+            let closed_form = exact_expected_answer(&rel, query);
+            let brute = worlds.expectation(|world| query.evaluate(world));
+            assert!(
+                (closed_form - brute).abs() < 1e-12,
+                "{query:?} on {}: closed form {closed_form} vs enumerated {brute}",
+                rel.model_name()
+            );
+        }
+    }
+}
+
+/// A full-resolution histogram (B = n) and a full wavelet (one term per Haar
+/// coefficient of the padded domain) are both lossless, so the AQP layer must
+/// reproduce the exact possible-worlds expectation for every range-count
+/// query.
+#[test]
+fn lossless_synopses_answer_range_counts_exactly() {
+    for rel in [small_basic(), small_tuple_pdf(), small_value_pdf()] {
+        let histogram = build_histogram(&rel, ErrorMetric::Sse, rel.n()).unwrap();
+        let wavelet = build_sse_wavelet(&rel, rel.n().next_power_of_two()).unwrap();
+        let worlds = PossibleWorlds::enumerate(&rel).unwrap();
+        for query in queries_over(rel.n()) {
+            let brute = worlds.expectation(|world| query.evaluate(world));
+            let h = answer_with_histogram(&histogram, query).estimate;
+            let w = answer_with_wavelet(&wavelet, query).estimate;
+            assert!(
+                (h - brute).abs() < 1e-9,
+                "histogram answer {h} vs possible-worlds {brute} for {query:?} on {}",
+                rel.model_name()
+            );
+            assert!(
+                (w - brute).abs() < 1e-9,
+                "wavelet answer {w} vs possible-worlds {brute} for {query:?} on {}",
+                rel.model_name()
+            );
+        }
+    }
+}
+
+/// Compressed synopses answer a whole-domain range count within the error
+/// their bucket/term budget allows; on the small basic relation the SSE
+/// representatives preserve per-bucket mass, so the whole-domain estimate
+/// should be very close to exact.
+#[test]
+fn compressed_synopses_stay_close_on_whole_domain_count() {
+    let rel = small_basic();
+    let histogram = build_histogram(&rel, ErrorMetric::Sse, 3).unwrap();
+    let wavelet = build_sse_wavelet(&rel, 3).unwrap();
+    let query = FrequencyQuery::RangeSum {
+        start: 0,
+        end: rel.n() - 1,
+    };
+    let exact = exact_expected_answer(&rel, query);
+    let h = answer_with_histogram(&histogram, query).estimate;
+    let w = answer_with_wavelet(&wavelet, query).estimate;
+    assert!(
+        relative_deviation(h, exact, 1.0) < 0.25,
+        "histogram {h} vs exact {exact}"
+    );
+    assert!(
+        relative_deviation(w, exact, 1.0) < 0.25,
+        "wavelet {w} vs exact {exact}"
+    );
+    // The histogram's bucket walk must agree with summing its per-item
+    // estimates even under compression.
+    let item_by_item: f64 = (0..rel.n()).map(|i| histogram.estimate(i)).sum();
+    assert!((h - item_by_item).abs() < 1e-9);
+}
+
+/// Queries whose end runs past the domain are clamped rather than panicking.
+#[test]
+fn out_of_range_queries_are_clamped() {
+    let rel = small_basic();
+    let histogram = build_histogram(&rel, ErrorMetric::Sse, rel.n()).unwrap();
+    let clamped = FrequencyQuery::RangeSum { start: 0, end: 999 };
+    let full = FrequencyQuery::RangeSum {
+        start: 0,
+        end: rel.n() - 1,
+    };
+    assert!(
+        (answer_with_histogram(&histogram, clamped).estimate
+            - answer_with_histogram(&histogram, full).estimate)
+            .abs()
+            < 1e-12
+    );
+    assert!(
+        (exact_expected_answer(&rel, clamped) - exact_expected_answer(&rel, full)).abs() < 1e-12
+    );
+}

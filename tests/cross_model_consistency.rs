@@ -84,7 +84,9 @@ fn expected_frequencies_and_wavelets_agree_across_models() {
         let syn = build_sse_wavelet(rel, 5).unwrap();
         let reference_syn = build_sse_wavelet(&relations[0], 5).unwrap();
         assert_eq!(syn.indices(), reference_syn.indices());
-        assert!((expected_sse(rel, &syn) - expected_sse(&relations[0], &reference_syn)).abs() < 1e-9);
+        assert!(
+            (expected_sse(rel, &syn) - expected_sse(&relations[0], &reference_syn)).abs() < 1e-9
+        );
     }
 }
 

@@ -20,6 +20,7 @@ fn best_over_all_bucketings(
     let mut best = f64::INFINITY;
     // Choose b-1 boundaries out of n-1 gaps.
     let mut ends = vec![0usize; b];
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         start: usize,
         remaining: usize,

@@ -15,9 +15,8 @@ use probsyn::wavelet::sse::expected_sse;
 
 /// Strategy: a small basic-model relation over `n` items.
 fn basic_relation(n: usize, max_tuples: usize) -> impl Strategy<Value = ProbabilisticRelation> {
-    prop::collection::vec((0..n, 0.01f64..1.0), 1..max_tuples).prop_map(move |pairs| {
-        BasicModel::from_pairs(n, pairs).unwrap().into()
-    })
+    prop::collection::vec((0..n, 0.01f64..1.0), 1..max_tuples)
+        .prop_map(move |pairs| BasicModel::from_pairs(n, pairs).unwrap().into())
 }
 
 /// Strategy: a small tuple-pdf relation over `n` items (2 alternatives per
@@ -144,8 +143,8 @@ proptest! {
             // Estimates are piecewise constant over the buckets.
             let estimates = h.estimates();
             for bucket in h.buckets() {
-                for i in bucket.start..=bucket.end {
-                    prop_assert!((estimates[i] - bucket.representative).abs() < 1e-12);
+                for &estimate in &estimates[bucket.start..=bucket.end] {
+                    prop_assert!((estimate - bucket.representative).abs() < 1e-12);
                 }
             }
         }

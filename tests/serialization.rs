@@ -51,7 +51,11 @@ fn relations_round_trip_through_json() {
 #[test]
 fn histograms_round_trip_and_keep_estimates() {
     let rel = workload();
-    for metric in [ErrorMetric::Sse, ErrorMetric::Sare { c: 0.5 }, ErrorMetric::Mae] {
+    for metric in [
+        ErrorMetric::Sse,
+        ErrorMetric::Sare { c: 0.5 },
+        ErrorMetric::Mae,
+    ] {
         let h = build_histogram(&rel, metric, 6).unwrap();
         let json = serde_json::to_string(&h).unwrap();
         let back: Histogram = serde_json::from_str(&json).unwrap();
@@ -59,7 +63,10 @@ fn histograms_round_trip_and_keep_estimates() {
         for i in 0..rel.n() {
             assert_eq!(h.estimate(i), back.estimate(i));
         }
-        assert_eq!(expected_cost(&rel, metric, &h), expected_cost(&rel, metric, &back));
+        assert_eq!(
+            expected_cost(&rel, metric, &h),
+            expected_cost(&rel, metric, &back)
+        );
     }
 }
 

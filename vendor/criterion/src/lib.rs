@@ -1,0 +1,175 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use.  It keeps the same call surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`) but replaces the statistical machinery
+//! with a simple timed loop: each benchmark is warmed up once and then timed
+//! over `sample_size` iterations, reporting the mean per-iteration time.
+//!
+//! Numbers from this harness are indicative, not rigorous — good enough to
+//! compare algorithmic variants in this repo until the real criterion can be
+//! pulled from a registry.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up pass, then the timed samples.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.samples.max(1) as u32);
+    }
+}
+
+/// Group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, |bencher| routine(bencher));
+        self.criterion.completed += 1;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, |bencher| routine(bencher, input));
+        self.criterion.completed += 1;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+    completed: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            completed: 0,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let samples = self.sample_size;
+        run_one(&label, samples, |bencher| routine(bencher));
+        self.completed += 1;
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: u64, mut routine: F) {
+    let mut bencher = Bencher {
+        samples,
+        mean: None,
+    };
+    routine(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!("bench {label:<50} {mean:>12.2?}/iter ({samples} samples)"),
+        None => println!("bench {label:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

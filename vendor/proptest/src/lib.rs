@@ -1,0 +1,287 @@
+//! Offline stand-in for the subset of `proptest` this workspace's tests use.
+//!
+//! The container has no registry access, so this shim keeps proptest's call
+//! surface — the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! `prop::collection::vec`, range strategies, tuple strategies,
+//! [`ProptestConfig`] and the `prop_assert*` macros — but replaces the
+//! engine with plain seeded random generation: each `#[test]` body runs for
+//! `config.cases` deterministic random inputs.  There is **no shrinking**; a
+//! failing case panics with the normal assertion message.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// Run-time configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Lower than real proptest's 256: the tier-1 suite must stay fast.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+///
+/// Unlike real proptest there is no value tree or shrinking; a strategy just
+/// draws a value from the test's RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+// Only f64 among floats: an f32 impl would make bare float-literal ranges
+// ambiguous during inference.
+impl_range_strategy!(usize, u32, u64, i32, i64, f64);
+
+/// A strategy producing one constant value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Namespace module so `prop::collection::vec(...)` works after
+/// `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Creates the deterministic RNG behind one property test.  Used by the
+/// [`proptest!`] expansion; seeded per test so failures reproduce exactly.
+pub fn new_test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name gives each test its own stream.
+    let mut hash = 0xcbf29ce484222325u64;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@internal ($config) $($rest)*);
+    };
+    (@internal ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $test_name:ident($($param:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $test_name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut proptest_rng = $crate::new_test_rng(stringify!($test_name));
+                for proptest_case in 0..config.cases {
+                    // Names the failing case if the body panics before `disarm`.
+                    let guard = $crate::CaseGuard::new(stringify!($test_name), proptest_case);
+                    $(let $param = $crate::Strategy::generate(&($strategy), &mut proptest_rng);)+
+                    $body
+                    guard.disarm();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@internal ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Prints which case failed when a property body panics (no shrinking).
+pub struct CaseGuard {
+    test_name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    pub fn new(test_name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            test_name,
+            case,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest (vendored shim): `{}` failed on case {} (deterministic seed; no shrinking)",
+                self.test_name, self.case
+            );
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let strategy = prop::collection::vec((0usize..10, 0.0f64..1.0), 1..5);
+        let mut a = new_test_rng("x");
+        let mut b = new_test_rng("x");
+        for _ in 0..50 {
+            assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_bounds() {
+        let strategy = prop::collection::vec(0usize..100, 2..7);
+        let mut rng = new_test_rng("bounds");
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_round_trips(x in 0usize..50, y in 0.0f64..1.0) {
+            prop_assert!(x < 50);
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! The `Distribution` trait, mirroring `rand::distributions`.
+
+use crate::Rng;
+
+/// Types that can sample values of `T` from a generator.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform-in-[0,1) marker distribution, mirroring `rand::distributions::Standard`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl<T: crate::StandardSample> Distribution<T> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}

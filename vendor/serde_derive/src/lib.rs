@@ -1,0 +1,400 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! The container has no registry access, so this proc-macro crate parses the
+//! derive input by walking the raw `TokenStream` (no `syn`/`quote`) and emits
+//! impls of the shim's `serde::Serialize` / `serde::Deserialize` traits.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields;
+//! * enums with unit variants, newtype/tuple variants, and struct variants.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! compile error naming this file, so a future change that needs them fails
+//! loudly instead of silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    /// Number of unnamed fields.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => serialize_struct(name, fields),
+        Shape::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => deserialize_struct(name, fields),
+        Shape::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored shim): generic types are not supported; derive on `{name}` by hand or extend vendor/serde_derive");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive (vendored shim): tuple structs are not supported; `{name}` needs named fields")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no body found for `{name}`"),
+        }
+    };
+
+    match keyword.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive on `{other}`"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(super)` etc.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            panic!("serde_derive: expected field name, got {:?}", tokens.get(i));
+        };
+        fields.push(field.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        // Optional trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle brackets are
+/// tracked by depth; grouped tokens are atomic).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*i) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            panic!(
+                "serde_derive: expected variant name, got {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive (vendored shim): explicit discriminants are not supported");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (JSON-convention representation, matching real serde)
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let pairs: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{pairs}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let field_inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\").ok_or_else(|| \
+                 ::serde::Error::custom(\"missing field `{f}` in {name}\"))?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if value.as_object().is_none() {{\n\
+                     return Err(::serde::Error::custom(\"expected object for {name}\"));\n\
+                 }}\n\
+                 Ok({name} {{ {field_inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                     ::serde::Serialize::to_value(f0))]),"
+                ),
+                VariantKind::Tuple(arity) => {
+                    let binders: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                    let items: String = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                         ::serde::Value::Array(vec![{items}]))]),",
+                        binders.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let binders = fields.join(", ");
+                    let pairs: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), \
+                         ::serde::Value::Object(vec![{pairs}]))]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                )),
+                VariantKind::Tuple(arity) => {
+                    let items: String = (0..*arity)
+                        .map(|k| {
+                            format!("::serde::Deserialize::from_value(&items[{k}])?,")
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                             if items.len() != {arity} {{\n\
+                                 return Err(::serde::Error::custom(\"wrong arity for {name}::{vname}\"));\n\
+                             }}\n\
+                             Ok({name}::{vname}({items}))\n\
+                         }}"
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let field_inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\").ok_or_else(|| \
+                                 ::serde::Error::custom(\"missing field `{f}` in {name}::{vname}\"))?)?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => Ok({name}::{vname} {{ {field_inits} }}),"
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::Error::custom(format!(\"expected variant of {name}, got {{other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,346 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`to_string`] and [`from_str`] over the vendored serde shim's `Value`
+//! tree.  The text format is standard JSON; floats are printed with Rust's
+//! shortest round-trip formatting, so `to_string` -> `from_str` round-trips
+//! exactly.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(value: &Value, out: &mut String) -> Result<()> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error::custom("cannot serialize non-finite float as JSON"));
+            }
+            // `{:?}` is Rust's shortest round-trip float formatting and always
+            // contains a `.` or exponent, so the value re-parses as F64.
+            out.push_str(&format!("{v:?}"));
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, field)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(field, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected input {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let hex = self
+                                .bytes
+                                .get(start..start + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::custom("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed by this workspace.
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| Error::custom("invalid \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(Error::custom(format!("invalid escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Value::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error::custom(format!("expected `,` or `]`, got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}`, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v = vec![(1usize, 0.25f64), (2, 0.5)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,0.25],[2,0.5]]");
+        let back: Vec<(usize, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn round_trips_strings_with_escapes() {
+        let s = "a\"b\\c\nd\te\u{1F600}".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn round_trips_tricky_floats() {
+        for x in [0.1f64, 1.0, -2.5e-10, 1e300, f64::MIN_POSITIVE] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("nope").is_err());
+        assert!(from_str::<f64>("1.0 x").is_err());
+        assert!(from_str::<Vec<f64>>("[1,").is_err());
+    }
+
+    #[test]
+    fn negative_integers_parse_signed() {
+        let back: i64 = from_str("-42").unwrap();
+        assert_eq!(back, -42);
+    }
+}
