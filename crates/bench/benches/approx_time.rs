@@ -1,6 +1,11 @@
 //! Criterion benchmark for the `(1 + ε)`-approximate histogram construction
 //! (Section 3.5) against the exact dynamic program, at a size where the
 //! candidate thinning pays off.
+//!
+//! Besides the timings, each configuration prints its bucket-evaluation
+//! counts (oracle calls, cache hits, pruned candidates) so perf regressions
+//! in the pruning/caching logic are visible even when wall-clock noise hides
+//! them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -19,10 +24,23 @@ fn bench_exact_vs_approx(c: &mut Criterion) {
     for n in [1024usize, 2048] {
         let relation = movie_workload(n, 42);
         let oracle = oracle_for_metric(&relation, metric);
+        let tables = DpTables::build(&oracle, b).unwrap();
+        println!(
+            "approx_vs_exact_dp/exact/{n}: {} bucket evaluations",
+            tables.bucket_evaluations()
+        );
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |bench, _| {
             bench.iter(|| black_box(DpTables::build(&oracle, b).unwrap().optimal_cost(b)))
         });
         for eps in [0.1, 0.5] {
+            let stats = approx_histogram(&oracle, b, eps).unwrap().stats;
+            println!(
+                "approx_vs_exact_dp/approx_eps{eps}/{n}: {} bucket evaluations, {} cache hits, {} pruned, {} retained candidates",
+                stats.bucket_evaluations,
+                stats.cache_hits,
+                stats.pruned_candidates,
+                stats.retained_candidates
+            );
             group.bench_with_input(
                 BenchmarkId::new(format!("approx_eps{eps}"), n),
                 &n,

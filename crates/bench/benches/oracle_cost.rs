@@ -1,11 +1,20 @@
 //! Criterion benchmark for the per-bucket cost oracles: after preprocessing,
-//! a single-bucket query must be O(1) (SSE, SSRE) or O(log |V|) (SAE, SARE),
-//! independent of the bucket width — the property Theorems 1–4 rely on.
+//! a single-bucket query must be O(1) (SSE, SSRE), O(log |V|) (SAE, SARE) or
+//! O(log |V|) envelope probes plus one exact segment refinement (MAE, MARE),
+//! and a batched `costs_ending_at` sweep must amortise to the same bounds per
+//! start — the properties Theorems 1–4 and 6 rely on.
+//!
+//! Two dedicated max-error groups pin the contract from both sides:
+//! `single_bucket_query_maxerr` varies the bucket width at fixed |V| (the
+//! binary-search probes are width-independent O(1) range-max lookups), and
+//! `maxerr_value_domain_scaling` varies |V| at fixed width (probe count grows
+//! as log |V|).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use pds_bench::{movie_workload, tpch_workload};
+use pds_core::model::{ProbabilisticRelation, ValuePdf, ValuePdfModel};
 use pds_histogram::oracle::abs::WeightedAbsOracle;
 use pds_histogram::oracle::maxerr::MaxErrOracle;
 use pds_histogram::oracle::sse::{SseObjective, SseOracle, TupleSseMode};
@@ -13,6 +22,31 @@ use pds_histogram::oracle::ssre::SsreOracle;
 use pds_histogram::oracle::BucketCostOracle;
 
 const N: usize = 4096;
+
+/// A value-pdf workload whose frequency domain has exactly `k + 1` distinct
+/// values (a k-level grid plus the implicit zero), for |V|-scaling runs.
+fn value_domain_workload(n: usize, k: usize, seed: u64) -> ProbabilisticRelation {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let items: Vec<(usize, ValuePdf)> = (0..n)
+        .map(|i| {
+            let v1 = 1.0 + (next() % k) as f64;
+            let v2 = 1.0 + (next() % k) as f64;
+            let pdf = if (v1 - v2).abs() < 0.5 {
+                ValuePdf::new([(v1, 0.8)]).unwrap()
+            } else {
+                ValuePdf::new([(v1, 0.5), (v2, 0.3)]).unwrap()
+            };
+            (i, pdf)
+        })
+        .collect();
+    ValuePdfModel::from_sparse(n, items).unwrap().into()
+}
 
 fn bench_single_bucket_queries(c: &mut Criterion) {
     let relation = movie_workload(N, 42);
@@ -69,20 +103,92 @@ fn bench_single_bucket_queries(c: &mut Criterion) {
     });
     group.finish();
 
-    // MAE is O(n_b log |V|) per bucket, so bench it separately on narrower
-    // buckets.
+    // Max-error per-bucket queries at widths spanning two orders of
+    // magnitude: the O(log |V|) envelope probes are width-independent O(1)
+    // range-max lookups, so per-query time must grow far sublinearly in the
+    // width (only the final exact segment refinement touches the bucket).
     let mut group = c.benchmark_group("single_bucket_query_maxerr");
     group.sample_size(20);
     let mae = MaxErrOracle::mae(&relation);
-    let narrow: Vec<(usize, usize)> = (0..200).map(|i| (i * 16, i * 16 + 15)).collect();
-    group.bench_function("mae_width16", |bench| {
-        bench.iter(|| {
-            let mut acc = 0.0;
-            for &(s, e) in &narrow {
-                acc += mae.bucket(s, e).cost;
-            }
-            black_box(acc)
-        })
+    for width in [16usize, 256, 2048] {
+        let queries: Vec<(usize, usize)> = (0..200)
+            .map(|i| {
+                let s = (i * 97) % (N - width);
+                (s, s + width - 1)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("mae_width", width), &width, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0.0;
+                for &(s, e) in &queries {
+                    acc += mae.bucket(s, e).cost;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_maxerr_value_domain_scaling(c: &mut Criterion) {
+    // Fixed bucket width, growing |V|: per-query time follows the O(log |V|)
+    // binary search over the value domain.
+    let mut group = c.benchmark_group("maxerr_value_domain_scaling");
+    group.sample_size(20);
+    let width = 64usize;
+    for k in [16usize, 64, 256] {
+        let relation = value_domain_workload(N, k, 7);
+        let mae = MaxErrOracle::mae(&relation);
+        assert_eq!(mae.domain().len(), k + 1, "workload must pin |V|");
+        let queries: Vec<(usize, usize)> = (0..200)
+            .map(|i| {
+                let s = (i * 97) % (N - width);
+                (s, s + width - 1)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("mae_V", k + 1), &k, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0.0;
+                for &(s, e) in &queries {
+                    acc += mae.bucket(s, e).cost;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_sweeps(c: &mut Criterion) {
+    // One full costs_ending_at sweep per oracle: the per-start amortised cost
+    // the dynamic programs actually pay.
+    let mut group = c.benchmark_group("costs_ending_at_sweep");
+    group.sample_size(20);
+    let movie = movie_workload(N, 42);
+    let tpch = tpch_workload(N, 42);
+    let starts: Vec<usize> = (0..N).collect();
+
+    let sse_exact = SseOracle::with_tuple_mode(&tpch, SseObjective::PaperEq5, TupleSseMode::Exact);
+    group.bench_function("sse_tuple_exact", |bench| {
+        bench.iter(|| black_box(sse_exact.costs_ending_at(N - 1, &starts).len()))
+    });
+
+    let ssre = SsreOracle::new(&movie, 0.5);
+    group.bench_function("ssre", |bench| {
+        bench.iter(|| black_box(ssre.costs_ending_at(N - 1, &starts).len()))
+    });
+
+    let sae = WeightedAbsOracle::sae(&movie);
+    group.bench_function("sae", |bench| {
+        bench.iter(|| black_box(sae.costs_ending_at(N - 1, &starts).len()))
+    });
+
+    // The max-error sweep maintains the grid envelope incrementally; sweep a
+    // thinned start list the way the DP's candidate lists do.
+    let mae = MaxErrOracle::mae(&movie);
+    let sparse_starts: Vec<usize> = (0..N).step_by(16).collect();
+    group.bench_function("mae_sparse_starts", |bench| {
+        bench.iter(|| black_box(mae.costs_ending_at(N - 1, &sparse_starts).len()))
     });
     group.finish();
 }
@@ -106,6 +212,9 @@ fn bench_oracle_preprocessing(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sae_tables", n), &n, |bench, _| {
             bench.iter(|| black_box(WeightedAbsOracle::sae(&movie).n()))
         });
+        group.bench_with_input(BenchmarkId::new("maxerr_tables", n), &n, |bench, _| {
+            bench.iter(|| black_box(MaxErrOracle::mae(&movie).n()))
+        });
     }
     group.finish();
 }
@@ -113,6 +222,8 @@ fn bench_oracle_preprocessing(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_single_bucket_queries,
+    bench_maxerr_value_domain_scaling,
+    bench_batched_sweeps,
     bench_oracle_preprocessing
 );
 criterion_main!(benches);

@@ -5,10 +5,14 @@
 //! ```text
 //! cargo run --release -p pds-bench --bin ablation_approx
 //! cargo run --release -p pds-bench --bin ablation_approx -- --n 4096 --b 64
+//! cargo run --release -p pds-bench --bin ablation_approx -- --n 1024 --assert-fewer-evals
 //! ```
 //!
 //! Flags: `--n <domain>`, `--b <buckets>`, `--metric {sse|ssre|sae|sare}`,
-//! `--c <sanity bound>`, `--seed <seed>`, `--csv <dir>`.
+//! `--c <sanity bound>`, `--seed <seed>`, `--csv <dir>`, and
+//! `--assert-fewer-evals` (exit non-zero unless the approximate DP performs
+//! strictly fewer bucket evaluations than the exact DP at every ε — the
+//! regression gate CI runs).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -28,6 +32,7 @@ fn main() {
     let seed = args.get_or("seed", 42u64);
     let metric_name = args.get("metric").unwrap_or("ssre");
     let csv_dir = args.get("csv");
+    let assert_fewer = args.has_flag("assert-fewer-evals");
     let metric = ErrorMetric::from_name(metric_name, c).expect("known metric");
 
     let relation = movie_workload(n, seed);
@@ -38,7 +43,7 @@ fn main() {
     let tables = DpTables::build(&oracle, b).expect("valid parameters");
     let exact_cost = tables.optimal_cost(b);
     let exact_seconds = start.elapsed().as_secs_f64();
-    let exact_evals = n * (n + 1) / 2;
+    let exact_evals = tables.bucket_evaluations();
 
     let mut table = Table::new(
         format!("Ablation A1: approximate vs exact DP, {metric}, n = {n}, B = {b}"),
@@ -48,6 +53,9 @@ fn main() {
             "cost",
             "cost/optimal",
             "bucket_evals",
+            "cache_hits",
+            "pruned",
+            "retained",
             "seconds",
         ],
     );
@@ -57,24 +65,53 @@ fn main() {
         fmt(exact_cost),
         fmt(1.0),
         exact_evals.to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
         fmt(exact_seconds),
     ]);
 
+    let mut violations = Vec::new();
     for eps in [0.05, 0.1, 0.25, 0.5, 1.0] {
         let start = Instant::now();
         let approx = approx_histogram(&oracle, b, eps).expect("valid parameters");
         let seconds = start.elapsed().as_secs_f64();
         let cost = approx.histogram.total_cost();
+        if cost > (1.0 + eps) * exact_cost + 1e-9 {
+            violations.push(format!(
+                "eps={eps}: cost {cost} exceeds (1+eps) * {exact_cost}"
+            ));
+        }
+        if approx.stats.bucket_evaluations >= exact_evals {
+            violations.push(format!(
+                "eps={eps}: {} bucket evaluations, not fewer than the exact DP's {exact_evals}",
+                approx.stats.bucket_evaluations
+            ));
+        }
         table.push_row(vec![
             "approx".into(),
             fmt(eps),
             fmt(cost),
             fmt(cost / exact_cost.max(f64::MIN_POSITIVE)),
             approx.stats.bucket_evaluations.to_string(),
+            approx.stats.cache_hits.to_string(),
+            approx.stats.pruned_candidates.to_string(),
+            approx.stats.retained_candidates.to_string(),
             fmt(seconds),
         ]);
     }
 
     let csv = csv_dir.map(|d| PathBuf::from(d).join("ablation_approx.csv"));
     table.emit(csv.as_deref());
+
+    if assert_fewer {
+        if violations.is_empty() {
+            println!("assert-fewer-evals: ok (every epsilon beats the exact DP's {exact_evals} evaluations)");
+        } else {
+            for v in &violations {
+                eprintln!("assert-fewer-evals: FAILED: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -6,25 +6,52 @@
 //! (interval-locality, additivity, `O(1)`/`O(log |V|)` single-bucket queries,
 //! monotonicity, polynomially-bounded totals), so the candidate split points
 //! of the recurrence can be thinned: for every budget level we keep only
-//! split positions whose prefix error grows by a factor of `(1 + δ)`,
-//! `δ = ε / (2B)`.  Because prefix errors are non-decreasing in the prefix
-//! length, restricting the minimisation to these `O((B/ε) log(total error))`
-//! break positions loses at most a factor `(1 + δ)` per level and therefore
-//! at most `(1 + ε)` overall.
+//! split positions whose prefix error grows by a factor of `(1 + δ)`.
+//! Because prefix errors are non-decreasing in the prefix length, restricting
+//! the minimisation to these `O((B/ε) log(total error))` break positions
+//! loses at most a factor `(1 + δ)` per level; with
+//! `δ = (1 + ε)^{1/B} − 1` the compounded loss is exactly `(1 + ε)`.
+//!
+//! On top of the candidate thinning, this implementation batches every
+//! oracle access through [`BucketCostOracle::costs_ending_at`] and cuts the
+//! evaluation count further with three measures (all visible in
+//! [`ApproxStats`]):
+//!
+//! * **seeded upper bound** — each cell starts from the previous budget
+//!   level's solution for the same prefix (a histogram with fewer buckets is
+//!   always feasible), so pruning has a real bound before the first oracle
+//!   call;
+//! * **plateau early-exit** — candidates are scanned from the narrowest
+//!   final bucket outwards; once the (containment-monotone) bucket cost
+//!   alone reaches the current best total, no wider bucket can win and the
+//!   scan stops.  Candidates whose prefix error already exceeds the bound
+//!   are skipped without any oracle call;
+//! * **cross-level cost cache** — a bucket cost depends only on `(start,
+//!   end)`, never on the budget level, so sweep results are reused across
+//!   all `B` levels through a per-endpoint cache.
 
 use pds_core::error::{PdsError, Result};
 
 use crate::histogram::{Bucket, Histogram};
 use crate::oracle::BucketCostOracle;
 
+/// How many candidate starts are evaluated per batched sweep call while
+/// scanning outwards (bounds the overshoot past the early-exit point).
+const SWEEP_CHUNK: usize = 8;
+
 /// Diagnostics of an approximate run, used by the ablation benchmarks to
 /// compare against the exact DP.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApproxStats {
-    /// Number of single-bucket cost evaluations performed.
+    /// Number of single-bucket cost evaluations performed (cache misses).
     pub bucket_evaluations: usize,
     /// Number of candidate split positions retained, summed over levels.
     pub retained_candidates: usize,
+    /// Bucket costs served from the cross-level cache instead of the oracle.
+    pub cache_hits: usize,
+    /// Candidate splits skipped without an oracle call (prefix-error bound or
+    /// plateau early-exit).
+    pub pruned_candidates: usize,
     /// The approximation parameter that was used.
     pub epsilon: f64,
 }
@@ -36,6 +63,29 @@ pub struct ApproxHistogram {
     pub histogram: Histogram,
     /// Diagnostics about the run.
     pub stats: ApproxStats,
+}
+
+/// Per-endpoint cost cache, indexed by bucket depth `endpoint − start`.
+///
+/// The scans only ever request starts close to their endpoint (the plateau
+/// early-exit caps the depth), so a dense window with NaN holes gives O(1)
+/// lookups and inserts with memory proportional to the deepest request.
+#[derive(Default, Clone)]
+struct EndpointCache {
+    costs: Vec<f64>,
+}
+
+impl EndpointCache {
+    fn get(&self, depth: usize) -> Option<f64> {
+        self.costs.get(depth).copied().filter(|cost| !cost.is_nan())
+    }
+
+    fn insert(&mut self, depth: usize, cost: f64) {
+        if depth >= self.costs.len() {
+            self.costs.resize(depth + 1, f64::NAN);
+        }
+        self.costs[depth] = cost;
+    }
 }
 
 /// Builds a `b`-bucket histogram whose error is at most `(1 + epsilon)` times
@@ -66,28 +116,40 @@ pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
         });
     }
     let b = b.min(n);
-    let delta = epsilon / (2.0 * b as f64);
+    // The induction loses a factor (1 + δ) per budget level; choosing δ so
+    // that (1 + δ)^B = 1 + ε makes the compounded loss exactly (1 + ε) —
+    // roughly twice as much thinning as the loose ε/(2B) bound.
+    let delta = (1.0 + epsilon).powf(1.0 / b as f64) - 1.0;
+    let monotone = oracle.costs_monotone();
 
     let mut evaluations = 0usize;
     let mut retained = 0usize;
-    let mut cost_of = |s: usize, e: usize| {
-        evaluations += 1;
-        oracle.bucket(s, e).cost
-    };
+    let mut cache_hits = 0usize;
+    let mut pruned = 0usize;
 
-    // value[level][j] = approximate optimal error of a (level+1)-bucket
-    // histogram over the prefix [0, j]; split[level][j] = chosen start of the
-    // final bucket.  Values are computed for every j, but the inner
-    // minimisation only looks at the retained candidate positions of the
-    // previous level.
+    // value[level][j] = approximate optimal error of a histogram with at
+    // most (level+1) buckets over the prefix [0, j]; split[level][j] = chosen
+    // start of the final bucket.  Values are computed for every j >= level,
+    // but the inner minimisation only looks at the retained candidate
+    // positions of the previous level.
     let mut value = vec![vec![f64::INFINITY; n]; b];
     let mut split = vec![vec![u32::MAX; n]; b];
 
     // Level 0: a single bucket [0, j].
     for j in 0..n {
-        value[0][j] = cost_of(0, j);
+        value[0][j] = oracle.bucket(0, j).cost;
         split[0][j] = 0;
+        evaluations += 1;
     }
+
+    // Bucket costs depend only on (start, endpoint), never on the level, so
+    // sweep results are shared across levels through a per-endpoint cache.
+    let mut cache: Vec<EndpointCache> = vec![EndpointCache::default(); n];
+    let mut chunk_starts: Vec<usize> = Vec::with_capacity(SWEEP_CHUNK);
+    let mut chunk_lefts: Vec<f64> = Vec::with_capacity(SWEEP_CHUNK);
+    let mut chunk_costs: Vec<f64> = Vec::with_capacity(SWEEP_CHUNK);
+    let mut missing: Vec<usize> = Vec::with_capacity(SWEEP_CHUNK);
+    let mut missing_pos: Vec<usize> = Vec::with_capacity(SWEEP_CHUNK);
 
     for level in 1..b {
         // Candidate split positions from the previous level: positions p such
@@ -122,17 +184,80 @@ pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
                 // Not enough items for level+1 buckets.
                 continue;
             }
-            let mut best = f64::INFINITY;
-            let mut best_s = u32::MAX;
-            for &p in &candidates {
-                let left = value[level - 1][p];
-                if !left.is_finite() || p + 1 > j {
-                    continue;
+            // Seed with the previous level's solution for the same prefix: a
+            // histogram with fewer buckets is always feasible, and the bound
+            // lets the scan prune before its first oracle call.
+            let mut best = value[level - 1][j];
+            let mut best_s = split[level - 1][j];
+            // Scan candidates from the narrowest final bucket outwards, in
+            // chunks routed through the batched sweep API.
+            let mut idx = candidates.len();
+            'scan: while idx > 0 {
+                chunk_starts.clear();
+                chunk_lefts.clear();
+                while idx > 0 && chunk_starts.len() < SWEEP_CHUNK {
+                    idx -= 1;
+                    let p = candidates[idx];
+                    debug_assert!(p < j);
+                    let left = value[level - 1][p];
+                    if !left.is_finite() {
+                        continue;
+                    }
+                    if left >= best {
+                        // The prefix alone already matches the bound — no
+                        // oracle call needed.
+                        pruned += 1;
+                        continue;
+                    }
+                    chunk_starts.push(p + 1);
+                    chunk_lefts.push(left);
                 }
-                let total = left + cost_of(p + 1, j);
-                if total < best {
-                    best = total;
-                    best_s = (p + 1) as u32;
+                if chunk_starts.is_empty() {
+                    break;
+                }
+                // Serve the chunk from the cross-level cache, batching the
+                // misses through one costs_ending_at sweep.
+                chunk_costs.clear();
+                chunk_costs.resize(chunk_starts.len(), 0.0);
+                missing.clear();
+                missing_pos.clear();
+                for (k, &start) in chunk_starts.iter().enumerate() {
+                    match cache[j].get(j - start) {
+                        Some(cost) => {
+                            chunk_costs[k] = cost;
+                            cache_hits += 1;
+                        }
+                        None => {
+                            missing.push(start);
+                            missing_pos.push(k);
+                        }
+                    }
+                }
+                if !missing.is_empty() {
+                    // chunk_starts descends, so the misses reversed ascend.
+                    missing.reverse();
+                    let fresh = oracle.costs_ending_at(j, &missing);
+                    evaluations += missing.len();
+                    let m = missing.len();
+                    for (asc, (&start, &cost)) in missing.iter().zip(&fresh).enumerate() {
+                        chunk_costs[missing_pos[m - 1 - asc]] = cost;
+                        cache[j].insert(j - start, cost);
+                    }
+                }
+                for (k, (&start, &left)) in chunk_starts.iter().zip(&chunk_lefts).enumerate() {
+                    let cost = chunk_costs[k];
+                    if monotone && cost >= best {
+                        // Plateau early-exit: every remaining candidate opens
+                        // a wider final bucket, whose (containment-monotone)
+                        // cost alone already reaches the best total.
+                        pruned += idx + (chunk_starts.len() - 1 - k);
+                        break 'scan;
+                    }
+                    let total = left + cost;
+                    if total < best {
+                        best = total;
+                        best_s = start as u32;
+                    }
                 }
             }
             value[level][j] = best;
@@ -141,11 +266,13 @@ pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
         retained += candidates.len();
     }
 
-    // Reconstruct the bucketing.
+    // Reconstruct the bucketing.  Seeded cells may point at a solution from a
+    // lower level, so clamp the level to the prefix length as we walk back.
     let mut buckets_rev: Vec<Bucket> = Vec::with_capacity(b);
     let mut level = b - 1;
     let mut j = n - 1;
     loop {
+        level = level.min(j);
         let s = split[level][j] as usize;
         let sol = oracle.bucket(s, j);
         buckets_rev.push(Bucket {
@@ -167,6 +294,8 @@ pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
         stats: ApproxStats {
             bucket_evaluations: evaluations,
             retained_candidates: retained,
+            cache_hits,
+            pruned_candidates: pruned,
             epsilon,
         },
     })
@@ -252,6 +381,14 @@ mod tests {
             "{} evaluations vs {exact_recurrence_evals} for the exact recurrence",
             approx.stats.bucket_evaluations
         );
+        // And also less than the sweep-based exact DP, which computes every
+        // (start, endpoint) bucket cost once.
+        assert!(
+            approx.stats.bucket_evaluations < n * (n + 1) / 2,
+            "{} evaluations vs the exact DP's {}",
+            approx.stats.bucket_evaluations,
+            n * (n + 1) / 2
+        );
         // Candidate splits per level are a strict subset of all positions.
         assert!(approx.stats.retained_candidates > 0);
         assert!(approx.stats.retained_candidates < (b - 1) * n);
@@ -264,6 +401,22 @@ mod tests {
             "{} evaluations with eps=4",
             looser.stats.bucket_evaluations
         );
+    }
+
+    #[test]
+    fn stats_expose_cache_hits_and_pruning() {
+        let n = 200;
+        let b = 10;
+        let rel = workload(n, 21);
+        let oracle = SsreOracle::new(&rel, 0.5);
+        let approx = approx_histogram(&oracle, b, 0.1).unwrap();
+        // With 10 levels over the same endpoints, the cross-level cache and
+        // the pruning rules must both fire on a non-trivial workload.
+        assert!(approx.stats.cache_hits > 0, "{:?}", approx.stats);
+        assert!(approx.stats.pruned_candidates > 0, "{:?}", approx.stats);
+        // Cached lookups plus fresh evaluations cover every candidate that
+        // was not pruned away.
+        assert!(approx.stats.bucket_evaluations > 0);
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub struct DpTables {
     /// `back[(b-1) * n + j]` = start index of the final bucket in that
     /// optimal histogram.
     back: Vec<u32>,
+    /// Number of bucket costs computed by the sweeps while building.
+    bucket_evaluations: usize,
 }
 
 impl DpTables {
@@ -60,9 +62,13 @@ impl DpTables {
         };
         let mut cost = vec![f64::INFINITY; b_max * n];
         let mut back = vec![u32::MAX; b_max * n];
-        let mut bucket_costs: Vec<f64> = Vec::with_capacity(n);
+        let all_starts: Vec<usize> = (0..n).collect();
+        let mut bucket_evaluations = 0usize;
         for j in 0..n {
-            oracle.costs_ending_at(j, &mut bucket_costs);
+            // One batched sweep per right endpoint: bucket_costs[s] is the
+            // cost of [s, j] for every start, amortised by the oracle.
+            let bucket_costs = oracle.costs_ending_at(j, &all_starts[..=j]);
+            bucket_evaluations += j + 1;
             // b = 1: a single bucket covering [0, j].
             cost[j] = bucket_costs[0];
             back[j] = 0;
@@ -94,7 +100,14 @@ impl DpTables {
             cumulative,
             cost,
             back,
+            bucket_evaluations,
         })
+    }
+
+    /// Number of bucket-cost evaluations the sweeps performed while building
+    /// the tables (`n(n+1)/2` — one full sweep per right endpoint).
+    pub fn bucket_evaluations(&self) -> usize {
+        self.bucket_evaluations
     }
 
     /// Domain size.

@@ -151,6 +151,101 @@ impl Histogram {
         self.buckets.iter().map(|b| b.end).collect()
     }
 
+    /// The histogram JSON envelope version written by [`Histogram::to_json`].
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Re-checks every structural invariant: buckets partition `[0, n)`,
+    /// costs and representatives are finite, costs are non-negative, and the
+    /// recorded total matches the per-bucket sum.
+    ///
+    /// `Histogram::new` establishes these at construction time; this is the
+    /// entry point for histograms that arrived from outside (deserialised
+    /// from a catalog, handed over a process boundary) where the invariants
+    /// cannot be assumed.
+    pub fn validate(&self) -> Result<()> {
+        // Partition checks are identical to construction.
+        Histogram::new(self.n, self.buckets.clone())?;
+        for b in &self.buckets {
+            if !b.cost.is_finite() || b.cost < 0.0 {
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "bucket [{}, {}] has invalid cost {}",
+                        b.start, b.end, b.cost
+                    ),
+                });
+            }
+            if !b.representative.is_finite() {
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "bucket [{}, {}] has non-finite representative {}",
+                        b.start, b.end, b.representative
+                    ),
+                });
+            }
+        }
+        let sum: f64 = self.buckets.iter().map(|b| b.cost).sum();
+        if !self.total_cost.is_finite() || (self.total_cost - sum).abs() > 1e-6 * (1.0 + sum.abs())
+        {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "recorded total cost {} disagrees with the bucket sum {sum}",
+                    self.total_cost
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serialises the histogram into a versioned JSON envelope.
+    ///
+    /// Unlike the raw serde implementation, this returns a [`PdsError`] on
+    /// unserialisable values (e.g. NaN costs) instead of panicking, and
+    /// stamps the format version plus the bucket count so that
+    /// [`Histogram::from_json`] can detect skew and truncation.
+    pub fn to_json(&self) -> Result<String> {
+        // Symmetric with `from_json`: refuse to persist a histogram that the
+        // reader would reject, so corruption surfaces at the writer.
+        self.validate()?;
+        let envelope = HistogramEnvelope {
+            version: Self::FORMAT_VERSION,
+            num_buckets: self.buckets.len(),
+            histogram: self.clone(),
+        };
+        serde_json::to_string(&envelope).map_err(|e| PdsError::InvalidParameter {
+            message: format!("histogram serialisation failed: {e}"),
+        })
+    }
+
+    /// Parses a histogram from the versioned JSON envelope, rejecting
+    /// truncated input, version skew, bucket-count mismatches and structurally
+    /// invalid histograms with a [`PdsError`] — never a panic.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let envelope: HistogramEnvelope =
+            serde_json::from_str(text).map_err(|e| PdsError::InvalidParameter {
+                message: format!("histogram deserialisation failed: {e}"),
+            })?;
+        if envelope.version != Self::FORMAT_VERSION {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "histogram envelope version {} is not supported (expected {})",
+                    envelope.version,
+                    Self::FORMAT_VERSION
+                ),
+            });
+        }
+        if envelope.num_buckets != envelope.histogram.buckets.len() {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "envelope declares {} buckets but the histogram carries {}",
+                    envelope.num_buckets,
+                    envelope.histogram.buckets.len()
+                ),
+            });
+        }
+        envelope.histogram.validate()?;
+        Ok(envelope.histogram)
+    }
+
     /// Returns a copy of this histogram with the representative of every
     /// bucket replaced by the supplied values (used when re-fitting
     /// representatives of a heuristic bucketing).
@@ -171,6 +266,14 @@ impl Histogram {
             .collect();
         Histogram::new(self.n, buckets)
     }
+}
+
+/// Versioned wire envelope for [`Histogram::to_json`] / [`Histogram::from_json`].
+#[derive(Serialize, Deserialize)]
+struct HistogramEnvelope {
+    version: u32,
+    num_buckets: usize,
+    histogram: Histogram,
 }
 
 #[cfg(test)]

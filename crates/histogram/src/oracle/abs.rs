@@ -168,6 +168,20 @@ impl BucketCostOracle for WeightedAbsOracle {
             cost: self.cost_at_value_index(s, e, l).max(0.0),
         }
     }
+
+    fn costs_ending_at(&self, e: usize, starts: &[usize]) -> Vec<f64> {
+        // The prefix-moment accumulators `below`/`above` already answer any
+        // candidate value in O(1); per start the optimum is located by the
+        // same binary search on the discrete derivative as `bucket`, giving
+        // O(log |V|) per start with no per-call setup.
+        starts
+            .iter()
+            .map(|&s| {
+                let l = self.best_value_index(s, e);
+                self.cost_at_value_index(s, e, l).max(0.0)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -331,12 +345,12 @@ mod tests {
     }
 
     #[test]
-    fn costs_ending_at_default_matches_bucket() {
+    fn costs_ending_at_matches_bucket() {
         let rel = &relations()[1];
         let oracle = WeightedAbsOracle::sare(rel, 1.0);
-        let mut out = Vec::new();
         for e in 0..rel.n() {
-            oracle.costs_ending_at(e, &mut out);
+            let starts: Vec<usize> = (0..=e).collect();
+            let out = oracle.costs_ending_at(e, &starts);
             for (s, &cost) in out.iter().enumerate() {
                 assert!((cost - oracle.bucket(s, e).cost).abs() < 1e-12);
             }

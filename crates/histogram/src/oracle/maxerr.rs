@@ -5,19 +5,31 @@
 //! error, `max_{s ≤ i ≤ e} Σ_j w_{i,j} |v_j − b̂|`, where the weights are
 //! `w_{i,j} = Pr[g_i = v_j]` (MAE) or `Pr[g_i = v_j]/max(c, v_j)` (MARE).
 //! Every per-item function `f_i(b̂)` is convex piecewise linear with
-//! breakpoints in `V`, so their upper envelope is convex as well.  Following
-//! the paper we
+//! breakpoints in `V`, so their upper envelope `E(b̂) = max_i f_i(b̂)` is
+//! convex as well.  Following the paper's binary-search trick over the value
+//! domain we
 //!
-//! 1. ternary-search over the values of `V` to bracket the segment containing
-//!    the optimum (each evaluation costs `O(n_b)` using per-item prefix sums
-//!    over the value domain), then
-//! 2. minimise the maximum of `n_b` univariate linear functions on that
-//!    segment exactly, via the upper envelope of the lines.
+//! 1. **binary-search the value grid** for the leftmost grid minimum of the
+//!    (convex) sequence `E(v_0), …, E(v_{|V|−1})` — `O(log |V|)` probes, each
+//!    an `O(1)` range-max lookup in block-decomposed tables of the
+//!    precomputed per-item grid errors `f_i(v_l)`; then
+//! 2. minimise the envelope **exactly** on the one or two grid segments
+//!    adjacent to the grid minimum (the continuous optimum of a convex
+//!    function with grid breakpoints lies there), via the upper envelope of
+//!    the bucket's `n_b` linear pieces.
+//!
+//! The batched [`BucketCostOracle::costs_ending_at`] sweep maintains the grid
+//! envelope incrementally while the bucket grows leftwards, so each start
+//! pays only the `O(log |V|)` bracketing search plus the final segment
+//! refinement — no per-probe rescans of the bucket.
 
 use pds_core::model::ProbabilisticRelation;
 use pds_core::values::ValueDomain;
 
 use super::{BucketCostOracle, BucketSolution};
+
+/// Items per block in the range-max decomposition of the grid-error tables.
+const BLOCK: usize = 64;
 
 /// Which maximum-error metric the oracle evaluates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +57,25 @@ pub struct MaxErrOracle {
     total_w: Vec<f64>,
     /// `Σ_r w_{i,r} v_r` per item.
     total_m: Vec<f64>,
+    /// `grid[i·|V| + l] = f_i(v_l)` — the per-item expected error at every
+    /// grid value (row-major per item, for the incremental sweep).
+    grid: Vec<f64>,
+    /// The same values transposed (`grid_col[l·n + i]`), so the segment
+    /// refinement filter streams items contiguously.
+    grid_col: Vec<f64>,
+    /// `pre[l·n + i]` = max of `f_j(v_l)` over `j` from the start of item
+    /// `i`'s block through `i` (column-major per value index).
+    pre: Vec<f64>,
+    /// `suf[l·n + i]` = max of `f_j(v_l)` over `j` from `i` through the end
+    /// of its block.
+    suf: Vec<f64>,
+    /// Sparse table over whole-block maxima: `sparse[(l·levels + lev)·nb + b]`
+    /// = max over blocks `b .. b + 2^lev`.
+    sparse: Vec<f64>,
+    /// Number of blocks.
+    nb: usize,
+    /// Number of sparse-table levels.
+    levels: usize,
 }
 
 impl MaxErrOracle {
@@ -75,6 +106,7 @@ impl MaxErrOracle {
         let mut m_cum = vec![vec![0.0; k]; n];
         let mut total_w = vec![0.0; n];
         let mut total_m = vec![0.0; n];
+        let mut grid = vec![0.0; n * k];
         for i in 0..n {
             let mut wc = 0.0;
             let mut mc = 0.0;
@@ -87,7 +119,55 @@ impl MaxErrOracle {
             }
             total_w[i] = wc;
             total_m[i] = mc;
+            for l in 0..k {
+                let a = 2.0 * w_cum[i][l] - wc;
+                let c = mc - 2.0 * m_cum[i][l];
+                grid[i * k + l] = a * v[l] + c;
+            }
         }
+
+        // Block range-max tables over items, one column per grid value: a
+        // prefix/suffix max inside every block plus a sparse table over the
+        // whole-block maxima give O(1) range-max queries.
+        let nb = n.div_ceil(BLOCK);
+        let levels = usize::BITS as usize - nb.leading_zeros() as usize;
+        let mut grid_col = vec![0.0; k * n];
+        for i in 0..n {
+            for l in 0..k {
+                grid_col[l * n + i] = grid[i * k + l];
+            }
+        }
+        let mut pre = vec![f64::NEG_INFINITY; k * n];
+        let mut suf = vec![f64::NEG_INFINITY; k * n];
+        let mut sparse = vec![f64::NEG_INFINITY; k * levels * nb];
+        for l in 0..k {
+            let pre_col = &mut pre[l * n..(l + 1) * n];
+            let suf_col = &mut suf[l * n..(l + 1) * n];
+            for b in 0..nb {
+                let start = b * BLOCK;
+                let end = ((b + 1) * BLOCK).min(n);
+                let mut acc = f64::NEG_INFINITY;
+                for i in start..end {
+                    acc = acc.max(grid[i * k + l]);
+                    pre_col[i] = acc;
+                }
+                sparse[(l * levels) * nb + b] = acc;
+                let mut acc = f64::NEG_INFINITY;
+                for i in (start..end).rev() {
+                    acc = acc.max(grid[i * k + l]);
+                    suf_col[i] = acc;
+                }
+            }
+            for lev in 1..levels {
+                let half = 1usize << (lev - 1);
+                for b in 0..nb {
+                    let lo = sparse[(l * levels + lev - 1) * nb + b];
+                    let hi = sparse[(l * levels + lev - 1) * nb + (b + half).min(nb - 1)];
+                    sparse[(l * levels + lev) * nb + b] = lo.max(hi);
+                }
+            }
+        }
+
         MaxErrOracle {
             n,
             kind,
@@ -96,6 +176,13 @@ impl MaxErrOracle {
             m_cum,
             total_w,
             total_m,
+            grid,
+            grid_col,
+            pre,
+            suf,
+            sparse,
+            nb,
+            levels,
         }
     }
 
@@ -118,23 +205,107 @@ impl MaxErrOracle {
         (slope, intercept)
     }
 
-    /// `max_i f_i(v_l)` over the bucket `[s, e]`.
+    /// `max_i f_i(v_l)` over the bucket `[s, e]` — an O(1) range-max query.
     fn envelope_at_value(&self, s: usize, e: usize, l: usize) -> f64 {
-        let x = self.domain.value(l);
-        let mut best = f64::NEG_INFINITY;
-        for i in s..=e {
-            let (a, c) = self.item_line(i, l);
-            best = best.max(a * x + c);
+        let k = self.domain.len();
+        let (bs, be) = (s / BLOCK, e / BLOCK);
+        if bs == be {
+            let mut m = f64::NEG_INFINITY;
+            for i in s..=e {
+                m = m.max(self.grid[i * k + l]);
+            }
+            return m;
         }
-        best
+        let mut m = self.suf[l * self.n + s].max(self.pre[l * self.n + e]);
+        if be > bs + 1 {
+            let (lo, hi) = (bs + 1, be - 1);
+            let lev = usize::BITS as usize - 1 - (hi - lo + 1).leading_zeros() as usize;
+            let row = (l * self.levels + lev) * self.nb;
+            m = m
+                .max(self.sparse[row + lo])
+                .max(self.sparse[row + hi + 1 - (1 << lev)]);
+        }
+        m
     }
 
-    /// Minimises `max_i f_i(b̂)` over `b̂ ∈ [v_l, v_{l+1}]` exactly.
-    fn minimise_segment(&self, s: usize, e: usize, l: usize) -> (f64, f64) {
+    /// Leftmost grid argmin of the convex sequence `E(v_0) … E(v_{k−1})`,
+    /// found by binary search on the sign of the forward difference.
+    fn grid_argmin(&self, mut env: impl FnMut(usize) -> f64, k: usize) -> usize {
+        if k == 1 {
+            return 0;
+        }
+        // d(l) = E(v_{l+1}) − E(v_l) is sign-monotone (E is convex); find the
+        // first l with d(l) ≥ 0 — the minimum sits at that l (or at k−1 when
+        // E keeps decreasing).
+        let (mut lo, mut hi) = (0usize, k - 1);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if env(mid + 1) >= env(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Minimises `max_i f_i(b̂)` over `b̂ ∈ [v_l, v_{l+1}]` exactly, reusing
+    /// `lines` as scratch.
+    ///
+    /// Before building the upper envelope, lines are filtered against the
+    /// lower bound `LB = max_i min(f_i(v_l), f_i(v_{l+1}))`: the envelope is
+    /// everywhere at least its own minimum, which is at least `LB`, so a line
+    /// strictly below `LB` at both segment endpoints (hence, being linear,
+    /// everywhere in between) can never attain the envelope on the segment.
+    /// This keeps the refinement exact while the hull is built over a handful
+    /// of survivors instead of the whole bucket.
+    fn minimise_segment(
+        &self,
+        s: usize,
+        e: usize,
+        l: usize,
+        lines: &mut Vec<(f64, f64)>,
+    ) -> (f64, f64) {
+        let k = self.domain.len();
         let lo = self.domain.value(l);
-        let hi = self.domain.value((l + 1).min(self.domain.len() - 1));
-        let lines: Vec<(f64, f64)> = (s..=e).map(|i| self.item_line(i, l)).collect();
-        minimise_max_of_lines(&lines, lo, hi)
+        let hi = self.domain.value((l + 1).min(k - 1));
+        let col_l = &self.grid_col[l * self.n..][s..=e];
+        let col_r = &self.grid_col[(l + 1) * self.n..][s..=e];
+        let mut lb = f64::NEG_INFINITY;
+        for (&fl, &fr) in col_l.iter().zip(col_r) {
+            lb = lb.max(fl.min(fr));
+        }
+        lines.clear();
+        for (i, (&fl, &fr)) in col_l.iter().zip(col_r).enumerate() {
+            if fl.max(fr) >= lb {
+                lines.push(self.item_line(s + i, l));
+            }
+        }
+        minimise_max_of_lines(lines, lo, hi)
+    }
+
+    /// Exact bucket minimum given the grid argmin `a`: the continuous optimum
+    /// of the convex envelope lies in `[v_{a−1}, v_{a+1}]`, so refine the one
+    /// or two adjacent segments and keep the best of those and the grid point.
+    fn refine_around(
+        &self,
+        s: usize,
+        e: usize,
+        a: usize,
+        value_at_a: f64,
+        lines: &mut Vec<(f64, f64)>,
+    ) -> (f64, f64) {
+        let k = self.domain.len();
+        let mut best = (self.domain.value(a), value_at_a);
+        let seg_lo = a.saturating_sub(1);
+        let seg_hi = (a + 1).min(k - 1);
+        for l in seg_lo..seg_hi {
+            let (x, val) = self.minimise_segment(s, e, l, lines);
+            if val < best.1 {
+                best = (x, val);
+            }
+        }
+        best
     }
 }
 
@@ -212,37 +383,51 @@ impl BucketCostOracle for MaxErrOracle {
 
     fn bucket(&self, s: usize, e: usize) -> BucketSolution {
         let k = self.domain.len();
-        // Ternary search over the value grid for the segment containing the
-        // minimum of the (convex) upper envelope.
-        let mut lo = 0usize;
-        let mut hi = k - 1;
-        while hi - lo > 2 {
-            let m1 = lo + (hi - lo) / 3;
-            let m2 = hi - (hi - lo) / 3;
-            if self.envelope_at_value(s, e, m1) <= self.envelope_at_value(s, e, m2) {
-                hi = m2;
-            } else {
-                lo = m1;
-            }
-        }
-        // The optimum lies within [v_{lo-1}, v_{hi+1}]; minimise each candidate
-        // segment exactly and keep the best.
-        let seg_lo = lo.saturating_sub(1);
-        let seg_hi = (hi + 1).min(k - 1);
-        let mut best = (self.domain.value(seg_lo), f64::INFINITY);
-        for l in seg_lo..seg_hi.max(seg_lo + 1) {
-            let (x, val) = self.minimise_segment(s, e, l);
-            if val < best.1 {
-                best = (x, val);
-            }
-        }
-        if k == 1 {
-            best = (self.domain.value(0), self.envelope_at_value(s, e, 0));
-        }
+        let a = self.grid_argmin(|l| self.envelope_at_value(s, e, l), k);
+        let mut lines = Vec::with_capacity(e - s + 1);
+        let at_a = self.envelope_at_value(s, e, a);
+        let best = if k == 1 {
+            (self.domain.value(0), at_a)
+        } else {
+            self.refine_around(s, e, a, at_a, &mut lines)
+        };
         BucketSolution {
             representative: best.0,
             cost: best.1.max(0.0),
         }
+    }
+
+    fn costs_ending_at(&self, e: usize, starts: &[usize]) -> Vec<f64> {
+        let k = self.domain.len();
+        let mut out = vec![0.0; starts.len()];
+        if starts.is_empty() {
+            return out;
+        }
+        // Incremental envelope sweep: grow the bucket leftwards, folding each
+        // item's grid-error row into `env` so every probe of the bracketing
+        // binary search is a plain array read.
+        let mut env = vec![f64::NEG_INFINITY; k];
+        let mut lines: Vec<(f64, f64)> = Vec::new();
+        let mut next = starts.len();
+        for s in (starts[0]..=e).rev() {
+            let row = &self.grid[s * k..(s + 1) * k];
+            for (slot, &g) in env.iter_mut().zip(row) {
+                if g > *slot {
+                    *slot = g;
+                }
+            }
+            while next > 0 && starts[next - 1] == s {
+                next -= 1;
+                let a = self.grid_argmin(|l| env[l], k);
+                let cost = if k == 1 {
+                    env[0]
+                } else {
+                    self.refine_around(s, e, a, env[a], &mut lines).1
+                };
+                out[next] = cost.max(0.0);
+            }
+        }
+        out
     }
 
     fn is_cumulative(&self) -> bool {
@@ -366,6 +551,31 @@ mod tests {
     }
 
     #[test]
+    fn batched_sweep_matches_single_bucket_queries() {
+        for rel in relations() {
+            for oracle in [MaxErrOracle::mae(&rel), MaxErrOracle::mare(&rel, 0.5)] {
+                for e in 0..rel.n() {
+                    let starts: Vec<usize> = (0..=e).collect();
+                    let out = oracle.costs_ending_at(e, &starts);
+                    for (s, &cost) in out.iter().enumerate() {
+                        assert!(
+                            (cost - oracle.bucket(s, e).cost).abs() < 1e-9,
+                            "{} [{s},{e}]",
+                            rel.model_name()
+                        );
+                    }
+                    // Sparse start subsets see identical values.
+                    let sparse: Vec<usize> = (0..=e).step_by(2).collect();
+                    let out = oracle.costs_ending_at(e, &sparse);
+                    for (j, &s) in sparse.iter().enumerate() {
+                        assert!((out[j] - oracle.bucket(s, e).cost).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_data_reduces_to_midrange() {
         // For deterministic data the optimal max-absolute-error representative
         // is the midrange and the cost is half the spread.
@@ -392,6 +602,42 @@ mod tests {
     }
 
     #[test]
+    fn wide_buckets_cross_block_boundaries_consistently() {
+        // A domain wider than the RMQ block size exercises the
+        // suffix/prefix/sparse-table composition of the envelope probes.
+        let n = 3 * BLOCK + 17;
+        let freqs: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64).collect();
+        let rel: ProbabilisticRelation = ValuePdfModel::deterministic(&freqs).into();
+        let oracle = MaxErrOracle::mae(&rel);
+        for (s, e) in [
+            (0, n - 1),
+            (3, BLOCK + 5),
+            (BLOCK - 1, 2 * BLOCK),
+            (BLOCK, BLOCK + 3),
+            (2 * BLOCK + 1, n - 1),
+        ] {
+            let max = freqs[s..=e]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            let min = freqs[s..=e].iter().cloned().fold(f64::INFINITY, f64::min);
+            let sol = oracle.bucket(s, e);
+            assert!(
+                (sol.cost - (max - min) / 2.0).abs() < 1e-9,
+                "[{s},{e}] cost {} vs {}",
+                sol.cost,
+                (max - min) / 2.0
+            );
+        }
+        // The sweep agrees with single queries across block boundaries too.
+        let starts: Vec<usize> = (0..n).step_by(7).collect();
+        let out = oracle.costs_ending_at(n - 1, &starts);
+        for (j, &s) in starts.iter().enumerate() {
+            assert!((out[j] - oracle.bucket(s, n - 1).cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
     fn minimise_max_of_lines_basic_cases() {
         // Two crossing lines: minimum of the max at their intersection.
         let (x, v) = minimise_max_of_lines(&[(1.0, 0.0), (-1.0, 4.0)], 0.0, 10.0);
@@ -405,6 +651,9 @@ mod tests {
         let (x, v) = minimise_max_of_lines(&[(1.0, 0.0), (0.0, 1.0), (-1.0, 4.0)], 0.0, 10.0);
         assert!((x - 2.0).abs() < 1e-12);
         assert!((v - 2.0).abs() < 1e-12);
+        // A non-dominated middle line lifts the minimum to its own level.
+        let (_, v) = minimise_max_of_lines(&[(-2.0, 10.0), (0.0, 6.0), (2.0, 0.0)], 0.0, 10.0);
+        assert!((v - 6.0).abs() < 1e-12);
         // A single flat line.
         let (_, v) = minimise_max_of_lines(&[(0.0, 3.0)], -1.0, 1.0);
         assert!((v - 3.0).abs() < 1e-12);
@@ -419,6 +668,7 @@ mod tests {
         let rel = &relations()[0];
         let oracle = MaxErrOracle::mae(rel);
         assert!(!oracle.is_cumulative());
+        assert!(oracle.costs_monotone());
         assert_eq!(oracle.n(), 3);
         assert_eq!(oracle.kind(), MaxMetricKind::Mae);
     }

@@ -4,8 +4,7 @@
 //! needs is, for any candidate bucket `[s, e]`, the optimal representative
 //! value `b̂` and the corresponding (expected) error contribution
 //! `min_{b̂} E_W[BERR([s, e], b̂)]`.  Each error metric gets its own oracle
-//! that answers these queries in `O(1)`–`O(n_b log |V|)` time after a
-//! preprocessing pass that builds prefix-sum arrays over the input:
+//! that answers these queries after a preprocessing pass over the input:
 //!
 //! * [`sse::SseOracle`] — sum squared error (Section 3.1, Theorem 1);
 //! * [`ssre::SsreOracle`] — sum squared relative error (Section 3.2, Theorem 2);
@@ -13,6 +12,30 @@
 //!   (Sections 3.3–3.4, Theorems 3 and 4);
 //! * [`maxerr::MaxErrOracle`] — maximum absolute (relative) error
 //!   (Section 3.6, Theorem 6).
+//!
+//! ## Per-oracle cost contracts
+//!
+//! Both dynamic programs consume oracles through the batched
+//! [`BucketCostOracle::costs_ending_at`] sweep (all requested buckets share
+//! the right endpoint `e`), so the contracts below are what the `oracle_cost`
+//! benchmark enforces.  `|V|` is the size of the frequency value domain and
+//! `n_b` the bucket width.
+//!
+//! | oracle | preprocessing | single `bucket(s, e)` | per start in a sweep |
+//! |---|---|---|---|
+//! | SSE (prefix arrays) | `O(n)` | `O(1)` | `O(1)` |
+//! | SSE (tuple-exact)   | `O(m)` | `O(n_b)` | `O(1)` amortised |
+//! | SSRE | `O(n\|V\|)` | `O(1)` | `O(1)` |
+//! | SAE / SARE | `O(n\|V\|)` | `O(log \|V\|)` | `O(log \|V\|)` |
+//! | MAE / MARE | `O(n\|V\|)` | `O(log \|V\|)` probes + one exact segment refinement | `O(log \|V\|)` probes amortised |
+//!
+//! The max-error oracle locates the optimal representative by **binary search
+//! over the value domain** (the envelope of the per-item expected errors is
+//! convex, Section 3.6): each probe is an `O(1)` range-max lookup in
+//! block-decomposed tables, and only the one or two grid segments adjacent to
+//! the bracketed grid minimum are refined exactly.  Inside a sweep the grid
+//! envelope is maintained incrementally instead, so probes never rescan the
+//! bucket.
 
 pub mod abs;
 pub mod maxerr;
@@ -41,22 +64,35 @@ pub trait BucketCostOracle {
     /// item range `[s, e]` (0-based, `s <= e < n`).
     fn bucket(&self, s: usize, e: usize) -> BucketSolution;
 
-    /// Costs of every bucket ending at `e`: `out[s] = bucket(s, e).cost` for
-    /// `s = 0..=e` (entries beyond `e` are left untouched).
+    /// Batched sweep: costs of every bucket `[starts[k], e]` for an
+    /// ascending list of start positions (`starts[k] <= e` for all `k`);
+    /// `out[k] == bucket(starts[k], e).cost`.
     ///
-    /// The dynamic program calls this once per right endpoint; oracles whose
-    /// cost has cross-item interactions (the exact tuple-pdf SSE oracle)
-    /// override it with an incremental sweep that amortises the work.
-    fn costs_ending_at(&self, e: usize, out: &mut Vec<f64>) {
-        out.resize(e + 1, 0.0);
-        for (s, slot) in out.iter_mut().enumerate() {
-            *slot = self.bucket(s, e).cost;
-        }
+    /// Both dynamic programs call this once per right endpoint (the exact DP
+    /// with every start, the approximate DP with its thinned candidate
+    /// list), so oracles with cross-item interactions (the tuple-pdf SSE
+    /// oracle, the max-error envelope) override it with an incremental sweep
+    /// that amortises the per-start work — see the module-level cost table.
+    fn costs_ending_at(&self, e: usize, starts: &[usize]) -> Vec<f64> {
+        starts.iter().map(|&s| self.bucket(s, e).cost).collect()
     }
 
     /// Whether per-bucket costs combine additively (`true`, cumulative
     /// metrics) or by maximum (`false`, max-error metrics).
     fn is_cumulative(&self) -> bool {
+        true
+    }
+
+    /// Whether bucket costs are monotone under containment (growing a bucket
+    /// never decreases its cost — condition (4) of Section 3.5).
+    ///
+    /// This holds for every metric of the form `min_{b̂}` of a sum or maximum
+    /// of non-negative per-item terms, and for the exact expected per-world
+    /// sample variance.  The one exception is the paper's tuple-pdf SSE
+    /// prefix-array *approximation*, whose covariance estimate can dip when a
+    /// tuple straddles the bucket boundary.  The approximate DP only applies
+    /// its cost-based early exit when this returns `true`.
+    fn costs_monotone(&self) -> bool {
         true
     }
 }
@@ -89,11 +125,15 @@ impl BucketCostOracle for Box<dyn BucketCostOracle> {
         self.as_ref().bucket(s, e)
     }
 
-    fn costs_ending_at(&self, e: usize, out: &mut Vec<f64>) {
-        self.as_ref().costs_ending_at(e, out)
+    fn costs_ending_at(&self, e: usize, starts: &[usize]) -> Vec<f64> {
+        self.as_ref().costs_ending_at(e, starts)
     }
 
     fn is_cumulative(&self) -> bool {
         self.as_ref().is_cumulative()
+    }
+
+    fn costs_monotone(&self) -> bool {
+        self.as_ref().costs_monotone()
     }
 }

@@ -211,16 +211,21 @@ impl BucketCostOracle for SseOracle {
         }
     }
 
-    fn costs_ending_at(&self, e: usize, out: &mut Vec<f64>) {
-        out.resize(e + 1, 0.0);
+    fn costs_ending_at(&self, e: usize, starts: &[usize]) -> Vec<f64> {
         match &self.tuple {
             Some(t) if t.mode == TupleSseMode::Exact => {
-                // Incremental sweep: grow the bucket leftwards from [e, e] to
-                // [0, e], maintaining Σ_t q_t² exactly.
+                // Incremental sweep: grow the bucket leftwards from [e, e]
+                // down to the smallest requested start, maintaining Σ_t q_t²
+                // exactly and emitting a cost at every requested start.
+                let mut out = vec![0.0; starts.len()];
+                if starts.is_empty() {
+                    return out;
+                }
                 let mut q = vec![0.0f64; t.tuple_count];
                 let mut touched: Vec<u32> = Vec::new();
                 let mut sum_q2 = 0.0;
-                for s in (0..=e).rev() {
+                let mut next = starts.len();
+                for s in (starts[0]..=e).rev() {
                     for &(tid, p) in &t.by_item[s] {
                         let old = q[tid as usize];
                         if old == 0.0 {
@@ -230,18 +235,29 @@ impl BucketCostOracle for SseOracle {
                         sum_q2 += new * new - old * old;
                         q[tid as usize] = new;
                     }
-                    out[s] = self.cost_with_sum_q2(s, e, Some(sum_q2));
+                    while next > 0 && starts[next - 1] == s {
+                        next -= 1;
+                        out[next] = self.cost_with_sum_q2(s, e, Some(sum_q2));
+                    }
                 }
                 for tid in touched {
                     q[tid as usize] = 0.0;
                 }
+                out
             }
-            _ => {
-                for (s, slot) in out.iter_mut().enumerate().take(e + 1) {
-                    *slot = self.cost_with_sum_q2(s, e, None);
-                }
-            }
+            _ => starts
+                .iter()
+                .map(|&s| self.cost_with_sum_q2(s, e, None))
+                .collect(),
         }
+    }
+
+    fn costs_monotone(&self) -> bool {
+        // The prefix-array covariance approximation for straddling tuples is
+        // the only mode that can violate containment monotonicity.
+        self.tuple
+            .as_ref()
+            .is_none_or(|t| t.mode == TupleSseMode::Exact)
     }
 }
 
@@ -406,14 +422,20 @@ mod tests {
                 ),
             ] {
                 let oracle = SseOracle::with_tuple_mode(&rel, objective, mode);
-                let mut out = Vec::new();
                 for e in 0..rel.n() {
-                    oracle.costs_ending_at(e, &mut out);
+                    let starts: Vec<usize> = (0..=e).collect();
+                    let out = oracle.costs_ending_at(e, &starts);
                     for (s, &cost) in out.iter().enumerate() {
                         assert!(
                             (cost - oracle.bucket(s, e).cost).abs() < 1e-12,
                             "{objective:?} {mode:?} [{s},{e}]"
                         );
+                    }
+                    // A sparse subset of starts is answered identically.
+                    let sparse: Vec<usize> = (0..=e).step_by(2).collect();
+                    let out = oracle.costs_ending_at(e, &sparse);
+                    for (k, &s) in sparse.iter().enumerate() {
+                        assert!((out[k] - oracle.bucket(s, e).cost).abs() < 1e-12);
                     }
                 }
             }

@@ -81,6 +81,20 @@ impl BucketCostOracle for SsreOracle {
             cost: cost.max(0.0),
         }
     }
+
+    fn costs_ending_at(&self, e: usize, starts: &[usize]) -> Vec<f64> {
+        // The endpoint terms are shared by every bucket of the sweep; each
+        // start is then three subtractions and a division — O(1) per start.
+        let (xe, ye, ze) = (self.x[e + 1], self.y[e + 1], self.z[e + 1]);
+        starts
+            .iter()
+            .map(|&s| {
+                let (xd, yd, zd) = (xe - self.x[s], ye - self.y[s], ze - self.z[s]);
+                let cost = if zd > 0.0 { xd - yd * yd / zd } else { xd };
+                cost.max(0.0)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -177,3 +177,43 @@ fn approximate_construction_respects_its_guarantee_end_to_end() {
         }
     }
 }
+
+/// Optimality regression at real sizes: across an ε grid the approximate DP
+/// must stay within its `(1 + ε)` guarantee of the exact DP *and* perform
+/// strictly fewer bucket-cost evaluations — the whole point of Theorem 5.
+#[test]
+fn approximate_dp_tracks_exact_dp_across_epsilon_grid() {
+    use probsyn::histogram::approx::approx_histogram;
+    use probsyn::histogram::DpTables;
+    let b = 8;
+    for n in [256usize, 1024] {
+        // Same shape as the benchmark movie workload, deterministic per seed.
+        let relation: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+            n,
+            avg_tuples_per_item: 4.6,
+            skew: 0.8,
+            seed: 42,
+        })
+        .into();
+        for metric in [ErrorMetric::Ssre { c: 0.5 }, ErrorMetric::Sae] {
+            let oracle = oracle_for_metric(&relation, metric);
+            let tables = DpTables::build(&oracle, b).unwrap();
+            let exact = tables.optimal_cost(b);
+            for eps in [0.05, 0.1, 0.25] {
+                let approx = approx_histogram(&oracle, b, eps).unwrap();
+                let cost = approx.histogram.total_cost();
+                assert!(
+                    cost <= (1.0 + eps) * exact + 1e-9,
+                    "{metric} n={n} eps={eps}: {cost} vs (1+eps)*{exact}"
+                );
+                assert!(cost >= exact - 1e-9, "{metric} n={n} eps={eps}");
+                assert!(
+                    approx.stats.bucket_evaluations < tables.bucket_evaluations(),
+                    "{metric} n={n} eps={eps}: {} approximate evaluations, exact DP used {}",
+                    approx.stats.bucket_evaluations,
+                    tables.bucket_evaluations()
+                );
+            }
+        }
+    }
+}

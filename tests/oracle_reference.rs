@@ -1,0 +1,263 @@
+//! Reference-vs-optimized oracle suite: every optimized bucket-cost path
+//! (prefix arrays, binary searches, range-max envelope probes, batched
+//! sweeps) is cross-checked against the naive `O(n·|V|)` reference oracle in
+//! `tests/common`, on all three uncertainty models.
+
+mod common;
+
+use common::{reference_relations, ReferenceOracle};
+use probsyn::histogram::oracle::maxerr::MaxErrOracle;
+use probsyn::histogram::oracle::sse::{SseObjective, SseOracle, TupleSseMode};
+use probsyn::histogram::{oracle_for_metric, BucketCostOracle};
+use probsyn::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+fn all_buckets(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..n).flat_map(move |s| (s..n).map(move |e| (s, e)))
+}
+
+#[test]
+fn cumulative_oracles_match_the_naive_reference_on_all_models() {
+    for relation in reference_relations() {
+        for metric in [
+            ErrorMetric::Ssre { c: 0.5 },
+            ErrorMetric::Ssre { c: 2.0 },
+            ErrorMetric::Sae,
+            ErrorMetric::Sare { c: 0.5 },
+            ErrorMetric::Sare { c: 1.0 },
+        ] {
+            let oracle = oracle_for_metric(&relation, metric);
+            let reference = ReferenceOracle::new(&relation, metric);
+            for (s, e) in all_buckets(relation.n()) {
+                let fast = oracle.bucket(s, e).cost;
+                let naive = reference.cost(s, e);
+                assert!(
+                    (fast - naive).abs() < TOL,
+                    "{} {metric} [{s},{e}]: {fast} vs reference {naive}",
+                    relation.model_name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sse_oracle_matches_the_naive_reference_on_independent_models() {
+    for relation in reference_relations() {
+        if !relation.items_independent() {
+            continue;
+        }
+        let oracle = oracle_for_metric(&relation, ErrorMetric::Sse);
+        let reference = ReferenceOracle::new(&relation, ErrorMetric::Sse);
+        for (s, e) in all_buckets(relation.n()) {
+            let fast = oracle.bucket(s, e).cost;
+            let naive = reference.cost(s, e);
+            assert!(
+                (fast - naive).abs() < TOL,
+                "{} sse [{s},{e}]: {fast} vs reference {naive}",
+                relation.model_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tuple_exact_sse_matches_possible_world_enumeration() {
+    for relation in reference_relations() {
+        let worlds = PossibleWorlds::enumerate(&relation).unwrap();
+        let oracle =
+            SseOracle::with_tuple_mode(&relation, SseObjective::PaperEq5, TupleSseMode::Exact);
+        for (s, e) in all_buckets(relation.n()) {
+            let nb = (e - s + 1) as f64;
+            let brute = worlds.expectation(|w| {
+                let mean: f64 = w[s..=e].iter().sum::<f64>() / nb;
+                w[s..=e].iter().map(|&g| (g - mean) * (g - mean)).sum()
+            });
+            let fast = oracle.bucket(s, e).cost;
+            assert!(
+                (fast - brute).abs() < TOL,
+                "{} sse-exact [{s},{e}]: {fast} vs worlds {brute}",
+                relation.model_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn binary_search_max_error_oracles_match_the_naive_envelope_scan() {
+    for relation in reference_relations() {
+        for metric in [
+            ErrorMetric::Mae,
+            ErrorMetric::Mare { c: 0.5 },
+            ErrorMetric::Mare { c: 1.5 },
+        ] {
+            let oracle = oracle_for_metric(&relation, metric);
+            let reference = ReferenceOracle::new(&relation, metric);
+            for (s, e) in all_buckets(relation.n()) {
+                let fast = oracle.bucket(s, e).cost;
+                let naive = reference.cost(s, e);
+                assert!(
+                    (fast - naive).abs() < TOL,
+                    "{} {metric} [{s},{e}]: {fast} vs envelope scan {naive}",
+                    relation.model_name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn max_error_oracle_matches_the_reference_across_rmq_block_boundaries() {
+    // The range-max tables decompose items into blocks of 64; a probabilistic
+    // relation wider than two blocks exercises the suffix/prefix/sparse-table
+    // composition of the envelope probes on non-degenerate pdfs (the naive
+    // envelope scan is O(n_b²·|V|) per bucket, so sample the buckets).
+    let relation: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+        n: 160,
+        avg_tuples_per_item: 2.5,
+        skew: 0.8,
+        seed: 13,
+    })
+    .into();
+    let buckets = [
+        (0, 159),
+        (0, 63),
+        (0, 64),
+        (1, 64),
+        (63, 64),
+        (63, 128),
+        (64, 127),
+        (64, 128),
+        (5, 150),
+        (70, 159),
+        (100, 140),
+        (127, 129),
+        (128, 159),
+        (31, 96),
+        (96, 97),
+    ];
+    for metric in [ErrorMetric::Mae, ErrorMetric::Mare { c: 0.5 }] {
+        let oracle = oracle_for_metric(&relation, metric);
+        let reference = ReferenceOracle::new(&relation, metric);
+        for &(s, e) in &buckets {
+            let fast = oracle.bucket(s, e).cost;
+            let naive = reference.cost(s, e);
+            assert!(
+                (fast - naive).abs() < TOL,
+                "{metric} [{s},{e}]: {fast} vs envelope scan {naive}"
+            );
+        }
+        // The sweep agrees on the same spans.
+        let starts: Vec<usize> = (0..160).step_by(13).collect();
+        let swept = oracle.costs_ending_at(159, &starts);
+        for (k, &s) in starts.iter().enumerate() {
+            assert!(
+                (swept[k] - oracle.bucket(s, 159).cost).abs() < TOL,
+                "{metric} sweep [{s},159]"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_sweeps_match_per_call_queries_for_every_oracle() {
+    for relation in reference_relations() {
+        let n = relation.n();
+        let mut oracles: Vec<(String, Box<dyn BucketCostOracle>)> = vec![
+            (
+                "sse-exact".into(),
+                Box::new(SseOracle::with_tuple_mode(
+                    &relation,
+                    SseObjective::PaperEq5,
+                    TupleSseMode::Exact,
+                )),
+            ),
+            ("maxerr-mae".into(), Box::new(MaxErrOracle::mae(&relation))),
+        ];
+        for metric in [
+            ErrorMetric::Sse,
+            ErrorMetric::Ssre { c: 0.5 },
+            ErrorMetric::Sae,
+            ErrorMetric::Sare { c: 1.0 },
+            ErrorMetric::Mare { c: 0.5 },
+        ] {
+            oracles.push((format!("{metric}"), oracle_for_metric(&relation, metric)));
+        }
+        for (name, oracle) in &oracles {
+            for e in 0..n {
+                // Full range, a sparse subset, and a singleton start list.
+                let full: Vec<usize> = (0..=e).collect();
+                let sparse: Vec<usize> = (0..=e).step_by(2).collect();
+                let single = vec![e / 2];
+                for starts in [&full, &sparse, &single] {
+                    let batched = oracle.costs_ending_at(e, starts);
+                    assert_eq!(batched.len(), starts.len());
+                    for (k, &s) in starts.iter().enumerate() {
+                        let direct = oracle.bucket(s, e).cost;
+                        assert!(
+                            (batched[k] - direct).abs() < TOL,
+                            "{} {name} [{s},{e}]: batched {} vs direct {direct}",
+                            relation.model_name(),
+                            batched[k]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dp_over_batched_sweeps_is_still_globally_optimal_against_the_reference() {
+    use probsyn::histogram::DpTables;
+    // Brute-force the best partition with reference costs and compare to the
+    // DP driven entirely through the batched sweep API.
+    fn brute(reference: &ReferenceOracle, n: usize, b: usize, cumulative: bool) -> f64 {
+        fn recurse(
+            reference: &ReferenceOracle,
+            start: usize,
+            n: usize,
+            b: usize,
+            cumulative: bool,
+        ) -> f64 {
+            if b == 1 {
+                return reference.cost(start, n - 1);
+            }
+            let mut best = f64::INFINITY;
+            for end in start..=(n - b) {
+                let here = reference.cost(start, end);
+                let rest = recurse(reference, end + 1, n, b - 1, cumulative);
+                let total = if cumulative {
+                    here + rest
+                } else {
+                    here.max(rest)
+                };
+                best = best.min(total);
+            }
+            best
+        }
+        recurse(reference, 0, n, b, cumulative)
+    }
+
+    for relation in reference_relations() {
+        for metric in [
+            ErrorMetric::Ssre { c: 0.5 },
+            ErrorMetric::Sae,
+            ErrorMetric::Mae,
+        ] {
+            let oracle = oracle_for_metric(&relation, metric);
+            let reference = ReferenceOracle::new(&relation, metric);
+            for b in [2usize, 3] {
+                let tables = DpTables::build(&oracle, b).unwrap();
+                let expected = brute(&reference, relation.n(), b, metric.is_cumulative());
+                assert!(
+                    (tables.optimal_cost(b) - expected).abs() < TOL,
+                    "{} {metric} b={b}: {} vs reference brute force {expected}",
+                    relation.model_name(),
+                    tables.optimal_cost(b)
+                );
+            }
+        }
+    }
+}

@@ -2,13 +2,17 @@
 //! algorithms, driven by randomly generated probabilistic relations in all
 //! three uncertainty models.
 
+mod common;
+
 use proptest::prelude::*;
 
+use common::ReferenceOracle;
 use probsyn::histogram::evaluate::expected_cost;
 use probsyn::histogram::oracle::abs::WeightedAbsOracle;
+use probsyn::histogram::oracle::maxerr::MaxErrOracle;
 use probsyn::histogram::oracle::sse::{SseObjective, SseOracle, TupleSseMode};
 use probsyn::histogram::oracle::ssre::SsreOracle;
-use probsyn::histogram::{build_histogram, BucketCostOracle};
+use probsyn::histogram::{build_histogram, oracle_for_metric, BucketCostOracle};
 use probsyn::prelude::*;
 use probsyn::wavelet::haar::{reconstruct_normalised, HaarTransform};
 use probsyn::wavelet::sse::expected_sse;
@@ -186,5 +190,94 @@ proptest! {
         let world = sample_world(&rel, &mut rng);
         prop_assert_eq!(world.len(), rel.n());
         prop_assert!(world.iter().all(|&g| g >= 0.0));
+    }
+
+    #[test]
+    fn batched_sweeps_match_per_call_costs_on_basic_relations(rel in basic_relation(8, 14), stride in 1usize..4) {
+        batched_matches_per_call(&rel, stride);
+    }
+
+    #[test]
+    fn batched_sweeps_match_per_call_costs_on_tuple_relations(rel in tuple_relation(8, 12), stride in 1usize..4) {
+        batched_matches_per_call(&rel, stride);
+    }
+
+    #[test]
+    fn batched_sweeps_match_per_call_costs_on_value_relations(rel in value_relation(8), stride in 1usize..4) {
+        batched_matches_per_call(&rel, stride);
+    }
+
+    #[test]
+    fn binary_search_max_error_matches_naive_envelope_scan_basic(rel in basic_relation(8, 14)) {
+        maxerr_matches_reference(&rel);
+    }
+
+    #[test]
+    fn binary_search_max_error_matches_naive_envelope_scan_tuple(rel in tuple_relation(8, 12)) {
+        maxerr_matches_reference(&rel);
+    }
+
+    #[test]
+    fn binary_search_max_error_matches_naive_envelope_scan_value(rel in value_relation(8)) {
+        maxerr_matches_reference(&rel);
+    }
+}
+
+/// All five oracle families over one relation (SSE in both tuple modes).
+fn oracle_zoo(rel: &ProbabilisticRelation) -> Vec<Box<dyn BucketCostOracle>> {
+    vec![
+        Box::new(SseOracle::new(rel, SseObjective::PaperEq5)),
+        Box::new(SseOracle::with_tuple_mode(
+            rel,
+            SseObjective::PaperEq5,
+            TupleSseMode::Exact,
+        )),
+        Box::new(SsreOracle::new(rel, 0.5)),
+        Box::new(WeightedAbsOracle::sae(rel)),
+        Box::new(WeightedAbsOracle::sare(rel, 0.5)),
+        Box::new(MaxErrOracle::mae(rel)),
+        Box::new(MaxErrOracle::mare(rel, 0.5)),
+    ]
+}
+
+/// Property body: `costs_ending_at(e, starts)` equals per-call `bucket(s, e)`
+/// for every oracle, for the full start range and a strided subset.
+fn batched_matches_per_call(rel: &ProbabilisticRelation, stride: usize) {
+    for oracle in oracle_zoo(rel) {
+        for e in 0..rel.n() {
+            let full: Vec<usize> = (0..=e).collect();
+            let strided: Vec<usize> = (0..=e).step_by(stride).collect();
+            for starts in [&full, &strided] {
+                let batched = oracle.costs_ending_at(e, starts);
+                assert_eq!(batched.len(), starts.len());
+                for (k, &s) in starts.iter().enumerate() {
+                    let direct = oracle.bucket(s, e).cost;
+                    assert!(
+                        (batched[k] - direct).abs() < 1e-9,
+                        "[{s},{e}]: batched {} vs direct {direct}",
+                        batched[k]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Property body: the binary-search max-error oracle equals the naive
+/// exhaustive envelope scan to 1e-9 on every bucket.
+fn maxerr_matches_reference(rel: &ProbabilisticRelation) {
+    for metric in [ErrorMetric::Mae, ErrorMetric::Mare { c: 0.5 }] {
+        let oracle = oracle_for_metric(rel, metric);
+        let reference = ReferenceOracle::new(rel, metric);
+        for s in 0..rel.n() {
+            for e in s..rel.n() {
+                let fast = oracle.bucket(s, e).cost;
+                let naive = reference.cost(s, e);
+                assert!(
+                    (fast - naive).abs() < 1e-9,
+                    "{metric} [{s},{e}]: {fast} vs naive {naive}"
+                );
+            }
+        }
     }
 }

@@ -86,6 +86,97 @@ fn wavelet_synopses_round_trip_and_keep_reconstructions() {
 }
 
 #[test]
+fn versioned_histogram_envelope_round_trips() {
+    let rel = workload();
+    for metric in [ErrorMetric::Sse, ErrorMetric::Mae] {
+        let h = build_histogram(&rel, metric, 6).unwrap();
+        let json = h.to_json().unwrap();
+        assert!(json.contains("\"version\":1"));
+        let back = Histogram::from_json(&json).unwrap();
+        assert_eq!(h, back);
+        assert_eq!(h.estimates(), back.estimates());
+    }
+}
+
+#[test]
+fn truncated_histogram_json_is_rejected_without_panicking() {
+    let rel = workload();
+    let h = build_histogram(&rel, ErrorMetric::Sae, 6).unwrap();
+    let json = h.to_json().unwrap();
+    // Truncation at every prefix length must produce a PdsError, not a panic
+    // (sampled coarsely plus the interesting boundary cases).
+    let mut cuts: Vec<usize> = (0..json.len()).step_by(17).collect();
+    cuts.extend([0, 1, json.len() / 2, json.len() - 1]);
+    for cut in cuts {
+        let err = Histogram::from_json(&json[..cut]).unwrap_err();
+        assert!(
+            matches!(err, PdsError::InvalidParameter { .. }),
+            "cut={cut}"
+        );
+    }
+    // Trailing garbage is rejected too.
+    assert!(Histogram::from_json(&format!("{json}garbage")).is_err());
+    assert!(Histogram::from_json("").is_err());
+    assert!(Histogram::from_json("not json at all").is_err());
+}
+
+#[test]
+fn version_skew_is_rejected_with_a_descriptive_error() {
+    let rel = workload();
+    let h = build_histogram(&rel, ErrorMetric::Sae, 4).unwrap();
+    let json = h.to_json().unwrap();
+    let skewed = json.replacen("\"version\":1", "\"version\":99", 1);
+    let err = Histogram::from_json(&skewed).unwrap_err();
+    assert!(err.to_string().contains("version 99"), "{err}");
+}
+
+#[test]
+fn bucket_count_mismatch_is_rejected() {
+    let rel = workload();
+    let h = build_histogram(&rel, ErrorMetric::Sae, 4).unwrap();
+    let json = h.to_json().unwrap();
+    let mismatched = json.replacen("\"num_buckets\":4", "\"num_buckets\":3", 1);
+    let err = Histogram::from_json(&mismatched).unwrap_err();
+    assert!(err.to_string().contains("buckets"), "{err}");
+}
+
+#[test]
+fn non_finite_costs_are_rejected_on_both_directions() {
+    // Serialising a histogram that carries a NaN cost fails cleanly ...
+    let broken = Histogram::new(
+        2,
+        vec![Bucket {
+            start: 0,
+            end: 1,
+            representative: 1.0,
+            cost: f64::NAN,
+        }],
+    )
+    .unwrap();
+    let err = broken.to_json().unwrap_err();
+    assert!(matches!(err, PdsError::InvalidParameter { .. }), "{err}");
+
+    // ... and so does parsing an envelope whose cost field is not a number.
+    let bad = r#"{"version":1,"num_buckets":1,"histogram":{"n":2,"buckets":[{"start":0,"end":1,"representative":1.0,"cost":null}],"total_cost":0.0}}"#;
+    assert!(Histogram::from_json(bad).is_err());
+    let bad = r#"{"version":1,"num_buckets":1,"histogram":{"n":2,"buckets":[{"start":0,"end":1,"representative":1.0,"cost":"NaN"}],"total_cost":0.0}}"#;
+    assert!(Histogram::from_json(bad).is_err());
+}
+
+#[test]
+fn structurally_corrupt_histograms_are_rejected() {
+    // Buckets that do not partition the domain.
+    let gap = r#"{"version":1,"num_buckets":2,"histogram":{"n":4,"buckets":[{"start":0,"end":1,"representative":1.0,"cost":0.0},{"start":3,"end":3,"representative":1.0,"cost":0.0}],"total_cost":0.0}}"#;
+    assert!(Histogram::from_json(gap).is_err());
+    // Negative cost.
+    let negative = r#"{"version":1,"num_buckets":1,"histogram":{"n":2,"buckets":[{"start":0,"end":1,"representative":1.0,"cost":-3.0}],"total_cost":-3.0}}"#;
+    assert!(Histogram::from_json(negative).is_err());
+    // Recorded total disagreeing with the bucket sum.
+    let bad_total = r#"{"version":1,"num_buckets":1,"histogram":{"n":2,"buckets":[{"start":0,"end":1,"representative":1.0,"cost":1.0}],"total_cost":9.0}}"#;
+    assert!(Histogram::from_json(bad_total).is_err());
+}
+
+#[test]
 fn error_metrics_round_trip() {
     for metric in [
         ErrorMetric::Sse,
