@@ -1,0 +1,93 @@
+//! Criterion benchmark for the `pds-store` ingest path: memtable append
+//! throughput (tuples/sec), seal latency per segment, and the partition
+//! merge producing the global histogram.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pds_core::metrics::ErrorMetric;
+use pds_core::stream::{basic_stream, BasicStreamConfig, StreamRecord};
+use pds_store::{PartitionSpec, StoreConfig, SynopsisKind, SynopsisStore};
+
+const N: usize = 8192;
+const PARTITIONS: usize = 8;
+
+fn config(seal_threshold: usize, segment_budget: usize) -> StoreConfig {
+    StoreConfig {
+        partitions: PartitionSpec::uniform(N, PARTITIONS).unwrap(),
+        seal_threshold,
+        segment_budget,
+        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+    }
+}
+
+fn records(count: usize) -> Vec<StreamRecord> {
+    basic_stream(BasicStreamConfig {
+        n: N,
+        skew: 0.7,
+        seed: 42,
+    })
+    .take(count)
+    .collect()
+}
+
+/// Memtable append throughput: no sealing, pure routing + expectation
+/// bookkeeping.  Reported per iteration over a 100k-record batch — divide
+/// for tuples/sec.
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ingest");
+    group.sample_size(10);
+    let batch = records(100_000);
+    group.bench_function("memtable_append_100k", |bench| {
+        bench.iter(|| {
+            let mut store = SynopsisStore::new(config(usize::MAX >> 1, 32)).unwrap();
+            store.ingest_all(batch.iter().cloned()).unwrap();
+            black_box(store.stats().ingested_records)
+        })
+    });
+    group.finish();
+}
+
+/// Seal latency: one partition's memtable (~12.5k records over a 1024-item
+/// range) into a segment, for a few synopsis budgets.
+fn bench_seal_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_seal");
+    group.sample_size(10);
+    let batch = records(100_000);
+    for budget in [16usize, 48] {
+        let mut filled = SynopsisStore::new(config(usize::MAX >> 1, budget)).unwrap();
+        filled.ingest_all(batch.iter().cloned()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("seal_partition", budget),
+            &budget,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut store = filled.clone();
+                    black_box(store.seal_partition(0).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Global merge over sealed per-partition synopses.
+fn bench_global_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_merge");
+    group.sample_size(10);
+    let mut store = SynopsisStore::new(config(usize::MAX >> 1, 48)).unwrap();
+    store.ingest_all(records(400_000)).unwrap();
+    store.seal_all().unwrap();
+    group.bench_function("merge_global_b32", |bench| {
+        bench.iter(|| black_box(store.merge_global(32).unwrap().total_cost()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingest_throughput,
+    bench_seal_latency,
+    bench_global_merge
+);
+criterion_main!(benches);

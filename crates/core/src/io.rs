@@ -28,6 +28,7 @@ use std::io::{BufRead, Write};
 
 use crate::error::{PdsError, Result};
 use crate::model::{BasicModel, ProbabilisticRelation, TuplePdfModel, ValuePdf, ValuePdfModel};
+use crate::stream::StreamRecord;
 
 /// Serialises a relation into the text format.
 pub fn write_relation<W: Write>(relation: &ProbabilisticRelation, mut out: W) -> Result<()> {
@@ -222,6 +223,118 @@ pub fn read_basic_pairs<R: BufRead>(input: R) -> Result<BasicModel> {
     BasicModel::from_pairs(max_item + 1, pairs)
 }
 
+/// Serialises a sequence of stream records in a self-describing line format
+/// (one record per line, no header — streams are unbounded and model-mixed):
+///
+/// ```text
+/// b <item> <probability>            # basic tuple
+/// x <item>:<prob> <item>:<prob> ... # x-tuple alternatives
+/// v <item> <frequency>:<prob> ...   # value pdf for one item
+/// ```
+pub fn write_stream<'a, W: Write>(
+    records: impl IntoIterator<Item = &'a StreamRecord>,
+    mut out: W,
+) -> Result<()> {
+    let io_err = |e: std::io::Error| PdsError::InvalidParameter {
+        message: format!("i/o error while writing stream: {e}"),
+    };
+    for record in records {
+        match record {
+            StreamRecord::Basic { item, prob } => {
+                writeln!(out, "b {item} {prob}").map_err(io_err)?;
+            }
+            StreamRecord::Alternatives(alts) => {
+                let alts: Vec<String> = alts.iter().map(|(i, p)| format!("{i}:{p}")).collect();
+                writeln!(out, "x {}", alts.join(" ")).map_err(io_err)?;
+            }
+            StreamRecord::ValueDistribution { item, entries } => {
+                let entries: Vec<String> =
+                    entries.iter().map(|(v, p)| format!("{v}:{p}")).collect();
+                writeln!(out, "v {item} {}", entries.join(" ")).map_err(io_err)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a stream of records from the line format written by
+/// [`write_stream`]; `#` comments and blank lines are ignored and every
+/// record is validated on the way in.
+pub fn read_stream<R: BufRead>(input: R) -> Result<Vec<StreamRecord>> {
+    let mut records = Vec::new();
+    for (line_no, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| PdsError::InvalidParameter {
+            message: format!("i/o error while reading stream: {e}"),
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let tag = fields.next().unwrap_or_default();
+        let parse_err = |what: &str| PdsError::InvalidParameter {
+            message: format!("line {}: could not parse {what}: {line}", line_no + 1),
+        };
+        let record = match tag {
+            "b" => {
+                let record = StreamRecord::Basic {
+                    item: fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| parse_err("item"))?,
+                    prob: fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| parse_err("probability"))?,
+                };
+                if fields.next().is_some() {
+                    // Merged lines or shifted columns must not drop data
+                    // silently.
+                    return Err(parse_err("record (unexpected trailing fields)"));
+                }
+                record
+            }
+            "x" => {
+                let mut alts = Vec::new();
+                for field in fields {
+                    let (i, p) = field
+                        .split_once(':')
+                        .ok_or_else(|| parse_err("alternative"))?;
+                    alts.push((
+                        i.parse().map_err(|_| parse_err("alternative item"))?,
+                        p.parse()
+                            .map_err(|_| parse_err("alternative probability"))?,
+                    ));
+                }
+                StreamRecord::Alternatives(alts)
+            }
+            "v" => {
+                let item = fields
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| parse_err("item"))?;
+                let mut entries = Vec::new();
+                for field in fields {
+                    let (v, p) = field.split_once(':').ok_or_else(|| parse_err("entry"))?;
+                    entries.push((
+                        v.parse().map_err(|_| parse_err("entry frequency"))?,
+                        p.parse().map_err(|_| parse_err("entry probability"))?,
+                    ));
+                }
+                StreamRecord::ValueDistribution { item, entries }
+            }
+            _ => {
+                return Err(PdsError::InvalidParameter {
+                    message: format!("line {}: unknown stream record tag {tag:?}", line_no + 1),
+                })
+            }
+        };
+        record.validate()?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +409,29 @@ mod tests {
         assert!(relation_from_str("model tuple-pdf\ndomain 4\nz 0\n").is_err()); // unknown tag
         let err = relation_from_str("model nosuch\ndomain 4\n").unwrap_err();
         assert!(err.to_string().contains("nosuch"));
+    }
+
+    #[test]
+    fn stream_records_round_trip_through_the_line_format() {
+        use crate::stream::records_of;
+        for w in test_workloads(16, 4) {
+            let records = records_of(&w.relation);
+            let mut buf = Vec::new();
+            write_stream(&records, &mut buf).unwrap();
+            let back = read_stream(buf.as_slice()).unwrap();
+            assert_eq!(records, back, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn malformed_stream_records_are_rejected() {
+        assert!(read_stream("b 0\n".as_bytes()).is_err()); // missing prob
+        assert!(read_stream("b 3 0.5 0.9\n".as_bytes()).is_err()); // trailing field
+        assert!(read_stream("b 0 2.0\n".as_bytes()).is_err()); // invalid prob
+        assert!(read_stream("x 1 0.5\n".as_bytes()).is_err()); // missing `:`
+        assert!(read_stream("v 0 1.0\n".as_bytes()).is_err()); // missing `:p`
+        assert!(read_stream("q 0 0.5\n".as_bytes()).is_err()); // unknown tag
+        assert!(read_stream("# ok\n\nb 3 0.5\n".as_bytes()).is_ok());
     }
 
     #[test]

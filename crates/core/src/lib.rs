@@ -15,7 +15,10 @@
 //! * the frequency value domain `V` ([`values`]);
 //! * the cumulative and maximum error metrics of Section 2.2 ([`metrics`]);
 //! * synthetic workload generators standing in for the paper's MystiQ and
-//!   MayBMS/TPC-H data sets ([`generator`]).
+//!   MayBMS/TPC-H data sets ([`generator`]);
+//! * streaming-ingest records in all three models plus seeded record streams
+//!   ([`stream`]), and the binary envelope primitives behind the compact
+//!   persistent synopsis format ([`binio`]).
 //!
 //! Synopsis construction itself lives in the `pds-histogram` and
 //! `pds-wavelet` crates; `probsyn` re-exports everything under one roof.
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod binio;
 pub mod bounds;
 pub mod error;
 pub mod generator;
@@ -47,6 +51,7 @@ pub mod io;
 pub mod metrics;
 pub mod model;
 pub mod moments;
+pub mod stream;
 pub mod values;
 pub mod worlds;
 
@@ -57,5 +62,6 @@ pub use model::{
     ValuePdfModel,
 };
 pub use moments::{item_moments, ItemMoments};
+pub use stream::{basic_stream, records_of, BasicStreamConfig, StreamRecord};
 pub use values::ValueDomain;
 pub use worlds::{sample_world, PossibleWorlds};

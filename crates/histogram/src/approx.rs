@@ -21,11 +21,14 @@
 //!   level's solution for the same prefix (a histogram with fewer buckets is
 //!   always feasible), so pruning has a real bound before the first oracle
 //!   call;
-//! * **plateau early-exit** — candidates are scanned from the narrowest
-//!   final bucket outwards; once the (containment-monotone) bucket cost
-//!   alone reaches the current best total, no wider bucket can win and the
-//!   scan stops.  Candidates whose prefix error already exceeds the bound
-//!   are skipped without any oracle call;
+//! * **bisected cost window** — for containment-monotone oracles bucket
+//!   costs are non-increasing along the (ascending) candidate list, so the
+//!   candidates whose final-bucket cost alone reaches the seeded bound form
+//!   a prefix of the list.  One binary search over the cached cost window
+//!   dismisses that prefix wholesale (replacing the old linear plateau
+//!   walk), the surviving suffix is completed with a single batched sweep,
+//!   and the minimisation runs as a tight loop over the warm window with no
+//!   per-candidate cache probes or exit tests;
 //! * **cross-level cost cache** — a bucket cost depends only on `(start,
 //!   end)`, never on the budget level, so sweep results are reused across
 //!   all `B` levels through a per-endpoint cache.
@@ -49,8 +52,9 @@ pub struct ApproxStats {
     pub retained_candidates: usize,
     /// Bucket costs served from the cross-level cache instead of the oracle.
     pub cache_hits: usize,
-    /// Candidate splits skipped without an oracle call (prefix-error bound or
-    /// plateau early-exit).
+    /// Candidate splits dismissed without an individual evaluation: the
+    /// bisected cost window's prefix prune (which pays only its binary-search
+    /// probes) or, on the non-monotone path, the prefix-error bound.
     pub pruned_candidates: usize,
     /// The approximation parameter that was used.
     pub epsilon: f64,
@@ -67,9 +71,9 @@ pub struct ApproxHistogram {
 
 /// Per-endpoint cost cache, indexed by bucket depth `endpoint − start`.
 ///
-/// The scans only ever request starts close to their endpoint (the plateau
-/// early-exit caps the depth), so a dense window with NaN holes gives O(1)
-/// lookups and inserts with memory proportional to the deepest request.
+/// The scans only ever request starts close to their endpoint (the
+/// branch-and-bound caps the depth), so a dense window with NaN holes gives
+/// O(1) lookups and inserts with memory proportional to the deepest request.
 #[derive(Default, Clone)]
 struct EndpointCache {
     costs: Vec<f64>,
@@ -85,6 +89,99 @@ impl EndpointCache {
             self.costs.resize(depth + 1, f64::NAN);
         }
         self.costs[depth] = cost;
+    }
+}
+
+/// Oracle-access counters shared by the scan paths.
+struct ScanStats {
+    evaluations: usize,
+    cache_hits: usize,
+    pruned: usize,
+}
+
+/// Scratch buffers for [`evaluate_chunk`].
+#[derive(Default)]
+struct ChunkScratch {
+    costs: Vec<f64>,
+    missing: Vec<usize>,
+    missing_pos: Vec<usize>,
+}
+
+/// The cost of one bucket `[start, j]`, served from the endpoint cache when
+/// possible (recorded as a hit) and from the oracle otherwise (recorded as
+/// an evaluation and cached).
+fn probe_cost<O: BucketCostOracle + ?Sized>(
+    oracle: &O,
+    j: usize,
+    start: usize,
+    cache: &mut EndpointCache,
+    stats: &mut ScanStats,
+) -> f64 {
+    if let Some(cost) = cache.get(j - start) {
+        stats.cache_hits += 1;
+        return cost;
+    }
+    let cost = oracle.bucket(start, j).cost;
+    cache.insert(j - start, cost);
+    stats.evaluations += 1;
+    cost
+}
+
+/// Evaluates one chunk of candidate starts (descending, i.e. narrowest final
+/// bucket first) against the current best total: cached costs are reused,
+/// misses go through one batched `costs_ending_at` sweep.  Used by the
+/// non-monotone scan path only (monotone oracles go through the bisected
+/// cost window instead).
+#[allow(clippy::too_many_arguments)]
+fn evaluate_chunk<O: BucketCostOracle + ?Sized>(
+    oracle: &O,
+    j: usize,
+    chunk_starts: &[usize],
+    chunk_lefts: &[f64],
+    cache: &mut EndpointCache,
+    scratch: &mut ChunkScratch,
+    stats: &mut ScanStats,
+    best: &mut f64,
+    best_s: &mut u32,
+) {
+    let ChunkScratch {
+        costs,
+        missing,
+        missing_pos,
+    } = scratch;
+    costs.clear();
+    costs.resize(chunk_starts.len(), 0.0);
+    missing.clear();
+    missing_pos.clear();
+    for (k, &start) in chunk_starts.iter().enumerate() {
+        match cache.get(j - start) {
+            Some(cost) => {
+                costs[k] = cost;
+                stats.cache_hits += 1;
+            }
+            None => {
+                missing.push(start);
+                missing_pos.push(k);
+            }
+        }
+    }
+    if !missing.is_empty() {
+        // chunk_starts descends, so the misses reversed ascend.
+        missing.reverse();
+        let fresh = oracle.costs_ending_at(j, missing);
+        stats.evaluations += missing.len();
+        let m = missing.len();
+        for (asc, (&start, &cost)) in missing.iter().zip(&fresh).enumerate() {
+            costs[missing_pos[m - 1 - asc]] = cost;
+            cache.insert(j - start, cost);
+        }
+    }
+    for (k, (&start, &left)) in chunk_starts.iter().zip(chunk_lefts).enumerate() {
+        let total = left + costs[k];
+        if total < *best {
+            *best = total;
+            *best_s = start as u32;
+        }
     }
 }
 
@@ -122,10 +219,12 @@ pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
     let delta = (1.0 + epsilon).powf(1.0 / b as f64) - 1.0;
     let monotone = oracle.costs_monotone();
 
-    let mut evaluations = 0usize;
+    let mut stats = ScanStats {
+        evaluations: 0,
+        cache_hits: 0,
+        pruned: 0,
+    };
     let mut retained = 0usize;
-    let mut cache_hits = 0usize;
-    let mut pruned = 0usize;
 
     // value[level][j] = approximate optimal error of a histogram with at
     // most (level+1) buckets over the prefix [0, j]; split[level][j] = chosen
@@ -135,29 +234,37 @@ pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
     let mut value = vec![vec![f64::INFINITY; n]; b];
     let mut split = vec![vec![u32::MAX; n]; b];
 
-    // Level 0: a single bucket [0, j].
-    for j in 0..n {
-        value[0][j] = oracle.bucket(0, j).cost;
+    // Level 0: a single bucket [0, j] per endpoint, obtained with one
+    // prefix-direction column sweep so incremental oracles (tuple-exact SSE)
+    // amortise the growing-bucket work instead of rescanning per endpoint.
+    let all_ends: Vec<usize> = (0..n).collect();
+    for (j, cost) in oracle
+        .costs_starting_at(0, &all_ends)
+        .into_iter()
+        .enumerate()
+    {
+        value[0][j] = cost;
         split[0][j] = 0;
-        evaluations += 1;
     }
+    stats.evaluations += n;
 
     // Bucket costs depend only on (start, endpoint), never on the level, so
     // sweep results are shared across levels through a per-endpoint cache.
     let mut cache: Vec<EndpointCache> = vec![EndpointCache::default(); n];
     let mut chunk_starts: Vec<usize> = Vec::with_capacity(SWEEP_CHUNK);
     let mut chunk_lefts: Vec<f64> = Vec::with_capacity(SWEEP_CHUNK);
-    let mut chunk_costs: Vec<f64> = Vec::with_capacity(SWEEP_CHUNK);
-    let mut missing: Vec<usize> = Vec::with_capacity(SWEEP_CHUNK);
-    let mut missing_pos: Vec<usize> = Vec::with_capacity(SWEEP_CHUNK);
+    let mut scratch = ChunkScratch::default();
 
     for level in 1..b {
         // Candidate split positions from the previous level: positions p such
         // that the final bucket of the current level starts at p + 1.
         // Invariant: candidates partition the processed prefix into runs whose
         // approximate value grows by at most (1 + delta); the right end of the
-        // closed run is retained.
+        // closed run is retained.  `cand_lefts` mirrors the list with the
+        // previous level's (always finite) value at each candidate, so the
+        // minimisation loop streams a contiguous array.
         let mut candidates: Vec<usize> = Vec::new();
+        let mut cand_lefts: Vec<f64> = Vec::new();
         let mut run_start_value = f64::INFINITY;
         for j in 0..n {
             // Maintain the candidate list over the prefix positions < j of the
@@ -169,14 +276,17 @@ pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
                     if run_start_value.is_infinite() {
                         run_start_value = v;
                         candidates.push(p);
+                        cand_lefts.push(v);
                     } else if v > (1.0 + delta) * run_start_value {
                         // Close the previous run at p (keep it) and start a new
                         // run here.
                         candidates.push(p);
+                        cand_lefts.push(v);
                         run_start_value = v;
                     } else {
                         // Extend the current run: replace its right end with p.
                         *candidates.last_mut().expect("non-empty run") = p;
+                        *cand_lefts.last_mut().expect("non-empty run") = v;
                     }
                 }
             }
@@ -189,75 +299,98 @@ pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
             // lets the scan prune before its first oracle call.
             let mut best = value[level - 1][j];
             let mut best_s = split[level - 1][j];
-            // Scan candidates from the narrowest final bucket outwards, in
-            // chunks routed through the batched sweep API.
-            let mut idx = candidates.len();
-            'scan: while idx > 0 {
+            if monotone {
+                // Phase 1 — bisect the monotone cost window.  Bucket costs
+                // are non-increasing along the (ascending) candidate list,
+                // so the candidates whose final-bucket cost alone reaches
+                // the seeded bound form a prefix; one binary search finds
+                // its end and dismisses the prefix wholesale.  Probes hit
+                // the cross-level cache first and fall back to a single
+                // oracle evaluation (which is then cached for later levels).
+                let mut lo = 0usize;
+                let mut hi = candidates.len();
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    let cost =
+                        probe_cost(oracle, j, candidates[mid] + 1, &mut cache[j], &mut stats);
+                    if cost >= best {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let cut = lo;
+                stats.pruned += cut;
+                // Phase 2 — evaluate the surviving suffix [cut, len) in one
+                // fused pass: cached candidates fold straight into the
+                // minimum (no exit tests; a candidate with a large prefix
+                // error simply never wins), misses are collected and
+                // completed with a single batched ascending sweep.
                 chunk_starts.clear();
-                chunk_lefts.clear();
-                while idx > 0 && chunk_starts.len() < SWEEP_CHUNK {
-                    idx -= 1;
-                    let p = candidates[idx];
-                    debug_assert!(p < j);
-                    let left = value[level - 1][p];
-                    if !left.is_finite() {
-                        continue;
-                    }
-                    if left >= best {
-                        // The prefix alone already matches the bound — no
-                        // oracle call needed.
-                        pruned += 1;
-                        continue;
-                    }
-                    chunk_starts.push(p + 1);
-                    chunk_lefts.push(left);
-                }
-                if chunk_starts.is_empty() {
-                    break;
-                }
-                // Serve the chunk from the cross-level cache, batching the
-                // misses through one costs_ending_at sweep.
-                chunk_costs.clear();
-                chunk_costs.resize(chunk_starts.len(), 0.0);
-                missing.clear();
-                missing_pos.clear();
-                for (k, &start) in chunk_starts.iter().enumerate() {
-                    match cache[j].get(j - start) {
-                        Some(cost) => {
-                            chunk_costs[k] = cost;
-                            cache_hits += 1;
-                        }
-                        None => {
-                            missing.push(start);
-                            missing_pos.push(k);
+                {
+                    let window = &cache[j];
+                    for (&p, &left) in candidates[cut..].iter().zip(&cand_lefts[cut..]) {
+                        debug_assert!(p < j);
+                        match window.get(j - p - 1) {
+                            Some(cost) => {
+                                let total = left + cost;
+                                if total < best {
+                                    best = total;
+                                    best_s = (p + 1) as u32;
+                                }
+                            }
+                            None => chunk_starts.push(p + 1),
                         }
                     }
                 }
-                if !missing.is_empty() {
-                    // chunk_starts descends, so the misses reversed ascend.
-                    missing.reverse();
-                    let fresh = oracle.costs_ending_at(j, &missing);
-                    evaluations += missing.len();
-                    let m = missing.len();
-                    for (asc, (&start, &cost)) in missing.iter().zip(&fresh).enumerate() {
-                        chunk_costs[missing_pos[m - 1 - asc]] = cost;
+                stats.cache_hits += candidates.len() - cut - chunk_starts.len();
+                if !chunk_starts.is_empty() {
+                    let fresh = oracle.costs_ending_at(j, &chunk_starts);
+                    stats.evaluations += fresh.len();
+                    for (&start, &cost) in chunk_starts.iter().zip(&fresh) {
                         cache[j].insert(j - start, cost);
+                        let total = value[level - 1][start - 1] + cost;
+                        if total < best {
+                            best = total;
+                            best_s = start as u32;
+                        }
                     }
                 }
-                for (k, (&start, &left)) in chunk_starts.iter().zip(&chunk_lefts).enumerate() {
-                    let cost = chunk_costs[k];
-                    if monotone && cost >= best {
-                        // Plateau early-exit: every remaining candidate opens
-                        // a wider final bucket, whose (containment-monotone)
-                        // cost alone already reaches the best total.
-                        pruned += idx + (chunk_starts.len() - 1 - k);
-                        break 'scan;
+            } else {
+                // Non-monotone oracles (the tuple-pdf prefix-array SSE
+                // approximation): linear walk from the narrowest final
+                // bucket outwards, in chunks routed through the batched
+                // sweep API.
+                let mut idx = candidates.len();
+                while idx > 0 {
+                    chunk_starts.clear();
+                    chunk_lefts.clear();
+                    while idx > 0 && chunk_starts.len() < SWEEP_CHUNK {
+                        idx -= 1;
+                        let p = candidates[idx];
+                        debug_assert!(p < j);
+                        let left = cand_lefts[idx];
+                        if left >= best {
+                            stats.pruned += 1;
+                            continue;
+                        }
+                        chunk_starts.push(p + 1);
+                        chunk_lefts.push(left);
                     }
-                    let total = left + cost;
-                    if total < best {
-                        best = total;
-                        best_s = start as u32;
+                    if chunk_starts.is_empty() {
+                        break;
                     }
+                    evaluate_chunk(
+                        oracle,
+                        j,
+                        &chunk_starts,
+                        &chunk_lefts,
+                        &mut cache[j],
+                        &mut scratch,
+                        &mut stats,
+                        &mut best,
+                        &mut best_s,
+                    );
                 }
             }
             value[level][j] = best;
@@ -292,10 +425,10 @@ pub fn approx_histogram<O: BucketCostOracle + ?Sized>(
     Ok(ApproxHistogram {
         histogram,
         stats: ApproxStats {
-            bucket_evaluations: evaluations,
+            bucket_evaluations: stats.evaluations,
             retained_candidates: retained,
-            cache_hits,
-            pruned_candidates: pruned,
+            cache_hits: stats.cache_hits,
+            pruned_candidates: stats.pruned,
             epsilon,
         },
     })

@@ -55,6 +55,7 @@ pub mod dp;
 pub mod equidepth;
 pub mod evaluate;
 pub mod histogram;
+pub mod merge;
 pub mod oracle;
 
 pub use approx::{approx_histogram, ApproxHistogram, ApproxStats};
@@ -66,6 +67,10 @@ pub use dp::{optimal_histogram, DpTables};
 pub use equidepth::equidepth_histogram;
 pub use evaluate::{error_percentage, expected_cost, sse_paper_cost};
 pub use histogram::{Bucket, Histogram};
+pub use merge::{
+    merge_histograms, optimal_piecewise_histogram, pieces_of, sum_pieces, Piece,
+    PiecewiseConstantOracle,
+};
 pub use oracle::{oracle_for_metric, BucketCostOracle, BucketSolution};
 
 use pds_core::error::Result;

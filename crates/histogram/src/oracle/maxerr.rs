@@ -430,6 +430,39 @@ impl BucketCostOracle for MaxErrOracle {
         out
     }
 
+    fn costs_starting_at(&self, s: usize, ends: &[usize]) -> Vec<f64> {
+        let k = self.domain.len();
+        let mut out = vec![0.0; ends.len()];
+        if ends.is_empty() {
+            return out;
+        }
+        // Prefix-direction dual of the sweep above: grow the bucket
+        // rightwards from the fixed start, folding each item's grid-error row
+        // into the running envelope.
+        let mut env = vec![f64::NEG_INFINITY; k];
+        let mut lines: Vec<(f64, f64)> = Vec::new();
+        let mut next = 0usize;
+        for e in s..=ends[ends.len() - 1] {
+            let row = &self.grid[e * k..(e + 1) * k];
+            for (slot, &g) in env.iter_mut().zip(row) {
+                if g > *slot {
+                    *slot = g;
+                }
+            }
+            while next < ends.len() && ends[next] == e {
+                let a = self.grid_argmin(|l| env[l], k);
+                let cost = if k == 1 {
+                    env[0]
+                } else {
+                    self.refine_around(s, e, a, env[a], &mut lines).1
+                };
+                out[next] = cost.max(0.0);
+                next += 1;
+            }
+        }
+        out
+    }
+
     fn is_cumulative(&self) -> bool {
         false
     }
@@ -568,6 +601,30 @@ mod tests {
                     let sparse: Vec<usize> = (0..=e).step_by(2).collect();
                     let out = oracle.costs_ending_at(e, &sparse);
                     for (j, &s) in sparse.iter().enumerate() {
+                        assert!((out[j] - oracle.bucket(s, e).cost).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_direction_sweep_matches_single_bucket_queries() {
+        for rel in relations() {
+            for oracle in [MaxErrOracle::mae(&rel), MaxErrOracle::mare(&rel, 0.5)] {
+                for s in 0..rel.n() {
+                    let ends: Vec<usize> = (s..rel.n()).collect();
+                    let out = oracle.costs_starting_at(s, &ends);
+                    for (j, &e) in ends.iter().enumerate() {
+                        assert!(
+                            (out[j] - oracle.bucket(s, e).cost).abs() < 1e-9,
+                            "{} [{s},{e}]",
+                            rel.model_name()
+                        );
+                    }
+                    let sparse: Vec<usize> = (s..rel.n()).step_by(2).collect();
+                    let out = oracle.costs_starting_at(s, &sparse);
+                    for (j, &e) in sparse.iter().enumerate() {
                         assert!((out[j] - oracle.bucket(s, e).cost).abs() < 1e-9);
                     }
                 }

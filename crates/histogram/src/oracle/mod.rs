@@ -18,7 +18,10 @@
 //! Both dynamic programs consume oracles through the batched
 //! [`BucketCostOracle::costs_ending_at`] sweep (all requested buckets share
 //! the right endpoint `e`), so the contracts below are what the `oracle_cost`
-//! benchmark enforces.  `|V|` is the size of the frequency value domain and
+//! benchmark enforces; the approximate DP's level-0 column additionally uses
+//! the prefix-direction dual [`BucketCostOracle::costs_starting_at`] (fixed
+//! start, growing endpoint) with the same amortised per-bucket cost for the
+//! incremental oracles.  `|V|` is the size of the frequency value domain and
 //! `n_b` the bucket width.
 //!
 //! | oracle | preprocessing | single `bucket(s, e)` | per start in a sweep |
@@ -77,6 +80,20 @@ pub trait BucketCostOracle {
         starts.iter().map(|&s| self.bucket(s, e).cost).collect()
     }
 
+    /// Batched prefix-direction sweep: costs of every bucket
+    /// `[s, ends[k]]` for an ascending list of end positions
+    /// (`ends[k] >= s` for all `k`); `out[k] == bucket(s, ends[k]).cost`.
+    ///
+    /// This is the column-wise dual of [`BucketCostOracle::costs_ending_at`]:
+    /// the bucket grows *rightwards* from a fixed start.  The approximate DP
+    /// uses it for its level-0 column (`cost(0, j)` for every endpoint `j`),
+    /// so the oracles whose single-bucket query is not `O(1)` — the
+    /// tuple-exact SSE oracle and the max-error envelope — override it with
+    /// an incremental sweep that amortises the per-endpoint work.
+    fn costs_starting_at(&self, s: usize, ends: &[usize]) -> Vec<f64> {
+        ends.iter().map(|&e| self.bucket(s, e).cost).collect()
+    }
+
     /// Whether per-bucket costs combine additively (`true`, cumulative
     /// metrics) or by maximum (`false`, max-error metrics).
     fn is_cumulative(&self) -> bool {
@@ -127,6 +144,10 @@ impl BucketCostOracle for Box<dyn BucketCostOracle> {
 
     fn costs_ending_at(&self, e: usize, starts: &[usize]) -> Vec<f64> {
         self.as_ref().costs_ending_at(e, starts)
+    }
+
+    fn costs_starting_at(&self, s: usize, ends: &[usize]) -> Vec<f64> {
+        self.as_ref().costs_starting_at(s, ends)
     }
 
     fn is_cumulative(&self) -> bool {

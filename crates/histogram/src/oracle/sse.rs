@@ -252,6 +252,47 @@ impl BucketCostOracle for SseOracle {
         }
     }
 
+    fn costs_starting_at(&self, s: usize, ends: &[usize]) -> Vec<f64> {
+        match &self.tuple {
+            Some(t) if t.mode == TupleSseMode::Exact => {
+                // Prefix-direction dual of the sweep above: grow the bucket
+                // rightwards from [s, s] up to the largest requested end,
+                // maintaining Σ_t q_t² incrementally.
+                let mut out = vec![0.0; ends.len()];
+                if ends.is_empty() {
+                    return out;
+                }
+                let mut q = vec![0.0f64; t.tuple_count];
+                let mut touched: Vec<u32> = Vec::new();
+                let mut sum_q2 = 0.0;
+                let mut next = 0usize;
+                for e in s..=ends[ends.len() - 1] {
+                    for &(tid, p) in &t.by_item[e] {
+                        let old = q[tid as usize];
+                        if old == 0.0 {
+                            touched.push(tid);
+                        }
+                        let new = old + p;
+                        sum_q2 += new * new - old * old;
+                        q[tid as usize] = new;
+                    }
+                    while next < ends.len() && ends[next] == e {
+                        out[next] = self.cost_with_sum_q2(s, e, Some(sum_q2));
+                        next += 1;
+                    }
+                }
+                for tid in touched {
+                    q[tid as usize] = 0.0;
+                }
+                out
+            }
+            _ => ends
+                .iter()
+                .map(|&e| self.cost_with_sum_q2(s, e, None))
+                .collect(),
+        }
+    }
+
     fn costs_monotone(&self) -> bool {
         // The prefix-array covariance approximation for straddling tuples is
         // the only mode that can violate containment monotonicity.
@@ -435,6 +476,34 @@ mod tests {
                     let sparse: Vec<usize> = (0..=e).step_by(2).collect();
                     let out = oracle.costs_ending_at(e, &sparse);
                     for (k, &s) in sparse.iter().enumerate() {
+                        assert!((out[k] - oracle.bucket(s, e).cost).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn costs_starting_at_agrees_with_single_bucket_queries() {
+        for rel in [basic_example(), tuple_example(), value_example()] {
+            for (objective, mode) in [
+                (SseObjective::PaperEq5, TupleSseMode::Exact),
+                (SseObjective::PaperEq5, TupleSseMode::PrefixArrays),
+            ] {
+                let oracle = SseOracle::with_tuple_mode(&rel, objective, mode);
+                for s in 0..rel.n() {
+                    let ends: Vec<usize> = (s..rel.n()).collect();
+                    let out = oracle.costs_starting_at(s, &ends);
+                    for (k, &e) in ends.iter().enumerate() {
+                        assert!(
+                            (out[k] - oracle.bucket(s, e).cost).abs() < 1e-12,
+                            "{objective:?} {mode:?} [{s},{e}]"
+                        );
+                    }
+                    // A sparse subset of ends is answered identically.
+                    let sparse: Vec<usize> = (s..rel.n()).step_by(2).collect();
+                    let out = oracle.costs_starting_at(s, &sparse);
+                    for (k, &e) in sparse.iter().enumerate() {
                         assert!((out[k] - oracle.bucket(s, e).cost).abs() < 1e-12);
                     }
                 }

@@ -1,0 +1,56 @@
+//! # pds-store
+//!
+//! A **partitioned streaming-ingest and persistent synopsis store** on top
+//! of the paper's probabilistic histogram and wavelet synopses: the
+//! scale-out path from "build one synopsis over one relation" to "serve
+//! approximate queries over a stream of arriving uncertain tuples".
+//!
+//! The lifecycle mirrors an LSM tree, with synopses in place of sorted runs:
+//!
+//! 1. **Ingest** — arriving [`StreamRecord`]s (any of the three uncertainty
+//!    models) are routed to the item-range partition that owns them and
+//!    buffered in that partition's [`Memtable`], which keeps exact expected
+//!    frequencies incrementally so live data stays queryable.
+//! 2. **Seal** — when a memtable reaches the configured threshold it is
+//!    sealed into an immutable [`Segment`]: the buffered records become a
+//!    probabilistic relation and the configured synopsis (histogram via the
+//!    batched-sweep DP, or an SSE-optimal wavelet) is built over it.
+//! 3. **Compact** — segments of one partition are recombined by summing
+//!    their piecewise-constant estimates on the union of their boundaries
+//!    and re-running the merge DP; [`SynopsisStore::merge_global`] does the
+//!    same across all partitions to produce one global `B`-bucket histogram
+//!    (the candidate cut points are exactly the partition/bucket edges).
+//! 4. **Serve** — range-sum/count estimates combine live memtables with
+//!    sealed segments; the umbrella crate's `aqp` module routes its
+//!    [`FrequencyQuery`]s here.
+//!
+//! Persistence uses the versioned **compact binary format** (see
+//! `pds_core::binio`): segments and whole stores encode to self-describing
+//! byte blobs whose corrupted/truncated/version-skewed variants decode to
+//! [`PdsError`]s, never panics.  JSON (`Segment::to_json`) stays available
+//! as the debug encoding.
+//!
+//! ## Sharding semantics
+//!
+//! Basic-model and value-pdf records are per-item and route exactly.  An
+//! x-tuple whose alternatives span several partitions is **split** into one
+//! sub-tuple per partition: this preserves every per-item marginal (hence
+//! every expected frequency and every synopsis built from moments) and
+//! drops only the cross-partition exclusivity correlation — the same
+//! boundary approximation the paper already accepts for its tuple-pdf
+//! prefix arrays (Section 3.1).
+//!
+//! [`StreamRecord`]: pds_core::stream::StreamRecord
+//! [`FrequencyQuery`]: https://docs.rs/probsyn
+//! [`PdsError`]: pds_core::error::PdsError
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod memtable;
+mod segment;
+mod store;
+
+pub use memtable::Memtable;
+pub use segment::{Segment, SegmentSynopsis, SynopsisKind};
+pub use store::{PartitionSpec, StoreConfig, StoreStats, SynopsisStore};

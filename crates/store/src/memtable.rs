@@ -1,0 +1,270 @@
+//! The mutable ingest buffer of one partition.
+
+use pds_core::error::{PdsError, Result};
+use pds_core::model::{BasicModel, ProbabilisticRelation, TuplePdfModel, ValuePdf, ValuePdfModel};
+use pds_core::stream::StreamRecord;
+
+/// The in-memory write buffer of one item-range partition: arriving records
+/// are appended (with their global item ids localised to the partition) and
+/// the exact per-item expected frequencies are maintained incrementally, so
+/// live un-sealed data answers range queries without scanning the buffer.
+#[derive(Debug, Clone)]
+pub struct Memtable {
+    /// First global item of the partition.
+    start: usize,
+    /// Buffered records, item ids localised to `[0, width)`.
+    records: Vec<StreamRecord>,
+    /// Exact expected frequency per local item (expectation is linear, so
+    /// every record kind contributes a closed-form increment).
+    expected: Vec<f64>,
+}
+
+impl Memtable {
+    /// Creates an empty memtable for the partition covering the global item
+    /// range `[start, start + width)`.
+    pub fn new(start: usize, width: usize) -> Self {
+        Memtable {
+            start,
+            records: Vec::new(),
+            expected: vec![0.0; width],
+        }
+    }
+
+    /// First global item of the partition.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of items in the partition.
+    pub fn width(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The exact expected frequency of every item in the partition (local
+    /// indexing).
+    pub fn expected_frequencies(&self) -> &[f64] {
+        &self.expected
+    }
+
+    /// Appends a record.  The record is validated and every item it touches
+    /// must fall inside this partition's range (the store splits
+    /// cross-partition x-tuples before routing).
+    pub fn insert(&mut self, record: StreamRecord) -> Result<()> {
+        let (lo, hi) = record.validate()?;
+        let end = self.start + self.width();
+        if lo < self.start || hi >= end {
+            return Err(PdsError::ItemOutOfDomain {
+                item: if lo < self.start { lo } else { hi },
+                domain: end,
+            });
+        }
+        // Localise and fold the expectation increment.
+        let local = match record {
+            StreamRecord::Basic { item, prob } => {
+                self.expected[item - self.start] += prob;
+                StreamRecord::Basic {
+                    item: item - self.start,
+                    prob,
+                }
+            }
+            StreamRecord::Alternatives(alts) => {
+                let alts: Vec<(usize, f64)> = alts
+                    .into_iter()
+                    .map(|(i, p)| {
+                        self.expected[i - self.start] += p;
+                        (i - self.start, p)
+                    })
+                    .collect();
+                StreamRecord::Alternatives(alts)
+            }
+            StreamRecord::ValueDistribution { item, entries } => {
+                self.expected[item - self.start] +=
+                    entries.iter().map(|&(v, p)| v * p).sum::<f64>();
+                StreamRecord::ValueDistribution {
+                    item: item - self.start,
+                    entries,
+                }
+            }
+        };
+        self.records.push(local);
+        Ok(())
+    }
+
+    /// Exact expected total frequency over the **global** inclusive item
+    /// range `[lo, hi]`, counting only this partition's overlap.
+    pub fn range_sum(&self, lo: usize, hi: usize) -> f64 {
+        let end = self.start + self.width();
+        if hi < self.start || lo >= end {
+            return 0.0;
+        }
+        let from = lo.max(self.start) - self.start;
+        let to = hi.min(end - 1) - self.start;
+        self.expected[from..=to].iter().sum()
+    }
+
+    /// Materialises the buffered records as a probabilistic relation over
+    /// the partition's local domain, picking the tightest of the three
+    /// uncertainty models that can represent the buffer:
+    ///
+    /// * only basic records → basic model;
+    /// * basic and/or x-tuple records → tuple pdf model;
+    /// * any value-pdf record → value pdf model, folding every contribution
+    ///   into per-item pdfs by convolution (x-tuple alternatives are folded
+    ///   as independent Bernoullis — the same within-tuple boundary
+    ///   approximation as cross-partition splitting, documented at the
+    ///   crate level).
+    pub fn to_relation(&self) -> Result<ProbabilisticRelation> {
+        let n = self.width();
+        let has_value = self
+            .records
+            .iter()
+            .any(|r| matches!(r, StreamRecord::ValueDistribution { .. }));
+        let has_tuple = self
+            .records
+            .iter()
+            .any(|r| matches!(r, StreamRecord::Alternatives(_)));
+        if has_value {
+            let mut pdfs = vec![ValuePdf::zero(); n];
+            for record in &self.records {
+                match record {
+                    StreamRecord::Basic { item, prob } => {
+                        pdfs[*item] = pdfs[*item].convolve_bernoulli(*prob);
+                    }
+                    StreamRecord::Alternatives(alts) => {
+                        for &(item, prob) in alts {
+                            pdfs[item] = pdfs[item].convolve_bernoulli(prob);
+                        }
+                    }
+                    StreamRecord::ValueDistribution { item, entries } => {
+                        pdfs[*item] = pdfs[*item].convolve(&ValuePdf::new(entries.clone())?);
+                    }
+                }
+            }
+            Ok(ValuePdfModel::new(pdfs).into())
+        } else if has_tuple {
+            let tuples = self.records.iter().map(|record| match record {
+                StreamRecord::Basic { item, prob } => vec![(*item, *prob)],
+                StreamRecord::Alternatives(alts) => alts.clone(),
+                StreamRecord::ValueDistribution { .. } => unreachable!("handled above"),
+            });
+            Ok(TuplePdfModel::from_alternatives(n, tuples)?.into())
+        } else {
+            let pairs = self.records.iter().map(|record| match record {
+                StreamRecord::Basic { item, prob } => (*item, *prob),
+                _ => unreachable!("handled above"),
+            });
+            Ok(BasicModel::from_pairs(n, pairs)?.into())
+        }
+    }
+
+    /// Empties the buffer (called after the records were sealed into a
+    /// segment), keeping the partition range.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.expected.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_frequencies_track_all_record_kinds() {
+        let mut m = Memtable::new(10, 4);
+        m.insert(StreamRecord::Basic {
+            item: 10,
+            prob: 0.5,
+        })
+        .unwrap();
+        m.insert(StreamRecord::Alternatives(vec![(11, 0.25), (13, 0.75)]))
+            .unwrap();
+        m.insert(StreamRecord::ValueDistribution {
+            item: 11,
+            entries: vec![(2.0, 0.5), (4.0, 0.25)],
+        })
+        .unwrap();
+        assert_eq!(m.len(), 3);
+        let e = m.expected_frequencies();
+        assert!((e[0] - 0.5).abs() < 1e-12);
+        assert!((e[1] - (0.25 + 2.0)).abs() < 1e-12);
+        assert!((e[3] - 0.75).abs() < 1e-12);
+        // Global range sums clip to the partition.
+        assert!((m.range_sum(0, 100) - 3.5).abs() < 1e-12);
+        assert!((m.range_sum(11, 11) - 2.25).abs() < 1e-12);
+        assert_eq!(m.range_sum(0, 9), 0.0);
+        assert_eq!(m.range_sum(14, 20), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_and_invalid_records_are_rejected() {
+        let mut m = Memtable::new(10, 4);
+        assert!(m
+            .insert(StreamRecord::Basic { item: 9, prob: 0.5 })
+            .is_err());
+        assert!(m
+            .insert(StreamRecord::Basic {
+                item: 14,
+                prob: 0.5
+            })
+            .is_err());
+        assert!(m
+            .insert(StreamRecord::Basic {
+                item: 10,
+                prob: 1.5
+            })
+            .is_err());
+        assert!(m
+            .insert(StreamRecord::Alternatives(vec![(10, 0.2), (14, 0.2)]))
+            .is_err());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn relation_model_matches_buffer_contents() {
+        // Basic only.
+        let mut m = Memtable::new(0, 3);
+        m.insert(StreamRecord::Basic { item: 0, prob: 0.5 })
+            .unwrap();
+        assert_eq!(m.to_relation().unwrap().model_name(), "basic");
+        // Adding an x-tuple upgrades to tuple pdf.
+        m.insert(StreamRecord::Alternatives(vec![(1, 0.5), (2, 0.5)]))
+            .unwrap();
+        let rel = m.to_relation().unwrap();
+        assert_eq!(rel.model_name(), "tuple-pdf");
+        assert!((rel.expected_frequencies()[1] - 0.5).abs() < 1e-12);
+        // Adding a value pdf upgrades to value pdf and keeps expectations.
+        m.insert(StreamRecord::ValueDistribution {
+            item: 2,
+            entries: vec![(3.0, 0.5)],
+        })
+        .unwrap();
+        let rel = m.to_relation().unwrap();
+        assert_eq!(rel.model_name(), "value-pdf");
+        for (i, &e) in m.expected_frequencies().iter().enumerate() {
+            assert!((rel.expected_frequencies()[i] - e).abs() < 1e-9, "item {i}");
+        }
+    }
+
+    #[test]
+    fn clear_resets_the_buffer_but_keeps_the_range() {
+        let mut m = Memtable::new(5, 2);
+        m.insert(StreamRecord::Basic { item: 6, prob: 0.9 })
+            .unwrap();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.start(), 5);
+        assert_eq!(m.width(), 2);
+        assert_eq!(m.range_sum(0, 100), 0.0);
+    }
+}

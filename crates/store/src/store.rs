@@ -1,0 +1,764 @@
+//! The partitioned synopsis store: routing, sealing, compaction, queries
+//! and whole-store persistence.
+
+use std::collections::BTreeMap;
+
+use pds_core::binio::{ByteReader, ByteWriter};
+use pds_core::error::{PdsError, Result};
+use pds_core::metrics::ErrorMetric;
+use pds_core::model::ValuePdfModel;
+use pds_core::stream::StreamRecord;
+use pds_histogram::merge::{optimal_piecewise_histogram, sum_pieces, Piece};
+use pds_histogram::Histogram;
+use pds_wavelet::build_sse_wavelet;
+
+use crate::memtable::Memtable;
+use crate::segment::{Segment, SegmentSynopsis, SynopsisKind};
+
+/// A partition of the item domain `[0, n)` into contiguous ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// Ascending boundary positions: partition `i` covers
+    /// `[bounds[i], bounds[i+1])`.
+    bounds: Vec<usize>,
+}
+
+impl PartitionSpec {
+    /// Builds a spec from explicit boundaries (`bounds[0] == 0`, strictly
+    /// ascending, last entry is the domain size).
+    pub fn from_bounds(bounds: Vec<usize>) -> Result<Self> {
+        if bounds.len() < 2 || bounds[0] != 0 {
+            return Err(PdsError::InvalidParameter {
+                message: "partition bounds must start at 0 and name at least one range".into(),
+            });
+        }
+        if bounds.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(PdsError::InvalidParameter {
+                message: "partition bounds must be strictly ascending".into(),
+            });
+        }
+        Ok(PartitionSpec { bounds })
+    }
+
+    /// Splits `[0, n)` into `parts` near-equal contiguous ranges.
+    pub fn uniform(n: usize, parts: usize) -> Result<Self> {
+        if parts == 0 || n < parts {
+            return Err(PdsError::InvalidParameter {
+                message: format!("cannot split a domain of {n} items into {parts} partitions"),
+            });
+        }
+        let mut bounds = Vec::with_capacity(parts + 1);
+        for i in 0..=parts {
+            bounds.push(i * n / parts);
+        }
+        PartitionSpec::from_bounds(bounds)
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        *self.bounds.last().expect("non-empty bounds")
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Always false: a spec names at least one partition.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The global item range `(start, width)` of partition `p`.
+    pub fn range(&self, p: usize) -> (usize, usize) {
+        (self.bounds[p], self.bounds[p + 1] - self.bounds[p])
+    }
+
+    /// The partition owning `item`, or an error outside the domain.
+    pub fn partition_of(&self, item: usize) -> Result<usize> {
+        if item >= self.n() {
+            return Err(PdsError::ItemOutOfDomain {
+                item,
+                domain: self.n(),
+            });
+        }
+        Ok(self.bounds.partition_point(|&b| b <= item) - 1)
+    }
+}
+
+/// Configuration of a [`SynopsisStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreConfig {
+    /// How the item domain is partitioned.
+    pub partitions: PartitionSpec,
+    /// Records a partition's memtable buffers before it is auto-sealed.
+    pub seal_threshold: usize,
+    /// Synopsis budget (buckets or coefficients) per sealed segment.
+    pub segment_budget: usize,
+    /// Which synopsis sealed segments get.
+    pub synopsis: SynopsisKind,
+}
+
+/// Point-in-time counters describing a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Stream records accepted by [`SynopsisStore::ingest`].
+    pub ingested_records: u64,
+    /// Records currently buffered in live memtables (not yet sealed).
+    pub live_records: u64,
+    /// Seal operations performed.
+    pub seals: u64,
+    /// Segments currently stored (compaction shrinks this).
+    pub segments: usize,
+    /// X-tuples whose alternatives were split across partitions.
+    pub split_tuples: u64,
+}
+
+/// The partitioned streaming-ingest synopsis store (see the crate docs for
+/// the lifecycle).
+#[derive(Debug, Clone)]
+pub struct SynopsisStore {
+    config: StoreConfig,
+    memtables: Vec<Memtable>,
+    /// Sealed segments per partition, oldest first.
+    segments: Vec<Vec<Segment>>,
+    ingested: u64,
+    seals: u64,
+    split_tuples: u64,
+}
+
+impl SynopsisStore {
+    /// Magic bytes of the whole-store binary encoding.
+    pub const BINARY_MAGIC: [u8; 4] = *b"PDST";
+
+    /// Version stamp of the whole-store binary encoding.
+    pub const BINARY_VERSION: u16 = 1;
+
+    /// Creates an empty store.
+    pub fn new(config: StoreConfig) -> Result<Self> {
+        if config.seal_threshold == 0 || config.segment_budget == 0 {
+            return Err(PdsError::InvalidParameter {
+                message: "the seal threshold and the segment budget must be positive".into(),
+            });
+        }
+        let memtables = (0..config.partitions.len())
+            .map(|p| {
+                let (start, width) = config.partitions.range(p);
+                Memtable::new(start, width)
+            })
+            .collect();
+        let segments = vec![Vec::new(); config.partitions.len()];
+        Ok(SynopsisStore {
+            config,
+            memtables,
+            segments,
+            ingested: 0,
+            seals: 0,
+            split_tuples: 0,
+        })
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.config.partitions.n()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.config.partitions.len()
+    }
+
+    /// The live memtable of partition `p`.
+    pub fn memtable(&self, p: usize) -> &Memtable {
+        &self.memtables[p]
+    }
+
+    /// The sealed segments of partition `p`, oldest first.
+    pub fn segments(&self, p: usize) -> &[Segment] {
+        &self.segments[p]
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            ingested_records: self.ingested,
+            live_records: self.memtables.iter().map(|m| m.len() as u64).sum(),
+            seals: self.seals,
+            segments: self.segments.iter().map(Vec::len).sum(),
+            split_tuples: self.split_tuples,
+        }
+    }
+
+    /// Appends one stream record, routing it to the partition(s) owning its
+    /// items; a partition whose memtable reaches the seal threshold is
+    /// sealed automatically.  X-tuples spanning several partitions are split
+    /// per partition (see the crate docs for the semantics).
+    pub fn ingest(&mut self, record: StreamRecord) -> Result<()> {
+        record.validate()?;
+        match record {
+            StreamRecord::Basic { item, .. } | StreamRecord::ValueDistribution { item, .. } => {
+                let p = self.config.partitions.partition_of(item)?;
+                self.memtables[p].insert(record)?;
+                self.ingested += 1;
+                self.maybe_seal(p)
+            }
+            StreamRecord::Alternatives(alts) => {
+                let mut by_partition: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
+                for &(item, prob) in &alts {
+                    let p = self.config.partitions.partition_of(item)?;
+                    by_partition.entry(p).or_default().push((item, prob));
+                }
+                if by_partition.len() > 1 {
+                    self.split_tuples += 1;
+                }
+                self.ingested += 1;
+                for (p, sub) in by_partition {
+                    self.memtables[p].insert(StreamRecord::Alternatives(sub))?;
+                    self.maybe_seal(p)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Appends every record of an iterator.
+    pub fn ingest_all(&mut self, records: impl IntoIterator<Item = StreamRecord>) -> Result<()> {
+        for record in records {
+            self.ingest(record)?;
+        }
+        Ok(())
+    }
+
+    fn maybe_seal(&mut self, p: usize) -> Result<()> {
+        if self.memtables[p].len() >= self.config.seal_threshold {
+            self.seal_partition(p)?;
+        }
+        Ok(())
+    }
+
+    /// Seals partition `p`'s memtable into an immutable segment (a no-op on
+    /// an empty memtable).  Returns whether a segment was produced.
+    pub fn seal_partition(&mut self, p: usize) -> Result<bool> {
+        let memtable = &self.memtables[p];
+        if memtable.is_empty() {
+            return Ok(false);
+        }
+        let relation = memtable.to_relation()?;
+        let budget = self.config.segment_budget.min(memtable.width());
+        let segment = Segment::build(
+            memtable.start(),
+            memtable.len() as u64,
+            &relation,
+            self.config.synopsis,
+            budget,
+        )?;
+        self.segments[p].push(segment);
+        self.memtables[p].clear();
+        self.seals += 1;
+        Ok(true)
+    }
+
+    /// Seals every non-empty memtable.
+    pub fn seal_all(&mut self) -> Result<()> {
+        for p in 0..self.num_partitions() {
+            self.seal_partition(p)?;
+        }
+        Ok(())
+    }
+
+    /// The summed piecewise-constant summary of partition `p`'s sealed
+    /// segments (`None` when the partition has no segments).
+    fn partition_pieces(&self, p: usize) -> Result<Option<Vec<Piece>>> {
+        let segs = &self.segments[p];
+        match segs.len() {
+            0 => Ok(None),
+            1 => Ok(Some(segs[0].pieces())),
+            _ => {
+                let layers: Vec<Vec<Piece>> = segs.iter().map(Segment::pieces).collect();
+                sum_pieces(&layers).map(Some)
+            }
+        }
+    }
+
+    /// Compacts partition `p`: its sealed segments are summed on the union
+    /// of their bucket boundaries and re-bucketed to the segment budget via
+    /// the merge DP, leaving one segment.  A no-op with fewer than two
+    /// segments.
+    pub fn compact_partition(&mut self, p: usize) -> Result<()> {
+        if self.segments[p].len() < 2 {
+            return Ok(());
+        }
+        let summed = self.partition_pieces(p)?.expect("at least two segments");
+        let (start, width) = self.config.partitions.range(p);
+        let budget = self.config.segment_budget.min(width);
+        let synopsis = match self.config.synopsis {
+            SynopsisKind::Histogram(_) => {
+                SegmentSynopsis::Histogram(optimal_piecewise_histogram(&summed, budget)?)
+            }
+            SynopsisKind::Wavelet => {
+                // Re-threshold the summed estimate vector: wavelets have no
+                // piece-level DP, so go through the dense reconstruction.
+                let dense: Vec<f64> = summed
+                    .iter()
+                    .flat_map(|piece| std::iter::repeat_n(piece.value, piece.width))
+                    .collect();
+                let relation = ValuePdfModel::deterministic(&dense).into();
+                SegmentSynopsis::Wavelet(build_sse_wavelet(&relation, budget)?)
+            }
+        };
+        let records = self.segments[p].iter().map(Segment::records).sum();
+        self.segments[p] = vec![Segment::new(start, records, synopsis)?];
+        Ok(())
+    }
+
+    /// Compacts every partition.
+    pub fn compact_all(&mut self) -> Result<()> {
+        for p in 0..self.num_partitions() {
+            self.compact_partition(p)?;
+        }
+        Ok(())
+    }
+
+    /// Recombines the sealed per-partition synopses into one global
+    /// `b`-bucket histogram via the partition-merge DP: the candidate cut
+    /// points are exactly the partition/bucket boundaries, and partitions
+    /// with no sealed data contribute a zero run.  Live memtable records are
+    /// **not** included — seal first for a full snapshot.
+    pub fn merge_global(&self, b: usize) -> Result<Histogram> {
+        let mut pieces: Vec<Piece> = Vec::new();
+        for p in 0..self.num_partitions() {
+            match self.partition_pieces(p)? {
+                Some(mut summed) => pieces.append(&mut summed),
+                None => {
+                    let (_, width) = self.config.partitions.range(p);
+                    pieces.push(Piece { width, value: 0.0 });
+                }
+            }
+        }
+        optimal_piecewise_histogram(&pieces, b)
+    }
+
+    /// Estimated expected total frequency over the **global** inclusive
+    /// item range `[lo, hi]`: sealed segments answer from their synopses,
+    /// live memtables from their exact running expectations.
+    pub fn range_estimate(&self, lo: usize, hi: usize) -> f64 {
+        let hi = hi.min(self.n().saturating_sub(1));
+        if lo > hi {
+            return 0.0;
+        }
+        let first = self
+            .config
+            .partitions
+            .partition_of(lo)
+            .expect("lo in domain");
+        let last = self
+            .config
+            .partitions
+            .partition_of(hi)
+            .expect("hi in domain");
+        let mut total = 0.0;
+        for p in first..=last {
+            for segment in &self.segments[p] {
+                total += segment.range_sum(lo, hi);
+            }
+            total += self.memtables[p].range_sum(lo, hi);
+        }
+        total
+    }
+
+    /// The estimated expected frequency of one item.
+    pub fn estimate(&self, item: usize) -> f64 {
+        self.range_estimate(item, item)
+    }
+
+    /// Serialises the sealed state into the compact binary format.  Live
+    /// memtable records are intentionally **not** persisted — the store
+    /// refuses to serialise while unsealed data exists, so a snapshot can
+    /// never silently drop records; call [`SynopsisStore::seal_all`] first.
+    pub fn to_binary(&self) -> Result<Vec<u8>> {
+        let live = self.stats().live_records;
+        if live > 0 {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "store has {live} unsealed records; call seal_all() before persisting"
+                ),
+            });
+        }
+        let mut w = ByteWriter::envelope(Self::BINARY_MAGIC, Self::BINARY_VERSION);
+        let bounds = &self.config.partitions.bounds;
+        w.put_varint(bounds.len() as u64);
+        let mut prev = 0u64;
+        for &b in bounds {
+            w.put_varint(b as u64 - prev);
+            prev = b as u64;
+        }
+        w.put_varint(self.config.seal_threshold as u64);
+        w.put_varint(self.config.segment_budget as u64);
+        encode_synopsis_kind(&mut w, self.config.synopsis);
+        w.put_varint(self.ingested);
+        w.put_varint(self.seals);
+        w.put_varint(self.split_tuples);
+        for segs in &self.segments {
+            w.put_varint(segs.len() as u64);
+            for segment in segs {
+                let blob = segment.to_binary()?;
+                w.put_varint(blob.len() as u64);
+                w.put_bytes(&blob);
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Reconstructs a store from [`SynopsisStore::to_binary`] output,
+    /// rejecting truncation, version skew and segments that do not tile
+    /// their partition with a [`PdsError`] — never a panic.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self> {
+        let (mut r, version) = ByteReader::envelope(bytes, "synopsis store", Self::BINARY_MAGIC)?;
+        if version != Self::BINARY_VERSION {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "store binary version {version} is not supported (expected {})",
+                    Self::BINARY_VERSION
+                ),
+            });
+        }
+        let bound_count = r.get_len(1 << 24)?;
+        let mut bounds = Vec::with_capacity(bound_count);
+        let mut acc = 0usize;
+        for i in 0..bound_count {
+            let delta = r.get_len(u32::MAX as usize)?;
+            acc += delta;
+            if i == 0 && delta != 0 {
+                return Err(PdsError::InvalidParameter {
+                    message: "store: partition bounds must start at 0".into(),
+                });
+            }
+            bounds.push(acc);
+        }
+        let partitions = PartitionSpec::from_bounds(bounds)?;
+        // Plain scalars, not allocation sizes: any value the writer accepted
+        // must decode (the "never auto-seal" configs use huge thresholds).
+        let seal_threshold = r.get_len(usize::MAX)?;
+        let segment_budget = r.get_len(usize::MAX)?;
+        let synopsis = decode_synopsis_kind(&mut r)?;
+        let ingested = r.get_varint()?;
+        let seals = r.get_varint()?;
+        let split_tuples = r.get_varint()?;
+        let mut store = SynopsisStore::new(StoreConfig {
+            partitions,
+            seal_threshold,
+            segment_budget,
+            synopsis,
+        })?;
+        for p in 0..store.num_partitions() {
+            let count = r.get_len(1 << 24)?;
+            let (start, width) = store.config.partitions.range(p);
+            for _ in 0..count {
+                let len = r.get_len(r.remaining())?;
+                let blob = r.get_bytes(len)?;
+                let segment = Segment::from_binary(blob)?;
+                if segment.start() != start || segment.width() != width {
+                    return Err(PdsError::InvalidParameter {
+                        message: format!(
+                            "segment [{}, {}] does not tile partition {p} ([{start}, {}])",
+                            segment.start(),
+                            segment.end(),
+                            start + width - 1
+                        ),
+                    });
+                }
+                store.segments[p].push(segment);
+            }
+        }
+        r.finish()?;
+        store.ingested = ingested;
+        store.seals = seals;
+        store.split_tuples = split_tuples;
+        Ok(store)
+    }
+}
+
+fn encode_synopsis_kind(w: &mut ByteWriter, kind: SynopsisKind) {
+    match kind {
+        SynopsisKind::Histogram(metric) => {
+            w.put_u8(0);
+            match metric {
+                ErrorMetric::Sse => w.put_u8(0),
+                ErrorMetric::Ssre { c } => {
+                    w.put_u8(1);
+                    w.put_f64(c);
+                }
+                ErrorMetric::Sae => w.put_u8(2),
+                ErrorMetric::Sare { c } => {
+                    w.put_u8(3);
+                    w.put_f64(c);
+                }
+                ErrorMetric::Mae => w.put_u8(4),
+                ErrorMetric::Mare { c } => {
+                    w.put_u8(5);
+                    w.put_f64(c);
+                }
+            }
+        }
+        SynopsisKind::Wavelet => w.put_u8(1),
+    }
+}
+
+fn decode_synopsis_kind(r: &mut ByteReader<'_>) -> Result<SynopsisKind> {
+    match r.get_u8()? {
+        0 => {
+            let metric = match r.get_u8()? {
+                0 => ErrorMetric::Sse,
+                1 => ErrorMetric::Ssre { c: r.get_f64()? },
+                2 => ErrorMetric::Sae,
+                3 => ErrorMetric::Sare { c: r.get_f64()? },
+                4 => ErrorMetric::Mae,
+                5 => ErrorMetric::Mare { c: r.get_f64()? },
+                other => {
+                    return Err(PdsError::InvalidParameter {
+                        message: format!("store: unknown error metric tag {other}"),
+                    })
+                }
+            };
+            Ok(SynopsisKind::Histogram(metric))
+        }
+        1 => Ok(SynopsisKind::Wavelet),
+        other => Err(PdsError::InvalidParameter {
+            message: format!("store: unknown synopsis kind tag {other}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pds_core::stream::{basic_stream, BasicStreamConfig};
+
+    fn config(n: usize, parts: usize, threshold: usize) -> StoreConfig {
+        StoreConfig {
+            partitions: PartitionSpec::uniform(n, parts).unwrap(),
+            seal_threshold: threshold,
+            segment_budget: 8,
+            synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+        }
+    }
+
+    #[test]
+    fn partition_spec_routes_and_validates() {
+        let spec = PartitionSpec::uniform(10, 3).unwrap();
+        assert_eq!(spec.len(), 3);
+        assert_eq!(spec.n(), 10);
+        assert_eq!(spec.range(0), (0, 3));
+        assert_eq!(spec.range(2), (6, 4));
+        assert_eq!(spec.partition_of(0).unwrap(), 0);
+        assert_eq!(spec.partition_of(5).unwrap(), 1);
+        assert_eq!(spec.partition_of(9).unwrap(), 2);
+        assert!(spec.partition_of(10).is_err());
+        assert!(PartitionSpec::uniform(2, 3).is_err());
+        assert!(PartitionSpec::from_bounds(vec![1, 5]).is_err());
+        assert!(PartitionSpec::from_bounds(vec![0, 5, 5]).is_err());
+        assert!(PartitionSpec::from_bounds(vec![0]).is_err());
+    }
+
+    #[test]
+    fn ingest_routes_seals_and_serves() {
+        let mut store = SynopsisStore::new(config(12, 3, 4)).unwrap();
+        // Exactly threshold records into partition 0 trigger an auto-seal.
+        for i in 0..4 {
+            store
+                .ingest(StreamRecord::Basic {
+                    item: i % 4,
+                    prob: 0.5,
+                })
+                .unwrap();
+        }
+        assert_eq!(store.segments(0).len(), 1);
+        assert!(store.memtable(0).is_empty());
+        // Live records in another partition are served exactly.
+        store
+            .ingest(StreamRecord::Basic { item: 8, prob: 0.9 })
+            .unwrap();
+        assert!((store.range_estimate(8, 8) - 0.9).abs() < 1e-12);
+        // The sealed partition serves from its synopsis; with 8 buckets over
+        // width 4 the histogram is exact.
+        assert!((store.range_estimate(0, 3) - 2.0).abs() < 1e-9);
+        let stats = store.stats();
+        assert_eq!(stats.ingested_records, 5);
+        assert_eq!(stats.live_records, 1);
+        assert_eq!(stats.seals, 1);
+        assert_eq!(stats.segments, 1);
+    }
+
+    #[test]
+    fn cross_partition_x_tuples_are_split_preserving_marginals() {
+        let mut store = SynopsisStore::new(config(12, 3, 100)).unwrap();
+        store
+            .ingest(StreamRecord::Alternatives(vec![
+                (1, 0.25),
+                (5, 0.25),
+                (10, 0.5),
+            ]))
+            .unwrap();
+        assert_eq!(store.stats().split_tuples, 1);
+        assert!((store.range_estimate(1, 1) - 0.25).abs() < 1e-12);
+        assert!((store.range_estimate(5, 5) - 0.25).abs() < 1e-12);
+        assert!((store.range_estimate(10, 10) - 0.5).abs() < 1e-12);
+        assert!((store.range_estimate(0, 11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compaction_preserves_the_summed_estimates_when_lossless() {
+        let mut store = SynopsisStore::new(config(8, 2, 100)).unwrap();
+        // Two seal rounds for partition 0 produce two segments whose
+        // histograms are exact (budget 8 >= width 4).
+        for round in 0..2 {
+            for i in 0..4 {
+                store
+                    .ingest(StreamRecord::Basic {
+                        item: i,
+                        prob: 0.25 * (round + 1) as f64,
+                    })
+                    .unwrap();
+            }
+            store.seal_partition(0).unwrap();
+        }
+        assert_eq!(store.segments(0).len(), 2);
+        let before: Vec<f64> = (0..4).map(|i| store.estimate(i)).collect();
+        store.compact_partition(0).unwrap();
+        assert_eq!(store.segments(0).len(), 1);
+        let after: Vec<f64> = (0..4).map(|i| store.estimate(i)).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-9);
+        }
+        assert_eq!(store.segments(0)[0].records(), 8);
+        // Compacting a single segment is a no-op.
+        store.compact_partition(0).unwrap();
+        assert_eq!(store.segments(0).len(), 1);
+    }
+
+    #[test]
+    fn merge_global_covers_empty_partitions_with_zero_runs() {
+        let mut store = SynopsisStore::new(config(12, 3, 100)).unwrap();
+        for i in 0..4 {
+            store
+                .ingest(StreamRecord::Basic {
+                    item: i,
+                    prob: 0.75,
+                })
+                .unwrap();
+        }
+        store.seal_all().unwrap();
+        let merged = store.merge_global(4).unwrap();
+        assert_eq!(merged.n(), 12);
+        assert!((merged.estimates().iter().sum::<f64>() - 3.0).abs() < 1e-9);
+        // Items in the never-touched partitions estimate to ~zero.
+        assert!(merged.estimate(11).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_queries_and_stats() {
+        let mut store = SynopsisStore::new(config(32, 4, 16)).unwrap();
+        let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+            n: 32,
+            skew: 0.7,
+            seed: 5,
+        })
+        .take(200)
+        .collect();
+        store.ingest_all(records).unwrap();
+        // Unsealed data blocks persistence.
+        if store.stats().live_records > 0 {
+            assert!(store.to_binary().is_err());
+        }
+        store.seal_all().unwrap();
+        let bytes = store.to_binary().unwrap();
+        let back = SynopsisStore::from_binary(&bytes).unwrap();
+        assert_eq!(back.stats(), store.stats());
+        assert_eq!(back.config(), store.config());
+        for (lo, hi) in [(0usize, 31usize), (3, 17), (20, 20), (9, 30)] {
+            assert!((back.range_estimate(lo, hi) - store.range_estimate(lo, hi)).abs() < 1e-12);
+        }
+        // Corruption surfaces as errors, never panics.
+        for cut in 0..bytes.len().min(64) {
+            assert!(SynopsisStore::from_binary(&bytes[..cut]).is_err());
+        }
+        assert!(SynopsisStore::from_binary(&bytes[..bytes.len() - 1]).is_err());
+        let mut skewed = bytes.clone();
+        skewed[4] = 9;
+        assert!(SynopsisStore::from_binary(&skewed).is_err());
+    }
+
+    #[test]
+    fn wavelet_store_lifecycle() {
+        let mut store = SynopsisStore::new(StoreConfig {
+            partitions: PartitionSpec::uniform(16, 2).unwrap(),
+            seal_threshold: 8,
+            segment_budget: 4,
+            synopsis: SynopsisKind::Wavelet,
+        })
+        .unwrap();
+        let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+            n: 16,
+            skew: 0.5,
+            seed: 9,
+        })
+        .take(40)
+        .collect();
+        store.ingest_all(records).unwrap();
+        store.seal_all().unwrap();
+        store.compact_all().unwrap();
+        for p in 0..2 {
+            assert_eq!(store.segments(p).len().min(1), store.segments(p).len());
+        }
+        let merged = store.merge_global(6).unwrap();
+        assert_eq!(merged.n(), 16);
+        let bytes = store.to_binary().unwrap();
+        let back = SynopsisStore::from_binary(&bytes).unwrap();
+        assert!((back.range_estimate(0, 15) - store.range_estimate(0, 15)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_seal_thresholds_survive_the_binary_round_trip() {
+        // The "never auto-seal" configs (benches, manual-seal tests) use
+        // near-usize::MAX thresholds; the snapshot must round-trip them.
+        let mut store = SynopsisStore::new(StoreConfig {
+            partitions: PartitionSpec::uniform(8, 2).unwrap(),
+            seal_threshold: usize::MAX >> 1,
+            segment_budget: 4,
+            synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+        })
+        .unwrap();
+        store
+            .ingest(StreamRecord::Basic { item: 1, prob: 0.5 })
+            .unwrap();
+        store.seal_all().unwrap();
+        let bytes = store.to_binary().unwrap();
+        let back = SynopsisStore::from_binary(&bytes).unwrap();
+        assert_eq!(back.config(), store.config());
+        assert_eq!(back.range_estimate(0, 7), store.range_estimate(0, 7));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let spec = PartitionSpec::uniform(8, 2).unwrap();
+        assert!(SynopsisStore::new(StoreConfig {
+            partitions: spec.clone(),
+            seal_threshold: 0,
+            segment_budget: 4,
+            synopsis: SynopsisKind::Wavelet,
+        })
+        .is_err());
+        assert!(SynopsisStore::new(StoreConfig {
+            partitions: spec,
+            seal_threshold: 4,
+            segment_budget: 0,
+            synopsis: SynopsisKind::Wavelet,
+        })
+        .is_err());
+    }
+}

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use pds_core::binio::{ByteReader, ByteWriter};
 use pds_core::error::{PdsError, Result};
 
 use crate::haar::{next_power_of_two, reconstruct_sparse_unnormalised};
@@ -93,6 +94,149 @@ impl WaveletSynopsis {
     pub fn estimate(&self, i: usize) -> f64 {
         self.reconstruct()[i]
     }
+
+    /// The wavelet JSON envelope version written by
+    /// [`WaveletSynopsis::to_json`].
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Magic bytes of the compact binary encoding.
+    pub const BINARY_MAGIC: [u8; 4] = *b"PDSW";
+
+    /// Version stamp of the compact binary encoding written by
+    /// [`WaveletSynopsis::to_binary`].
+    pub const BINARY_VERSION: u16 = 1;
+
+    /// Re-checks every structural invariant: coefficient indices inside the
+    /// padded domain, no duplicates, sorted order, and finite values.
+    ///
+    /// `WaveletSynopsis::new` establishes these at construction time; this
+    /// is the entry point for synopses that arrived from outside (a segment
+    /// file, a catalog) where the invariants cannot be assumed.
+    pub fn validate(&self) -> Result<()> {
+        WaveletSynopsis::new(self.n, self.retained.clone())?;
+        for (k, c) in self.retained.iter().enumerate() {
+            if !c.value.is_finite() {
+                return Err(PdsError::InvalidParameter {
+                    message: format!("coefficient {} has non-finite value {}", c.index, c.value),
+                });
+            }
+            if k > 0 && self.retained[k - 1].index >= c.index {
+                return Err(PdsError::InvalidParameter {
+                    message: "retained coefficients are not sorted by index".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the synopsis into a versioned JSON envelope, mirroring
+    /// `Histogram::to_json`: a [`PdsError`] on unserialisable values (e.g.
+    /// NaN coefficients) instead of a panic, with the format version and the
+    /// retained-coefficient count stamped so that
+    /// [`WaveletSynopsis::from_json`] can detect skew and truncation.
+    pub fn to_json(&self) -> Result<String> {
+        // Symmetric with `from_json`: refuse to persist a synopsis the
+        // reader would reject, so corruption surfaces at the writer.
+        self.validate()?;
+        let envelope = WaveletEnvelope {
+            version: Self::FORMAT_VERSION,
+            num_coefficients: self.retained.len(),
+            synopsis: self.clone(),
+        };
+        serde_json::to_string(&envelope).map_err(|e| PdsError::InvalidParameter {
+            message: format!("wavelet synopsis serialisation failed: {e}"),
+        })
+    }
+
+    /// Parses a synopsis from the versioned JSON envelope, rejecting
+    /// truncated input, version skew, coefficient-count mismatches and
+    /// structurally invalid synopses with a [`PdsError`] — never a panic.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let envelope: WaveletEnvelope =
+            serde_json::from_str(text).map_err(|e| PdsError::InvalidParameter {
+                message: format!("wavelet synopsis deserialisation failed: {e}"),
+            })?;
+        if envelope.version != Self::FORMAT_VERSION {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "wavelet envelope version {} is not supported (expected {})",
+                    envelope.version,
+                    Self::FORMAT_VERSION
+                ),
+            });
+        }
+        if envelope.num_coefficients != envelope.synopsis.retained.len() {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "envelope declares {} coefficients but the synopsis carries {}",
+                    envelope.num_coefficients,
+                    envelope.synopsis.retained.len()
+                ),
+            });
+        }
+        envelope.synopsis.validate()?;
+        Ok(envelope.synopsis)
+    }
+
+    /// Serialises the synopsis into the compact binary format: a versioned
+    /// envelope, the domain size, then the retained coefficients as
+    /// delta-encoded index varints (indices are sorted) plus raw IEEE-754
+    /// values.  JSON stays available as the debug encoding.
+    pub fn to_binary(&self) -> Result<Vec<u8>> {
+        self.validate()?;
+        let mut w = ByteWriter::envelope(Self::BINARY_MAGIC, Self::BINARY_VERSION);
+        w.put_varint(self.n as u64);
+        w.put_varint(self.retained.len() as u64);
+        let mut prev = 0usize;
+        for c in &self.retained {
+            w.put_varint((c.index - prev) as u64);
+            w.put_f64(c.value);
+            prev = c.index;
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Parses a synopsis from the compact binary format, turning truncated
+    /// input, bad magic, version skew and structurally invalid synopses into
+    /// [`PdsError`]s — never a panic.
+    pub fn from_binary(bytes: &[u8]) -> Result<Self> {
+        let (mut r, version) = ByteReader::envelope(bytes, "wavelet synopsis", Self::BINARY_MAGIC)?;
+        if version != Self::BINARY_VERSION {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "wavelet binary version {version} is not supported (expected {})",
+                    Self::BINARY_VERSION
+                ),
+            });
+        }
+        let n = r.get_len(u32::MAX as usize)?;
+        let count = r.get_len(next_power_of_two(n))?;
+        let mut retained = Vec::with_capacity(count);
+        let mut index = 0usize;
+        for _ in 0..count {
+            // Symmetric with the writer: each varint is the distance to the
+            // previous (sorted) index; a zero delta after the first
+            // coefficient decodes to a duplicate, which validation rejects.
+            index += r.get_len(next_power_of_two(n))?;
+            retained.push(RetainedCoefficient {
+                index,
+                value: r.get_f64()?,
+            });
+        }
+        r.finish()?;
+        let synopsis = WaveletSynopsis::new(n, retained)?;
+        synopsis.validate()?;
+        Ok(synopsis)
+    }
+}
+
+/// Versioned wire envelope for [`WaveletSynopsis::to_json`] /
+/// [`WaveletSynopsis::from_json`].
+#[derive(Serialize, Deserialize)]
+struct WaveletEnvelope {
+    version: u32,
+    num_coefficients: usize,
+    synopsis: WaveletSynopsis,
 }
 
 #[cfg(test)]
@@ -186,5 +330,77 @@ mod tests {
         let json = serde_json::to_string(&syn).unwrap();
         let back: WaveletSynopsis = serde_json::from_str(&json).unwrap();
         assert_eq!(syn, back);
+    }
+
+    fn envelope_sample() -> WaveletSynopsis {
+        let data = [2.0, 2.0, 0.0, 2.0, 3.0, 5.0, 4.0, 4.0];
+        let t = HaarTransform::forward(&data);
+        let retained: Vec<RetainedCoefficient> = t
+            .unnormalised()
+            .iter()
+            .enumerate()
+            .step_by(2)
+            .map(|(index, &value)| RetainedCoefficient { index, value })
+            .collect();
+        WaveletSynopsis::new(8, retained).unwrap()
+    }
+
+    #[test]
+    fn json_envelope_round_trips_and_versions() {
+        let syn = envelope_sample();
+        let json = syn.to_json().unwrap();
+        assert!(json.contains("\"version\":1"));
+        let back = WaveletSynopsis::from_json(&json).unwrap();
+        assert_eq!(syn, back);
+    }
+
+    #[test]
+    fn json_envelope_rejects_truncation_skew_and_nan() {
+        let syn = envelope_sample();
+        let json = syn.to_json().unwrap();
+        // Truncation at any point fails with a PdsError, never a panic.
+        for cut in [0, 1, json.len() / 2, json.len() - 1] {
+            assert!(WaveletSynopsis::from_json(&json[..cut]).is_err());
+        }
+        // Version skew.
+        let skewed = json.replace("\"version\":1", "\"version\":9");
+        assert!(WaveletSynopsis::from_json(&skewed).is_err());
+        // Count mismatch.
+        let miscounted = json.replace("\"num_coefficients\":4", "\"num_coefficients\":3");
+        assert!(WaveletSynopsis::from_json(&miscounted).is_err());
+        // NaN coefficients are refused by the writer.
+        let mut nan = syn.clone();
+        nan.retained[0].value = f64::NAN;
+        assert!(nan.to_json().is_err());
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact_and_compact() {
+        let syn = envelope_sample();
+        let bytes = syn.to_binary().unwrap();
+        let back = WaveletSynopsis::from_binary(&bytes).unwrap();
+        assert_eq!(syn, back);
+        // Delta-varint indices + raw doubles: far smaller than the JSON
+        // envelope spelling out field names and decimal floats.
+        assert!(bytes.len() * 3 < syn.to_json().unwrap().len());
+    }
+
+    #[test]
+    fn binary_rejects_truncation_and_skew() {
+        let syn = envelope_sample();
+        let bytes = syn.to_binary().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(WaveletSynopsis::from_binary(&bytes[..cut]).is_err());
+        }
+        let mut skewed = bytes.clone();
+        skewed[4] = 42;
+        assert!(WaveletSynopsis::from_binary(&skewed).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(WaveletSynopsis::from_binary(&bad).is_err());
+        let mut long = bytes.clone();
+        long.push(7);
+        assert!(WaveletSynopsis::from_binary(&long).is_err());
     }
 }

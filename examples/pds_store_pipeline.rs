@@ -1,0 +1,188 @@
+//! End-to-end `pds-store` pipeline at production-ish scale: stream more than
+//! a million uncertain tuples into a partitioned synopsis store, let
+//! memtables seal into per-partition segments, compact, merge the partition
+//! synopses into one global histogram, and serve range-count/sum AQP queries
+//! — comparing the sharded pipeline's accuracy against a monolithic
+//! single-build histogram over the same data, and the compact binary segment
+//! encoding against its JSON debug form.
+//!
+//! ```text
+//! cargo run --release --example pds_store_pipeline
+//! ```
+
+use std::time::Instant;
+
+use probsyn::aqp::{answer_with_histogram, answer_with_store, FrequencyQuery};
+use probsyn::prelude::*;
+
+const N: usize = 8192;
+const PARTITIONS: usize = 8;
+const RECORDS: usize = 1_050_000;
+const SEAL_THRESHOLD: usize = 100_000;
+const SEGMENT_BUCKETS: usize = 48;
+const GLOBAL_BUCKETS: usize = 32;
+
+fn main() -> Result<()> {
+    // ------------------------------------------------------------ ingestion
+    let mut store = SynopsisStore::new(StoreConfig {
+        partitions: PartitionSpec::uniform(N, PARTITIONS)?,
+        seal_threshold: SEAL_THRESHOLD,
+        segment_budget: SEGMENT_BUCKETS,
+        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+    })?;
+    let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+        n: N,
+        skew: 0.7,
+        seed: 42,
+    })
+    .take(RECORDS)
+    .collect();
+
+    let t0 = Instant::now();
+    store.ingest_all(records.iter().cloned())?;
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    let mid_stats = store.stats();
+    println!(
+        "ingested {RECORDS} tuples into {PARTITIONS} partitions in {ingest_secs:.2}s \
+         ({:.0} tuples/s, {} auto-seals)",
+        RECORDS as f64 / ingest_secs,
+        mid_stats.seals,
+    );
+
+    // A query served while data is still live in memtables.
+    let live_query = FrequencyQuery::RangeSum {
+        start: 0,
+        end: N - 1,
+    };
+    println!(
+        "live range-count estimate over the full domain: {:.1} ({} records still in memtables)",
+        answer_with_store(&store, live_query).estimate,
+        mid_stats.live_records,
+    );
+
+    // ------------------------------------------------------ seal + compact
+    let t1 = Instant::now();
+    store.seal_all()?;
+    let stats = store.stats();
+    println!(
+        "sealed the remaining memtables in {:.2}s: {} seal operations, {} segments",
+        t1.elapsed().as_secs_f64(),
+        stats.seals,
+        stats.segments,
+    );
+    store.compact_all()?;
+    println!(
+        "compacted to {} segments (one per touched partition)",
+        store.stats().segments,
+    );
+
+    // ---------------------------------------------------------- global merge
+    let t2 = Instant::now();
+    let merged = store.merge_global(GLOBAL_BUCKETS)?;
+    println!(
+        "merged the partition synopses into a global {GLOBAL_BUCKETS}-bucket histogram \
+         in {:.3}s (merge-stage cost {:.3})",
+        t2.elapsed().as_secs_f64(),
+        merged.total_cost(),
+    );
+
+    // ------------------------------------------- monolithic reference build
+    let t3 = Instant::now();
+    let pairs = records.iter().map(|r| match r {
+        StreamRecord::Basic { item, prob } => (*item, *prob),
+        _ => unreachable!("the stream generator emits basic records"),
+    });
+    let relation: ProbabilisticRelation = BasicModel::from_pairs(N, pairs)?.into();
+    let monolithic = build_histogram(&relation, ErrorMetric::Sse, GLOBAL_BUCKETS)?;
+    println!(
+        "monolithic single-build {GLOBAL_BUCKETS}-bucket histogram in {:.2}s",
+        t3.elapsed().as_secs_f64(),
+    );
+
+    // ------------------------------------------------------- accuracy check
+    // Exact expected answers from the per-item expectations (expectation is
+    // linear, so prefix sums give every range query in O(1)).
+    let exact = relation.expected_frequencies();
+    let mut prefix = vec![0.0; N + 1];
+    for (i, &e) in exact.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + e;
+    }
+    let exact_range = |s: usize, e: usize| prefix[e + 1] - prefix[s];
+
+    let mut queries = Vec::new();
+    for width in [1usize, 16, 256, 1024, 4096] {
+        for k in 0..40 {
+            let start = (k * 997 * width.max(7)) % (N - width);
+            queries.push((start, start + width - 1));
+        }
+    }
+    let mut merged_err = 0.0;
+    let mut mono_err = 0.0;
+    let mut store_err = 0.0;
+    for &(s, e) in &queries {
+        let query = FrequencyQuery::RangeSum { start: s, end: e };
+        let reference = exact_range(s, e);
+        store_err += (answer_with_store(&store, query).estimate - reference).abs();
+        merged_err += (answer_with_histogram(&merged, query).estimate - reference).abs();
+        mono_err += (answer_with_histogram(&monolithic, query).estimate - reference).abs();
+    }
+    store_err /= queries.len() as f64;
+    merged_err /= queries.len() as f64;
+    mono_err /= queries.len() as f64;
+    println!(
+        "mean |error| over {} range-count/sum queries: merged {merged_err:.4}, \
+         monolithic {mono_err:.4} (ratio {:.2}x), per-partition store {store_err:.4}",
+        queries.len(),
+        merged_err / mono_err.max(1e-12),
+    );
+    assert!(
+        merged_err <= 2.0 * mono_err + 1e-9,
+        "sharded pipeline error {merged_err} exceeds 2x the monolithic error {mono_err}"
+    );
+
+    // --------------------------------------------- binary vs JSON encoding
+    // A 200-bucket histogram segment over partition 0's slice of the data.
+    let p0_width = N / PARTITIONS;
+    let p0_pairs = records.iter().filter_map(|r| match r {
+        StreamRecord::Basic { item, prob } if *item < p0_width => Some((*item, *prob)),
+        _ => None,
+    });
+    let p0_relation: ProbabilisticRelation = BasicModel::from_pairs(p0_width, p0_pairs)?.into();
+    let wide = Segment::build(
+        0,
+        store.segments(0)[0].records(),
+        &p0_relation,
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+        200,
+    )?;
+    let binary = wide.to_binary()?;
+    let json = wide.to_json()?;
+    println!(
+        "200-bucket histogram segment: binary {} bytes, JSON {} bytes ({:.1}x smaller)",
+        binary.len(),
+        json.len(),
+        json.len() as f64 / binary.len() as f64,
+    );
+    assert!(
+        binary.len() * 5 <= json.len(),
+        "binary encoding must be at least 5x smaller than JSON"
+    );
+
+    // ------------------------------------------------------- persistence
+    let blob = store.to_binary()?;
+    let restored = SynopsisStore::from_binary(&blob)?;
+    let q = FrequencyQuery::RangeSum {
+        start: 100,
+        end: 3100,
+    };
+    assert_eq!(
+        answer_with_store(&restored, q).estimate,
+        answer_with_store(&store, q).estimate,
+    );
+    println!(
+        "store snapshot: {} bytes for {} segments; restored copy answers identically",
+        blob.len(),
+        restored.stats().segments,
+    );
+    Ok(())
+}

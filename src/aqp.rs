@@ -12,6 +12,7 @@
 use pds_core::model::ProbabilisticRelation;
 use pds_core::moments::item_moments;
 use pds_histogram::Histogram;
+use pds_store::SynopsisStore;
 use pds_wavelet::WaveletSynopsis;
 
 /// A query over the (random) frequency vector `g`.
@@ -89,6 +90,17 @@ pub fn answer_with_wavelet(synopsis: &WaveletSynopsis, query: FrequencyQuery) ->
     let reconstruction = synopsis.reconstruct();
     QueryAnswer {
         estimate: query.evaluate(&reconstruction),
+    }
+}
+
+/// Answers the query from a partitioned synopsis store, routing it across
+/// every live memtable (exact running expectations) and sealed segment
+/// (histogram bucket walks or wavelet reconstructions) overlapping the
+/// queried range.
+pub fn answer_with_store(store: &SynopsisStore, query: FrequencyQuery) -> QueryAnswer {
+    let (s, e) = query.range();
+    QueryAnswer {
+        estimate: store.range_estimate(s, e),
     }
 }
 
@@ -193,6 +205,33 @@ mod tests {
                 histogram.estimate(item)
             );
             assert_eq!(query.range(), (item, item));
+        }
+    }
+
+    #[test]
+    fn store_answers_combine_memtable_and_segments() {
+        use pds_core::stream::records_of;
+
+        let rel = workload();
+        let mut store = SynopsisStore::new(StoreConfig {
+            partitions: PartitionSpec::uniform(64, 4).unwrap(),
+            seal_threshold: 1_000_000, // manual sealing
+            segment_budget: 64,        // full budget: segments are exact
+            synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+        })
+        .unwrap();
+        store.ingest_all(records_of(&rel)).unwrap();
+        // Seal half the partitions; the rest stays live in memtables.
+        store.seal_partition(0).unwrap();
+        store.seal_partition(2).unwrap();
+        for query in [
+            FrequencyQuery::Point { item: 5 },
+            FrequencyQuery::RangeSum { start: 0, end: 63 },
+            FrequencyQuery::RangeSum { start: 10, end: 40 },
+        ] {
+            let exact = exact_expected_answer(&rel, query);
+            let got = answer_with_store(&store, query).estimate;
+            assert!((got - exact).abs() < 1e-9, "{query:?}: {got} vs {exact}");
         }
     }
 

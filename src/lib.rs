@@ -12,7 +12,11 @@
 //!   the deterministic baselines used in the paper's experiments;
 //! * [`wavelet`](pds_wavelet) — Haar wavelet synopses: the SSE-optimal
 //!   expected-coefficient thresholding and the restricted dynamic program for
-//!   non-SSE error metrics.
+//!   non-SSE error metrics;
+//! * [`store`](pds_store) — the partitioned streaming-ingest and persistent
+//!   synopsis store: per-item-range memtables, sealed segments with their own
+//!   synopses, LSM-style compaction, a partition-merge DP producing global
+//!   histograms, and the versioned compact binary format.
 //!
 //! ## Quickstart
 //!
@@ -37,15 +41,35 @@
 //!
 //! ## Workspace layout
 //!
-//! The repository is a five-package Cargo workspace rooted at this crate:
+//! The repository is a six-package Cargo workspace rooted at this crate:
 //!
 //! | Path              | Package         | Contents                                   |
 //! |-------------------|-----------------|--------------------------------------------|
 //! | `.`               | `probsyn`       | umbrella re-exports, [`prelude`], [`aqp`]  |
-//! | `crates/core`     | `pds-core`      | uncertainty models, worlds, moments, generators |
-//! | `crates/histogram`| `pds-histogram` | bucket-cost oracles, DP, `(1+ε)` approximation |
+//! | `crates/core`     | `pds-core`      | uncertainty models, worlds, moments, generators, stream records, binary-envelope primitives |
+//! | `crates/histogram`| `pds-histogram` | bucket-cost oracles, DP, `(1+ε)` approximation, partition-merge DP |
 //! | `crates/wavelet`  | `pds-wavelet`   | Haar transform, SSE and non-SSE thresholding |
+//! | `crates/store`    | `pds-store`     | partitioned ingest memtables, sealed segments, compaction, store persistence |
 //! | `crates/bench`    | `pds-bench`     | workloads, report tables, figure binaries  |
+//!
+//! ### Persistent formats
+//!
+//! Synopses and segments persist in a **versioned compact binary format**
+//! (magic + `u16` version + varint/IEEE-754 payload; see `pds_core::binio`):
+//! `Histogram::to_binary` (`PDSH` v1), `WaveletSynopsis::to_binary` (`PDSW`
+//! v1), `Segment::to_binary` (`PDSG` v1) and `SynopsisStore::to_binary`
+//! (`PDST` v1).  Truncation, corruption and version skew decode to
+//! `PdsError`s, never panics; the versioned JSON envelopes
+//! (`Histogram::to_json`, `WaveletSynopsis::to_json`, `Segment::to_json`)
+//! stay as the human-readable debug encoding.
+//!
+//! ### Partition-merge cost contract
+//!
+//! `SynopsisStore::merge_global` and `pds_histogram::merge` re-bucket the
+//! concatenated per-partition synopses; the costs recorded on the merged
+//! buckets measure the **merge-stage** SSE against that piecewise-constant
+//! summary, not the end-to-end error against the raw probabilistic data
+//! (which is bounded by per-segment synopsis error plus merge-stage error).
 //!
 //! `vendor/` additionally carries minimal offline stand-ins for `rand`,
 //! `serde`, `serde_json`, `criterion` and `proptest` (the build environment
@@ -71,6 +95,7 @@
 
 pub use pds_core as core;
 pub use pds_histogram as histogram;
+pub use pds_store as store;
 pub use pds_wavelet as wavelet;
 
 pub mod aqp;
@@ -86,13 +111,15 @@ pub mod prelude {
         ValuePdfModel,
     };
     pub use pds_core::moments::{item_moments, ItemMoments};
+    pub use pds_core::stream::{basic_stream, records_of, BasicStreamConfig, StreamRecord};
     pub use pds_core::values::ValueDomain;
     pub use pds_core::worlds::{sample_world, PossibleWorlds};
     pub use pds_core::{PdsError, Result};
     pub use pds_histogram::evaluate::{error_percentage, expected_cost};
     pub use pds_histogram::{
-        approx_histogram, build_histogram, expectation_histogram, optimal_histogram,
-        sampled_world_histogram, Bucket, Histogram,
+        approx_histogram, build_histogram, expectation_histogram, merge_histograms,
+        optimal_histogram, sampled_world_histogram, Bucket, Histogram,
     };
+    pub use pds_store::{PartitionSpec, Segment, StoreConfig, SynopsisKind, SynopsisStore};
     pub use pds_wavelet::{build_sse_wavelet, HaarTransform, WaveletSynopsis};
 }

@@ -204,6 +204,25 @@ fn batched_sweeps_match_per_call_queries_for_every_oracle() {
                     }
                 }
             }
+            // The prefix-direction dual (fixed start, growing endpoint).
+            for s in 0..n {
+                let full: Vec<usize> = (s..n).collect();
+                let sparse: Vec<usize> = (s..n).step_by(3).collect();
+                let single = vec![(s + n - 1) / 2];
+                for ends in [&full, &sparse, &single] {
+                    let swept = oracle.costs_starting_at(s, ends);
+                    assert_eq!(swept.len(), ends.len());
+                    for (k, &e) in ends.iter().enumerate() {
+                        let direct = oracle.bucket(s, e).cost;
+                        assert!(
+                            (swept[k] - direct).abs() < TOL,
+                            "{} {name} [{s},{e}]: column sweep {} vs direct {direct}",
+                            relation.model_name(),
+                            swept[k]
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -1,0 +1,182 @@
+//! End-to-end store pipeline at test scale: stream ingest across
+//! partitions, auto-sealing, compaction, global merge, AQP routing, and the
+//! merged-vs-monolithic quality bound with genuinely lossy segments.
+
+use probsyn::aqp::{answer_with_histogram, answer_with_store, relative_deviation, FrequencyQuery};
+use probsyn::prelude::*;
+
+const N: usize = 512;
+const PARTS: usize = 4;
+
+fn stream(records: usize) -> Vec<StreamRecord> {
+    basic_stream(BasicStreamConfig {
+        n: N,
+        skew: 0.7,
+        seed: 1234,
+    })
+    .take(records)
+    .collect()
+}
+
+fn exact_prefix(records: &[StreamRecord]) -> Vec<f64> {
+    let mut exact = vec![0.0f64; N + 1];
+    for r in records {
+        if let StreamRecord::Basic { item, prob } = r {
+            exact[*item + 1] += prob;
+        }
+    }
+    for i in 0..N {
+        exact[i + 1] += exact[i];
+    }
+    exact
+}
+
+#[test]
+fn pipeline_ingests_seals_compacts_merges_and_serves() {
+    let records = stream(20_000);
+    let mut store = SynopsisStore::new(StoreConfig {
+        partitions: PartitionSpec::uniform(N, PARTS).unwrap(),
+        seal_threshold: 2_000,
+        segment_budget: 24,
+        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+    })
+    .unwrap();
+    store.ingest_all(records.iter().cloned()).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.ingested_records, 20_000);
+    assert!(stats.seals >= PARTS as u64, "auto-seals fired: {stats:?}");
+    store.seal_all().unwrap();
+    assert_eq!(store.stats().live_records, 0);
+
+    // Multiple segments per partition before compaction, one after.
+    assert!(store.stats().segments > PARTS);
+    store.compact_all().unwrap();
+    assert_eq!(store.stats().segments, PARTS);
+
+    // Merged global histogram vs the monolithic single build.
+    let b = 16;
+    let merged = store.merge_global(b).unwrap();
+    let pairs = records.iter().map(|r| match r {
+        StreamRecord::Basic { item, prob } => (*item, *prob),
+        _ => unreachable!(),
+    });
+    let relation: ProbabilisticRelation = BasicModel::from_pairs(N, pairs).unwrap().into();
+    let monolithic = build_histogram(&relation, ErrorMetric::Sse, b).unwrap();
+
+    let prefix = exact_prefix(&records);
+    let mut merged_err = 0.0;
+    let mut mono_err = 0.0;
+    let mut store_err = 0.0;
+    let mut count = 0usize;
+    for width in [1usize, 8, 64, 256] {
+        for k in 0..25 {
+            let start = (k * 131 * width) % (N - width);
+            let query = FrequencyQuery::RangeSum {
+                start,
+                end: start + width - 1,
+            };
+            let reference = prefix[start + width] - prefix[start];
+            merged_err += (answer_with_histogram(&merged, query).estimate - reference).abs();
+            mono_err += (answer_with_histogram(&monolithic, query).estimate - reference).abs();
+            store_err += (answer_with_store(&store, query).estimate - reference).abs();
+            count += 1;
+        }
+    }
+    merged_err /= count as f64;
+    mono_err /= count as f64;
+    store_err /= count as f64;
+    assert!(
+        merged_err <= 2.0 * mono_err + 1e-9,
+        "merged {merged_err} vs monolithic {mono_err}"
+    );
+    // The per-partition store view (more buckets overall) is at least as
+    // good as the B-bucket global merge on average.
+    assert!(
+        store_err <= merged_err + 1e-9,
+        "store {store_err} vs merged {merged_err}"
+    );
+}
+
+#[test]
+fn store_binary_snapshot_meets_the_compression_bar() {
+    let records = stream(30_000);
+    let mut store = SynopsisStore::new(StoreConfig {
+        partitions: PartitionSpec::uniform(N, 2).unwrap(),
+        seal_threshold: 100_000,
+        segment_budget: 200,
+        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+    })
+    .unwrap();
+    store.ingest_all(records).unwrap();
+    store.seal_all().unwrap();
+
+    // A 200-bucket histogram segment: binary at least 5x smaller than JSON.
+    let segment = &store.segments(0)[0];
+    let binary = segment.to_binary().unwrap();
+    let json = segment.to_json().unwrap();
+    assert!(
+        binary.len() * 5 <= json.len(),
+        "binary {} bytes vs JSON {} bytes",
+        binary.len(),
+        json.len()
+    );
+
+    // Decoding truncated or version-skewed blobs errors, never panics.
+    for cut in [0, 3, 6, binary.len() / 2, binary.len() - 1] {
+        assert!(Segment::from_binary(&binary[..cut]).is_err());
+    }
+    let mut skewed = binary.clone();
+    skewed[4] = 99;
+    assert!(Segment::from_binary(&skewed).is_err());
+
+    let blob = store.to_binary().unwrap();
+    for cut in [0, 5, blob.len() / 3, blob.len() - 1] {
+        assert!(SynopsisStore::from_binary(&blob[..cut]).is_err());
+    }
+    let restored = SynopsisStore::from_binary(&blob).unwrap();
+    for (lo, hi) in [(0usize, N - 1), (37, 444), (100, 100)] {
+        assert_eq!(
+            restored.range_estimate(lo, hi),
+            store.range_estimate(lo, hi)
+        );
+    }
+}
+
+#[test]
+fn wavelet_segments_flow_through_the_same_pipeline() {
+    let records = stream(4_000);
+    let mut store = SynopsisStore::new(StoreConfig {
+        partitions: PartitionSpec::uniform(N, PARTS).unwrap(),
+        seal_threshold: 1_000,
+        segment_budget: 32,
+        synopsis: SynopsisKind::Wavelet,
+    })
+    .unwrap();
+    store.ingest_all(records.iter().cloned()).unwrap();
+    store.seal_all().unwrap();
+    store.compact_all().unwrap();
+    let merged = store.merge_global(16).unwrap();
+    assert_eq!(merged.n(), N);
+
+    // Wide ranges are answered within a few percent of the exact answer.
+    let prefix = exact_prefix(&records);
+    let exact_total = prefix[N];
+    let got = answer_with_store(
+        &store,
+        FrequencyQuery::RangeSum {
+            start: 0,
+            end: N - 1,
+        },
+    )
+    .estimate;
+    assert!(
+        relative_deviation(got, exact_total, 1.0) < 0.05,
+        "{got} vs {exact_total}"
+    );
+    let bytes = store.to_binary().unwrap();
+    let restored = SynopsisStore::from_binary(&bytes).unwrap();
+    assert_eq!(
+        restored.range_estimate(10, 200),
+        store.range_estimate(10, 200)
+    );
+}
