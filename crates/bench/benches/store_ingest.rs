@@ -1,11 +1,18 @@
 //! Criterion benchmark for the `pds-store` ingest path: memtable append
-//! throughput (tuples/sec), seal latency per segment, and the partition
-//! merge producing the global histogram.
+//! throughput (tuples/sec) across worker-thread counts, seal latency per
+//! segment (inline and on the thread pool), and the partition merge
+//! producing the global histogram.
+//!
+//! The thread axis (1/2/4/8) drives `SynopsisStore::ingest_batch` through
+//! `pds_core::pool::set_num_threads`, so the numbers show how batch ingest
+//! scales with cores; on a single-core container every row collapses to the
+//! one-thread figure plus scheduling overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use pds_core::metrics::ErrorMetric;
+use pds_core::pool;
 use pds_core::stream::{basic_stream, BasicStreamConfig, StreamRecord};
 use pds_store::{PartitionSpec, StoreConfig, SynopsisKind, SynopsisStore};
 
@@ -32,19 +39,68 @@ fn records(count: usize) -> Vec<StreamRecord> {
 }
 
 /// Memtable append throughput: no sealing, pure routing + expectation
-/// bookkeeping.  Reported per iteration over a 100k-record batch — divide
-/// for tuples/sec.
+/// bookkeeping.  The serial row calls `ingest_all` (per-record locking);
+/// the threaded rows call `ingest_batch` (lock-free routing, one pool task
+/// per partition) at 1/2/4/8 workers.  Reported per iteration over a
+/// 100k-record batch — divide for tuples/sec.
 fn bench_ingest_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_ingest");
     group.sample_size(10);
     let batch = records(100_000);
-    group.bench_function("memtable_append_100k", |bench| {
+    group.bench_function("memtable_append_100k_serial", |bench| {
         bench.iter(|| {
-            let mut store = SynopsisStore::new(config(usize::MAX >> 1, 32)).unwrap();
+            let store = SynopsisStore::new(config(usize::MAX >> 1, 32)).unwrap();
             store.ingest_all(batch.iter().cloned()).unwrap();
             black_box(store.stats().ingested_records)
         })
     });
+    for threads in [1usize, 2, 4, 8] {
+        pool::set_num_threads(Some(threads));
+        group.bench_with_input(
+            BenchmarkId::new("memtable_append_100k_batch_threads", threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| {
+                    let store = SynopsisStore::new(config(usize::MAX >> 1, 32)).unwrap();
+                    store.ingest_batch(batch.iter().cloned()).unwrap();
+                    black_box(store.stats().ingested_records)
+                })
+            },
+        );
+    }
+    pool::set_num_threads(None);
+    group.finish();
+}
+
+/// Auto-sealing pipeline: ingest with a threshold that fires ~8 seals, with
+/// sealing inline on the ingest thread versus on background workers.
+fn bench_background_sealing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_seal_overlap");
+    group.sample_size(10);
+    let batch = records(100_000);
+    group.bench_function("ingest_100k_seal_inline", |bench| {
+        bench.iter(|| {
+            let store = SynopsisStore::new(config(12_500, 32)).unwrap();
+            store.ingest_batch(batch.iter().cloned()).unwrap();
+            black_box(store.stats().seals)
+        })
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_100k_seal_background", workers),
+            &workers,
+            |bench, &workers| {
+                bench.iter(|| {
+                    let store = SynopsisStore::new(config(12_500, 32))
+                        .unwrap()
+                        .with_background_sealing(workers);
+                    store.ingest_batch(batch.iter().cloned()).unwrap();
+                    store.flush().unwrap();
+                    black_box(store.stats().seals)
+                })
+            },
+        );
+    }
     group.finish();
 }
 
@@ -55,27 +111,46 @@ fn bench_seal_latency(c: &mut Criterion) {
     group.sample_size(10);
     let batch = records(100_000);
     for budget in [16usize, 48] {
-        let mut filled = SynopsisStore::new(config(usize::MAX >> 1, budget)).unwrap();
+        let filled = SynopsisStore::new(config(usize::MAX >> 1, budget)).unwrap();
         filled.ingest_all(batch.iter().cloned()).unwrap();
         group.bench_with_input(
             BenchmarkId::new("seal_partition", budget),
             &budget,
             |bench, _| {
                 bench.iter(|| {
-                    let mut store = filled.clone();
+                    let store = filled.clone();
                     black_box(store.seal_partition(0).unwrap())
                 })
             },
         );
     }
+    // All eight partitions at once: `seal_all` builds on the thread pool.
+    for threads in [1usize, 4] {
+        let filled = SynopsisStore::new(config(usize::MAX >> 1, 48)).unwrap();
+        filled.ingest_all(batch.iter().cloned()).unwrap();
+        pool::set_num_threads(Some(threads));
+        group.bench_with_input(
+            BenchmarkId::new("seal_all_threads", threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| {
+                    let store = filled.clone();
+                    store.seal_all().unwrap();
+                    black_box(store.stats().segments)
+                })
+            },
+        );
+    }
+    pool::set_num_threads(None);
     group.finish();
 }
 
-/// Global merge over sealed per-partition synopses.
+/// Global merge over sealed per-partition synopses (piece extraction runs
+/// one pool task per partition).
 fn bench_global_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_merge");
     group.sample_size(10);
-    let mut store = SynopsisStore::new(config(usize::MAX >> 1, 48)).unwrap();
+    let store = SynopsisStore::new(config(usize::MAX >> 1, 48)).unwrap();
     store.ingest_all(records(400_000)).unwrap();
     store.seal_all().unwrap();
     group.bench_function("merge_global_b32", |bench| {
@@ -87,6 +162,7 @@ fn bench_global_merge(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_ingest_throughput,
+    bench_background_sealing,
     bench_seal_latency,
     bench_global_merge
 );

@@ -18,7 +18,12 @@
 //!   MayBMS/TPC-H data sets ([`generator`]);
 //! * streaming-ingest records in all three models plus seeded record streams
 //!   ([`stream`]), and the binary envelope primitives behind the compact
-//!   persistent synopsis format ([`binio`]).
+//!   persistent synopsis format ([`binio`]);
+//! * a scoped thread pool ([`pool`]) with `parallel_map`/`parallel_chunks`
+//!   helpers — the single place where worker-thread policy (the
+//!   `PDS_THREADS` environment variable, the programmatic override, the
+//!   hardware default) is resolved for every parallel path in the
+//!   workspace.
 //!
 //! Synopsis construction itself lives in the `pds-histogram` and
 //! `pds-wavelet` crates; `probsyn` re-exports everything under one roof.
@@ -51,6 +56,7 @@ pub mod io;
 pub mod metrics;
 pub mod model;
 pub mod moments;
+pub mod pool;
 pub mod stream;
 pub mod values;
 pub mod worlds;

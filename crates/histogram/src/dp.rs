@@ -19,8 +19,25 @@
 //! The full DP table is retained: building it once for `B_max` buckets yields
 //! the optimal histogram for *every* `b ≤ B_max`, which is how the error-vs-
 //! buckets curves of Figure 2 are produced with a single DP run.
+//!
+//! ## Parallel construction
+//!
+//! With more than one worker thread (see `pds_core::pool`), [`DpTables::build`]
+//! switches to a budget-level-major formulation: the triangular bucket-cost
+//! matrix is filled first (one `costs_ending_at` sweep per right endpoint,
+//! endpoints sharded over threads), then each budget level's minimisation row
+//! is computed in parallel over endpoint chunks — every cell of level `b`
+//! depends only on level `b − 1`, so a level is embarrassingly parallel.
+//! Each cell runs the *same* ascending argmin scan over the same
+//! oracle-produced costs as the serial path, so the resulting tables (costs,
+//! back-pointers, and every histogram extracted from them) are **bit-identical
+//! to the serial build at any thread count** — a property the test suite
+//! pins.  The matrix needs `4 n (n + 1)` bytes; above
+//! [`DpTables::PARALLEL_MATRIX_BYTE_CAP`] (or with one thread) the serial
+//! path runs instead, unchanged.
 
 use pds_core::error::{PdsError, Result};
+use pds_core::pool;
 
 use crate::histogram::{Bucket, Histogram};
 use crate::oracle::BucketCostOracle;
@@ -43,15 +60,50 @@ pub struct DpTables {
 }
 
 impl DpTables {
-    /// Runs the dynamic program for up to `b_max` buckets.
+    /// Ceiling on the triangular bucket-cost matrix the parallel build may
+    /// allocate (`4 n (n + 1)` bytes — ~67 MB at `n = 4096`); above it the
+    /// serial path runs regardless of thread count.
+    pub const PARALLEL_MATRIX_BYTE_CAP: usize = 512 << 20;
+
+    /// Domains below this size always build serially — the level barriers
+    /// would cost more than the work they distribute.
+    const PARALLEL_MIN_N: usize = 192;
+
+    /// Runs the dynamic program for up to `b_max` buckets, on the worker
+    /// threads resolved by `pds_core::pool::num_threads()` (see the module
+    /// docs; results are bit-identical at every thread count).
     pub fn build<O: BucketCostOracle + ?Sized>(oracle: &O, b_max: usize) -> Result<Self> {
+        Self::build_with_threads(oracle, b_max, pool::num_threads())
+    }
+
+    /// [`DpTables::build`] with an explicit worker-thread count (1 forces the
+    /// serial path).
+    pub fn build_with_threads<O: BucketCostOracle + ?Sized>(
+        oracle: &O,
+        b_max: usize,
+        threads: usize,
+    ) -> Result<Self> {
         let n = oracle.n();
         if n == 0 || b_max == 0 {
             return Err(PdsError::InvalidParameter {
                 message: "the domain and the bucket budget must be non-empty".into(),
             });
         }
-        let b_max = b_max.min(n);
+        let matrix_bytes = n * (n + 1) / 2 * std::mem::size_of::<f64>();
+        if threads.max(1) > 1
+            && n >= Self::PARALLEL_MIN_N
+            && matrix_bytes <= Self::PARALLEL_MATRIX_BYTE_CAP
+        {
+            Self::build_parallel(oracle, b_max.min(n), threads)
+        } else {
+            Self::build_serial(oracle, b_max.min(n))
+        }
+    }
+
+    /// The single-threaded dynamic program: one batched sweep per right
+    /// endpoint, all budget levels filled from it before moving on.
+    fn build_serial<O: BucketCostOracle + ?Sized>(oracle: &O, b_max: usize) -> Result<Self> {
+        let n = oracle.n();
         let cumulative = oracle.is_cumulative();
         let combine = |left: f64, bucket: f64| {
             if cumulative {
@@ -92,6 +144,152 @@ impl DpTables {
                 }
                 cost[(b - 1) * n + j] = best;
                 back[(b - 1) * n + j] = best_s;
+            }
+        }
+        Ok(DpTables {
+            n,
+            b_max,
+            cumulative,
+            cost,
+            back,
+            bucket_evaluations,
+        })
+    }
+
+    /// The budget-level-major parallel dynamic program (see the module
+    /// docs): fill the triangular bucket-cost matrix with endpoint sweeps
+    /// sharded over threads, then compute each budget level's row in
+    /// parallel over endpoint chunks.  Performs the same oracle sweeps and
+    /// the same ascending argmin scans as [`DpTables::build_serial`], so the
+    /// output is bit-identical.
+    fn build_parallel<O: BucketCostOracle + ?Sized>(
+        oracle: &O,
+        b_max: usize,
+        threads: usize,
+    ) -> Result<Self> {
+        let n = oracle.n();
+        let cumulative = oracle.is_cumulative();
+        let combine = |left: f64, bucket: f64| {
+            if cumulative {
+                left + bucket
+            } else {
+                left.max(bucket)
+            }
+        };
+        // Triangular cost matrix: row `j` starts at `j (j + 1) / 2` and holds
+        // the cost of `[s, j]` for every start `s ≤ j` — exactly the
+        // per-endpoint sweep the serial path consumes in place.  Workers
+        // write straight into disjoint regions of the single allocation
+        // (row lengths grow with `j`, so chunk boundaries are balanced by
+        // matrix *area*, not row count), keeping peak memory at one matrix.
+        let row_off = |j: usize| j * (j + 1) / 2;
+        let all_starts: Vec<usize> = (0..n).collect();
+        let total_entries = row_off(n);
+        let mut tri: Vec<f64> = vec![0.0; total_entries];
+        {
+            let target_chunks = (threads * 4).min(n);
+            let mut bounds = vec![0usize];
+            for c in 1..=target_chunks {
+                let target = total_entries * c / target_chunks;
+                let mut j = *bounds.last().expect("non-empty");
+                while j < n && row_off(j) < target {
+                    j += 1;
+                }
+                if j > *bounds.last().expect("non-empty") {
+                    bounds.push(j);
+                }
+            }
+            if *bounds.last().expect("non-empty") < n {
+                bounds.push(n);
+            }
+            let mut regions: Vec<(std::ops::Range<usize>, &mut [f64])> = Vec::new();
+            let mut rest: &mut [f64] = &mut tri;
+            for window in bounds.windows(2) {
+                let len = row_off(window[1]) - row_off(window[0]);
+                let (head, tail) = rest.split_at_mut(len);
+                regions.push((window[0]..window[1], head));
+                rest = tail;
+            }
+            let mut per_thread: Vec<Vec<(std::ops::Range<usize>, &mut [f64])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, region) in regions.into_iter().enumerate() {
+                per_thread[i % threads].push(region);
+            }
+            let all_starts = &all_starts;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = per_thread
+                    .into_iter()
+                    .filter(|work| !work.is_empty())
+                    .map(|work| {
+                        scope.spawn(move || {
+                            for (rows, out) in work {
+                                let mut offset = 0usize;
+                                for j in rows {
+                                    let row = oracle.costs_ending_at(j, &all_starts[..=j]);
+                                    out[offset..offset + j + 1].copy_from_slice(&row);
+                                    offset += j + 1;
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    handle
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                }
+            });
+        }
+        let bucket_evaluations = total_entries;
+
+        let mut cost = vec![f64::INFINITY; b_max * n];
+        let mut back = vec![u32::MAX; b_max * n];
+        // b = 1: a single bucket covering [0, j].
+        for j in 0..n {
+            cost[j] = tri[row_off(j)];
+            back[j] = 0;
+        }
+        for b in 2..=b_max {
+            // Level `b` reads only level `b − 1`, so every endpoint of the
+            // level is independent.
+            let (filled, rest) = cost.split_at_mut((b - 1) * n);
+            let prev = &filled[(b - 2) * n..];
+            let level = pool::parallel_chunks_with(threads, n, 64, |range| {
+                let mut out = Vec::with_capacity(range.len());
+                for j in range {
+                    if j + 1 < b {
+                        // Fewer items than buckets: unreachable, as in the
+                        // serial path.
+                        out.push((f64::INFINITY, u32::MAX));
+                        continue;
+                    }
+                    let row = &tri[row_off(j)..row_off(j) + j + 1];
+                    let mut best = f64::INFINITY;
+                    let mut best_s = u32::MAX;
+                    for s in (b - 1)..=j {
+                        let left = prev[s - 1];
+                        if !left.is_finite() {
+                            continue;
+                        }
+                        let total = combine(left, row[s]);
+                        if total < best {
+                            best = total;
+                            best_s = s as u32;
+                        }
+                    }
+                    out.push((best, best_s));
+                }
+                out
+            });
+            let cost_row = &mut rest[..n];
+            let back_row = &mut back[(b - 1) * n..b * n];
+            let mut j = 0usize;
+            for chunk in level {
+                for (c, s) in chunk {
+                    cost_row[j] = c;
+                    back_row[j] = s;
+                    j += 1;
+                }
             }
         }
         Ok(DpTables {
@@ -339,6 +537,43 @@ mod tests {
             BucketSolution {
                 representative: 0.0,
                 cost: (e - s) as f64,
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        // Force the parallel path (PARALLEL_MIN_N is bypassed by calling the
+        // internal builder directly) and compare every table entry bitwise
+        // against the serial build, for a cumulative and a max-error metric.
+        let rel: ProbabilisticRelation = mystiq_like(MystiqLikeConfig {
+            n: 257, // odd size: uneven chunk boundaries
+            avg_tuples_per_item: 2.0,
+            skew: 0.8,
+            seed: 23,
+        })
+        .into();
+        let oracles: Vec<Box<dyn BucketCostOracle>> = vec![
+            Box::new(SseOracle::new(&rel, SseObjective::PaperEq5)),
+            Box::new(MaxErrOracle::mae(&rel)),
+        ];
+        for oracle in &oracles {
+            let serial = DpTables::build_with_threads(oracle, 9, 1).unwrap();
+            for threads in [2, 4] {
+                let parallel = DpTables::build_parallel(oracle, 9, threads).unwrap();
+                assert_eq!(parallel.bucket_evaluations(), serial.bucket_evaluations());
+                assert_eq!(parallel.back, serial.back);
+                let serial_bits: Vec<u64> = serial.cost.iter().map(|c| c.to_bits()).collect();
+                let parallel_bits: Vec<u64> = parallel.cost.iter().map(|c| c.to_bits()).collect();
+                assert_eq!(parallel_bits, serial_bits);
+                for b in 1..=9 {
+                    let a = serial.extract(b, oracle).unwrap();
+                    let c = parallel.extract(b, oracle).unwrap();
+                    assert_eq!(a.boundaries(), c.boundaries());
+                    let a_bits: Vec<u64> = a.estimates().iter().map(|v| v.to_bits()).collect();
+                    let c_bits: Vec<u64> = c.estimates().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(a_bits, c_bits);
+                }
             }
         }
     }

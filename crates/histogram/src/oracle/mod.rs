@@ -59,7 +59,14 @@ pub struct BucketSolution {
 }
 
 /// A bucket-cost oracle for one error metric over one probabilistic relation.
-pub trait BucketCostOracle {
+///
+/// Oracles are required to be [`Sync`]: the exact DP shards its
+/// `costs_ending_at` sweeps over endpoint chunks running on the scoped
+/// thread pool (`pds_core::pool`), so several worker threads query one
+/// oracle concurrently through `&self`.  Every oracle in this crate is a
+/// plain preprocessed-table struct, so the bound is free; an oracle needing
+/// interior mutability must synchronise it internally.
+pub trait BucketCostOracle: Sync {
     /// Domain size `n` of the underlying relation.
     fn n(&self) -> usize;
 

@@ -28,7 +28,23 @@
 //! `pds_core::binio`): segments and whole stores encode to self-describing
 //! byte blobs whose corrupted/truncated/version-skewed variants decode to
 //! [`PdsError`]s, never panics.  JSON (`Segment::to_json`) stays available
-//! as the debug encoding.
+//! as the debug encoding.  Live memtable contents are covered by optional
+//! per-partition **write-ahead logs** ([`wal`], replayed on
+//! [`SynopsisStore::open_with_wal`]); [`SynopsisStore::snapshot`] seals
+//! everything live and serialises in one step.
+//!
+//! ## Concurrency
+//!
+//! The store is **concurrent and sharded**: every partition sits behind its
+//! own reader–writer lock, all mutating operations take `&self`, batches
+//! route to shards lock-free ([`SynopsisStore::ingest_batch`]), and sealing
+//! can run on background workers
+//! ([`SynopsisStore::with_background_sealing`]) so ingest, sealing and
+//! serving overlap.  Per-partition seal sequence numbers keep results
+//! **deterministic**: the same record stream yields byte-identical sealed
+//! segments at every thread count (pinned by the `store_concurrency`
+//! suite).  Thread counts come from `pds_core::pool` (the `PDS_THREADS`
+//! environment variable or `pool::set_num_threads`).
 //!
 //! ## Sharding semantics
 //!
@@ -50,7 +66,9 @@
 mod memtable;
 mod segment;
 mod store;
+pub mod wal;
 
 pub use memtable::Memtable;
 pub use segment::{Segment, SegmentSynopsis, SynopsisKind};
 pub use store::{PartitionSpec, StoreConfig, StoreStats, SynopsisStore};
+pub use wal::PartitionWal;

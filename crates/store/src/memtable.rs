@@ -173,6 +173,26 @@ impl Memtable {
         self.records.clear();
         self.expected.iter_mut().for_each(|v| *v = 0.0);
     }
+
+    /// Prepends an `older` buffer of the same partition (its records come
+    /// first, as they arrived first) — the undo path when a frozen memtable
+    /// could not be sealed and its records must rejoin the live buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two memtables cover different partition ranges.
+    pub fn absorb_front(&mut self, mut older: Memtable) {
+        assert_eq!(
+            (self.start, self.width()),
+            (older.start, older.width()),
+            "absorb_front requires matching partition ranges"
+        );
+        std::mem::swap(&mut self.records, &mut older.records);
+        self.records.append(&mut older.records);
+        for (mine, theirs) in self.expected.iter_mut().zip(&older.expected) {
+            *mine += theirs;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +274,33 @@ mod tests {
         for (i, &e) in m.expected_frequencies().iter().enumerate() {
             assert!((rel.expected_frequencies()[i] - e).abs() < 1e-9, "item {i}");
         }
+    }
+
+    #[test]
+    fn absorb_front_prepends_records_and_sums_expectations() {
+        let mut older = Memtable::new(4, 4);
+        older
+            .insert(StreamRecord::Basic { item: 4, prob: 0.5 })
+            .unwrap();
+        let mut newer = Memtable::new(4, 4);
+        newer
+            .insert(StreamRecord::Basic {
+                item: 5,
+                prob: 0.25,
+            })
+            .unwrap();
+        newer.absorb_front(older);
+        assert_eq!(newer.len(), 2);
+        // Older record first (localised item 0), newer second (item 1).
+        assert_eq!(newer.records[0], StreamRecord::Basic { item: 0, prob: 0.5 });
+        assert_eq!(
+            newer.records[1],
+            StreamRecord::Basic {
+                item: 1,
+                prob: 0.25
+            }
+        );
+        assert!((newer.range_sum(4, 7) - 0.75).abs() < 1e-12);
     }
 
     #[test]

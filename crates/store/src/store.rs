@@ -1,12 +1,40 @@
-//! The partitioned synopsis store: routing, sealing, compaction, queries
-//! and whole-store persistence.
+//! The partitioned synopsis store: concurrent sharded routing, sealing
+//! (inline or on background workers), compaction, queries and whole-store
+//! persistence.
+//!
+//! ## Concurrency model
+//!
+//! Every partition lives behind its own [`RwLock`] (a *shard*): ingest
+//! write-locks exactly the shard owning a record, queries read-lock only the
+//! shards overlapping their range, and independent partitions never contend.
+//! All mutating operations take `&self`, so one store can be shared across
+//! ingest threads (`Arc<SynopsisStore>` or scoped borrows) without external
+//! locking.  Batch ingest ([`SynopsisStore::ingest_batch`]) routes records
+//! to shards **lock-free** — one pass over the batch groups records
+//! per-partition in arrival order — then inserts each partition's sub-batch
+//! on the scoped thread pool (`pds_core::pool`), taking each shard lock once
+//! per batch.
+//!
+//! Sealing freezes the memtable under the shard lock (an `O(1)` swap and,
+//! with a WAL, one file rename) and builds the segment *outside* the ingest
+//! path: inline on the calling thread by default, or on the store's
+//! background workers when [`SynopsisStore::with_background_sealing`] is
+//! enabled, so ingest, sealing and serving overlap.  Per-partition seal
+//! **sequence numbers** keep segment order deterministic regardless of which
+//! worker finishes first — the same record stream produces byte-identical
+//! sealed segments at every thread count, a property the
+//! `store_concurrency` suite pins.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockWriteGuard};
 
 use pds_core::binio::{ByteReader, ByteWriter};
 use pds_core::error::{PdsError, Result};
 use pds_core::metrics::ErrorMetric;
 use pds_core::model::ValuePdfModel;
+use pds_core::pool;
 use pds_core::stream::StreamRecord;
 use pds_histogram::merge::{optimal_piecewise_histogram, sum_pieces, Piece};
 use pds_histogram::Histogram;
@@ -14,6 +42,10 @@ use pds_wavelet::build_sse_wavelet;
 
 use crate::memtable::Memtable;
 use crate::segment::{Segment, SegmentSynopsis, SynopsisKind};
+use crate::wal::PartitionWal;
+
+/// One x-tuple's alternatives grouped by owning partition.
+type SplitAlternatives = BTreeMap<usize, Vec<(usize, f64)>>;
 
 /// A partition of the item domain `[0, n)` into contiguous ranges.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,27 +136,164 @@ pub struct StoreConfig {
 pub struct StoreStats {
     /// Stream records accepted by [`SynopsisStore::ingest`].
     pub ingested_records: u64,
-    /// Records currently buffered in live memtables (not yet sealed).
+    /// Records not yet sealed into a segment: live memtables plus memtables
+    /// frozen for an in-flight background seal (queries see both).
     pub live_records: u64,
-    /// Seal operations performed.
+    /// Seal operations performed (counted when the memtable freezes).
     pub seals: u64,
-    /// Segments currently stored (compaction shrinks this).
+    /// Segments currently stored (compaction shrinks this; an in-flight
+    /// background seal's segment appears — moving its records out of
+    /// `live_records` — once the build installs, so
+    /// [`SynopsisStore::flush`] first for a settled view).
     pub segments: usize,
     /// X-tuples whose alternatives were split across partitions.
     pub split_tuples: u64,
 }
 
-/// The partitioned streaming-ingest synopsis store (see the crate docs for
-/// the lifecycle).
-#[derive(Debug, Clone)]
-pub struct SynopsisStore {
+/// One partition's mutable state: the live memtable, the sealed segments
+/// (keyed by seal sequence number, ascending) and the optional write-ahead
+/// log.
+#[derive(Debug)]
+struct Shard {
+    memtable: Memtable,
+    /// Memtables frozen for sealing whose segment build is still in flight,
+    /// by seal sequence: kept readable (shared with the [`SealTask`]) so a
+    /// query racing a background seal never transiently loses the frozen
+    /// records' mass; the entry is dropped when its segment installs.
+    frozen: Vec<(u64, Arc<Memtable>)>,
+    /// Sealed segments as `(seal sequence, segment)`, ascending by sequence;
+    /// the sequence restores deterministic order when background workers
+    /// finish out of order.
+    segments: Vec<(u64, Segment)>,
+    /// Next seal sequence number for this partition.
+    next_seq: u64,
+    wal: Option<PartitionWal>,
+}
+
+/// The shared, lock-protected core of a store (shards + counters); the
+/// background seal workers hold an `Arc` of this.
+#[derive(Debug)]
+struct StoreInner {
     config: StoreConfig,
-    memtables: Vec<Memtable>,
-    /// Sealed segments per partition, oldest first.
-    segments: Vec<Vec<Segment>>,
-    ingested: u64,
-    seals: u64,
-    split_tuples: u64,
+    shards: Vec<RwLock<Shard>>,
+    ingested: AtomicU64,
+    seals: AtomicU64,
+    split_tuples: AtomicU64,
+}
+
+/// A frozen memtable on its way to becoming a segment (shared with its
+/// shard's `frozen` list so the records stay queryable until the segment
+/// installs).
+#[derive(Debug)]
+struct SealTask {
+    partition: usize,
+    seq: u64,
+    memtable: Arc<Memtable>,
+    /// The frozen WAL file covering exactly this memtable's records; removed
+    /// once the segment is installed.
+    wal_frozen: Option<PathBuf>,
+}
+
+#[derive(Debug, Default)]
+struct SealQueueState {
+    tasks: VecDeque<SealTask>,
+    /// Tasks submitted but not yet installed (queued + building).
+    pending: usize,
+    closed: bool,
+    /// First background build error; surfaced by [`SynopsisStore::flush`].
+    error: Option<PdsError>,
+}
+
+#[derive(Debug, Default)]
+struct SealQueue {
+    state: Mutex<SealQueueState>,
+    /// Signals workers that a task arrived (or the queue closed).
+    work: Condvar,
+    /// Signals waiters that `pending` reached zero.
+    idle: Condvar,
+}
+
+/// Handle to the background seal workers.
+#[derive(Debug)]
+struct Sealer {
+    queue: Arc<SealQueue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Sealer {
+    fn submit(&self, task: SealTask) {
+        let mut state = self.queue.state.lock().expect("seal queue poisoned");
+        state.pending += 1;
+        state.tasks.push_back(task);
+        drop(state);
+        self.queue.work.notify_one();
+    }
+}
+
+impl Drop for Sealer {
+    fn drop(&mut self) {
+        {
+            let mut state = self.queue.state.lock().expect("seal queue poisoned");
+            state.closed = true;
+        }
+        self.queue.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The partitioned streaming-ingest synopsis store (see the crate docs for
+/// the lifecycle and the module docs for the concurrency model).
+#[derive(Debug)]
+pub struct SynopsisStore {
+    inner: Arc<StoreInner>,
+    sealer: Option<Sealer>,
+}
+
+/// A deep point-in-time copy: shard contents and counters are snapshotted;
+/// the clone has **no** background workers and **no** write-ahead log
+/// (file handles cannot be duplicated meaningfully).  Memtables frozen for
+/// an in-flight background seal are folded back into the clone's live
+/// memtable (no records are lost), though the `seals` counter keeps
+/// counting the in-flight freeze — [`SynopsisStore::flush`] first for
+/// settled counters.
+impl Clone for SynopsisStore {
+    fn clone(&self) -> Self {
+        let shards = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.read().expect("shard lock poisoned");
+                // Fold any in-flight frozen memtables back into the cloned
+                // live buffer (newest-first prepending restores arrival
+                // order), so a clone racing a background seal still holds
+                // every record.
+                let mut memtable = shard.memtable.clone();
+                for (_, frozen) in shard.frozen.iter().rev() {
+                    memtable.absorb_front((**frozen).clone());
+                }
+                RwLock::new(Shard {
+                    memtable,
+                    frozen: Vec::new(),
+                    segments: shard.segments.clone(),
+                    next_seq: shard.next_seq,
+                    wal: None,
+                })
+            })
+            .collect();
+        SynopsisStore {
+            inner: Arc::new(StoreInner {
+                config: self.inner.config.clone(),
+                shards,
+                ingested: AtomicU64::new(self.inner.ingested.load(Ordering::Relaxed)),
+                seals: AtomicU64::new(self.inner.seals.load(Ordering::Relaxed)),
+                split_tuples: AtomicU64::new(self.inner.split_tuples.load(Ordering::Relaxed)),
+            }),
+            sealer: None,
+        }
+    }
 }
 
 impl SynopsisStore {
@@ -134,152 +303,635 @@ impl SynopsisStore {
     /// Version stamp of the whole-store binary encoding.
     pub const BINARY_VERSION: u16 = 1;
 
-    /// Creates an empty store.
+    /// Creates an empty store (no background workers, no write-ahead log).
     pub fn new(config: StoreConfig) -> Result<Self> {
         if config.seal_threshold == 0 || config.segment_budget == 0 {
             return Err(PdsError::InvalidParameter {
                 message: "the seal threshold and the segment budget must be positive".into(),
             });
         }
-        let memtables = (0..config.partitions.len())
+        let shards = (0..config.partitions.len())
             .map(|p| {
                 let (start, width) = config.partitions.range(p);
-                Memtable::new(start, width)
+                RwLock::new(Shard {
+                    memtable: Memtable::new(start, width),
+                    frozen: Vec::new(),
+                    segments: Vec::new(),
+                    next_seq: 0,
+                    wal: None,
+                })
             })
             .collect();
-        let segments = vec![Vec::new(); config.partitions.len()];
         Ok(SynopsisStore {
-            config,
-            memtables,
-            segments,
-            ingested: 0,
-            seals: 0,
-            split_tuples: 0,
+            inner: Arc::new(StoreInner {
+                config,
+                shards,
+                ingested: AtomicU64::new(0),
+                seals: AtomicU64::new(0),
+                split_tuples: AtomicU64::new(0),
+            }),
+            sealer: None,
         })
+    }
+
+    /// Opens a store whose live memtables are covered by per-partition
+    /// write-ahead logs in `dir`: any records logged by a previous process —
+    /// live or frozen mid-seal — are replayed, so nothing buffered is lost
+    /// to a crash.  Recovery is the crash-safe three-phase protocol of
+    /// [`crate::wal`]: **scan** every partition's logs read-only (an error
+    /// anywhere leaves all logs on disk for the next attempt), replay the
+    /// records into the memtables with auto-sealing suppressed (the backlog
+    /// seals on the first subsequent ingest that crosses the threshold),
+    /// then **commit** each partition's fresh live log atomically.
+    /// Counters restart at the replayed records — and count per-partition
+    /// *sub*-records, so an x-tuple that was split across partitions before
+    /// logging counts once per partition here (and `split_tuples` restarts
+    /// at 0): post-recovery counters describe the recovered process, not
+    /// the pre-crash one.
+    pub fn open_with_wal(config: StoreConfig, dir: impl AsRef<Path>) -> Result<Self> {
+        let store = Self::new(config)?;
+        let dir = dir.as_ref();
+        // The logs are only meaningful under the partition layout that
+        // wrote them: a `wal.meta` stamp pins the bounds, so reopening with
+        // a different layout errors instead of silently ignoring logs of
+        // partitions that no longer exist (or mis-routing records).
+        store.check_wal_meta(dir)?;
+        // Phase 1: read-only scans.  Nothing is deleted or truncated, so a
+        // corrupt log in any partition aborts with every file intact.
+        let mut replays = Vec::with_capacity(store.num_partitions());
+        for p in 0..store.num_partitions() {
+            replays.push(PartitionWal::scan(dir, p)?);
+        }
+        // Phase 2: replay into the memtables.  Records were already routed
+        // (x-tuples split per partition) when first logged; sealing is
+        // suppressed so the replayed set stays exactly the set the commit
+        // re-logs.
+        let mut replayed_records = 0u64;
+        for (p, replay) in replays.iter().enumerate() {
+            let mut shard = store.write_shard(p);
+            for record in &replay.records {
+                shard.memtable.insert(record.clone())?;
+            }
+            replayed_records += replay.records.len() as u64;
+        }
+        store
+            .inner
+            .ingested
+            .fetch_add(replayed_records, Ordering::Relaxed);
+        // Phase 3: publish each partition's recovered live log atomically
+        // and attach the append handles.
+        for (p, replay) in replays.iter().enumerate() {
+            let wal = PartitionWal::commit(dir, p, &replay.records, replay)?;
+            store.write_shard(p).wal = Some(wal);
+        }
+        Ok(store)
+    }
+
+    /// Validates (or, on first use, writes) the WAL directory's partition
+    /// stamp: a space-separated list of the partition bounds in `wal.meta`.
+    fn check_wal_meta(&self, dir: &Path) -> Result<()> {
+        let meta_io = |context: &str, e: std::io::Error| PdsError::InvalidParameter {
+            message: format!("wal: {context}: {e}"),
+        };
+        std::fs::create_dir_all(dir).map_err(|e| meta_io("creating the wal directory", e))?;
+        let path = dir.join("wal.meta");
+        let bounds = &self.inner.config.partitions.bounds;
+        let stamp = bounds
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        if path.exists() {
+            let on_disk = std::fs::read_to_string(&path)
+                .map_err(|e| meta_io("reading the partition stamp", e))?;
+            if on_disk.trim() != stamp {
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "wal directory was written under partition bounds [{}] but the store \
+                         is configured with [{stamp}]; reopen with the original layout",
+                        on_disk.trim()
+                    ),
+                });
+            }
+        } else {
+            std::fs::write(&path, format!("{stamp}\n"))
+                .map_err(|e| meta_io("writing the partition stamp", e))?;
+        }
+        Ok(())
+    }
+
+    /// Moves sealing onto `workers` background threads: reaching the seal
+    /// threshold now freezes the memtable (an `O(1)` swap under the shard
+    /// lock) and hands the segment build to a worker, so ingest never waits
+    /// on synopsis construction.  [`SynopsisStore::flush`] waits for
+    /// in-flight builds and surfaces their errors; dropping the store joins
+    /// the workers after draining the queue.  Segment order (and therefore
+    /// [`SynopsisStore::to_binary`] output) stays byte-identical to inline
+    /// sealing.
+    pub fn with_background_sealing(mut self, workers: usize) -> Self {
+        let queue = Arc::new(SealQueue::default());
+        let workers = (1..=workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&self.inner);
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || Self::seal_worker(&inner, &queue))
+            })
+            .collect();
+        self.sealer = Some(Sealer { queue, workers });
+        self
+    }
+
+    fn seal_worker(inner: &StoreInner, queue: &SealQueue) {
+        loop {
+            let task = {
+                let mut state = queue.state.lock().expect("seal queue poisoned");
+                loop {
+                    if let Some(task) = state.tasks.pop_front() {
+                        break Some(task);
+                    }
+                    if state.closed {
+                        break None;
+                    }
+                    state = queue.work.wait(state).expect("seal queue poisoned");
+                }
+            };
+            let Some(task) = task else { return };
+            match Self::build_segment(inner, &task) {
+                Ok(segment) => {
+                    let mut shard = inner.shards[task.partition]
+                        .write()
+                        .expect("shard lock poisoned");
+                    Self::install_segment(
+                        &mut shard,
+                        task.seq,
+                        segment,
+                        task.wal_frozen.as_deref(),
+                    );
+                }
+                Err(e) => {
+                    // Restore the frozen records to the live memtable (they
+                    // rejoin ahead of any newer arrivals) and park the error
+                    // for flush().
+                    let mut shard = inner.shards[task.partition]
+                        .write()
+                        .expect("shard lock poisoned");
+                    Self::unfreeze(inner, &mut shard, task);
+                    drop(shard);
+                    let mut state = queue.state.lock().expect("seal queue poisoned");
+                    state.error.get_or_insert(e);
+                }
+            }
+            let mut state = queue.state.lock().expect("seal queue poisoned");
+            state.pending -= 1;
+            if state.pending == 0 {
+                queue.idle.notify_all();
+            }
+        }
+    }
+
+    /// Waits until every background seal submitted so far is installed and
+    /// returns the first build error, if any (a failed build's records are
+    /// restored to their live memtable, so the error is retryable: seal
+    /// again or snapshot).  A no-op without background sealing.
+    pub fn flush(&self) -> Result<()> {
+        if let Some(sealer) = &self.sealer {
+            let mut state = sealer.queue.state.lock().expect("seal queue poisoned");
+            while state.pending > 0 {
+                state = sealer.queue.idle.wait(state).expect("seal queue poisoned");
+            }
+            if let Some(e) = state.error.take() {
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// The store's configuration.
     pub fn config(&self) -> &StoreConfig {
-        &self.config
+        &self.inner.config
     }
 
     /// Domain size `n`.
     pub fn n(&self) -> usize {
-        self.config.partitions.n()
+        self.inner.config.partitions.n()
     }
 
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
-        self.config.partitions.len()
+        self.inner.config.partitions.len()
     }
 
-    /// The live memtable of partition `p`.
-    pub fn memtable(&self, p: usize) -> &Memtable {
-        &self.memtables[p]
+    fn write_shard(&self, p: usize) -> RwLockWriteGuard<'_, Shard> {
+        self.inner.shards[p].write().expect("shard lock poisoned")
     }
 
-    /// The sealed segments of partition `p`, oldest first.
-    pub fn segments(&self, p: usize) -> &[Segment] {
-        &self.segments[p]
+    /// A point-in-time copy of partition `p`'s live memtable.
+    pub fn memtable_snapshot(&self, p: usize) -> Memtable {
+        self.inner.shards[p]
+            .read()
+            .expect("shard lock poisoned")
+            .memtable
+            .clone()
+    }
+
+    /// A point-in-time copy of partition `p`'s sealed segments, oldest
+    /// (lowest seal sequence) first.
+    pub fn segments(&self, p: usize) -> Vec<Segment> {
+        self.inner.shards[p]
+            .read()
+            .expect("shard lock poisoned")
+            .segments
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect()
     }
 
     /// Point-in-time counters.
     pub fn stats(&self) -> StoreStats {
+        let mut live_records = 0u64;
+        let mut segments = 0usize;
+        for shard in &self.inner.shards {
+            let shard = shard.read().expect("shard lock poisoned");
+            live_records += shard.memtable.len() as u64;
+            // In-flight frozen memtables are still unsealed records.
+            live_records += shard
+                .frozen
+                .iter()
+                .map(|(_, m)| m.len() as u64)
+                .sum::<u64>();
+            segments += shard.segments.len();
+        }
         StoreStats {
-            ingested_records: self.ingested,
-            live_records: self.memtables.iter().map(|m| m.len() as u64).sum(),
-            seals: self.seals,
-            segments: self.segments.iter().map(Vec::len).sum(),
-            split_tuples: self.split_tuples,
+            ingested_records: self.inner.ingested.load(Ordering::Relaxed),
+            live_records,
+            seals: self.inner.seals.load(Ordering::Relaxed),
+            segments,
+            split_tuples: self.inner.split_tuples.load(Ordering::Relaxed),
         }
     }
 
     /// Appends one stream record, routing it to the partition(s) owning its
     /// items; a partition whose memtable reaches the seal threshold is
-    /// sealed automatically.  X-tuples spanning several partitions are split
-    /// per partition (see the crate docs for the semantics).
-    pub fn ingest(&mut self, record: StreamRecord) -> Result<()> {
+    /// sealed automatically (inline, or on the background workers when
+    /// enabled).  X-tuples spanning several partitions are split per
+    /// partition (see the crate docs for the semantics).  Thread-safe
+    /// through `&self`.
+    pub fn ingest(&self, record: StreamRecord) -> Result<()> {
         record.validate()?;
         match record {
             StreamRecord::Basic { item, .. } | StreamRecord::ValueDistribution { item, .. } => {
-                let p = self.config.partitions.partition_of(item)?;
-                self.memtables[p].insert(record)?;
-                self.ingested += 1;
-                self.maybe_seal(p)
+                let p = self.inner.config.partitions.partition_of(item)?;
+                let mut shard = self.write_shard(p);
+                self.insert_locked(p, &mut shard, record)?;
+                if let Some(wal) = shard.wal.as_mut() {
+                    wal.sync()?;
+                }
+                self.inner.ingested.fetch_add(1, Ordering::Relaxed);
+                Ok(())
             }
             StreamRecord::Alternatives(alts) => {
-                let mut by_partition: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
-                for &(item, prob) in &alts {
-                    let p = self.config.partitions.partition_of(item)?;
-                    by_partition.entry(p).or_default().push((item, prob));
-                }
-                if by_partition.len() > 1 {
-                    self.split_tuples += 1;
-                }
-                self.ingested += 1;
+                let (by_partition, split) = self.split_x_tuple(&alts)?;
+                self.inner.split_tuples.fetch_add(split, Ordering::Relaxed);
+                self.inner.ingested.fetch_add(1, Ordering::Relaxed);
                 for (p, sub) in by_partition {
-                    self.memtables[p].insert(StreamRecord::Alternatives(sub))?;
-                    self.maybe_seal(p)?;
+                    let mut shard = self.write_shard(p);
+                    self.insert_locked(p, &mut shard, StreamRecord::Alternatives(sub))?;
+                    if let Some(wal) = shard.wal.as_mut() {
+                        wal.sync()?;
+                    }
                 }
                 Ok(())
             }
         }
     }
 
-    /// Appends every record of an iterator.
-    pub fn ingest_all(&mut self, records: impl IntoIterator<Item = StreamRecord>) -> Result<()> {
+    /// Records per [`SynopsisStore::ingest_all`] chunk: large enough to
+    /// amortise shard locking and pool dispatch, small enough to bound the
+    /// routing buffer.
+    const INGEST_CHUNK: usize = 8192;
+
+    /// Appends every record of an iterator by routing fixed-size chunks into
+    /// reused per-partition buffers and inserting each partition's sub-batch
+    /// with one shard-lock acquisition (in parallel on the thread pool), so
+    /// shard locks are taken once per chunk, not once per record.  Chunking
+    /// does not affect the result: each partition still sees exactly its
+    /// sub-sequence of records in arrival order.
+    pub fn ingest_all(&self, records: impl IntoIterator<Item = StreamRecord>) -> Result<()> {
+        let mut routed: Vec<Vec<StreamRecord>> = vec![Vec::new(); self.num_partitions()];
+        let mut pending = 0usize;
+        let mut split = 0u64;
+        let flush_counts = |pending: &mut usize, split: &mut u64| {
+            self.inner
+                .ingested
+                .fetch_add(*pending as u64, Ordering::Relaxed);
+            self.inner.split_tuples.fetch_add(*split, Ordering::Relaxed);
+            (*pending, *split) = (0, 0);
+        };
         for record in records {
-            self.ingest(record)?;
+            match self.route_one(record, &mut routed) {
+                Ok(was_split) => {
+                    split += was_split;
+                    pending += 1;
+                }
+                Err(e) => {
+                    // Same semantics as the old per-record loop: every valid
+                    // record before the failing one is ingested (and only
+                    // then counted), then the error surfaces.
+                    self.insert_routed(&mut routed)?;
+                    flush_counts(&mut pending, &mut split);
+                    return Err(e);
+                }
+            }
+            if pending == Self::INGEST_CHUNK {
+                self.insert_routed(&mut routed)?;
+                flush_counts(&mut pending, &mut split);
+            }
+        }
+        self.insert_routed(&mut routed)?;
+        flush_counts(&mut pending, &mut split);
+        Ok(())
+    }
+
+    /// Appends a batch of records using the scoped thread pool: the batch is
+    /// routed to per-partition sub-batches lock-free (one pass, arrival
+    /// order preserved within each partition), then every partition's
+    /// sub-batch is inserted on its own pool task, taking each shard lock
+    /// once.  Because each partition sees exactly the sub-sequence of
+    /// records it owns — in arrival order — the resulting state is
+    /// **identical to serial ingest at every thread count**.
+    ///
+    /// Unlike [`SynopsisStore::ingest_all`] (which keeps the valid prefix
+    /// when a record fails validation), a **validation** error here rejects
+    /// the whole batch before anything is inserted — routing happens first,
+    /// so the batch is the all-or-nothing unit for invalid input.  An
+    /// **insert-time** error (a WAL write failure, an inline seal build
+    /// error) can still leave the batch partially applied across
+    /// partitions; such a failed batch is not added to the accepted-record
+    /// counters.
+    pub fn ingest_batch(&self, records: impl IntoIterator<Item = StreamRecord>) -> Result<()> {
+        let mut routed: Vec<Vec<StreamRecord>> = vec![Vec::new(); self.num_partitions()];
+        let mut ingested = 0u64;
+        let mut split = 0u64;
+        for record in records {
+            split += self.route_one(record, &mut routed)?;
+            ingested += 1;
+        }
+        // Count only after the inserts land, so a failed batch never
+        // inflates the accepted-record counters.
+        self.insert_routed(&mut routed)?;
+        self.inner.ingested.fetch_add(ingested, Ordering::Relaxed);
+        self.inner.split_tuples.fetch_add(split, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Validates one record and appends it (split per partition for
+    /// x-tuples) to the routing buffers; returns 1 when an x-tuple was split
+    /// across partitions.
+    fn route_one(&self, record: StreamRecord, routed: &mut [Vec<StreamRecord>]) -> Result<u64> {
+        record.validate()?;
+        match record {
+            StreamRecord::Basic { item, .. } | StreamRecord::ValueDistribution { item, .. } => {
+                let p = self.inner.config.partitions.partition_of(item)?;
+                routed[p].push(record);
+                Ok(0)
+            }
+            StreamRecord::Alternatives(alts) => {
+                let (by_partition, split) = self.split_x_tuple(&alts)?;
+                for (p, sub) in by_partition {
+                    routed[p].push(StreamRecord::Alternatives(sub));
+                }
+                Ok(split)
+            }
+        }
+    }
+
+    /// Splits an x-tuple's alternatives by owning partition.  Returns the
+    /// per-partition groups plus 1 when the tuple actually spans several
+    /// partitions — the single home of the splitting rule shared by every
+    /// ingest path (per-record and batched must never diverge).
+    fn split_x_tuple(&self, alts: &[(usize, f64)]) -> Result<(SplitAlternatives, u64)> {
+        let mut by_partition = SplitAlternatives::new();
+        for &(item, prob) in alts {
+            let p = self.inner.config.partitions.partition_of(item)?;
+            by_partition.entry(p).or_default().push((item, prob));
+        }
+        let split = u64::from(by_partition.len() > 1);
+        Ok((by_partition, split))
+    }
+
+    /// Drains the routing buffers into their shards, one pool task per
+    /// non-empty partition; buffer capacity is retained for the next chunk.
+    fn insert_routed(&self, routed: &mut [Vec<StreamRecord>]) -> Result<()> {
+        let batches: Vec<(usize, &mut Vec<StreamRecord>)> = routed
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, batch)| !batch.is_empty())
+            .collect();
+        if batches.is_empty() {
+            return Ok(());
+        }
+        let results =
+            pool::parallel_map(batches, |(p, batch)| self.ingest_partition_batch(p, batch));
+        results.into_iter().collect()
+    }
+
+    fn ingest_partition_batch(&self, p: usize, records: &mut Vec<StreamRecord>) -> Result<()> {
+        let mut shard = self.write_shard(p);
+        for record in records.drain(..) {
+            self.insert_locked(p, &mut shard, record)?;
+        }
+        if let Some(wal) = shard.wal.as_mut() {
+            wal.sync()?;
         }
         Ok(())
     }
 
-    fn maybe_seal(&mut self, p: usize) -> Result<()> {
-        if self.memtables[p].len() >= self.config.seal_threshold {
-            self.seal_partition(p)?;
+    /// Inserts one routed record into a locked shard (WAL first), sealing
+    /// when the threshold is reached.
+    fn insert_locked(&self, p: usize, shard: &mut Shard, record: StreamRecord) -> Result<()> {
+        if let Some(wal) = shard.wal.as_mut() {
+            wal.append(&record)?;
+        }
+        shard.memtable.insert(record)?;
+        if shard.memtable.len() >= self.inner.config.seal_threshold {
+            self.seal_locked(p, shard)?;
         }
         Ok(())
     }
 
-    /// Seals partition `p`'s memtable into an immutable segment (a no-op on
-    /// an empty memtable).  Returns whether a segment was produced.
-    pub fn seal_partition(&mut self, p: usize) -> Result<bool> {
-        let memtable = &self.memtables[p];
-        if memtable.is_empty() {
-            return Ok(false);
+    /// Freezes a non-empty memtable for sealing: swaps in an empty memtable,
+    /// assigns the seal sequence and rotates the WAL.  `O(1)` plus one file
+    /// rename; runs under the shard write lock.
+    fn freeze(&self, p: usize, shard: &mut Shard) -> Result<Option<SealTask>> {
+        if shard.memtable.is_empty() {
+            return Ok(None);
         }
-        let relation = memtable.to_relation()?;
-        let budget = self.config.segment_budget.min(memtable.width());
-        let segment = Segment::build(
-            memtable.start(),
-            memtable.len() as u64,
+        let (start, width) = self.inner.config.partitions.range(p);
+        let memtable = std::mem::replace(&mut shard.memtable, Memtable::new(start, width));
+        let seq = shard.next_seq;
+        shard.next_seq += 1;
+        let wal_frozen = match shard.wal.as_mut() {
+            Some(wal) => match wal.rotate(seq) {
+                Ok(frozen) => Some(frozen),
+                Err(e) => {
+                    // The lock is held and the fresh memtable is untouched:
+                    // swap the records straight back so a failed rotation
+                    // (disk full, rename error) loses nothing.
+                    shard.memtable = memtable;
+                    shard.next_seq = seq;
+                    return Err(e);
+                }
+            },
+            None => None,
+        };
+        self.inner.seals.fetch_add(1, Ordering::Relaxed);
+        let memtable = Arc::new(memtable);
+        shard.frozen.push((seq, Arc::clone(&memtable)));
+        Ok(Some(SealTask {
+            partition: p,
+            seq,
+            memtable,
+            wal_frozen,
+        }))
+    }
+
+    /// Builds the configured synopsis segment from a frozen memtable.
+    fn build_segment(inner: &StoreInner, task: &SealTask) -> Result<Segment> {
+        let relation = task.memtable.to_relation()?;
+        let budget = inner.config.segment_budget.min(task.memtable.width());
+        Segment::build(
+            task.memtable.start(),
+            task.memtable.len() as u64,
             &relation,
-            self.config.synopsis,
+            inner.config.synopsis,
             budget,
-        )?;
-        self.segments[p].push(segment);
-        self.memtables[p].clear();
-        self.seals += 1;
+        )
+    }
+
+    /// Installs a built segment at its sequence position, drops the frozen
+    /// memtable it was built from (the segment now carries the mass) and
+    /// retires the WAL file that covered its records.
+    fn install_segment(shard: &mut Shard, seq: u64, segment: Segment, wal_frozen: Option<&Path>) {
+        let pos = shard.segments.partition_point(|&(s, _)| s < seq);
+        shard.segments.insert(pos, (seq, segment));
+        shard.frozen.retain(|&(s, _)| s != seq);
+        if let Some(frozen) = wal_frozen {
+            PartitionWal::retire(frozen);
+        }
+    }
+
+    /// Returns a frozen memtable's records to the live buffer (and its
+    /// frozen WAL file to the live log) after a segment build failed, so a
+    /// build error never loses records.
+    fn unfreeze(inner: &StoreInner, shard: &mut Shard, task: SealTask) {
+        shard.frozen.retain(|&(s, _)| s != task.seq);
+        // The shard's shared reference was just dropped, so this is the
+        // last one; clone only in the (unreachable) contended case.
+        let memtable = Arc::try_unwrap(task.memtable).unwrap_or_else(|shared| (*shared).clone());
+        shard.memtable.absorb_front(memtable);
+        if let (Some(wal), Some(frozen)) = (shard.wal.as_mut(), task.wal_frozen.as_deref()) {
+            // Best-effort: the records are back in memory either way.
+            let _ = wal.reabsorb(frozen);
+        }
+        inner.seals.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Seals (or schedules the seal of) the frozen task: background workers
+    /// when enabled, otherwise built inline under the held shard lock.  An
+    /// inline build failure restores the frozen records to the memtable
+    /// before surfacing the error.
+    fn seal_locked(&self, p: usize, shard: &mut Shard) -> Result<bool> {
+        let Some(task) = self.freeze(p, shard)? else {
+            return Ok(false);
+        };
+        match &self.sealer {
+            Some(sealer) => sealer.submit(task),
+            None => match Self::build_segment(&self.inner, &task) {
+                Ok(segment) => {
+                    Self::install_segment(shard, task.seq, segment, task.wal_frozen.as_deref());
+                }
+                Err(e) => {
+                    Self::unfreeze(&self.inner, shard, task);
+                    return Err(e);
+                }
+            },
+        }
         Ok(true)
     }
 
-    /// Seals every non-empty memtable.
-    pub fn seal_all(&mut self) -> Result<()> {
+    /// Seals partition `p`'s memtable into an immutable segment (a no-op on
+    /// an empty memtable).  Returns whether a seal was performed — or, with
+    /// background sealing, scheduled ([`SynopsisStore::flush`] waits for
+    /// it).
+    pub fn seal_partition(&self, p: usize) -> Result<bool> {
+        let mut shard = self.write_shard(p);
+        self.seal_locked(p, &mut shard)
+    }
+
+    /// Seals every non-empty memtable and waits for the resulting segments:
+    /// the freezes happen serially (cheap swaps), the segment builds run on
+    /// the background workers when enabled or on the scoped thread pool
+    /// otherwise, and installation order follows the seal sequence — the
+    /// sealed state is identical to serial sealing at every thread count.
+    pub fn seal_all(&self) -> Result<()> {
+        let mut tasks = Vec::new();
         for p in 0..self.num_partitions() {
-            self.seal_partition(p)?;
+            let mut shard = self.write_shard(p);
+            if let Some(task) = self.freeze(p, &mut shard)? {
+                tasks.push(task);
+            }
         }
-        Ok(())
+        match &self.sealer {
+            Some(sealer) => {
+                for task in tasks {
+                    sealer.submit(task);
+                }
+                self.flush()
+            }
+            None => {
+                let built = pool::parallel_map(tasks, |task| {
+                    let result = Self::build_segment(&self.inner, &task);
+                    (task, result)
+                });
+                let mut first_error = None;
+                for (task, result) in built {
+                    match result {
+                        Ok(segment) => {
+                            let mut shard = self.write_shard(task.partition);
+                            Self::install_segment(
+                                &mut shard,
+                                task.seq,
+                                segment,
+                                task.wal_frozen.as_deref(),
+                            );
+                        }
+                        Err(e) => {
+                            // A failed build never loses records: they
+                            // rejoin the live memtable.
+                            let mut shard = self.write_shard(task.partition);
+                            Self::unfreeze(&self.inner, &mut shard, task);
+                            first_error.get_or_insert(e);
+                        }
+                    }
+                }
+                match first_error {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
     }
 
     /// The summed piecewise-constant summary of partition `p`'s sealed
     /// segments (`None` when the partition has no segments).
     fn partition_pieces(&self, p: usize) -> Result<Option<Vec<Piece>>> {
-        let segs = &self.segments[p];
-        match segs.len() {
+        let shard = self.inner.shards[p].read().expect("shard lock poisoned");
+        match shard.segments.len() {
             0 => Ok(None),
-            1 => Ok(Some(segs[0].pieces())),
+            1 => Ok(Some(shard.segments[0].1.pieces())),
             _ => {
-                let layers: Vec<Vec<Piece>> = segs.iter().map(Segment::pieces).collect();
+                let layers: Vec<Vec<Piece>> =
+                    shard.segments.iter().map(|(_, s)| s.pieces()).collect();
                 sum_pieces(&layers).map(Some)
             }
         }
@@ -288,15 +940,18 @@ impl SynopsisStore {
     /// Compacts partition `p`: its sealed segments are summed on the union
     /// of their bucket boundaries and re-bucketed to the segment budget via
     /// the merge DP, leaving one segment.  A no-op with fewer than two
-    /// segments.
-    pub fn compact_partition(&mut self, p: usize) -> Result<()> {
-        if self.segments[p].len() < 2 {
+    /// segments.  Call [`SynopsisStore::flush`] first when background seals
+    /// may be in flight.
+    pub fn compact_partition(&self, p: usize) -> Result<()> {
+        let mut shard = self.write_shard(p);
+        if shard.segments.len() < 2 {
             return Ok(());
         }
-        let summed = self.partition_pieces(p)?.expect("at least two segments");
-        let (start, width) = self.config.partitions.range(p);
-        let budget = self.config.segment_budget.min(width);
-        let synopsis = match self.config.synopsis {
+        let layers: Vec<Vec<Piece>> = shard.segments.iter().map(|(_, s)| s.pieces()).collect();
+        let summed = sum_pieces(&layers)?;
+        let (start, width) = self.inner.config.partitions.range(p);
+        let budget = self.inner.config.segment_budget.min(width);
+        let synopsis = match self.inner.config.synopsis {
             SynopsisKind::Histogram(_) => {
                 SegmentSynopsis::Histogram(optimal_piecewise_histogram(&summed, budget)?)
             }
@@ -311,31 +966,38 @@ impl SynopsisStore {
                 SegmentSynopsis::Wavelet(build_sse_wavelet(&relation, budget)?)
             }
         };
-        let records = self.segments[p].iter().map(Segment::records).sum();
-        self.segments[p] = vec![Segment::new(start, records, synopsis)?];
+        let records = shard.segments.iter().map(|(_, s)| s.records()).sum();
+        let seq = shard.next_seq;
+        shard.next_seq += 1;
+        shard.segments = vec![(seq, Segment::new(start, records, synopsis)?)];
         Ok(())
     }
 
-    /// Compacts every partition.
-    pub fn compact_all(&mut self) -> Result<()> {
-        for p in 0..self.num_partitions() {
-            self.compact_partition(p)?;
-        }
-        Ok(())
+    /// Compacts every partition, one pool task per partition (partitions
+    /// are independent, so the result is identical to serial compaction).
+    pub fn compact_all(&self) -> Result<()> {
+        let results = pool::parallel_map((0..self.num_partitions()).collect(), |p| {
+            self.compact_partition(p)
+        });
+        results.into_iter().collect()
     }
 
     /// Recombines the sealed per-partition synopses into one global
     /// `b`-bucket histogram via the partition-merge DP: the candidate cut
     /// points are exactly the partition/bucket boundaries, and partitions
-    /// with no sealed data contribute a zero run.  Live memtable records are
-    /// **not** included — seal first for a full snapshot.
+    /// with no sealed data contribute a zero run.  Piece extraction runs one
+    /// pool task per partition.  Live memtable records are **not** included
+    /// — seal first for a full snapshot.
     pub fn merge_global(&self, b: usize) -> Result<Histogram> {
+        let per_partition = pool::parallel_map((0..self.num_partitions()).collect(), |p| {
+            self.partition_pieces(p)
+        });
         let mut pieces: Vec<Piece> = Vec::new();
-        for p in 0..self.num_partitions() {
-            match self.partition_pieces(p)? {
+        for (p, extracted) in per_partition.into_iter().enumerate() {
+            match extracted? {
                 Some(mut summed) => pieces.append(&mut summed),
                 None => {
-                    let (_, width) = self.config.partitions.range(p);
+                    let (_, width) = self.inner.config.partitions.range(p);
                     pieces.push(Piece { width, value: 0.0 });
                 }
             }
@@ -345,28 +1007,37 @@ impl SynopsisStore {
 
     /// Estimated expected total frequency over the **global** inclusive
     /// item range `[lo, hi]`: sealed segments answer from their synopses,
-    /// live memtables from their exact running expectations.
+    /// live memtables from their exact running expectations.  Read-locks
+    /// only the shards overlapping the range.
     pub fn range_estimate(&self, lo: usize, hi: usize) -> f64 {
         let hi = hi.min(self.n().saturating_sub(1));
         if lo > hi {
             return 0.0;
         }
         let first = self
+            .inner
             .config
             .partitions
             .partition_of(lo)
             .expect("lo in domain");
         let last = self
+            .inner
             .config
             .partitions
             .partition_of(hi)
             .expect("hi in domain");
         let mut total = 0.0;
         for p in first..=last {
-            for segment in &self.segments[p] {
+            let shard = self.inner.shards[p].read().expect("shard lock poisoned");
+            for (_, segment) in &shard.segments {
                 total += segment.range_sum(lo, hi);
             }
-            total += self.memtables[p].range_sum(lo, hi);
+            total += shard.memtable.range_sum(lo, hi);
+            // A memtable frozen for an in-flight background seal still
+            // carries its mass until the segment installs.
+            for (_, frozen) in &shard.frozen {
+                total += frozen.range_sum(lo, hi);
+            }
         }
         total
     }
@@ -378,40 +1049,75 @@ impl SynopsisStore {
 
     /// Serialises the sealed state into the compact binary format.  Live
     /// memtable records are intentionally **not** persisted — the store
-    /// refuses to serialise while unsealed data exists, so a snapshot can
-    /// never silently drop records; call [`SynopsisStore::seal_all`] first.
+    /// refuses to serialise while unsealed data exists (including seals
+    /// still in flight on background workers), so a snapshot can never
+    /// silently drop records; call [`SynopsisStore::snapshot`] to seal and
+    /// serialise in one step, or [`SynopsisStore::seal_all`] first.
     pub fn to_binary(&self) -> Result<Vec<u8>> {
+        if let Some(sealer) = &self.sealer {
+            let state = sealer.queue.state.lock().expect("seal queue poisoned");
+            if state.pending > 0 || state.error.is_some() {
+                // An unacknowledged background failure also blocks
+                // persistence: the failed seal's records were restored to a
+                // memtable, but the error must reach the caller via
+                // flush(), not vanish behind a snapshot.
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "store has {} background seal(s) in flight{}; call flush() before persisting",
+                        state.pending,
+                        if state.error.is_some() {
+                            " and an unreported seal error"
+                        } else {
+                            ""
+                        }
+                    ),
+                });
+            }
+        }
         let live = self.stats().live_records;
         if live > 0 {
             return Err(PdsError::InvalidParameter {
                 message: format!(
-                    "store has {live} unsealed records; call seal_all() before persisting"
+                    "store has {live} unsealed records; call snapshot() or seal_all() before persisting"
                 ),
             });
         }
         let mut w = ByteWriter::envelope(Self::BINARY_MAGIC, Self::BINARY_VERSION);
-        let bounds = &self.config.partitions.bounds;
+        let bounds = &self.inner.config.partitions.bounds;
         w.put_varint(bounds.len() as u64);
         let mut prev = 0u64;
         for &b in bounds {
             w.put_varint(b as u64 - prev);
             prev = b as u64;
         }
-        w.put_varint(self.config.seal_threshold as u64);
-        w.put_varint(self.config.segment_budget as u64);
-        encode_synopsis_kind(&mut w, self.config.synopsis);
-        w.put_varint(self.ingested);
-        w.put_varint(self.seals);
-        w.put_varint(self.split_tuples);
-        for segs in &self.segments {
-            w.put_varint(segs.len() as u64);
-            for segment in segs {
+        w.put_varint(self.inner.config.seal_threshold as u64);
+        w.put_varint(self.inner.config.segment_budget as u64);
+        encode_synopsis_kind(&mut w, self.inner.config.synopsis);
+        w.put_varint(self.inner.ingested.load(Ordering::Relaxed));
+        w.put_varint(self.inner.seals.load(Ordering::Relaxed));
+        w.put_varint(self.inner.split_tuples.load(Ordering::Relaxed));
+        for shard in &self.inner.shards {
+            let shard = shard.read().expect("shard lock poisoned");
+            w.put_varint(shard.segments.len() as u64);
+            for (_, segment) in &shard.segments {
                 let blob = segment.to_binary()?;
                 w.put_varint(blob.len() as u64);
                 w.put_bytes(&blob);
             }
         }
         Ok(w.into_bytes())
+    }
+
+    /// Seals every live memtable (waiting for background builds) and
+    /// serialises the result: the "persist everything now" entry point.
+    /// Sealing — rather than copying raw records into the snapshot — keeps
+    /// the binary format segment-only and the write amplification bounded;
+    /// records that must survive *without* being sealed into synopses
+    /// belong to the write-ahead log ([`SynopsisStore::open_with_wal`]),
+    /// which covers exactly the live/in-flight window this method closes.
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        self.seal_all()?;
+        self.to_binary()
     }
 
     /// Reconstructs a store from [`SynopsisStore::to_binary`] output,
@@ -449,7 +1155,7 @@ impl SynopsisStore {
         let ingested = r.get_varint()?;
         let seals = r.get_varint()?;
         let split_tuples = r.get_varint()?;
-        let mut store = SynopsisStore::new(StoreConfig {
+        let store = SynopsisStore::new(StoreConfig {
             partitions,
             seal_threshold,
             segment_budget,
@@ -457,8 +1163,9 @@ impl SynopsisStore {
         })?;
         for p in 0..store.num_partitions() {
             let count = r.get_len(1 << 24)?;
-            let (start, width) = store.config.partitions.range(p);
-            for _ in 0..count {
+            let (start, width) = store.inner.config.partitions.range(p);
+            let mut shard = store.write_shard(p);
+            for seq in 0..count {
                 let len = r.get_len(r.remaining())?;
                 let blob = r.get_bytes(len)?;
                 let segment = Segment::from_binary(blob)?;
@@ -472,13 +1179,17 @@ impl SynopsisStore {
                         ),
                     });
                 }
-                store.segments[p].push(segment);
+                shard.segments.push((seq as u64, segment));
             }
+            shard.next_seq = count as u64;
         }
         r.finish()?;
-        store.ingested = ingested;
-        store.seals = seals;
-        store.split_tuples = split_tuples;
+        store.inner.ingested.store(ingested, Ordering::Relaxed);
+        store.inner.seals.store(seals, Ordering::Relaxed);
+        store
+            .inner
+            .split_tuples
+            .store(split_tuples, Ordering::Relaxed);
         Ok(store)
     }
 }
@@ -567,7 +1278,7 @@ mod tests {
 
     #[test]
     fn ingest_routes_seals_and_serves() {
-        let mut store = SynopsisStore::new(config(12, 3, 4)).unwrap();
+        let store = SynopsisStore::new(config(12, 3, 4)).unwrap();
         // Exactly threshold records into partition 0 trigger an auto-seal.
         for i in 0..4 {
             store
@@ -578,7 +1289,7 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(store.segments(0).len(), 1);
-        assert!(store.memtable(0).is_empty());
+        assert!(store.memtable_snapshot(0).is_empty());
         // Live records in another partition are served exactly.
         store
             .ingest(StreamRecord::Basic { item: 8, prob: 0.9 })
@@ -595,8 +1306,56 @@ mod tests {
     }
 
     #[test]
+    fn batch_ingest_matches_serial_ingest_exactly() {
+        let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+            n: 48,
+            skew: 0.6,
+            seed: 77,
+        })
+        .take(500)
+        .chain([
+            StreamRecord::Alternatives(vec![(3, 0.25), (40, 0.5)]),
+            StreamRecord::ValueDistribution {
+                item: 9,
+                entries: vec![(2.0, 0.5)],
+            },
+        ])
+        .collect();
+        let serial = SynopsisStore::new(config(48, 4, 64)).unwrap();
+        serial.ingest_all(records.iter().cloned()).unwrap();
+        let batched = SynopsisStore::new(config(48, 4, 64)).unwrap();
+        batched.ingest_batch(records).unwrap();
+        assert_eq!(batched.stats(), serial.stats());
+        serial.seal_all().unwrap();
+        batched.seal_all().unwrap();
+        assert_eq!(batched.to_binary().unwrap(), serial.to_binary().unwrap());
+    }
+
+    #[test]
+    fn background_sealing_matches_inline_sealing_byte_for_byte() {
+        let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+            n: 32,
+            skew: 0.8,
+            seed: 5,
+        })
+        .take(400)
+        .collect();
+        let inline = SynopsisStore::new(config(32, 4, 16)).unwrap();
+        inline.ingest_all(records.iter().cloned()).unwrap();
+        inline.seal_all().unwrap();
+
+        let background = SynopsisStore::new(config(32, 4, 16))
+            .unwrap()
+            .with_background_sealing(3);
+        background.ingest_all(records.iter().cloned()).unwrap();
+        background.seal_all().unwrap();
+        assert_eq!(background.stats(), inline.stats());
+        assert_eq!(background.to_binary().unwrap(), inline.to_binary().unwrap());
+    }
+
+    #[test]
     fn cross_partition_x_tuples_are_split_preserving_marginals() {
-        let mut store = SynopsisStore::new(config(12, 3, 100)).unwrap();
+        let store = SynopsisStore::new(config(12, 3, 100)).unwrap();
         store
             .ingest(StreamRecord::Alternatives(vec![
                 (1, 0.25),
@@ -613,7 +1372,7 @@ mod tests {
 
     #[test]
     fn compaction_preserves_the_summed_estimates_when_lossless() {
-        let mut store = SynopsisStore::new(config(8, 2, 100)).unwrap();
+        let store = SynopsisStore::new(config(8, 2, 100)).unwrap();
         // Two seal rounds for partition 0 produce two segments whose
         // histograms are exact (budget 8 >= width 4).
         for round in 0..2 {
@@ -643,7 +1402,7 @@ mod tests {
 
     #[test]
     fn merge_global_covers_empty_partitions_with_zero_runs() {
-        let mut store = SynopsisStore::new(config(12, 3, 100)).unwrap();
+        let store = SynopsisStore::new(config(12, 3, 100)).unwrap();
         for i in 0..4 {
             store
                 .ingest(StreamRecord::Basic {
@@ -662,7 +1421,7 @@ mod tests {
 
     #[test]
     fn binary_round_trip_preserves_queries_and_stats() {
-        let mut store = SynopsisStore::new(config(32, 4, 16)).unwrap();
+        let store = SynopsisStore::new(config(32, 4, 16)).unwrap();
         let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
             n: 32,
             skew: 0.7,
@@ -694,8 +1453,85 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_seals_live_records_first() {
+        let store = SynopsisStore::new(config(16, 2, 1000)).unwrap();
+        store
+            .ingest(StreamRecord::Basic { item: 3, prob: 0.5 })
+            .unwrap();
+        // to_binary still refuses while records are live ...
+        assert!(store.to_binary().is_err());
+        // ... but snapshot seals and serialises in one step.
+        let bytes = store.snapshot().unwrap();
+        assert_eq!(store.stats().live_records, 0);
+        let back = SynopsisStore::from_binary(&bytes).unwrap();
+        assert!((back.range_estimate(3, 3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wal_replay_recovers_live_and_in_flight_records() {
+        let dir = std::env::temp_dir().join(format!("pds-store-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = SynopsisStore::open_with_wal(config(16, 2, 100), &dir).unwrap();
+            for i in 0..5 {
+                store
+                    .ingest(StreamRecord::Basic { item: i, prob: 0.5 })
+                    .unwrap();
+            }
+            store
+                .ingest(StreamRecord::Alternatives(vec![(1, 0.25), (12, 0.5)]))
+                .unwrap();
+            assert_eq!(store.stats().live_records, 7); // x-tuple split into 2
+                                                       // Dropped without sealing: records survive only in the WAL.
+        }
+        // Simulate a crash mid-seal on top: a frozen log whose segment never
+        // landed must replay as live records too.
+        std::fs::write(dir.join("wal-1.7.sealing"), "b 14 0.25\n").unwrap();
+        let reopened = SynopsisStore::open_with_wal(config(16, 2, 100), &dir).unwrap();
+        assert_eq!(reopened.stats().live_records, 8);
+        for (item, expected) in [(0usize, 0.5), (1, 0.75), (4, 0.5), (12, 0.5), (14, 0.25)] {
+            assert!(
+                (reopened.range_estimate(item, item) - expected).abs() < 1e-12,
+                "item {item}"
+            );
+        }
+        // Sealing retires the logs: a third open replays nothing (sealed
+        // segments persist via `snapshot()`, not the WAL).
+        reopened.seal_all().unwrap();
+        drop(reopened);
+        let after_seal = SynopsisStore::open_with_wal(config(16, 2, 100), &dir).unwrap();
+        assert_eq!(after_seal.stats().live_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_wal_replay_destroys_nothing() {
+        // A corrupt log in one partition must abort the open while leaving
+        // every other partition's log intact for a later attempt.
+        let dir =
+            std::env::temp_dir().join(format!("pds-store-wal-partial-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = SynopsisStore::open_with_wal(config(16, 2, 100), &dir).unwrap();
+            store
+                .ingest(StreamRecord::Basic { item: 2, prob: 0.5 })
+                .unwrap();
+        }
+        // Corrupt partition 1's live log by hand (mid-file, so the
+        // torn-tail lenience does not apply).
+        std::fs::write(dir.join("wal-1.log"), "b 9 not-a-number\nb 10 0.5\n").unwrap();
+        assert!(SynopsisStore::open_with_wal(config(16, 2, 100), &dir).is_err());
+        // Partition 0's records survived the failed recovery.
+        std::fs::write(dir.join("wal-1.log"), "b 9 0.25\n").unwrap();
+        let recovered = SynopsisStore::open_with_wal(config(16, 2, 100), &dir).unwrap();
+        assert!((recovered.range_estimate(2, 2) - 0.5).abs() < 1e-12);
+        assert!((recovered.range_estimate(9, 9) - 0.25).abs() < 1e-12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn wavelet_store_lifecycle() {
-        let mut store = SynopsisStore::new(StoreConfig {
+        let store = SynopsisStore::new(StoreConfig {
             partitions: PartitionSpec::uniform(16, 2).unwrap(),
             seal_threshold: 8,
             segment_budget: 4,
@@ -726,7 +1562,7 @@ mod tests {
     fn huge_seal_thresholds_survive_the_binary_round_trip() {
         // The "never auto-seal" configs (benches, manual-seal tests) use
         // near-usize::MAX thresholds; the snapshot must round-trip them.
-        let mut store = SynopsisStore::new(StoreConfig {
+        let store = SynopsisStore::new(StoreConfig {
             partitions: PartitionSpec::uniform(8, 2).unwrap(),
             seal_threshold: usize::MAX >> 1,
             segment_budget: 4,

@@ -1,0 +1,485 @@
+//! Per-partition write-ahead logs for live memtable contents.
+//!
+//! A store's sealed segments are durable through
+//! [`SynopsisStore::to_binary`](crate::SynopsisStore::to_binary), but the
+//! records still buffered in memtables used to live only in memory.  A
+//! [`PartitionWal`] closes that gap: every record routed to a partition is
+//! appended to that partition's log **before** it enters the memtable, in
+//! the replayable `pds_core::io` stream line format, so a crashed process
+//! can reopen the store and re-ingest exactly the records that were live.
+//!
+//! ## File lifecycle
+//!
+//! Partition `p` owns up to three kinds of files inside the WAL directory:
+//!
+//! * `wal-<p>.log` — the **live log**, mirroring the current memtable.  One
+//!   line per routed record (cross-partition x-tuples are logged as their
+//!   per-partition sub-tuples, after splitting).
+//! * `wal-<p>.<seq>.sealing` — a **frozen log**: when the memtable freezes
+//!   for sealing, the live log is atomically renamed to carry the seal
+//!   sequence number and a fresh live log starts.  The frozen file is
+//!   deleted only after the sealed [`Segment`](crate::Segment) has been
+//!   installed, so a crash *during* a seal (including a background seal)
+//!   still replays the frozen records instead of losing them.
+//! * `wal-<p>.log.tmp` — a staging file used while **committing** a
+//!   recovery (see below); a leftover `.tmp` from a crashed recovery is
+//!   discarded on the next scan.
+//!
+//! ## Recovery protocol (scan → re-ingest → commit)
+//!
+//! Reopening a store is a two-phase, crash-safe protocol driven by
+//! [`SynopsisStore::open_with_wal`](crate::SynopsisStore::open_with_wal):
+//!
+//! 1. [`PartitionWal::scan`] **reads** the frozen logs (in seal order) and
+//!    the live log without deleting or truncating anything, so a parse
+//!    error in any partition — or a crash at any point before commit —
+//!    leaves every log intact for the next attempt.
+//! 2. The store re-ingests the replayed records into its memtables (with
+//!    auto-sealing suppressed, so the replayed set stays exactly the live
+//!    set).
+//! 3. [`PartitionWal::commit`] writes the replayed records to
+//!    `wal-<p>.log.tmp`, atomically renames it over the live log, deletes
+//!    the absorbed frozen logs, and returns the append handle.
+//!
+//! A crash before the rename replays identically next time (exactly-once);
+//! a crash in the narrow window between the rename and the frozen-file
+//! deletions replays the absorbed frozen records **twice** (at-least-once)
+//! — the trade chosen over any window that could lose records.
+//!
+//! ## Durability contract
+//!
+//! Appends are buffered; [`PartitionWal::sync`] flushes to the operating
+//! system and is called by the store at every ingest-call boundary and
+//! before every rotation.  `File::sync_all` (surviving power loss) is
+//! intentionally **not** issued per record — the WAL protects against
+//! process crashes; callers needing device-level durability should snapshot
+//! with [`SynopsisStore::snapshot`](crate::SynopsisStore::snapshot).
+//!
+//! **Covered window.**  The WAL covers records that are *live* (in a
+//! memtable) or *mid-seal* (frozen, segment build in flight).  Once a
+//! segment installs, its frozen log is retired and the records' durability
+//! transfers to the **next snapshot** — sealed segments live in memory
+//! until [`SynopsisStore::to_binary`](crate::SynopsisStore::to_binary) /
+//! `snapshot()` persists them, exactly as an LSM memtable flush is only
+//! durable once its file hits disk.  Deployments that cannot afford to
+//! lose a sealed-but-unsnapshotted segment should snapshot on a cadence
+//! (or after seals); writing per-segment files at install time is a
+//! tracked roadmap item.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use pds_core::error::{PdsError, Result};
+use pds_core::io::{read_stream, write_stream};
+use pds_core::stream::StreamRecord;
+
+fn io_err(context: &str, e: std::io::Error) -> PdsError {
+    PdsError::InvalidParameter {
+        message: format!("wal: {context}: {e}"),
+    }
+}
+
+fn live_path(dir: &Path, partition: usize) -> PathBuf {
+    dir.join(format!("wal-{partition}.log"))
+}
+
+/// The outcome of scanning a partition's logs: every replayable record (in
+/// original arrival order) plus the frozen files that must be deleted once
+/// the records are safely re-logged by [`PartitionWal::commit`].
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Replayed records: frozen logs in seal order, then the live log.
+    pub records: Vec<StreamRecord>,
+    /// Frozen `.sealing` files absorbed by the replay (deleted at commit).
+    frozen: Vec<PathBuf>,
+}
+
+/// The write-ahead log of one partition (see the module docs for the file
+/// lifecycle and the recovery protocol).
+#[derive(Debug)]
+pub struct PartitionWal {
+    dir: PathBuf,
+    partition: usize,
+    live_path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl PartitionWal {
+    /// **Phase 1 of recovery** — reads partition `partition`'s replayable
+    /// records (frozen logs in seal order, then the live log) without
+    /// deleting or truncating anything, so a failure anywhere in the replay
+    /// leaves every log intact.  Stale `.tmp` staging files from a crashed
+    /// recovery are discarded.
+    pub fn scan(dir: &Path, partition: usize) -> Result<WalReplay> {
+        fs::create_dir_all(dir).map_err(|e| io_err("creating the wal directory", e))?;
+        let _ = fs::remove_file(dir.join(format!("wal-{partition}.log.tmp")));
+        let mut records = Vec::new();
+
+        // Frozen logs: wal-<p>.<seq>.sealing, replayed in ascending order.
+        let prefix = format!("wal-{partition}.");
+        let mut frozen: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = fs::read_dir(dir).map_err(|e| io_err("listing the wal directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("listing the wal directory", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            if let Some(seq) = rest
+                .strip_suffix(".sealing")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                frozen.push((seq, entry.path()));
+            }
+        }
+        frozen.sort();
+        for (_, path) in &frozen {
+            records.extend(Self::read_log(path)?);
+        }
+        let live = live_path(dir, partition);
+        if live.exists() {
+            records.extend(Self::read_live_log(&live)?);
+        }
+        Ok(WalReplay {
+            records,
+            frozen: frozen.into_iter().map(|(_, path)| path).collect(),
+        })
+    }
+
+    /// Reads the live log tolerating a **torn final line**: appends are
+    /// buffered, so a crash can leave the file ending mid-record.  If
+    /// dropping exactly the last line makes the log parse, that line is an
+    /// unacknowledged append and is discarded; a parse error anywhere else
+    /// still aborts (the file is corrupt, not torn).  Frozen logs are
+    /// always complete (rotation flushes first) and use the strict reader.
+    fn read_live_log(path: &Path) -> Result<Vec<StreamRecord>> {
+        let text = fs::read_to_string(path).map_err(|e| io_err("opening a log for replay", e))?;
+        match read_stream(text.as_bytes()) {
+            Ok(records) => Ok(records),
+            Err(strict_err) => {
+                let trimmed = text.trim_end();
+                let head = match trimmed.rfind('\n') {
+                    Some(pos) => &trimmed[..=pos],
+                    None => "", // a single torn line: nothing survives
+                };
+                match read_stream(head.as_bytes()) {
+                    Ok(records) => Ok(records),
+                    Err(_) => Err(strict_err),
+                }
+            }
+        }
+    }
+
+    /// **Phase 3 of recovery** — atomically replaces partition
+    /// `partition`'s live log with exactly `live_records` (the replayed
+    /// records now sitting in the memtable): writes them to a `.tmp`
+    /// staging file, renames it over the live log, then deletes the frozen
+    /// files the replay absorbed.  Returns the append handle for subsequent
+    /// ingest.
+    pub fn commit(
+        dir: &Path,
+        partition: usize,
+        live_records: &[StreamRecord],
+        replay: &WalReplay,
+    ) -> Result<Self> {
+        let live = live_path(dir, partition);
+        let tmp = dir.join(format!("wal-{partition}.log.tmp"));
+        {
+            let mut staged = BufWriter::new(
+                File::create(&tmp).map_err(|e| io_err("creating the staging log", e))?,
+            );
+            write_stream(live_records, &mut staged)?;
+            staged
+                .flush()
+                .map_err(|e| io_err("flushing the staging log", e))?;
+        }
+        fs::rename(&tmp, &live).map_err(|e| io_err("publishing the recovered live log", e))?;
+        for path in &replay.frozen {
+            let _ = fs::remove_file(path);
+        }
+        let writer = BufWriter::new(
+            OpenOptions::new()
+                .append(true)
+                .open(&live)
+                .map_err(|e| io_err("opening the live log for append", e))?,
+        );
+        Ok(PartitionWal {
+            dir: dir.to_path_buf(),
+            partition,
+            live_path: live,
+            writer,
+        })
+    }
+
+    /// Scans and immediately commits in one step — the non-recovery path
+    /// for tests and tools that want the old "open and replay" behaviour.
+    /// Returns the WAL handle plus the replayed records (now re-logged as
+    /// the live log).
+    pub fn open(dir: &Path, partition: usize) -> Result<(Self, Vec<StreamRecord>)> {
+        let replay = Self::scan(dir, partition)?;
+        let wal = Self::commit(dir, partition, &replay.records, &replay)?;
+        Ok((wal, replay.records))
+    }
+
+    fn read_log(path: &Path) -> Result<Vec<StreamRecord>> {
+        let file = File::open(path).map_err(|e| io_err("opening a log for replay", e))?;
+        read_stream(BufReader::new(file))
+    }
+
+    /// Appends one routed record to the live log (buffered; see
+    /// [`PartitionWal::sync`]).
+    pub fn append(&mut self, record: &StreamRecord) -> Result<()> {
+        write_stream(std::iter::once(record), &mut self.writer)
+    }
+
+    /// Flushes buffered appends to the operating system.
+    pub fn sync(&mut self) -> Result<()> {
+        self.writer
+            .flush()
+            .map_err(|e| io_err("flushing the live log", e))
+    }
+
+    /// Freezes the live log for seal `seq`: flushes, renames it to the
+    /// frozen `.sealing` name and starts a fresh live log.  Returns the
+    /// frozen file's path — the caller deletes it (via
+    /// [`PartitionWal::retire`]) once the sealed segment is installed.
+    pub fn rotate(&mut self, seq: u64) -> Result<PathBuf> {
+        self.sync()?;
+        let frozen = self
+            .dir
+            .join(format!("wal-{}.{seq}.sealing", self.partition));
+        fs::rename(&self.live_path, &frozen).map_err(|e| io_err("freezing the live log", e))?;
+        match File::create(&self.live_path) {
+            Ok(file) => {
+                self.writer = BufWriter::new(file);
+                Ok(frozen)
+            }
+            Err(e) => {
+                // Undo the rename so `writer`'s fd and `live_path` stay
+                // coherent: appends keep landing in the (restored) live log
+                // and a later rotation can retry cleanly.
+                let _ = fs::rename(&frozen, &self.live_path);
+                Err(io_err("creating the live log", e))
+            }
+        }
+    }
+
+    /// Folds a frozen log's records back into the live log — the undo of
+    /// [`PartitionWal::rotate`] when the seal it fed failed before
+    /// installing a segment.  Appends (rather than renames) so records
+    /// logged since the rotation are preserved; the memtable-side undo
+    /// ([`Memtable::absorb_front`](crate::Memtable::absorb_front)) prepends
+    /// instead, so after an error the live log and the memtable agree as
+    /// multisets though not necessarily in order.
+    pub fn reabsorb(&mut self, frozen: &Path) -> Result<()> {
+        let records = Self::read_log(frozen)?;
+        write_stream(&records, &mut self.writer)?;
+        self.sync()?;
+        fs::remove_file(frozen).map_err(|e| io_err("removing a reabsorbed frozen log", e))
+    }
+
+    /// Removes a frozen log whose records are now covered by an installed
+    /// segment.  Missing files are ignored (idempotent).
+    pub fn retire(frozen: &Path) {
+        let _ = fs::remove_file(frozen);
+    }
+}
+
+impl Drop for PartitionWal {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pds-wal-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_rotate_and_replay_round_trip() {
+        let dir = tmp_dir("round-trip");
+        let (mut wal, replayed) = PartitionWal::open(&dir, 3).unwrap();
+        assert!(replayed.is_empty());
+        let records = vec![
+            StreamRecord::Basic { item: 7, prob: 0.5 },
+            StreamRecord::Alternatives(vec![(8, 0.25), (9, 0.5)]),
+            StreamRecord::ValueDistribution {
+                item: 7,
+                entries: vec![(2.0, 0.5)],
+            },
+        ];
+        for r in &records[..2] {
+            wal.append(r).unwrap();
+        }
+        // Freeze the first two records, then log one more live record.
+        let frozen = wal.rotate(0).unwrap();
+        assert!(frozen.ends_with("wal-3.0.sealing"));
+        wal.append(&records[2]).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Reopen: frozen log replays first, then the live log.
+        let (_wal2, replayed) = PartitionWal::open(&dir, 3).unwrap();
+        assert_eq!(replayed, records);
+        // The old files were absorbed into the fresh live log: a third open
+        // replays exactly the same records (no duplicates, no frozen files).
+        drop(_wal2);
+        let (_wal3, replayed) = PartitionWal::open(&dir, 3).unwrap();
+        assert_eq!(replayed, records);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_is_read_only_until_commit() {
+        let dir = tmp_dir("scan-read-only");
+        let (mut wal, _) = PartitionWal::open(&dir, 0).unwrap();
+        wal.append(&StreamRecord::Basic { item: 1, prob: 0.5 })
+            .unwrap();
+        let frozen = wal.rotate(0).unwrap();
+        wal.append(&StreamRecord::Basic {
+            item: 2,
+            prob: 0.25,
+        })
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Scanning twice returns the same records and leaves all files.
+        let first = PartitionWal::scan(&dir, 0).unwrap();
+        assert_eq!(first.records.len(), 2);
+        assert!(frozen.exists(), "scan must not delete frozen logs");
+        let second = PartitionWal::scan(&dir, 0).unwrap();
+        assert_eq!(second.records, first.records);
+
+        // Commit absorbs everything into the live log and drops the frozen
+        // file.
+        let _wal = PartitionWal::commit(&dir, 0, &second.records, &second).unwrap();
+        assert!(!frozen.exists(), "commit retires absorbed frozen logs");
+        let after = PartitionWal::scan(&dir, 0).unwrap();
+        assert_eq!(after.records, first.records);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reabsorb_undoes_a_rotation_keeping_newer_appends() {
+        let dir = tmp_dir("reabsorb");
+        let (mut wal, _) = PartitionWal::open(&dir, 2).unwrap();
+        wal.append(&StreamRecord::Basic {
+            item: 5,
+            prob: 0.75,
+        })
+        .unwrap();
+        let frozen = wal.rotate(0).unwrap();
+        // A record logged after the rotation must survive the undo.
+        wal.append(&StreamRecord::Basic { item: 6, prob: 0.5 })
+            .unwrap();
+        wal.reabsorb(&frozen).unwrap();
+        assert!(!frozen.exists());
+        drop(wal);
+        let (_w, replayed) = PartitionWal::open(&dir, 2).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert!(replayed.contains(&StreamRecord::Basic {
+            item: 5,
+            prob: 0.75
+        }));
+        assert!(replayed.contains(&StreamRecord::Basic { item: 6, prob: 0.5 }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retire_removes_frozen_logs_and_is_idempotent() {
+        let dir = tmp_dir("retire");
+        let (mut wal, _) = PartitionWal::open(&dir, 0).unwrap();
+        wal.append(&StreamRecord::Basic { item: 0, prob: 0.9 })
+            .unwrap();
+        let frozen = wal.rotate(5).unwrap();
+        assert!(frozen.exists());
+        PartitionWal::retire(&frozen);
+        assert!(!frozen.exists());
+        PartitionWal::retire(&frozen); // second call is a no-op
+        drop(wal);
+        let (_wal2, replayed) = PartitionWal::open(&dir, 0).unwrap();
+        assert!(replayed.is_empty(), "retired records must not replay");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partitions_do_not_see_each_other_s_logs() {
+        let dir = tmp_dir("isolation");
+        let (mut a, _) = PartitionWal::open(&dir, 0).unwrap();
+        let (mut b, _) = PartitionWal::open(&dir, 1).unwrap();
+        a.append(&StreamRecord::Basic { item: 1, prob: 0.5 })
+            .unwrap();
+        b.append(&StreamRecord::Basic {
+            item: 9,
+            prob: 0.25,
+        })
+        .unwrap();
+        drop(a);
+        drop(b);
+        let (_a2, ra) = PartitionWal::open(&dir, 0).unwrap();
+        let (_b2, rb) = PartitionWal::open(&dir, 1).unwrap();
+        assert_eq!(ra, vec![StreamRecord::Basic { item: 1, prob: 0.5 }]);
+        assert_eq!(
+            rb,
+            vec![StreamRecord::Basic {
+                item: 9,
+                prob: 0.25
+            }]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_logs_surface_as_errors_without_destroying_files() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        // Corruption that is NOT a torn tail (a bad line followed by a good
+        // one) must abort the scan.
+        fs::write(dir.join("wal-2.log"), "b 0 not-a-number\nb 1 0.5\n").unwrap();
+        assert!(PartitionWal::scan(&dir, 2).is_err());
+        // The corrupt log is still there for inspection/repair.
+        assert!(dir.join("wal-2.log").exists());
+        fs::write(dir.join("wal-2.log"), "b 0 0.5\n").unwrap();
+        let replay = PartitionWal::scan(&dir, 2).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_lines_are_dropped_not_fatal() {
+        let dir = tmp_dir("torn");
+        fs::create_dir_all(&dir).unwrap();
+        // A crash mid-append leaves a partial last line: the acknowledged
+        // prefix replays, the torn tail is discarded.
+        fs::write(dir.join("wal-0.log"), "b 0 0.5\nb 1 0.25\nx 2:0.1 3:").unwrap();
+        let replay = PartitionWal::scan(&dir, 0).unwrap();
+        assert_eq!(
+            replay.records,
+            vec![
+                StreamRecord::Basic { item: 0, prob: 0.5 },
+                StreamRecord::Basic {
+                    item: 1,
+                    prob: 0.25
+                },
+            ]
+        );
+        // A log that is one torn line replays as empty.
+        fs::write(dir.join("wal-1.log"), "b 7 0.").unwrap();
+        let replay = PartitionWal::scan(&dir, 1).unwrap();
+        assert!(replay.records.is_empty());
+        // Frozen logs stay strict: rotation flushed them, so a bad line is
+        // corruption, not a torn tail.
+        fs::write(dir.join("wal-3.0.sealing"), "b 9 0.").unwrap();
+        assert!(PartitionWal::scan(&dir, 3).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

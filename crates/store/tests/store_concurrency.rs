@@ -1,0 +1,332 @@
+//! Serial-vs-concurrent equivalence: the same record stream ingested with
+//! one thread, with one ingest thread per partition, through `ingest_batch`
+//! at several pool widths, or with background seal workers, must yield
+//! **byte-identical** sealed segments (and therefore identical
+//! `to_binary` snapshots) and identical range estimates.  This is the
+//! determinism contract of the sharded store: per-partition record order is
+//! a pure function of the stream, and per-partition seal sequence numbers
+//! fix segment order regardless of which worker finishes first.
+
+use proptest::prelude::*;
+
+use pds_core::metrics::ErrorMetric;
+use pds_core::pool;
+use pds_core::stream::{basic_stream, BasicStreamConfig, StreamRecord};
+use pds_store::{PartitionSpec, StoreConfig, SynopsisKind, SynopsisStore};
+
+const N: usize = 24;
+
+fn config(parts: usize, threshold: usize) -> StoreConfig {
+    StoreConfig {
+        partitions: PartitionSpec::uniform(N, parts).unwrap(),
+        seal_threshold: threshold,
+        segment_budget: 6, // lossy on purpose: segment bytes depend on the DP
+        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+    }
+}
+
+/// A mixed-model record stream (same shape as the round-trip suite).
+fn record_stream(max_len: usize) -> impl Strategy<Value = Vec<StreamRecord>> {
+    prop::collection::vec(
+        (
+            0usize..3,
+            (0..N, 0.01f64..0.5),
+            (0..N, 0.01f64..0.5),
+            0.5f64..6.0,
+        ),
+        1..max_len,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, (i1, p1), (i2, p2), v)| match kind {
+                0 => StreamRecord::Basic { item: i1, prob: p1 },
+                1 if i1 != i2 => StreamRecord::Alternatives(vec![(i1, p1), (i2, p2)]),
+                1 => StreamRecord::Alternatives(vec![(i1, p1)]),
+                _ => StreamRecord::ValueDistribution {
+                    item: i1,
+                    entries: vec![(v, p1)],
+                },
+            })
+            .collect()
+    })
+}
+
+/// Routes a stream the way the store does: per-partition sub-sequences in
+/// arrival order, x-tuples split into per-partition sub-tuples.
+fn route(spec: &PartitionSpec, records: &[StreamRecord]) -> Vec<Vec<StreamRecord>> {
+    let mut routed: Vec<Vec<StreamRecord>> = vec![Vec::new(); spec.len()];
+    for record in records {
+        match record {
+            StreamRecord::Basic { item, .. } | StreamRecord::ValueDistribution { item, .. } => {
+                routed[spec.partition_of(*item).unwrap()].push(record.clone());
+            }
+            StreamRecord::Alternatives(alts) => {
+                let mut by_partition: std::collections::BTreeMap<usize, Vec<(usize, f64)>> =
+                    std::collections::BTreeMap::new();
+                for &(item, prob) in alts {
+                    by_partition
+                        .entry(spec.partition_of(item).unwrap())
+                        .or_default()
+                        .push((item, prob));
+                }
+                for (p, sub) in by_partition {
+                    routed[p].push(StreamRecord::Alternatives(sub));
+                }
+            }
+        }
+    }
+    routed
+}
+
+fn estimates_on_grid(store: &SynopsisStore) -> Vec<f64> {
+    let mut out = Vec::new();
+    for lo in 0..N {
+        for hi in [lo, (lo + 3).min(N - 1), N - 1] {
+            out.push(store.range_estimate(lo, hi));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One ingest thread per partition plus background seal workers produce
+    /// byte-identical snapshots to single-threaded ingest of the same
+    /// per-partition sequences, and identical answers to serial ingest of
+    /// the original stream.
+    #[test]
+    fn per_partition_threads_and_background_sealing_are_byte_identical(
+        records in record_stream(120),
+        parts in 2usize..5,
+        threshold in 2usize..12,
+        workers in 1usize..4,
+    ) {
+        let spec = PartitionSpec::uniform(N, parts).unwrap();
+        let routed = route(&spec, &records);
+
+        // Reference A: serial per-record ingest of the original stream.
+        let serial = SynopsisStore::new(config(parts, threshold)).unwrap();
+        for record in &records {
+            serial.ingest(record.clone()).unwrap();
+        }
+        serial.seal_all().unwrap();
+
+        // Reference B: serial ingest of the pre-routed sub-streams
+        // (partition-major).  Identical per-partition sequences, so
+        // identical segments; only the split/ingest counters may differ.
+        let pre_routed = SynopsisStore::new(config(parts, threshold)).unwrap();
+        for batch in &routed {
+            for record in batch {
+                pre_routed.ingest(record.clone()).unwrap();
+            }
+        }
+        pre_routed.seal_all().unwrap();
+
+        // C: one scoped ingest thread per partition, background sealing.
+        let concurrent = SynopsisStore::new(config(parts, threshold))
+            .unwrap()
+            .with_background_sealing(workers);
+        std::thread::scope(|scope| {
+            for batch in &routed {
+                let concurrent = &concurrent;
+                scope.spawn(move || {
+                    for record in batch {
+                        concurrent.ingest(record.clone()).unwrap();
+                    }
+                });
+            }
+        });
+        concurrent.seal_all().unwrap();
+        concurrent.flush().unwrap();
+
+        // Segments are byte-identical across all three stores.
+        for p in 0..parts {
+            prop_assert_eq!(serial.segments(p), pre_routed.segments(p), "partition {}", p);
+            prop_assert_eq!(pre_routed.segments(p), concurrent.segments(p), "partition {}", p);
+        }
+        // B and C saw identical record sequences, so whole snapshots
+        // (including counters) match byte for byte.
+        prop_assert_eq!(pre_routed.to_binary().unwrap(), concurrent.to_binary().unwrap());
+
+        // Identical answers everywhere (bitwise: same f64 operations).
+        let a = estimates_on_grid(&serial);
+        let c = estimates_on_grid(&concurrent);
+        for (x, y) in a.iter().zip(&c) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// `ingest_batch` at 1/2/4/8 pool threads matches serial per-record
+    /// ingest byte for byte, with and without background sealing.
+    #[test]
+    fn batch_ingest_thread_counts_are_byte_identical(
+        records in record_stream(100),
+        parts in 2usize..5,
+        threshold in 2usize..12,
+    ) {
+        let serial = SynopsisStore::new(config(parts, threshold)).unwrap();
+        for record in &records {
+            serial.ingest(record.clone()).unwrap();
+        }
+        serial.seal_all().unwrap();
+        let reference = serial.to_binary().unwrap();
+
+        for threads in [1usize, 2, 4, 8] {
+            // The pool override is process-global; every store path is
+            // deterministic at any thread count, so concurrently running
+            // tests observing a different width stay correct.
+            pool::set_num_threads(Some(threads));
+            let batched = SynopsisStore::new(config(parts, threshold)).unwrap();
+            batched.ingest_batch(records.iter().cloned()).unwrap();
+            batched.seal_all().unwrap();
+            prop_assert_eq!(&batched.to_binary().unwrap(), &reference, "threads {}", threads);
+
+            let background = SynopsisStore::new(config(parts, threshold))
+                .unwrap()
+                .with_background_sealing(threads);
+            background.ingest_batch(records.iter().cloned()).unwrap();
+            background.seal_all().unwrap();
+            prop_assert_eq!(
+                &background.to_binary().unwrap(),
+                &reference,
+                "background, threads {}",
+                threads
+            );
+        }
+        pool::set_num_threads(None);
+    }
+}
+
+/// Readers racing a writer and background seal workers: every observed
+/// estimate is a valid point-in-time value (between 0 and the final total),
+/// and the final state matches the serial reference exactly.
+#[test]
+fn concurrent_readers_observe_consistent_states() {
+    let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+        n: N,
+        skew: 0.6,
+        seed: 99,
+    })
+    .take(4_000)
+    .collect();
+    let total: f64 = records
+        .iter()
+        .map(|r| match r {
+            StreamRecord::Basic { prob, .. } => *prob,
+            _ => unreachable!(),
+        })
+        .sum();
+
+    let store = SynopsisStore::new(config(4, 64))
+        .unwrap()
+        .with_background_sealing(2);
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            store.ingest_batch(records.iter().cloned()).unwrap();
+        });
+        for _ in 0..2 {
+            scope.spawn(|| {
+                // Race queries against ingest + background sealing; sums
+                // must always be a sane partial total, never garbage, and
+                // never *dip* — a memtable frozen for an in-flight seal
+                // stays visible (SSE representatives preserve bucket mass),
+                // so the observed total only grows as records arrive.
+                let mut last = 0.0f64;
+                for _ in 0..200 {
+                    let got = store.range_estimate(0, N - 1);
+                    assert!(
+                        got >= -1e-9 && got <= total + 1e-9,
+                        "mid-ingest estimate {got} outside [0, {total}]"
+                    );
+                    assert!(
+                        got >= last - 1e-6,
+                        "estimate dipped {last} -> {got}: in-flight seal lost mass"
+                    );
+                    last = got;
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    store.seal_all().unwrap();
+    store.flush().unwrap();
+
+    let serial = SynopsisStore::new(config(4, 64)).unwrap();
+    for record in &records {
+        serial.ingest(record.clone()).unwrap();
+    }
+    serial.seal_all().unwrap();
+    assert_eq!(store.to_binary().unwrap(), serial.to_binary().unwrap());
+    assert!((store.range_estimate(0, N - 1) - total).abs() < 1e-6);
+}
+
+/// `merge_global` and `compact_all` produce bitwise-identical histograms at
+/// every pool width (piece extraction and the merge DP are deterministic).
+#[test]
+fn merge_and_compaction_are_thread_count_independent() {
+    let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+        n: N,
+        skew: 0.8,
+        seed: 41,
+    })
+    .take(2_000)
+    .collect();
+    let mut reference: Option<(Vec<u64>, Vec<u8>)> = None;
+    for threads in [1usize, 2, 4] {
+        pool::set_num_threads(Some(threads));
+        let store = SynopsisStore::new(config(4, 100)).unwrap();
+        store.ingest_batch(records.iter().cloned()).unwrap();
+        store.seal_all().unwrap();
+        let merged = store.merge_global(5).unwrap();
+        let bits: Vec<u64> = merged.estimates().iter().map(|v| v.to_bits()).collect();
+        store.compact_all().unwrap();
+        let compacted = store.to_binary().unwrap();
+        match &reference {
+            None => reference = Some((bits, compacted)),
+            Some((ref_bits, ref_compacted)) => {
+                assert_eq!(&bits, ref_bits, "merge_global at {threads} threads");
+                assert_eq!(
+                    &compacted, ref_compacted,
+                    "compact_all at {threads} threads"
+                );
+            }
+        }
+    }
+    pool::set_num_threads(None);
+}
+
+/// Batch ingest with a WAL: a crash (drop without sealing) after concurrent
+/// ingest loses nothing — the reopened store answers like the serial
+/// reference.
+#[test]
+fn wal_covers_concurrent_batch_ingest() {
+    let dir =
+        std::env::temp_dir().join(format!("pds-store-concurrency-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+        n: N,
+        skew: 0.5,
+        seed: 7,
+    })
+    .take(300)
+    .collect();
+    // Threshold high enough that nothing auto-seals: every record stays
+    // live, so the WAL alone must reconstruct the full state (sealed
+    // segments persist via `snapshot()`, not the WAL).
+    {
+        let store = SynopsisStore::open_with_wal(config(3, 1000), &dir).unwrap();
+        store.ingest_batch(records.iter().cloned()).unwrap();
+        // Dropped with live records: only the WAL has them now.
+    }
+    let reopened = SynopsisStore::open_with_wal(config(3, 1000), &dir).unwrap();
+    let serial = SynopsisStore::new(config(3, 1000)).unwrap();
+    serial.ingest_all(records).unwrap();
+    for lo in (0..N).step_by(3) {
+        assert_eq!(
+            reopened.range_estimate(lo, N - 1).to_bits(),
+            serial.range_estimate(lo, N - 1).to_bits(),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -62,7 +62,7 @@ proptest! {
         parts in 1usize..5,
         threshold in 1usize..16,
     ) {
-        let mut store = SynopsisStore::new(full_budget_config(parts, threshold)).unwrap();
+        let store = SynopsisStore::new(full_budget_config(parts, threshold)).unwrap();
         // Exact reference: expectation is linear.
         let mut exact = [0.0f64; N];
         for r in &records {
@@ -94,7 +94,7 @@ proptest! {
             }
         }
         // Compaction keeps the answers (full budget: lossless).
-        let mut compacted = restored.clone();
+        let compacted = restored.clone();
         compacted.compact_all().unwrap();
         prop_assert!(compacted.stats().segments <= parts);
         for lo in (0..N).step_by(5) {
@@ -113,7 +113,7 @@ proptest! {
         flip_frac in 0.0f64..1.0,
         flip_bit in 0usize..8,
     ) {
-        let mut store = SynopsisStore::new(full_budget_config(2, 8)).unwrap();
+        let store = SynopsisStore::new(full_budget_config(2, 8)).unwrap();
         store.ingest_all(records).unwrap();
         store.seal_all().unwrap();
         let bytes = store.to_binary().unwrap();
@@ -149,7 +149,7 @@ proptest! {
         pairs in prop::collection::vec((0..N, 0.01f64..1.0), 24..120),
         parts in 2usize..5,
     ) {
-        let mut store = SynopsisStore::new(StoreConfig {
+        let store = SynopsisStore::new(StoreConfig {
             partitions: PartitionSpec::uniform(N, parts).unwrap(),
             seal_threshold: 1000,
             // A generous per-segment budget, as a real deployment would use.

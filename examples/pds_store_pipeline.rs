@@ -22,14 +22,38 @@ const SEAL_THRESHOLD: usize = 100_000;
 const SEGMENT_BUCKETS: usize = 48;
 const GLOBAL_BUCKETS: usize = 32;
 
+/// Parses `--threads <n>` (or `--threads=<n>`) from the command line; with
+/// the flag present the ingest runs `ingest_batch` on `n` pool workers plus
+/// `n` background seal workers, otherwise the serial per-record path runs.
+fn threads_arg() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
 fn main() -> Result<()> {
     // ------------------------------------------------------------ ingestion
-    let mut store = SynopsisStore::new(StoreConfig {
+    let threads = threads_arg();
+    if let Some(t) = threads {
+        pds_core::pool::set_num_threads(Some(t));
+    }
+    let store = SynopsisStore::new(StoreConfig {
         partitions: PartitionSpec::uniform(N, PARTITIONS)?,
         seal_threshold: SEAL_THRESHOLD,
         segment_budget: SEGMENT_BUCKETS,
         synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
     })?;
+    let store = match threads {
+        Some(t) => store.with_background_sealing(t),
+        None => store,
+    };
     let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
         n: N,
         skew: 0.7,
@@ -39,14 +63,22 @@ fn main() -> Result<()> {
     .collect();
 
     let t0 = Instant::now();
-    store.ingest_all(records.iter().cloned())?;
+    match threads {
+        Some(_) => store.ingest_batch(records.iter().cloned())?,
+        None => store.ingest_all(records.iter().cloned())?,
+    }
+    store.flush()?;
     let ingest_secs = t0.elapsed().as_secs_f64();
     let mid_stats = store.stats();
     println!(
         "ingested {RECORDS} tuples into {PARTITIONS} partitions in {ingest_secs:.2}s \
-         ({:.0} tuples/s, {} auto-seals)",
+         ({:.0} tuples/s, {} auto-seals, {})",
         RECORDS as f64 / ingest_secs,
         mid_stats.seals,
+        match threads {
+            Some(t) => format!("batch ingest on {t} thread(s) + background sealing"),
+            None => "chunked ingest, pool default threads, inline sealing".to_string(),
+        },
     );
 
     // A query served while data is still live in memtables.

@@ -213,7 +213,7 @@ mod tests {
         use pds_core::stream::records_of;
 
         let rel = workload();
-        let mut store = SynopsisStore::new(StoreConfig {
+        let store = SynopsisStore::new(StoreConfig {
             partitions: PartitionSpec::uniform(64, 4).unwrap(),
             seal_threshold: 1_000_000, // manual sealing
             segment_budget: 64,        // full budget: segments are exact

@@ -46,11 +46,23 @@
 //! | Path              | Package         | Contents                                   |
 //! |-------------------|-----------------|--------------------------------------------|
 //! | `.`               | `probsyn`       | umbrella re-exports, [`prelude`], [`aqp`]  |
-//! | `crates/core`     | `pds-core`      | uncertainty models, worlds, moments, generators, stream records, binary-envelope primitives |
-//! | `crates/histogram`| `pds-histogram` | bucket-cost oracles, DP, `(1+ε)` approximation, partition-merge DP |
+//! | `crates/core`     | `pds-core`      | uncertainty models, worlds, moments, generators, stream records, binary-envelope primitives, scoped thread pool (`pds_core::pool`) |
+//! | `crates/histogram`| `pds-histogram` | bucket-cost oracles, DP (serial + level-parallel), `(1+ε)` approximation, partition-merge DP |
 //! | `crates/wavelet`  | `pds-wavelet`   | Haar transform, SSE and non-SSE thresholding |
-//! | `crates/store`    | `pds-store`     | partitioned ingest memtables, sealed segments, compaction, store persistence |
+//! | `crates/store`    | `pds-store`     | concurrent sharded ingest memtables, background sealing, per-partition WALs, compaction, store persistence |
 //! | `crates/bench`    | `pds-bench`     | workloads, report tables, figure binaries  |
+//!
+//! ### Multi-core execution
+//!
+//! Every parallel path resolves its worker count through `pds_core::pool`
+//! (the `PDS_THREADS` environment variable, `pool::set_num_threads`, or the
+//! hardware default): the exact DP's level-parallel build, the store's
+//! batch ingest and `seal_all`/`compact_all`/`merge_global`, and the
+//! optional background seal workers
+//! (`SynopsisStore::with_background_sealing`).  All of them are
+//! **deterministic** — identical outputs (bit-for-bit) at every thread
+//! count — so parallelism is a pure throughput knob, pinned by the
+//! serial-vs-concurrent equivalence suites.
 //!
 //! ### Persistent formats
 //!

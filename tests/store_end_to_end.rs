@@ -34,7 +34,7 @@ fn exact_prefix(records: &[StreamRecord]) -> Vec<f64> {
 #[test]
 fn pipeline_ingests_seals_compacts_merges_and_serves() {
     let records = stream(20_000);
-    let mut store = SynopsisStore::new(StoreConfig {
+    let store = SynopsisStore::new(StoreConfig {
         partitions: PartitionSpec::uniform(N, PARTS).unwrap(),
         seal_threshold: 2_000,
         segment_budget: 24,
@@ -100,7 +100,7 @@ fn pipeline_ingests_seals_compacts_merges_and_serves() {
 #[test]
 fn store_binary_snapshot_meets_the_compression_bar() {
     let records = stream(30_000);
-    let mut store = SynopsisStore::new(StoreConfig {
+    let store = SynopsisStore::new(StoreConfig {
         partitions: PartitionSpec::uniform(N, 2).unwrap(),
         seal_threshold: 100_000,
         segment_budget: 200,
@@ -145,7 +145,7 @@ fn store_binary_snapshot_meets_the_compression_bar() {
 #[test]
 fn wavelet_segments_flow_through_the_same_pipeline() {
     let records = stream(4_000);
-    let mut store = SynopsisStore::new(StoreConfig {
+    let store = SynopsisStore::new(StoreConfig {
         partitions: PartitionSpec::uniform(N, PARTS).unwrap(),
         seal_threshold: 1_000,
         segment_budget: 32,
@@ -179,4 +179,39 @@ fn wavelet_segments_flow_through_the_same_pipeline() {
         restored.range_estimate(10, 200),
         store.range_estimate(10, 200)
     );
+}
+
+#[test]
+fn concurrent_ingest_answers_aqp_queries_identically_to_serial() {
+    // The AQP-level face of the equivalence contract (the byte-level one
+    // lives in `crates/store/tests/store_concurrency.rs`): the same stream
+    // ingested per-record on one thread versus batched on the pool with
+    // background seal workers yields identical `answer_with_store` results.
+    let records = stream(12_000);
+    let make_config = || StoreConfig {
+        partitions: PartitionSpec::uniform(N, PARTS).unwrap(),
+        seal_threshold: 1_500,
+        segment_budget: 24,
+        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+    };
+    let serial = SynopsisStore::new(make_config()).unwrap();
+    for record in &records {
+        serial.ingest(record.clone()).unwrap();
+    }
+    serial.seal_all().unwrap();
+
+    let concurrent = SynopsisStore::new(make_config())
+        .unwrap()
+        .with_background_sealing(4);
+    concurrent.ingest_batch(records.iter().cloned()).unwrap();
+    concurrent.seal_all().unwrap();
+    concurrent.flush().unwrap();
+
+    for (start, end) in [(0usize, N - 1), (3, 3), (17, 230), (100, 101), (400, 511)] {
+        let query = FrequencyQuery::RangeSum { start, end };
+        let a = answer_with_store(&serial, query).estimate;
+        let b = answer_with_store(&concurrent, query).estimate;
+        assert_eq!(a.to_bits(), b.to_bits(), "query [{start}, {end}]");
+    }
+    assert_eq!(serial.to_binary().unwrap(), concurrent.to_binary().unwrap());
 }
