@@ -14,18 +14,18 @@ use std::hint::black_box;
 use pds_core::metrics::ErrorMetric;
 use pds_core::pool;
 use pds_core::stream::{basic_stream, BasicStreamConfig, StreamRecord};
-use pds_store::{PartitionSpec, StoreConfig, SynopsisKind, SynopsisStore};
+use pds_store::{PartitionSpec, StoreConfig, SynopsisKind, SynopsisStore, WalSync};
 
 const N: usize = 8192;
 const PARTITIONS: usize = 8;
 
 fn config(seal_threshold: usize, segment_budget: usize) -> StoreConfig {
-    StoreConfig {
-        partitions: PartitionSpec::uniform(N, PARTITIONS).unwrap(),
+    StoreConfig::new(
+        PartitionSpec::uniform(N, PARTITIONS).unwrap(),
         seal_threshold,
         segment_budget,
-        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
-    }
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    )
 }
 
 fn records(count: usize) -> Vec<StreamRecord> {
@@ -145,6 +145,62 @@ fn bench_seal_latency(c: &mut Criterion) {
     group.finish();
 }
 
+/// WAL durability cost: per-record `ingest` (one commit boundary per
+/// record) versus group-committed `ingest_batch` (one commit per touched
+/// shard per batch), at the flush tier and the opt-in fsync tier.  The
+/// fsync rows are the reason group commit exists: the per-record path pays
+/// one `sync_data` per record, the batch path one per shard per batch.
+fn bench_wal_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_wal");
+    group.sample_size(10);
+    let batch = records(5_000);
+    let mut run = 0u64;
+    let mut dir_for = |tag: &str| {
+        run += 1;
+        let dir =
+            std::env::temp_dir().join(format!("pds-bench-wal-{tag}-{run}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    for (tag, sync) in [("flush", WalSync::Flush), ("fsync", WalSync::Fsync)] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_5k_per_record", tag),
+            &sync,
+            |bench, &sync| {
+                bench.iter(|| {
+                    let dir = dir_for(tag);
+                    let mut cfg = config(usize::MAX >> 1, 32);
+                    cfg.wal_sync = sync;
+                    let store = SynopsisStore::open_with_wal(cfg, &dir).unwrap();
+                    for record in &batch {
+                        store.ingest(record.clone()).unwrap();
+                    }
+                    black_box(store.stats().ingested_records);
+                    drop(store);
+                    let _ = std::fs::remove_dir_all(&dir);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ingest_5k_group_commit", tag),
+            &sync,
+            |bench, &sync| {
+                bench.iter(|| {
+                    let dir = dir_for(tag);
+                    let mut cfg = config(usize::MAX >> 1, 32);
+                    cfg.wal_sync = sync;
+                    let store = SynopsisStore::open_with_wal(cfg, &dir).unwrap();
+                    store.ingest_batch(batch.iter().cloned()).unwrap();
+                    black_box(store.stats().ingested_records);
+                    drop(store);
+                    let _ = std::fs::remove_dir_all(&dir);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Global merge over sealed per-partition synopses (piece extraction runs
 /// one pool task per partition).
 fn bench_global_merge(c: &mut Criterion) {
@@ -164,6 +220,7 @@ criterion_group!(
     bench_ingest_throughput,
     bench_background_sealing,
     bench_seal_latency,
+    bench_wal_commit,
     bench_global_merge
 );
 criterion_main!(benches);

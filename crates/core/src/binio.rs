@@ -226,9 +226,105 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+/// The CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup
+/// table, computed at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 (IEEE) checksum of a byte slice — the checksum used by every
+/// crash-durable artefact (segment blobs, manifest records, WAL frames) to
+/// tell torn or corrupted bytes from valid ones.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Appends a 4-byte little-endian [`crc32`] trailer covering everything
+/// already in `bytes` — the writer half of the checksummed-blob discipline.
+pub fn append_crc32(bytes: &mut Vec<u8>) {
+    let crc = crc32(bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Verifies and strips the 4-byte [`crc32`] trailer appended by
+/// [`append_crc32`], returning the covered payload.  Truncation and
+/// checksum mismatches surface as [`PdsError`]s naming `what`.
+pub fn verify_crc32<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8]> {
+    if bytes.len() < 4 {
+        return Err(PdsError::InvalidParameter {
+            message: format!(
+                "{what}: {} bytes is too short to carry a crc32 trailer",
+                bytes.len()
+            ),
+        });
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(PdsError::InvalidParameter {
+            message: format!(
+                "{what}: crc32 mismatch (stored {stored:#010x}, computed {computed:#010x}) — \
+                 the bytes are torn or corrupted"
+            ),
+        });
+    }
+    Ok(payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_trailer_round_trips_and_rejects_corruption() {
+        let mut blob = b"payload bytes".to_vec();
+        append_crc32(&mut blob);
+        assert_eq!(verify_crc32(&blob, "blob").unwrap(), b"payload bytes");
+        // Every single-bit flip anywhere (payload or trailer) is caught.
+        for pos in 0..blob.len() {
+            for bit in 0..8 {
+                let mut bad = blob.clone();
+                bad[pos] ^= 1 << bit;
+                assert!(verify_crc32(&bad, "blob").is_err(), "flip at {pos}.{bit}");
+            }
+        }
+        // Truncation is caught (any strict prefix).
+        for cut in 0..blob.len() {
+            assert!(verify_crc32(&blob[..cut], "blob").is_err(), "cut at {cut}");
+        }
+    }
 
     #[test]
     fn primitives_round_trip() {

@@ -1,0 +1,89 @@
+//! Deterministic crash-injection hooks for durability testing.
+//!
+//! The store's crash-recovery contract ("reopen from manifest + segment
+//! blobs + WAL equals the uninterrupted run") is only worth anything if it
+//! is pinned at every hand-off point of the lifecycle.  This module plants
+//! **labeled crash points** inside the store's write paths; a test arms one
+//! of them through the environment and the process genuinely dies there
+//! (`std::process::abort`, no destructors, no buffered-writer flushes —
+//! exactly like a crash), so the crash-matrix suite can reopen the
+//! directory in a fresh process and assert equivalence.
+//!
+//! ## Arming
+//!
+//! * `PDS_CRASH_POINT=<label>` — abort when the labeled point is reached.
+//! * `PDS_CRASH_AT=<n>` — abort on the `n`-th hit of that label (default 1,
+//!   the first hit), letting a test crash at, say, the fifth WAL append.
+//!
+//! The labels, in lifecycle order:
+//!
+//! | label | planted |
+//! |---|---|
+//! | `post-wal-append` | after a WAL append has been flushed, before the ingest acknowledges |
+//! | `frozen-pre-build` | after a memtable froze (WAL rotated), before the segment build |
+//! | `built-pre-install` | after the segment built, before its blob/manifest install |
+//! | `installed-pre-wal-retire` | after blob + manifest install, before the frozen WAL retires |
+//! | `mid-compaction-swap` | after the merged segment built, before it swaps in |
+//! | `mid-manifest-publish` | after the rewritten manifest staged to `.tmp`, before the rename |
+//!
+//! With the environment unset the hook is one relaxed atomic load — cheap
+//! enough to live in release builds, which is the point: the tested binary
+//! is the shipped binary.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::OnceLock;
+
+/// Crash configuration parsed once from the environment.
+struct Armed {
+    label: String,
+    /// Hits remaining before the abort (counts down across threads).
+    remaining: AtomicI64,
+}
+
+fn armed() -> Option<&'static Armed> {
+    static ARMED: OnceLock<Option<Armed>> = OnceLock::new();
+    ARMED
+        .get_or_init(|| {
+            let label = std::env::var("PDS_CRASH_POINT").ok()?;
+            if label.is_empty() {
+                return None;
+            }
+            let at: i64 = std::env::var("PDS_CRASH_AT")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1);
+            Some(Armed {
+                label,
+                remaining: AtomicI64::new(at),
+            })
+        })
+        .as_ref()
+}
+
+/// Marks a labeled crash point.  Aborts the process when the armed label's
+/// hit counter reaches zero; a no-op (one atomic load) otherwise.
+pub fn reached(label: &str) {
+    let Some(armed) = armed() else { return };
+    if armed.label != label {
+        return;
+    }
+    if armed.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+        // Flush nothing, unwind nothing: die like a real crash.  stderr is
+        // unbuffered, so the marker line still reaches the parent test.
+        eprintln!("pds-store: crash point `{label}` reached, aborting");
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_crash_points_are_no_ops() {
+        // The test environment does not arm a label, so this must return.
+        reached("post-wal-append");
+        reached("mid-compaction-swap");
+    }
+}

@@ -17,20 +17,54 @@
 //!    batched-sweep DP, or an SSE-optimal wavelet) is built over it.
 //! 3. **Compact** — segments of one partition are recombined by summing
 //!    their piecewise-constant estimates on the union of their boundaries
-//!    and re-running the merge DP; [`SynopsisStore::merge_global`] does the
-//!    same across all partitions to produce one global `B`-bucket histogram
-//!    (the candidate cut points are exactly the partition/bucket edges).
+//!    and re-running the merge DP.  A size-tiered [`CompactionPolicy`]
+//!    triggers rounds automatically at install time (run on the background
+//!    seal workers against cloned segment handles, swapped in under a
+//!    short write lock); [`SynopsisStore::merge_global`] recombines all
+//!    partitions into one global `B`-bucket histogram (the candidate cut
+//!    points are exactly the partition/bucket edges).
 //! 4. **Serve** — range-sum/count estimates combine live memtables with
 //!    sealed segments; the umbrella crate's `aqp` module routes its
 //!    [`FrequencyQuery`]s here.
 //!
-//! Persistence uses the versioned **compact binary format** (see
-//! `pds_core::binio`): segments and whole stores encode to self-describing
-//! byte blobs whose corrupted/truncated/version-skewed variants decode to
-//! [`PdsError`]s, never panics.  JSON (`Segment::to_json`) stays available
-//! as the debug encoding.  Live memtable contents are covered by optional
-//! per-partition **write-ahead logs** ([`wal`], replayed on
-//! [`SynopsisStore::open_with_wal`]); [`SynopsisStore::snapshot`] seals
+//! ## Crash durability
+//!
+//! A store opened with [`SynopsisStore::open_with_wal`] is **restart-safe
+//! end to end**.  Three artefacts share its directory, each CRC-checked:
+//!
+//! * **WAL** ([`wal`]) — every routed record, CRC-framed, group-committed
+//!   once per ingest call/batch; covers the live and mid-seal window.
+//! * **Segment blobs** — at install, each sealed segment is published as
+//!   `seg-<p>-<seq>.bin` (`PDSG` encoding + CRC-32 trailer, atomic
+//!   tmp-rename).
+//! * **`MANIFEST`** ([`manifest`]) — the append-only, versioned record of
+//!   which blobs are live; *a manifest entry is a seal's commit point*, and
+//!   compaction replaces entries through an atomic tmp-rename publish.
+//!
+//! Reopen order is **manifest → segment blobs → WAL tail**.  What a crash
+//! can cost at each lifecycle stage, before and after the blob/manifest
+//! machinery (PR 5):
+//!
+//! | crash while the record/segment is… | before PR 5 | now |
+//! |---|---|---|
+//! | buffered in a live memtable | replayed from the WAL | same (CRC-framed: a torn-but-parseable line is detected, not replayed wrong) |
+//! | frozen, segment build in flight | replayed from the frozen WAL log | same |
+//! | built, blob/manifest not yet written | replayed from the frozen WAL log | same |
+//! | **installed, before any snapshot** | **lost** (lived only in memory) | reloaded from its blob via the manifest |
+//! | mid-compaction (merge or swap) | n/a (compaction blocked the shard) | inputs stay authoritative until the manifest publish; the half-done output blob is swept at reopen |
+//! | snapshotted via [`SynopsisStore::to_binary`] | durable in the snapshot | same (and installed segments are no longer re-serialised: their cached install-time encoding is reused) |
+//!
+//! Every deliverable of that table is pinned by the deterministic
+//! crash-injection matrix (`tests/store_crash_matrix.rs`, labels in
+//! [`crashpoint`]) and the corruption property suites: a torn file replays
+//! exactly the acknowledged prefix, a bit-flipped blob or frame is a
+//! [`PdsError`], never a panic or a silently wrong answer.
+//!
+//! Persistence of whole stores additionally uses the versioned **compact
+//! binary format** (see `pds_core::binio`): segments and stores encode to
+//! self-describing byte blobs whose corrupted/truncated/version-skewed
+//! variants decode to [`PdsError`]s.  JSON (`Segment::to_json`) stays
+//! available as the debug encoding.  [`SynopsisStore::snapshot`] seals
 //! everything live and serialises in one step.
 //!
 //! ## Concurrency
@@ -40,11 +74,15 @@
 //! route to shards lock-free ([`SynopsisStore::ingest_batch`]), and sealing
 //! can run on background workers
 //! ([`SynopsisStore::with_background_sealing`]) so ingest, sealing and
-//! serving overlap.  Per-partition seal sequence numbers keep results
-//! **deterministic**: the same record stream yields byte-identical sealed
-//! segments at every thread count (pinned by the `store_concurrency`
-//! suite).  Thread counts come from `pds_core::pool` (the `PDS_THREADS`
-//! environment variable or `pool::set_num_threads`).
+//! serving overlap.  Compaction holds the shard write lock only to reserve
+//! a round and to swap the merged segment in — the merge DP runs against
+//! cloned segment handles.  Per-partition seal sequence numbers keep
+//! results **deterministic**: the same record stream yields byte-identical
+//! sealed segments at every thread count (pinned by the
+//! `store_concurrency` suite; automatic compaction schedules rounds by
+//! policy, so its *estimates* — not its byte layout — are the cross-thread
+//! invariant).  Thread counts come from `pds_core::pool` (the
+//! `PDS_THREADS` environment variable or `pool::set_num_threads`).
 //!
 //! ## Sharding semantics
 //!
@@ -63,12 +101,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod compaction;
+pub mod crashpoint;
+pub mod manifest;
 mod memtable;
 mod segment;
 mod store;
 pub mod wal;
 
+pub use compaction::CompactionPolicy;
 pub use memtable::Memtable;
 pub use segment::{Segment, SegmentSynopsis, SynopsisKind};
 pub use store::{PartitionSpec, StoreConfig, StoreStats, SynopsisStore};
-pub use wal::PartitionWal;
+pub use wal::{PartitionWal, WalSync};

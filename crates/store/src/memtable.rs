@@ -56,6 +56,13 @@ impl Memtable {
         &self.expected
     }
 
+    /// The buffered records in arrival order (item ids localised to the
+    /// partition) — what a WAL replay must reproduce exactly, which the
+    /// durability suites assert against.
+    pub fn records(&self) -> &[StreamRecord] {
+        &self.records
+    }
+
     /// Appends a record.  The record is validated and every item it touches
     /// must fall inside this partition's range (the store splits
     /// cross-partition x-tuples before routing).

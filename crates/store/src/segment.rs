@@ -258,6 +258,23 @@ impl Segment {
         Segment::new(start, records, synopsis)
     }
 
+    /// Serialises the segment as a **durable blob**: the compact binary
+    /// encoding ([`Segment::to_binary`]) plus a 4-byte CRC-32 trailer —
+    /// the exact bytes of an install-time `seg-<p>-<seq>.bin` file.
+    pub fn to_blob(&self) -> Result<Vec<u8>> {
+        let mut bytes = self.to_binary()?;
+        pds_core::binio::append_crc32(&mut bytes);
+        Ok(bytes)
+    }
+
+    /// Parses a durable blob written by [`Segment::to_blob`], verifying the
+    /// CRC-32 trailer first so bit rot and truncation surface as
+    /// [`PdsError`]s before the payload is even decoded.
+    pub fn from_blob(bytes: &[u8]) -> Result<Self> {
+        let payload = pds_core::binio::verify_crc32(bytes, "segment blob")?;
+        Segment::from_binary(payload)
+    }
+
     /// Serialises the segment into the versioned JSON envelope — the debug
     /// encoding; the binary format is the persistent one.
     pub fn to_json(&self) -> Result<String> {
@@ -347,6 +364,22 @@ mod tests {
         assert_eq!(Segment::from_binary(&bytes).unwrap(), seg);
         let json = seg.to_json().unwrap();
         assert_eq!(Segment::from_json(&json).unwrap(), seg);
+    }
+
+    #[test]
+    fn blob_round_trips_and_crc_catches_every_bit_flip() {
+        let rel = relation(16);
+        let seg = Segment::build(4, 9, &rel, SynopsisKind::Wavelet, 5).unwrap();
+        let blob = seg.to_blob().unwrap();
+        assert_eq!(Segment::from_blob(&blob).unwrap(), seg);
+        for pos in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x10;
+            assert!(Segment::from_blob(&bad).is_err(), "flip at byte {pos}");
+        }
+        for cut in 0..blob.len() {
+            assert!(Segment::from_blob(&blob[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -26,11 +26,12 @@
 //! `store_concurrency` suite pins.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockWriteGuard};
 
-use pds_core::binio::{ByteReader, ByteWriter};
+use pds_core::binio::{crc32, ByteReader, ByteWriter};
 use pds_core::error::{PdsError, Result};
 use pds_core::metrics::ErrorMetric;
 use pds_core::model::ValuePdfModel;
@@ -40,9 +41,12 @@ use pds_histogram::merge::{optimal_piecewise_histogram, sum_pieces, Piece};
 use pds_histogram::Histogram;
 use pds_wavelet::build_sse_wavelet;
 
+use crate::compaction::CompactionPolicy;
+use crate::crashpoint;
+use crate::manifest::{segment_blob_name, Manifest};
 use crate::memtable::Memtable;
 use crate::segment::{Segment, SegmentSynopsis, SynopsisKind};
-use crate::wal::PartitionWal;
+use crate::wal::{PartitionWal, WalSync};
 
 /// One x-tuple's alternatives grouped by owning partition.
 type SplitAlternatives = BTreeMap<usize, Vec<(usize, f64)>>;
@@ -129,6 +133,39 @@ pub struct StoreConfig {
     pub segment_budget: usize,
     /// Which synopsis sealed segments get.
     pub synopsis: SynopsisKind,
+    /// Automatic size-tiered compaction: when set, every segment install
+    /// evaluates the policy (once the partition has no seals in flight) and
+    /// full tiers are merged in the background (on the seal workers when
+    /// [`SynopsisStore::with_background_sealing`] is enabled, inline
+    /// otherwise).  `None` (the default) keeps compaction manual
+    /// ([`SynopsisStore::compact_partition`] / `compact_all`).  A runtime
+    /// knob: not persisted by [`SynopsisStore::to_binary`].
+    pub compaction: Option<CompactionPolicy>,
+    /// Durability tier of WAL/manifest commits: [`WalSync::Flush`] (the
+    /// default, survives process crashes) or the opt-in [`WalSync::Fsync`]
+    /// (survives power loss, paid once per group commit).  A runtime knob:
+    /// not persisted by [`SynopsisStore::to_binary`].
+    pub wal_sync: WalSync,
+}
+
+impl StoreConfig {
+    /// A configuration with the default runtime knobs: manual compaction
+    /// and flush-tier WAL durability.
+    pub fn new(
+        partitions: PartitionSpec,
+        seal_threshold: usize,
+        segment_budget: usize,
+        synopsis: SynopsisKind,
+    ) -> Self {
+        StoreConfig {
+            partitions,
+            seal_threshold,
+            segment_budget,
+            synopsis,
+            compaction: None,
+            wal_sync: WalSync::Flush,
+        }
+    }
 }
 
 /// Point-in-time counters describing a store.
@@ -150,9 +187,20 @@ pub struct StoreStats {
     pub split_tuples: u64,
 }
 
+/// One sealed segment as held by its shard: the seal sequence, the shared
+/// segment handle (cheap to clone for compaction and queries) and, when
+/// known, the segment's cached `PDSG` encoding — computed once at install
+/// (or decode) so [`SynopsisStore::to_binary`] and the durable blob never
+/// re-serialise an installed segment.
+#[derive(Debug, Clone)]
+struct SealedSegment {
+    seq: u64,
+    segment: Arc<Segment>,
+    binary: Option<Arc<Vec<u8>>>,
+}
+
 /// One partition's mutable state: the live memtable, the sealed segments
-/// (keyed by seal sequence number, ascending) and the optional write-ahead
-/// log.
+/// (ascending by seal sequence) and the optional write-ahead log.
 #[derive(Debug)]
 struct Shard {
     memtable: Memtable,
@@ -161,13 +209,24 @@ struct Shard {
     /// query racing a background seal never transiently loses the frozen
     /// records' mass; the entry is dropped when its segment installs.
     frozen: Vec<(u64, Arc<Memtable>)>,
-    /// Sealed segments as `(seal sequence, segment)`, ascending by sequence;
-    /// the sequence restores deterministic order when background workers
-    /// finish out of order.
-    segments: Vec<(u64, Segment)>,
+    /// Sealed segments, ascending by sequence; the sequence restores
+    /// deterministic order when background workers finish out of order.
+    segments: Vec<SealedSegment>,
     /// Next seal sequence number for this partition.
     next_seq: u64,
+    /// A compaction round is in flight for this partition (selection made,
+    /// swap pending) — serialises compaction per partition.
+    compacting: bool,
     wal: Option<PartitionWal>,
+}
+
+/// The durable half of a store opened with
+/// [`SynopsisStore::open_with_wal`]: the directory holding the WAL files,
+/// the segment blobs and the [`Manifest`] that commits them.
+#[derive(Debug)]
+struct Durable {
+    dir: PathBuf,
+    manifest: Mutex<Manifest>,
 }
 
 /// The shared, lock-protected core of a store (shards + counters); the
@@ -176,6 +235,7 @@ struct Shard {
 struct StoreInner {
     config: StoreConfig,
     shards: Vec<RwLock<Shard>>,
+    durable: Option<Durable>,
     ingested: AtomicU64,
     seals: AtomicU64,
     split_tuples: AtomicU64,
@@ -194,9 +254,26 @@ struct SealTask {
     wal_frozen: Option<PathBuf>,
 }
 
+/// A compaction round selected by the policy (or requested manually): the
+/// reserved output sequence and the cloned input segment handles, merged
+/// off-lock and swapped in under a short write lock.
+#[derive(Debug)]
+struct CompactTask {
+    partition: usize,
+    out_seq: u64,
+    inputs: Vec<(u64, Arc<Segment>)>,
+}
+
+/// Work items of the background workers.
+#[derive(Debug)]
+enum Task {
+    Seal(SealTask),
+    Compact(CompactTask),
+}
+
 #[derive(Debug, Default)]
 struct SealQueueState {
-    tasks: VecDeque<SealTask>,
+    tasks: VecDeque<Task>,
     /// Tasks submitted but not yet installed (queued + building).
     pending: usize,
     closed: bool,
@@ -221,7 +298,7 @@ struct Sealer {
 }
 
 impl Sealer {
-    fn submit(&self, task: SealTask) {
+    fn submit(&self, task: Task) {
         let mut state = self.queue.state.lock().expect("seal queue poisoned");
         state.pending += 1;
         state.tasks.push_back(task);
@@ -252,12 +329,15 @@ pub struct SynopsisStore {
 }
 
 /// A deep point-in-time copy: shard contents and counters are snapshotted;
-/// the clone has **no** background workers and **no** write-ahead log
-/// (file handles cannot be duplicated meaningfully).  Memtables frozen for
-/// an in-flight background seal are folded back into the clone's live
-/// memtable (no records are lost), though the `seals` counter keeps
-/// counting the in-flight freeze — [`SynopsisStore::flush`] first for
-/// settled counters.
+/// the clone has **no** background workers, **no** write-ahead log and
+/// **no** durable directory (file handles and manifests cannot be
+/// duplicated meaningfully — two stores appending to one manifest would
+/// corrupt it).  Memtables frozen for an in-flight background seal are
+/// folded back into the clone's live memtable (no records are lost),
+/// though the `seals` counter keeps counting the in-flight freeze — and an
+/// in-flight compaction's inputs are still present, so the clone holds the
+/// consistent pre-swap state; [`SynopsisStore::flush`] first for settled
+/// counters.
 impl Clone for SynopsisStore {
     fn clone(&self) -> Self {
         let shards = self
@@ -279,6 +359,7 @@ impl Clone for SynopsisStore {
                     frozen: Vec::new(),
                     segments: shard.segments.clone(),
                     next_seq: shard.next_seq,
+                    compacting: false,
                     wal: None,
                 })
             })
@@ -287,6 +368,7 @@ impl Clone for SynopsisStore {
             inner: Arc::new(StoreInner {
                 config: self.inner.config.clone(),
                 shards,
+                durable: None,
                 ingested: AtomicU64::new(self.inner.ingested.load(Ordering::Relaxed)),
                 seals: AtomicU64::new(self.inner.seals.load(Ordering::Relaxed)),
                 split_tuples: AtomicU64::new(self.inner.split_tuples.load(Ordering::Relaxed)),
@@ -303,8 +385,13 @@ impl SynopsisStore {
     /// Version stamp of the whole-store binary encoding.
     pub const BINARY_VERSION: u16 = 1;
 
-    /// Creates an empty store (no background workers, no write-ahead log).
+    /// Creates an empty store (no background workers, no write-ahead log,
+    /// no durable directory).
     pub fn new(config: StoreConfig) -> Result<Self> {
+        Self::with_durability(config, None)
+    }
+
+    fn with_durability(config: StoreConfig, durable: Option<Durable>) -> Result<Self> {
         if config.seal_threshold == 0 || config.segment_budget == 0 {
             return Err(PdsError::InvalidParameter {
                 message: "the seal threshold and the segment budget must be positive".into(),
@@ -318,6 +405,7 @@ impl SynopsisStore {
                     frozen: Vec::new(),
                     segments: Vec::new(),
                     next_seq: 0,
+                    compacting: false,
                     wal: None,
                 })
             })
@@ -326,6 +414,7 @@ impl SynopsisStore {
             inner: Arc::new(StoreInner {
                 config,
                 shards,
+                durable,
                 ingested: AtomicU64::new(0),
                 seals: AtomicU64::new(0),
                 split_tuples: AtomicU64::new(0),
@@ -334,33 +423,109 @@ impl SynopsisStore {
         })
     }
 
-    /// Opens a store whose live memtables are covered by per-partition
-    /// write-ahead logs in `dir`: any records logged by a previous process —
-    /// live or frozen mid-seal — are replayed, so nothing buffered is lost
-    /// to a crash.  Recovery is the crash-safe three-phase protocol of
-    /// [`crate::wal`]: **scan** every partition's logs read-only (an error
-    /// anywhere leaves all logs on disk for the next attempt), replay the
-    /// records into the memtables with auto-sealing suppressed (the backlog
-    /// seals on the first subsequent ingest that crosses the threshold),
-    /// then **commit** each partition's fresh live log atomically.
-    /// Counters restart at the replayed records — and count per-partition
-    /// *sub*-records, so an x-tuple that was split across partitions before
-    /// logging counts once per partition here (and `split_tuples` restarts
-    /// at 0): post-recovery counters describe the recovered process, not
-    /// the pre-crash one.
+    /// Opens a **crash-durable** store backed by `dir`: sealed segments are
+    /// reloaded from their install-time blobs via the [`Manifest`], and any
+    /// records logged by a previous process — live or frozen mid-seal — are
+    /// replayed from the per-partition write-ahead logs, so nothing
+    /// acknowledged is lost to a crash.
+    ///
+    /// Reopen order is **manifest → segment blobs → WAL tail**:
+    ///
+    /// 1. The manifest is loaded (torn-tail tolerant, atomically
+    ///    republished) and every live `seg-<p>-<seq>.bin` blob is decoded —
+    ///    CRC-32 trailer first, then the `PDSG` payload — and installed at
+    ///    its seal sequence.  Orphaned blobs (their manifest record never
+    ///    landed) are swept; their records replay from the WAL instead.
+    /// 2. The WAL is scanned read-only ([`crate::wal`]'s three-phase
+    ///    protocol — an error anywhere leaves all files intact), **skipping
+    ///    frozen logs whose seal sequence the manifest covers** (the
+    ///    manifest entry is a seal's commit point), then replayed into the
+    ///    memtables with auto-sealing suppressed and committed atomically.
+    ///
+    /// Counters restart at the recovered state: `ingested_records` counts
+    /// the blob-installed segments' records plus the replayed WAL records
+    /// (per-partition *sub*-records, so an x-tuple split across partitions
+    /// before logging counts once per partition, and `split_tuples`
+    /// restarts at 0); `seals` counts the loaded segments.  Post-recovery
+    /// counters describe the recovered process, not the pre-crash one.
     pub fn open_with_wal(config: StoreConfig, dir: impl AsRef<Path>) -> Result<Self> {
-        let store = Self::new(config)?;
         let dir = dir.as_ref();
         // The logs are only meaningful under the partition layout that
         // wrote them: a `wal.meta` stamp pins the bounds, so reopening with
         // a different layout errors instead of silently ignoring logs of
         // partitions that no longer exist (or mis-routing records).
-        store.check_wal_meta(dir)?;
-        // Phase 1: read-only scans.  Nothing is deleted or truncated, so a
-        // corrupt log in any partition aborts with every file intact.
+        Self::check_wal_meta(&config, dir)?;
+        let (manifest, live) = Manifest::open(dir, config.wal_sync)?;
+        let store = Self::with_durability(
+            config,
+            Some(Durable {
+                dir: dir.to_path_buf(),
+                manifest: Mutex::new(manifest),
+            }),
+        )?;
+        // Phase 0: reload the manifest-committed segments from their blobs
+        // (entries arrive ascending by (partition, seq), so each shard's
+        // segment list stays sequence-ordered).
+        let mut loaded_records = 0u64;
+        let mut loaded_segments = 0u64;
+        for (p, seq) in live {
+            if p >= store.num_partitions() {
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "manifest names partition {p} but the store has only {} partitions",
+                        store.num_partitions()
+                    ),
+                });
+            }
+            let path = dir.join(segment_blob_name(p, seq));
+            let mut bytes = fs::read(&path).map_err(|e| PdsError::InvalidParameter {
+                message: format!("store: reading segment blob {}: {e}", path.display()),
+            })?;
+            let segment = Segment::from_blob(&bytes)?;
+            let (start, width) = store.inner.config.partitions.range(p);
+            if segment.start() != start || segment.width() != width {
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "segment blob {} covers [{}, {}] but partition {p} is [{start}, {}]",
+                        path.display(),
+                        segment.start(),
+                        segment.end(),
+                        start + width - 1
+                    ),
+                });
+            }
+            loaded_records += segment.records();
+            loaded_segments += 1;
+            // The blob minus its CRC trailer is exactly the PDSG bytes;
+            // truncate in place rather than copying (startup path).
+            bytes.truncate(bytes.len() - 4);
+            let mut shard = store.write_shard(p);
+            shard.segments.push(SealedSegment {
+                seq,
+                segment: Arc::new(segment),
+                binary: Some(Arc::new(bytes)),
+            });
+            shard.next_seq = shard.next_seq.max(seq + 1);
+        }
+        store
+            .inner
+            .ingested
+            .fetch_add(loaded_records, Ordering::Relaxed);
+        store
+            .inner
+            .seals
+            .fetch_add(loaded_segments, Ordering::Relaxed);
+        // Phase 1: read-only WAL scans, skipping manifest-covered frozen
+        // logs.  Nothing is deleted or truncated, so a corrupt log in any
+        // partition aborts with every file intact.
         let mut replays = Vec::with_capacity(store.num_partitions());
         for p in 0..store.num_partitions() {
-            replays.push(PartitionWal::scan(dir, p)?);
+            let covered = {
+                let durable = store.inner.durable.as_ref().expect("durable store");
+                let manifest = durable.manifest.lock().expect("manifest lock poisoned");
+                manifest.covered_seqs(p)
+            };
+            replays.push(PartitionWal::scan_skipping(dir, p, &covered)?);
         }
         // Phase 2: replay into the memtables.  Records were already routed
         // (x-tuples split per partition) when first logged; sealing is
@@ -381,7 +546,13 @@ impl SynopsisStore {
         // Phase 3: publish each partition's recovered live log atomically
         // and attach the append handles.
         for (p, replay) in replays.iter().enumerate() {
-            let wal = PartitionWal::commit(dir, p, &replay.records, replay)?;
+            let wal = PartitionWal::commit_synced(
+                dir,
+                p,
+                &replay.records,
+                replay,
+                store.inner.config.wal_sync,
+            )?;
             store.write_shard(p).wal = Some(wal);
         }
         Ok(store)
@@ -389,13 +560,13 @@ impl SynopsisStore {
 
     /// Validates (or, on first use, writes) the WAL directory's partition
     /// stamp: a space-separated list of the partition bounds in `wal.meta`.
-    fn check_wal_meta(&self, dir: &Path) -> Result<()> {
+    fn check_wal_meta(config: &StoreConfig, dir: &Path) -> Result<()> {
         let meta_io = |context: &str, e: std::io::Error| PdsError::InvalidParameter {
             message: format!("wal: {context}: {e}"),
         };
         std::fs::create_dir_all(dir).map_err(|e| meta_io("creating the wal directory", e))?;
         let path = dir.join("wal.meta");
-        let bounds = &self.inner.config.partitions.bounds;
+        let bounds = &config.partitions.bounds;
         let stamp = bounds
             .iter()
             .map(usize::to_string)
@@ -442,6 +613,10 @@ impl SynopsisStore {
     }
 
     fn seal_worker(inner: &StoreInner, queue: &SealQueue) {
+        let park = |e: PdsError| {
+            let mut state = queue.state.lock().expect("seal queue poisoned");
+            state.error.get_or_insert(e);
+        };
         loop {
             let task = {
                 let mut state = queue.state.lock().expect("seal queue poisoned");
@@ -456,32 +631,69 @@ impl SynopsisStore {
                 }
             };
             let Some(task) = task else { return };
-            match Self::build_segment(inner, &task) {
-                Ok(segment) => {
-                    let mut shard = inner.shards[task.partition]
-                        .write()
-                        .expect("shard lock poisoned");
-                    Self::install_segment(
-                        &mut shard,
-                        task.seq,
-                        segment,
-                        task.wal_frozen.as_deref(),
-                    );
+            // A seal install (or a compaction round) can trigger the next
+            // compaction round; it goes back on the queue so flush() keeps
+            // waiting for the whole chain.
+            let follow_up = match task {
+                Task::Seal(task) => {
+                    // Build AND durably commit (blob + manifest) before
+                    // touching the shard lock: the lock is held only for
+                    // the in-memory swap, never for file I/O or fsyncs.
+                    let committed = Self::build_task(inner, &task).and_then(|(segment, binary)| {
+                        let binary = Self::commit_durable(
+                            inner,
+                            task.partition,
+                            task.seq,
+                            &segment,
+                            binary,
+                        )?;
+                        Ok((segment, binary))
+                    });
+                    match committed {
+                        Ok((segment, binary)) => {
+                            let mut shard = inner.shards[task.partition]
+                                .write()
+                                .expect("shard lock poisoned");
+                            Self::install_in_memory(
+                                inner,
+                                &mut shard,
+                                task.partition,
+                                task.seq,
+                                segment,
+                                binary,
+                                task.wal_frozen.as_deref(),
+                            )
+                        }
+                        Err(e) => {
+                            // Build failure or a failed durable commit
+                            // (blob/manifest I/O): restore the frozen
+                            // records to the live memtable (they rejoin
+                            // ahead of any newer arrivals) and park the
+                            // error for flush().
+                            let mut shard = inner.shards[task.partition]
+                                .write()
+                                .expect("shard lock poisoned");
+                            Self::unfreeze(inner, &mut shard, task);
+                            drop(shard);
+                            park(e);
+                            None
+                        }
+                    }
                 }
-                Err(e) => {
-                    // Restore the frozen records to the live memtable (they
-                    // rejoin ahead of any newer arrivals) and park the error
-                    // for flush().
-                    let mut shard = inner.shards[task.partition]
-                        .write()
-                        .expect("shard lock poisoned");
-                    Self::unfreeze(inner, &mut shard, task);
-                    drop(shard);
-                    let mut state = queue.state.lock().expect("seal queue poisoned");
-                    state.error.get_or_insert(e);
-                }
-            }
+                Task::Compact(task) => match Self::run_compact_task(inner, task) {
+                    Ok(next) => next,
+                    Err(e) => {
+                        park(e);
+                        None
+                    }
+                },
+            };
             let mut state = queue.state.lock().expect("seal queue poisoned");
+            if let Some(next) = follow_up {
+                state.pending += 1;
+                state.tasks.push_back(Task::Compact(next));
+                queue.work.notify_one();
+            }
             state.pending -= 1;
             if state.pending == 0 {
                 queue.idle.notify_all();
@@ -489,10 +701,11 @@ impl SynopsisStore {
         }
     }
 
-    /// Waits until every background seal submitted so far is installed and
-    /// returns the first build error, if any (a failed build's records are
-    /// restored to their live memtable, so the error is retryable: seal
-    /// again or snapshot).  A no-op without background sealing.
+    /// Waits until every background seal — and every compaction round it
+    /// chained — is installed, and returns the first build error, if any
+    /// (a failed build's records are restored to their live memtable, so
+    /// the error is retryable: seal again or snapshot).  A no-op without
+    /// background sealing.
     pub fn flush(&self) -> Result<()> {
         if let Some(sealer) = &self.sealer {
             let mut state = sealer.queue.state.lock().expect("seal queue poisoned");
@@ -542,7 +755,7 @@ impl SynopsisStore {
             .expect("shard lock poisoned")
             .segments
             .iter()
-            .map(|(_, s)| s.clone())
+            .map(|s| (*s.segment).clone())
             .collect()
     }
 
@@ -578,30 +791,92 @@ impl SynopsisStore {
     /// through `&self`.
     pub fn ingest(&self, record: StreamRecord) -> Result<()> {
         record.validate()?;
+        let mut compactions: Vec<CompactTask> = Vec::new();
         match record {
             StreamRecord::Basic { item, .. } | StreamRecord::ValueDistribution { item, .. } => {
                 let p = self.inner.config.partitions.partition_of(item)?;
-                let mut shard = self.write_shard(p);
-                self.insert_locked(p, &mut shard, record)?;
-                if let Some(wal) = shard.wal.as_mut() {
-                    wal.sync()?;
+                let inserted = {
+                    let mut shard = self.write_shard(p);
+                    self.insert_locked(p, &mut shard, record).and_then(|task| {
+                        compactions.extend(task);
+                        self.commit_wal_locked(&mut shard)
+                    })
+                };
+                if let Err(e) = inserted {
+                    // A round reserved by the seal still runs even when the
+                    // WAL commit failed, so the partition is never left
+                    // flagged busy.
+                    let _ = self.run_compactions(compactions);
+                    return Err(e);
                 }
                 self.inner.ingested.fetch_add(1, Ordering::Relaxed);
-                Ok(())
             }
             StreamRecord::Alternatives(alts) => {
                 let (by_partition, split) = self.split_x_tuple(&alts)?;
                 self.inner.split_tuples.fetch_add(split, Ordering::Relaxed);
                 self.inner.ingested.fetch_add(1, Ordering::Relaxed);
+                let mut first_error = None;
                 for (p, sub) in by_partition {
                     let mut shard = self.write_shard(p);
-                    self.insert_locked(p, &mut shard, StreamRecord::Alternatives(sub))?;
-                    if let Some(wal) = shard.wal.as_mut() {
-                        wal.sync()?;
+                    let inserted = self
+                        .insert_locked(p, &mut shard, StreamRecord::Alternatives(sub))
+                        .and_then(|task| {
+                            compactions.extend(task);
+                            self.commit_wal_locked(&mut shard)
+                        });
+                    if let Err(e) = inserted {
+                        first_error = Some(e);
+                        break;
                     }
                 }
-                Ok(())
+                // Reserved compaction rounds run even on error, so a
+                // partition is never left flagged busy.
+                let compacted = self.run_compactions(compactions);
+                return match first_error {
+                    Some(e) => Err(e),
+                    None => compacted,
+                };
             }
+        }
+        self.run_compactions(compactions)
+    }
+
+    /// The group-commit boundary of one shard: flushes the WAL appends of
+    /// the current ingest call (or the shard's whole sub-batch), adding
+    /// `File::sync_data` on the [`WalSync::Fsync`] tier — one flush per
+    /// batch per touched shard, never one per record.
+    fn commit_wal_locked(&self, shard: &mut Shard) -> Result<()> {
+        if let Some(wal) = shard.wal.as_mut() {
+            wal.commit_group(self.inner.config.wal_sync)?;
+            crashpoint::reached("post-wal-append");
+        }
+        Ok(())
+    }
+
+    /// Runs inline compaction chains (each round may select a follow-up).
+    /// Only the inline paths produce tasks here — with background sealing
+    /// the rounds run on the workers and [`SynopsisStore::flush`] awaits
+    /// them.
+    fn run_compactions(&self, tasks: Vec<CompactTask>) -> Result<()> {
+        // Every reserved round must run (or fail through run_compact_task,
+        // which clears its partition's flag): bailing out mid-list would
+        // leave the remaining tasks' partitions flagged busy forever.
+        let mut first_error = None;
+        for task in tasks {
+            let mut next = Some(task);
+            while let Some(task) = next {
+                match Self::run_compact_task(&self.inner, task) {
+                    Ok(follow_up) => next = follow_up,
+                    Err(e) => {
+                        first_error.get_or_insert(e);
+                        next = None;
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -721,6 +996,9 @@ impl SynopsisStore {
 
     /// Drains the routing buffers into their shards, one pool task per
     /// non-empty partition; buffer capacity is retained for the next chunk.
+    /// Inline compaction rounds triggered by auto-seals run after every
+    /// shard lock is released — even when a shard errored, so a reserved
+    /// round is never abandoned with its partition flagged busy.
     fn insert_routed(&self, routed: &mut [Vec<StreamRecord>]) -> Result<()> {
         let batches: Vec<(usize, &mut Vec<StreamRecord>)> = routed
             .iter_mut()
@@ -732,31 +1010,60 @@ impl SynopsisStore {
         }
         let results =
             pool::parallel_map(batches, |(p, batch)| self.ingest_partition_batch(p, batch));
-        results.into_iter().collect()
+        let mut compactions = Vec::new();
+        let mut first_error = None;
+        for (mut tasks, error) in results {
+            compactions.append(&mut tasks);
+            if let Some(e) = error {
+                first_error.get_or_insert(e);
+            }
+        }
+        let compacted = self.run_compactions(compactions);
+        match first_error {
+            Some(e) => Err(e),
+            None => compacted,
+        }
     }
 
-    fn ingest_partition_batch(&self, p: usize, records: &mut Vec<StreamRecord>) -> Result<()> {
+    /// Inserts one partition's sub-batch under one shard-lock acquisition,
+    /// group-committing the WAL once at the end.  Compaction rounds
+    /// reserved by inline auto-seals are returned **alongside** any error
+    /// (not instead of it), so the caller can always run them.
+    fn ingest_partition_batch(
+        &self,
+        p: usize,
+        records: &mut Vec<StreamRecord>,
+    ) -> (Vec<CompactTask>, Option<PdsError>) {
+        let mut compactions = Vec::new();
         let mut shard = self.write_shard(p);
         for record in records.drain(..) {
-            self.insert_locked(p, &mut shard, record)?;
+            match self.insert_locked(p, &mut shard, record) {
+                Ok(task) => compactions.extend(task),
+                Err(e) => return (compactions, Some(e)),
+            }
         }
-        if let Some(wal) = shard.wal.as_mut() {
-            wal.sync()?;
-        }
-        Ok(())
+        let error = self.commit_wal_locked(&mut shard).err();
+        (compactions, error)
     }
 
     /// Inserts one routed record into a locked shard (WAL first), sealing
-    /// when the threshold is reached.
-    fn insert_locked(&self, p: usize, shard: &mut Shard, record: StreamRecord) -> Result<()> {
+    /// when the threshold is reached.  Returns a compaction round when the
+    /// (inline) seal install filled a size tier — the caller runs it after
+    /// releasing the shard lock.
+    fn insert_locked(
+        &self,
+        p: usize,
+        shard: &mut Shard,
+        record: StreamRecord,
+    ) -> Result<Option<CompactTask>> {
         if let Some(wal) = shard.wal.as_mut() {
             wal.append(&record)?;
         }
         shard.memtable.insert(record)?;
         if shard.memtable.len() >= self.inner.config.seal_threshold {
-            self.seal_locked(p, shard)?;
+            return self.seal_locked(p, shard).map(|(_, task)| task);
         }
-        Ok(())
+        Ok(None)
     }
 
     /// Freezes a non-empty memtable for sealing: swaps in an empty memtable,
@@ -795,29 +1102,191 @@ impl SynopsisStore {
         }))
     }
 
-    /// Builds the configured synopsis segment from a frozen memtable.
-    fn build_segment(inner: &StoreInner, task: &SealTask) -> Result<Segment> {
+    /// Builds the configured synopsis segment from a frozen memtable —
+    /// and, on a durable store, its `PDSG` encoding (computed here, off
+    /// the shard lock, so the install only does file I/O).
+    fn build_task(inner: &StoreInner, task: &SealTask) -> Result<(Segment, Option<Vec<u8>>)> {
+        crashpoint::reached("frozen-pre-build");
         let relation = task.memtable.to_relation()?;
         let budget = inner.config.segment_budget.min(task.memtable.width());
-        Segment::build(
+        let segment = Segment::build(
             task.memtable.start(),
             task.memtable.len() as u64,
             &relation,
             inner.config.synopsis,
             budget,
-        )
+        )?;
+        let binary = match inner.durable {
+            Some(_) => Some(segment.to_binary()?),
+            None => None,
+        };
+        Ok((segment, binary))
     }
 
-    /// Installs a built segment at its sequence position, drops the frozen
-    /// memtable it was built from (the segment now carries the mass) and
-    /// retires the WAL file that covered its records.
-    fn install_segment(shard: &mut Shard, seq: u64, segment: Segment, wal_frozen: Option<&Path>) {
-        let pos = shard.segments.partition_point(|&(s, _)| s < seq);
-        shard.segments.insert(pos, (seq, segment));
-        shard.frozen.retain(|&(s, _)| s != seq);
+    /// Publishes a segment's durable blob — the `PDSG` bytes plus a CRC-32
+    /// trailer — as `seg-<p>-<seq>.bin` via an atomic tmp-rename.
+    fn write_segment_blob(
+        durable: &Durable,
+        sync: WalSync,
+        partition: usize,
+        seq: u64,
+        binary: &[u8],
+    ) -> Result<()> {
+        let blob_io = |context: &str, e: std::io::Error| PdsError::InvalidParameter {
+            message: format!("store: {context}: {e}"),
+        };
+        let name = segment_blob_name(partition, seq);
+        let tmp = durable.dir.join(format!("{name}.tmp"));
+        {
+            // Two writes (payload, 4-byte CRC trailer) instead of copying
+            // the whole encoding just to append the trailer.
+            use std::io::Write as _;
+            let mut staged =
+                fs::File::create(&tmp).map_err(|e| blob_io("staging a segment blob", e))?;
+            staged
+                .write_all(binary)
+                .and_then(|()| staged.write_all(&crc32(binary).to_le_bytes()))
+                .map_err(|e| blob_io("staging a segment blob", e))?;
+            if sync == WalSync::Fsync {
+                staged
+                    .sync_data()
+                    .map_err(|e| blob_io("fsyncing a segment blob", e))?;
+            }
+        }
+        fs::rename(&tmp, durable.dir.join(&name))
+            .map_err(|e| blob_io("publishing a segment blob", e))?;
+        if sync == WalSync::Fsync {
+            // The manifest entry written next is the seal's commit point:
+            // the blob's directory entry must hit the device first, or a
+            // power loss could persist the entry but not the blob.
+            fs::File::open(&durable.dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| blob_io("fsyncing the store directory", e))?;
+        }
+        Ok(())
+    }
+
+    /// Installs a built segment at its sequence position: on a durable
+    /// store its blob is published and the manifest records it (the seal's
+    /// commit point) **before** the frozen WAL file retires; then the
+    /// frozen memtable it was built from is dropped (the segment now
+    /// carries the mass).  Returns the compaction round the install
+    /// triggered, if the size-tiered policy found a full tier.
+    /// The durable half of an install: publishes the blob and the manifest
+    /// record (the seal's commit point).  Needs **no shard lock** — the
+    /// background path runs it before acquiring one, so seal commits never
+    /// stall ingest or queries on the shard; returns the bytes to cache.
+    fn commit_durable(
+        inner: &StoreInner,
+        partition: usize,
+        seq: u64,
+        segment: &Segment,
+        binary: Option<Vec<u8>>,
+    ) -> Result<Option<Arc<Vec<u8>>>> {
+        crashpoint::reached("built-pre-install");
+        match (&inner.durable, binary) {
+            (Some(durable), binary) => {
+                // The None arm only happens for callers that skipped the
+                // off-lock encode; keep them correct.
+                let binary = match binary {
+                    Some(b) => b,
+                    None => segment.to_binary()?,
+                };
+                Self::write_segment_blob(durable, inner.config.wal_sync, partition, seq, &binary)?;
+                durable
+                    .manifest
+                    .lock()
+                    .expect("manifest lock poisoned")
+                    .install(partition, seq)?;
+                crashpoint::reached("installed-pre-wal-retire");
+                Ok(Some(Arc::new(binary)))
+            }
+            (None, binary) => Ok(binary.map(Arc::new)),
+        }
+    }
+
+    /// The in-memory half of an install, run under the shard write lock
+    /// after [`SynopsisStore::commit_durable`]: retires the frozen WAL
+    /// file, swaps the segment in at its sequence position, drops the
+    /// frozen memtable (the segment now carries the mass) and evaluates
+    /// the compaction policy.  Infallible by design — the commit already
+    /// happened, so nothing past this point may lose it.
+    fn install_in_memory(
+        inner: &StoreInner,
+        shard: &mut Shard,
+        partition: usize,
+        seq: u64,
+        segment: Segment,
+        binary: Option<Arc<Vec<u8>>>,
+        wal_frozen: Option<&Path>,
+    ) -> Option<CompactTask> {
         if let Some(frozen) = wal_frozen {
             PartitionWal::retire(frozen);
         }
+        let pos = shard.segments.partition_point(|s| s.seq < seq);
+        shard.segments.insert(
+            pos,
+            SealedSegment {
+                seq,
+                segment: Arc::new(segment),
+                binary,
+            },
+        );
+        shard.frozen.retain(|&(s, _)| s != seq);
+        Self::maybe_compaction(inner, shard, partition)
+    }
+
+    /// Both install halves back to back, for callers already holding the
+    /// shard write lock (the inline seal paths).
+    fn install_segment(
+        inner: &StoreInner,
+        shard: &mut Shard,
+        partition: usize,
+        seq: u64,
+        segment: Segment,
+        binary: Option<Vec<u8>>,
+        wal_frozen: Option<&Path>,
+    ) -> Result<Option<CompactTask>> {
+        let binary = Self::commit_durable(inner, partition, seq, &segment, binary)?;
+        Ok(Self::install_in_memory(
+            inner, shard, partition, seq, segment, binary, wal_frozen,
+        ))
+    }
+
+    /// Evaluates the size-tiered policy after an install (or a completed
+    /// compaction round): once the partition has no seals in flight and no
+    /// round running, a full tier reserves the next round — the output
+    /// sequence is taken and the input handles cloned here, under the held
+    /// write lock, so the merge itself runs lock-free.
+    fn maybe_compaction(
+        inner: &StoreInner,
+        shard: &mut Shard,
+        partition: usize,
+    ) -> Option<CompactTask> {
+        let policy = inner.config.compaction?;
+        if shard.compacting || !shard.frozen.is_empty() {
+            return None;
+        }
+        let sizes: Vec<(u64, u64)> = shard
+            .segments
+            .iter()
+            .map(|s| (s.seq, s.segment.records()))
+            .collect();
+        let selected = policy.select(&sizes)?;
+        let inputs = shard
+            .segments
+            .iter()
+            .filter(|s| selected.contains(&s.seq))
+            .map(|s| (s.seq, Arc::clone(&s.segment)))
+            .collect();
+        let out_seq = shard.next_seq;
+        shard.next_seq += 1;
+        shard.compacting = true;
+        Some(CompactTask {
+            partition,
+            out_seq,
+            inputs,
+        })
     }
 
     /// Returns a frozen memtable's records to the live buffer (and its
@@ -839,24 +1308,41 @@ impl SynopsisStore {
     /// Seals (or schedules the seal of) the frozen task: background workers
     /// when enabled, otherwise built inline under the held shard lock.  An
     /// inline build failure restores the frozen records to the memtable
-    /// before surfacing the error.
-    fn seal_locked(&self, p: usize, shard: &mut Shard) -> Result<bool> {
+    /// before surfacing the error.  The second return is the compaction
+    /// round an inline install triggered — run it after the lock drops.
+    fn seal_locked(&self, p: usize, shard: &mut Shard) -> Result<(bool, Option<CompactTask>)> {
         let Some(task) = self.freeze(p, shard)? else {
-            return Ok(false);
+            return Ok((false, None));
         };
         match &self.sealer {
-            Some(sealer) => sealer.submit(task),
-            None => match Self::build_segment(&self.inner, &task) {
-                Ok(segment) => {
-                    Self::install_segment(shard, task.seq, segment, task.wal_frozen.as_deref());
+            Some(sealer) => {
+                sealer.submit(Task::Seal(task));
+                Ok((true, None))
+            }
+            None => match Self::build_task(&self.inner, &task) {
+                Ok((segment, binary)) => {
+                    match Self::install_segment(
+                        &self.inner,
+                        shard,
+                        p,
+                        task.seq,
+                        segment,
+                        binary,
+                        task.wal_frozen.as_deref(),
+                    ) {
+                        Ok(next) => Ok((true, next)),
+                        Err(e) => {
+                            Self::unfreeze(&self.inner, shard, task);
+                            Err(e)
+                        }
+                    }
                 }
                 Err(e) => {
                     Self::unfreeze(&self.inner, shard, task);
-                    return Err(e);
+                    Err(e)
                 }
             },
         }
-        Ok(true)
     }
 
     /// Seals partition `p`'s memtable into an immutable segment (a no-op on
@@ -864,8 +1350,12 @@ impl SynopsisStore {
     /// background sealing, scheduled ([`SynopsisStore::flush`] waits for
     /// it).
     pub fn seal_partition(&self, p: usize) -> Result<bool> {
-        let mut shard = self.write_shard(p);
-        self.seal_locked(p, &mut shard)
+        let (sealed, compaction) = {
+            let mut shard = self.write_shard(p);
+            self.seal_locked(p, &mut shard)?
+        };
+        self.run_compactions(compaction.into_iter().collect())?;
+        Ok(sealed)
     }
 
     /// Seals every non-empty memtable and waits for the resulting segments:
@@ -884,39 +1374,55 @@ impl SynopsisStore {
         match &self.sealer {
             Some(sealer) => {
                 for task in tasks {
-                    sealer.submit(task);
+                    sealer.submit(Task::Seal(task));
                 }
                 self.flush()
             }
             None => {
                 let built = pool::parallel_map(tasks, |task| {
-                    let result = Self::build_segment(&self.inner, &task);
+                    let result = Self::build_task(&self.inner, &task);
                     (task, result)
                 });
                 let mut first_error = None;
+                let mut compactions = Vec::new();
                 for (task, result) in built {
-                    match result {
-                        Ok(segment) => {
-                            let mut shard = self.write_shard(task.partition);
-                            Self::install_segment(
-                                &mut shard,
-                                task.seq,
-                                segment,
-                                task.wal_frozen.as_deref(),
-                            );
-                        }
+                    let installed = result.and_then(|(segment, binary)| {
+                        // Commit durably before the lock; hold it only for
+                        // the in-memory swap.
+                        let binary = Self::commit_durable(
+                            &self.inner,
+                            task.partition,
+                            task.seq,
+                            &segment,
+                            binary,
+                        )?;
+                        let mut shard = self.write_shard(task.partition);
+                        Ok(Self::install_in_memory(
+                            &self.inner,
+                            &mut shard,
+                            task.partition,
+                            task.seq,
+                            segment,
+                            binary,
+                            task.wal_frozen.as_deref(),
+                        ))
+                    });
+                    match installed {
+                        Ok(next) => compactions.extend(next),
                         Err(e) => {
-                            // A failed build never loses records: they
-                            // rejoin the live memtable.
+                            // A failed build (or a failed durable commit)
+                            // never loses records: they rejoin the live
+                            // memtable.
                             let mut shard = self.write_shard(task.partition);
                             Self::unfreeze(&self.inner, &mut shard, task);
                             first_error.get_or_insert(e);
                         }
                     }
                 }
+                let compacted = self.run_compactions(compactions);
                 match first_error {
                     Some(e) => Err(e),
-                    None => Ok(()),
+                    None => compacted,
                 }
             }
         }
@@ -928,30 +1434,27 @@ impl SynopsisStore {
         let shard = self.inner.shards[p].read().expect("shard lock poisoned");
         match shard.segments.len() {
             0 => Ok(None),
-            1 => Ok(Some(shard.segments[0].1.pieces())),
+            1 => Ok(Some(shard.segments[0].segment.pieces())),
             _ => {
                 let layers: Vec<Vec<Piece>> =
-                    shard.segments.iter().map(|(_, s)| s.pieces()).collect();
+                    shard.segments.iter().map(|s| s.segment.pieces()).collect();
                 sum_pieces(&layers).map(Some)
             }
         }
     }
 
-    /// Compacts partition `p`: its sealed segments are summed on the union
-    /// of their bucket boundaries and re-bucketed to the segment budget via
-    /// the merge DP, leaving one segment.  A no-op with fewer than two
-    /// segments.  Call [`SynopsisStore::flush`] first when background seals
-    /// may be in flight.
-    pub fn compact_partition(&self, p: usize) -> Result<()> {
-        let mut shard = self.write_shard(p);
-        if shard.segments.len() < 2 {
-            return Ok(());
-        }
-        let layers: Vec<Vec<Piece>> = shard.segments.iter().map(|(_, s)| s.pieces()).collect();
+    /// Builds a compaction round's merged segment from the cloned input
+    /// handles — the expensive half (piece summing + the merge DP), run
+    /// with **no lock held**.
+    fn build_compacted(
+        inner: &StoreInner,
+        task: &CompactTask,
+    ) -> Result<(Segment, Option<Vec<u8>>)> {
+        let layers: Vec<Vec<Piece>> = task.inputs.iter().map(|(_, s)| s.pieces()).collect();
         let summed = sum_pieces(&layers)?;
-        let (start, width) = self.inner.config.partitions.range(p);
-        let budget = self.inner.config.segment_budget.min(width);
-        let synopsis = match self.inner.config.synopsis {
+        let (start, width) = inner.config.partitions.range(task.partition);
+        let budget = inner.config.segment_budget.min(width);
+        let synopsis = match inner.config.synopsis {
             SynopsisKind::Histogram(_) => {
                 SegmentSynopsis::Histogram(optimal_piecewise_histogram(&summed, budget)?)
             }
@@ -966,11 +1469,152 @@ impl SynopsisStore {
                 SegmentSynopsis::Wavelet(build_sse_wavelet(&relation, budget)?)
             }
         };
-        let records = shard.segments.iter().map(|(_, s)| s.records()).sum();
-        let seq = shard.next_seq;
-        shard.next_seq += 1;
-        shard.segments = vec![(seq, Segment::new(start, records, synopsis)?)];
-        Ok(())
+        let records = task.inputs.iter().map(|(_, s)| s.records()).sum();
+        let segment = Segment::new(start, records, synopsis)?;
+        let binary = match inner.durable {
+            Some(_) => Some(segment.to_binary()?),
+            None => None,
+        };
+        Ok((segment, binary))
+    }
+
+    /// Runs one reserved compaction round end to end: merge off-lock, blob
+    /// publish, then the **short write lock** — remove the inputs, insert
+    /// the output at its reserved sequence, commit through the manifest
+    /// (atomic publish retiring the superseded blobs) and re-evaluate the
+    /// policy.  Returns the follow-up round, if the swap filled another
+    /// tier.  Every exit clears the partition's `compacting` flag.
+    fn run_compact_task(inner: &StoreInner, task: CompactTask) -> Result<Option<CompactTask>> {
+        let clear_flag = || {
+            inner.shards[task.partition]
+                .write()
+                .expect("shard lock poisoned")
+                .compacting = false;
+        };
+        let (merged, binary) = match Self::build_compacted(inner, &task) {
+            Ok(built) => built,
+            Err(e) => {
+                clear_flag();
+                return Err(e);
+            }
+        };
+        crashpoint::reached("mid-compaction-swap");
+        let input_seqs: Vec<u64> = task.inputs.iter().map(|&(seq, _)| seq).collect();
+        // The reservation serialises rounds per partition and seals only
+        // add segments, so the inputs must still be present; anything else
+        // is a logic error worth surfacing (checked before the durable
+        // commit makes the round irreversible).
+        {
+            let shard = inner.shards[task.partition]
+                .read()
+                .expect("shard lock poisoned");
+            if input_seqs
+                .iter()
+                .any(|seq| !shard.segments.iter().any(|s| s.seq == *seq))
+            {
+                drop(shard);
+                clear_flag();
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "compaction inputs of partition {} changed under a reserved round",
+                        task.partition
+                    ),
+                });
+            }
+        }
+        // Durable: stage the output blob, then commit the replacement
+        // through the manifest — all **before** the shard write lock, so
+        // the lock is held only for the in-memory swap (same discipline as
+        // seal installs).  A crash before the publish leaves the inputs
+        // authoritative and the output blob an orphan (swept at open); a
+        // crash after it reopens compacted.
+        if let Some(durable) = &inner.durable {
+            let bytes = binary.as_deref().expect("durable compaction encodes");
+            if let Err(e) = Self::write_segment_blob(
+                durable,
+                inner.config.wal_sync,
+                task.partition,
+                task.out_seq,
+                bytes,
+            ) {
+                clear_flag();
+                return Err(e);
+            }
+            let committed = durable
+                .manifest
+                .lock()
+                .expect("manifest lock poisoned")
+                .replace(task.partition, &input_seqs, task.out_seq);
+            if let Err(e) = committed {
+                // The manifest still names the inputs; drop the orphan
+                // output blob and surface the error.
+                let _ = fs::remove_file(
+                    durable
+                        .dir
+                        .join(segment_blob_name(task.partition, task.out_seq)),
+                );
+                clear_flag();
+                return Err(e);
+            }
+        }
+        // Short write lock: swap the output in, release, then delete the
+        // superseded blobs (the manifest no longer names them).
+        let next = {
+            let mut shard = inner.shards[task.partition]
+                .write()
+                .expect("shard lock poisoned");
+            shard.segments.retain(|s| !input_seqs.contains(&s.seq));
+            let pos = shard.segments.partition_point(|s| s.seq < task.out_seq);
+            shard.segments.insert(
+                pos,
+                SealedSegment {
+                    seq: task.out_seq,
+                    segment: Arc::new(merged),
+                    binary: binary.map(Arc::new),
+                },
+            );
+            shard.compacting = false;
+            Self::maybe_compaction(inner, &mut shard, task.partition)
+        };
+        if let Some(durable) = &inner.durable {
+            for seq in &input_seqs {
+                let _ = fs::remove_file(durable.dir.join(segment_blob_name(task.partition, *seq)));
+            }
+        }
+        Ok(next)
+    }
+
+    /// Compacts partition `p`: its sealed segments are summed on the union
+    /// of their bucket boundaries and re-bucketed to the segment budget via
+    /// the merge DP, leaving one segment.  A no-op with fewer than two
+    /// segments, or while a background round is already running for the
+    /// partition ([`SynopsisStore::flush`] settles it).
+    ///
+    /// The shard write lock is held only to reserve the round and to swap
+    /// the merged segment in — the merge DP runs against cloned segment
+    /// handles with no lock held, so ingest and queries proceed during
+    /// compaction.
+    pub fn compact_partition(&self, p: usize) -> Result<()> {
+        let task = {
+            let mut shard = self.write_shard(p);
+            if shard.compacting || shard.segments.len() < 2 {
+                return Ok(());
+            }
+            let inputs = shard
+                .segments
+                .iter()
+                .map(|s| (s.seq, Arc::clone(&s.segment)))
+                .collect();
+            let out_seq = shard.next_seq;
+            shard.next_seq += 1;
+            shard.compacting = true;
+            CompactTask {
+                partition: p,
+                out_seq,
+                inputs,
+            }
+        };
+        self.run_compactions(vec![task])
     }
 
     /// Compacts every partition, one pool task per partition (partitions
@@ -1029,8 +1673,8 @@ impl SynopsisStore {
         let mut total = 0.0;
         for p in first..=last {
             let shard = self.inner.shards[p].read().expect("shard lock poisoned");
-            for (_, segment) in &shard.segments {
-                total += segment.range_sum(lo, hi);
+            for sealed in &shard.segments {
+                total += sealed.segment.range_sum(lo, hi);
             }
             total += shard.memtable.range_sum(lo, hi);
             // A memtable frozen for an in-flight background seal still
@@ -1099,10 +1743,20 @@ impl SynopsisStore {
         for shard in &self.inner.shards {
             let shard = shard.read().expect("shard lock poisoned");
             w.put_varint(shard.segments.len() as u64);
-            for (_, segment) in &shard.segments {
-                let blob = segment.to_binary()?;
+            for sealed in &shard.segments {
+                // Installed segments carry their encoding from install (or
+                // decode) time: the incremental-snapshot path — nothing
+                // already serialised is serialised again.
+                let encoded;
+                let blob: &[u8] = match &sealed.binary {
+                    Some(cached) => cached,
+                    None => {
+                        encoded = sealed.segment.to_binary()?;
+                        &encoded
+                    }
+                };
                 w.put_varint(blob.len() as u64);
-                w.put_bytes(&blob);
+                w.put_bytes(blob);
             }
         }
         Ok(w.into_bytes())
@@ -1155,12 +1809,14 @@ impl SynopsisStore {
         let ingested = r.get_varint()?;
         let seals = r.get_varint()?;
         let split_tuples = r.get_varint()?;
-        let store = SynopsisStore::new(StoreConfig {
+        // The runtime knobs (compaction policy, durability tier) are not
+        // part of the persistent format; a decoded store gets the defaults.
+        let store = SynopsisStore::new(StoreConfig::new(
             partitions,
             seal_threshold,
             segment_budget,
             synopsis,
-        })?;
+        ))?;
         for p in 0..store.num_partitions() {
             let count = r.get_len(1 << 24)?;
             let (start, width) = store.inner.config.partitions.range(p);
@@ -1179,7 +1835,11 @@ impl SynopsisStore {
                         ),
                     });
                 }
-                shard.segments.push((seq as u64, segment));
+                shard.segments.push(SealedSegment {
+                    seq: seq as u64,
+                    segment: Arc::new(segment),
+                    binary: Some(Arc::new(blob.to_vec())),
+                });
             }
             shard.next_seq = count as u64;
         }
@@ -1251,12 +1911,12 @@ mod tests {
     use pds_core::stream::{basic_stream, BasicStreamConfig};
 
     fn config(n: usize, parts: usize, threshold: usize) -> StoreConfig {
-        StoreConfig {
-            partitions: PartitionSpec::uniform(n, parts).unwrap(),
-            seal_threshold: threshold,
-            segment_budget: 8,
-            synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
-        }
+        StoreConfig::new(
+            PartitionSpec::uniform(n, parts).unwrap(),
+            threshold,
+            8,
+            SynopsisKind::Histogram(ErrorMetric::Sse),
+        )
     }
 
     #[test]
@@ -1486,7 +2146,15 @@ mod tests {
         }
         // Simulate a crash mid-seal on top: a frozen log whose segment never
         // landed must replay as live records too.
-        std::fs::write(dir.join("wal-1.7.sealing"), "b 14 0.25\n").unwrap();
+        std::fs::write(
+            dir.join("wal-1.7.sealing"),
+            crate::wal::frame_record(&StreamRecord::Basic {
+                item: 14,
+                prob: 0.25,
+            })
+            .unwrap(),
+        )
+        .unwrap();
         let reopened = SynopsisStore::open_with_wal(config(16, 2, 100), &dir).unwrap();
         assert_eq!(reopened.stats().live_records, 8);
         for (item, expected) in [(0usize, 0.5), (1, 0.75), (4, 0.5), (12, 0.5), (14, 0.25)] {
@@ -1495,12 +2163,21 @@ mod tests {
                 "item {item}"
             );
         }
-        // Sealing retires the logs: a third open replays nothing (sealed
-        // segments persist via `snapshot()`, not the WAL).
+        // Sealing retires the logs and installs durable segment blobs: a
+        // third open replays no live records but reloads every sealed
+        // segment through the manifest — sealed state now survives a crash
+        // without any snapshot.
         reopened.seal_all().unwrap();
         drop(reopened);
         let after_seal = SynopsisStore::open_with_wal(config(16, 2, 100), &dir).unwrap();
         assert_eq!(after_seal.stats().live_records, 0);
+        assert_eq!(after_seal.stats().segments, 2);
+        for (item, expected) in [(0usize, 0.5), (1, 0.75), (4, 0.5), (12, 0.5), (14, 0.25)] {
+            assert!(
+                (after_seal.range_estimate(item, item) - expected).abs() < 1e-9,
+                "item {item} after reopen-from-blobs"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1517,12 +2194,30 @@ mod tests {
                 .ingest(StreamRecord::Basic { item: 2, prob: 0.5 })
                 .unwrap();
         }
-        // Corrupt partition 1's live log by hand (mid-file, so the
-        // torn-tail lenience does not apply).
-        std::fs::write(dir.join("wal-1.log"), "b 9 not-a-number\nb 10 0.5\n").unwrap();
+        // Corrupt partition 1's live log by hand (a framed line whose
+        // checksum does not match its payload — mid-file, so the torn-tail
+        // lenience does not apply).
+        let good = crate::wal::frame_record(&StreamRecord::Basic {
+            item: 10,
+            prob: 0.5,
+        })
+        .unwrap();
+        std::fs::write(
+            dir.join("wal-1.log"),
+            format!("{}{good}", good.replace("0.5", "0.7")),
+        )
+        .unwrap();
         assert!(SynopsisStore::open_with_wal(config(16, 2, 100), &dir).is_err());
         // Partition 0's records survived the failed recovery.
-        std::fs::write(dir.join("wal-1.log"), "b 9 0.25\n").unwrap();
+        std::fs::write(
+            dir.join("wal-1.log"),
+            crate::wal::frame_record(&StreamRecord::Basic {
+                item: 9,
+                prob: 0.25,
+            })
+            .unwrap(),
+        )
+        .unwrap();
         let recovered = SynopsisStore::open_with_wal(config(16, 2, 100), &dir).unwrap();
         assert!((recovered.range_estimate(2, 2) - 0.5).abs() < 1e-12);
         assert!((recovered.range_estimate(9, 9) - 0.25).abs() < 1e-12);
@@ -1530,13 +2225,153 @@ mod tests {
     }
 
     #[test]
+    fn sealed_segments_survive_reopen_through_manifest_and_blobs() {
+        let dir = std::env::temp_dir().join(format!("pds-store-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = config(16, 2, 4);
+        {
+            let store = SynopsisStore::open_with_wal(cfg.clone(), &dir).unwrap();
+            // Two auto-seals in partition 0, one manual in partition 1,
+            // plus two live records.
+            for i in 0..8 {
+                store
+                    .ingest(StreamRecord::Basic {
+                        item: i % 4,
+                        prob: 0.5,
+                    })
+                    .unwrap();
+            }
+            store
+                .ingest(StreamRecord::Basic {
+                    item: 9,
+                    prob: 0.25,
+                })
+                .unwrap();
+            store.seal_partition(1).unwrap();
+            store
+                .ingest(StreamRecord::Basic {
+                    item: 2,
+                    prob: 0.125,
+                })
+                .unwrap();
+            store
+                .ingest(StreamRecord::Basic {
+                    item: 14,
+                    prob: 0.5,
+                })
+                .unwrap();
+            assert_eq!(store.stats().segments, 3);
+            assert_eq!(store.stats().live_records, 2);
+            // Blobs and manifest exist without any snapshot() call.
+            assert!(dir.join("MANIFEST").exists());
+            assert!(dir.join("seg-0-0.bin").exists());
+            assert!(dir.join("seg-0-1.bin").exists());
+            assert!(dir.join("seg-1-0.bin").exists());
+        }
+        // Reopen: segments come back from blobs, live records from the WAL.
+        let reopened = SynopsisStore::open_with_wal(cfg, &dir).unwrap();
+        let stats = reopened.stats();
+        assert_eq!(stats.segments, 3);
+        assert_eq!(stats.live_records, 2);
+        assert_eq!(stats.seals, 3);
+        assert_eq!(stats.ingested_records, 11);
+        // Dyadic probabilities: the estimates are exact, so equality is
+        // bitwise.
+        assert_eq!(reopened.range_estimate(0, 0), 1.0);
+        assert_eq!(reopened.range_estimate(2, 2), 1.0 + 0.125);
+        assert_eq!(reopened.range_estimate(9, 9), 0.25);
+        assert_eq!(reopened.range_estimate(14, 14), 0.5);
+        // A fresh seal continues the sequence without colliding.
+        reopened.seal_all().unwrap();
+        assert_eq!(reopened.stats().live_records, 0);
+        assert!(dir.join("seg-0-2.bin").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_compaction_merges_full_tiers_and_preserves_estimates() {
+        let mut cfg = config(8, 2, 4);
+        cfg.compaction = Some(crate::CompactionPolicy {
+            min_merge: 2,
+            tier_ratio: 2.0,
+        });
+        let store = SynopsisStore::new(cfg).unwrap();
+        // Eight records into partition 0 = two threshold seals; the second
+        // install fills the 2-segment tier and auto-compacts to one.
+        for round in 0..2 {
+            for i in 0..4 {
+                store
+                    .ingest(StreamRecord::Basic {
+                        item: i,
+                        prob: 0.25 * (round + 1) as f64,
+                    })
+                    .unwrap();
+            }
+        }
+        assert_eq!(store.segments(0).len(), 1, "tier of two auto-compacted");
+        assert_eq!(store.segments(0)[0].records(), 8);
+        for i in 0..4 {
+            assert!((store.estimate(i) - 0.75).abs() < 1e-9, "item {i}");
+        }
+        // The compacted output participates in the next tier: two more
+        // seals (8 records, similar size) eventually merge with it.
+        for _ in 0..2 {
+            for i in 0..4 {
+                store
+                    .ingest(StreamRecord::Basic { item: i, prob: 0.5 })
+                    .unwrap();
+            }
+        }
+        let sizes: Vec<u64> = store.segments(0).iter().map(Segment::records).collect();
+        assert_eq!(sizes.iter().sum::<u64>(), 16, "no records lost: {sizes:?}");
+        for i in 0..4 {
+            assert!((store.estimate(i) - 1.75).abs() < 1e-9, "item {i}");
+        }
+    }
+
+    #[test]
+    fn durable_auto_compaction_retires_superseded_blobs() {
+        let dir =
+            std::env::temp_dir().join(format!("pds-store-compact-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = config(8, 1, 4);
+        cfg.compaction = Some(crate::CompactionPolicy {
+            min_merge: 2,
+            tier_ratio: 4.0,
+        });
+        {
+            let store = SynopsisStore::open_with_wal(cfg.clone(), &dir).unwrap();
+            for round in 0..2u32 {
+                for i in 0..4 {
+                    store
+                        .ingest(StreamRecord::Basic {
+                            item: i + 4 * ((round as usize) % 2),
+                            prob: 0.5,
+                        })
+                        .unwrap();
+                }
+            }
+            assert_eq!(store.segments(0).len(), 1);
+            // Inputs 0 and 1 merged into seq 2: their blobs are gone, the
+            // output's blob is live.
+            assert!(!dir.join("seg-0-0.bin").exists());
+            assert!(!dir.join("seg-0-1.bin").exists());
+            assert!(dir.join("seg-0-2.bin").exists());
+        }
+        let reopened = SynopsisStore::open_with_wal(cfg, &dir).unwrap();
+        assert_eq!(reopened.stats().segments, 1);
+        assert_eq!(reopened.range_estimate(0, 7), 4.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn wavelet_store_lifecycle() {
-        let store = SynopsisStore::new(StoreConfig {
-            partitions: PartitionSpec::uniform(16, 2).unwrap(),
-            seal_threshold: 8,
-            segment_budget: 4,
-            synopsis: SynopsisKind::Wavelet,
-        })
+        let store = SynopsisStore::new(StoreConfig::new(
+            PartitionSpec::uniform(16, 2).unwrap(),
+            8,
+            4,
+            SynopsisKind::Wavelet,
+        ))
         .unwrap();
         let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
             n: 16,
@@ -1562,12 +2397,12 @@ mod tests {
     fn huge_seal_thresholds_survive_the_binary_round_trip() {
         // The "never auto-seal" configs (benches, manual-seal tests) use
         // near-usize::MAX thresholds; the snapshot must round-trip them.
-        let store = SynopsisStore::new(StoreConfig {
-            partitions: PartitionSpec::uniform(8, 2).unwrap(),
-            seal_threshold: usize::MAX >> 1,
-            segment_budget: 4,
-            synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
-        })
+        let store = SynopsisStore::new(StoreConfig::new(
+            PartitionSpec::uniform(8, 2).unwrap(),
+            usize::MAX >> 1,
+            4,
+            SynopsisKind::Histogram(ErrorMetric::Sse),
+        ))
         .unwrap();
         store
             .ingest(StreamRecord::Basic { item: 1, prob: 0.5 })
@@ -1582,19 +2417,10 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let spec = PartitionSpec::uniform(8, 2).unwrap();
-        assert!(SynopsisStore::new(StoreConfig {
-            partitions: spec.clone(),
-            seal_threshold: 0,
-            segment_budget: 4,
-            synopsis: SynopsisKind::Wavelet,
-        })
-        .is_err());
-        assert!(SynopsisStore::new(StoreConfig {
-            partitions: spec,
-            seal_threshold: 4,
-            segment_budget: 0,
-            synopsis: SynopsisKind::Wavelet,
-        })
-        .is_err());
+        assert!(
+            SynopsisStore::new(StoreConfig::new(spec.clone(), 0, 4, SynopsisKind::Wavelet))
+                .is_err()
+        );
+        assert!(SynopsisStore::new(StoreConfig::new(spec, 4, 0, SynopsisKind::Wavelet)).is_err());
     }
 }

@@ -1,75 +1,93 @@
-//! Per-partition write-ahead logs for live memtable contents.
+//! Per-partition write-ahead logs for live memtable contents, with
+//! CRC-framed records and group commit.
 //!
-//! A store's sealed segments are durable through
-//! [`SynopsisStore::to_binary`](crate::SynopsisStore::to_binary), but the
-//! records still buffered in memtables used to live only in memory.  A
-//! [`PartitionWal`] closes that gap: every record routed to a partition is
-//! appended to that partition's log **before** it enters the memtable, in
-//! the replayable `pds_core::io` stream line format, so a crashed process
-//! can reopen the store and re-ingest exactly the records that were live.
+//! A store's sealed segments are durable through their install-time blobs
+//! and the [`Manifest`](crate::manifest::Manifest); the records still
+//! buffered in memtables are covered here.  A [`PartitionWal`] logs every
+//! record routed to a partition **before** it enters the memtable, so a
+//! crashed process can reopen the store and re-ingest exactly the records
+//! that were live.
+//!
+//! ## Record framing
+//!
+//! Every appended record is one **CRC-framed line**:
+//!
+//! ```text
+//! r <len> <crc32-hex8> <payload>
+//! ```
+//!
+//! where `<payload>` is the record in the `pds_core::io` stream line format
+//! (`b <item> <prob>` …), `<len>` is the payload's byte length and the
+//! checksum is `pds_core::binio::crc32` over the payload bytes.  The frame
+//! exists because a torn buffered write can truncate a record into one that
+//! *still parses* — `b 3 0.25` torn to `b 3 0.2` replays a silently wrong
+//! probability.  With the frame, truncation breaks the declared length and
+//! corruption breaks the checksum, so replay either gets the exact bytes
+//! that were acknowledged or refuses.
+//!
+//! **Torn-final-frame tolerance.**  On a *live* log the final frame may be
+//! incomplete (missing fields or a payload shorter than its declared
+//! length): that is an unacknowledged append torn by the crash and is
+//! dropped.  A *complete* final frame whose checksum mismatches, or any
+//! broken frame that is not the last, is corruption and aborts the scan
+//! with every file intact.  Frozen logs were flushed before their rename,
+//! so they are read strictly (no tolerance).
 //!
 //! ## File lifecycle
 //!
 //! Partition `p` owns up to three kinds of files inside the WAL directory:
 //!
-//! * `wal-<p>.log` — the **live log**, mirroring the current memtable.  One
-//!   line per routed record (cross-partition x-tuples are logged as their
-//!   per-partition sub-tuples, after splitting).
+//! * `wal-<p>.log` — the **live log**, mirroring the current memtable.
 //! * `wal-<p>.<seq>.sealing` — a **frozen log**: when the memtable freezes
 //!   for sealing, the live log is atomically renamed to carry the seal
 //!   sequence number and a fresh live log starts.  The frozen file is
-//!   deleted only after the sealed [`Segment`](crate::Segment) has been
-//!   installed, so a crash *during* a seal (including a background seal)
-//!   still replays the frozen records instead of losing them.
+//!   deleted only after the sealed segment's blob **and** manifest entry
+//!   are on disk, so a crash anywhere during a seal replays the frozen
+//!   records (or finds them already covered by the manifest and skips
+//!   them — never both, never neither).
 //! * `wal-<p>.log.tmp` — a staging file used while **committing** a
-//!   recovery (see below); a leftover `.tmp` from a crashed recovery is
-//!   discarded on the next scan.
+//!   recovery; a leftover `.tmp` from a crashed recovery is discarded on
+//!   the next scan.
 //!
 //! ## Recovery protocol (scan → re-ingest → commit)
 //!
-//! Reopening a store is a two-phase, crash-safe protocol driven by
-//! [`SynopsisStore::open_with_wal`](crate::SynopsisStore::open_with_wal):
-//!
-//! 1. [`PartitionWal::scan`] **reads** the frozen logs (in seal order) and
-//!    the live log without deleting or truncating anything, so a parse
-//!    error in any partition — or a crash at any point before commit —
-//!    leaves every log intact for the next attempt.
+//! 1. [`PartitionWal::scan_skipping`] **reads** the frozen logs (in seal
+//!    order, skipping sequences the manifest already covers) and the live
+//!    log without deleting or truncating anything, so a parse error in any
+//!    partition — or a crash at any point before commit — leaves every log
+//!    intact for the next attempt.
 //! 2. The store re-ingests the replayed records into its memtables (with
 //!    auto-sealing suppressed, so the replayed set stays exactly the live
 //!    set).
 //! 3. [`PartitionWal::commit`] writes the replayed records to
 //!    `wal-<p>.log.tmp`, atomically renames it over the live log, deletes
-//!    the absorbed frozen logs, and returns the append handle.
+//!    the absorbed (and the manifest-covered) frozen logs, and returns the
+//!    append handle.
 //!
-//! A crash before the rename replays identically next time (exactly-once);
-//! a crash in the narrow window between the rename and the frozen-file
-//! deletions replays the absorbed frozen records **twice** (at-least-once)
-//! — the trade chosen over any window that could lose records.
+//! A crash before the rename replays identically next time (exactly-once
+//! for live records); frozen records are exactly-once too, because the
+//! manifest entry — not the frozen-file deletion — is the seal's commit
+//! point.
 //!
-//! ## Durability contract
+//! ## Durability contract (group commit + fsync tier)
 //!
-//! Appends are buffered; [`PartitionWal::sync`] flushes to the operating
-//! system and is called by the store at every ingest-call boundary and
-//! before every rotation.  `File::sync_all` (surviving power loss) is
-//! intentionally **not** issued per record — the WAL protects against
-//! process crashes; callers needing device-level durability should snapshot
-//! with [`SynopsisStore::snapshot`](crate::SynopsisStore::snapshot).
-//!
-//! **Covered window.**  The WAL covers records that are *live* (in a
-//! memtable) or *mid-seal* (frozen, segment build in flight).  Once a
-//! segment installs, its frozen log is retired and the records' durability
-//! transfers to the **next snapshot** — sealed segments live in memory
-//! until [`SynopsisStore::to_binary`](crate::SynopsisStore::to_binary) /
-//! `snapshot()` persists them, exactly as an LSM memtable flush is only
-//! durable once its file hits disk.  Deployments that cannot afford to
-//! lose a sealed-but-unsnapshotted segment should snapshot on a cadence
-//! (or after seals); writing per-segment files at install time is a
-//! tracked roadmap item.
+//! Appends are buffered.  The store issues **one flush per ingest call**:
+//! per-record [`SynopsisStore::ingest`](crate::SynopsisStore::ingest)
+//! flushes its one shard, and the batch paths group-commit — every
+//! shard's sub-batch is appended lock-parallel without flushing, then each
+//! touched shard is flushed exactly once per batch
+//! ([`PartitionWal::commit_group`]).  The default tier stops at
+//! `BufWriter::flush` (surviving process crashes); the opt-in
+//! [`WalSync::Fsync`](crate::WalSync) tier adds `File::sync_data` at the
+//! same group-commit boundaries (surviving power loss), amortised across
+//! the whole batch instead of taxing every record.
 
+use std::collections::BTreeSet;
 use std::fs::{self, File, OpenOptions};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use pds_core::binio::crc32;
 use pds_core::error::{PdsError, Result};
 use pds_core::io::{read_stream, write_stream};
 use pds_core::stream::StreamRecord;
@@ -84,34 +102,188 @@ fn live_path(dir: &Path, partition: usize) -> PathBuf {
     dir.join(format!("wal-{partition}.log"))
 }
 
+/// Serialises one record as a CRC-framed WAL line (including the trailing
+/// newline) — the exact bytes [`PartitionWal::append`] writes.  Public so
+/// durability tests can craft valid (and then deliberately broken) logs.
+pub fn frame_record(record: &StreamRecord) -> Result<String> {
+    let mut payload = Vec::new();
+    write_stream(std::iter::once(record), &mut payload)?;
+    // write_stream terminates the line; the payload is the line body.
+    while payload.last() == Some(&b'\n') || payload.last() == Some(&b'\r') {
+        payload.pop();
+    }
+    let payload = String::from_utf8(payload).expect("stream line format is ascii");
+    Ok(format!(
+        "r {} {:08x} {payload}\n",
+        payload.len(),
+        crc32(payload.as_bytes())
+    ))
+}
+
+/// How one framed line failed to parse — drives the torn-tail tolerance.
+enum FrameError {
+    /// Structurally short: missing fields or payload shorter than its
+    /// declared length.  On the final line of a live log this is a torn
+    /// buffered append and is dropped.
+    Truncated,
+    /// A complete frame that fails its checksum, declares the wrong length
+    /// for a longer payload, or carries an unparseable record: corruption,
+    /// never tolerated.
+    Corrupt(String),
+}
+
+/// Parses one framed line into its record.
+fn parse_frame(line: &str) -> std::result::Result<StreamRecord, FrameError> {
+    let corrupt = |what: &str| FrameError::Corrupt(format!("{what}: {line:?}"));
+    let Some(rest) = line.strip_prefix("r ") else {
+        if line.len() < 2 && "r ".starts_with(line) {
+            return Err(FrameError::Truncated);
+        }
+        // A line that parses as a bare stream record is a log written by
+        // the pre-frame WAL format — name it, so an upgrade across the
+        // framing change reads as "migrate this log", not as corruption.
+        if read_stream(line.as_bytes()).is_ok() {
+            return Err(FrameError::Corrupt(format!(
+                "unframed record from a pre-CRC-format wal log (re-ingest or \
+                 remove the old log to migrate): {line:?}"
+            )));
+        }
+        return Err(corrupt("not a framed wal record"));
+    };
+    let Some((len_str, rest)) = rest.split_once(' ') else {
+        return Err(FrameError::Truncated);
+    };
+    let Ok(len) = len_str.parse::<usize>() else {
+        return Err(corrupt("bad frame length"));
+    };
+    let Some((crc_str, payload)) = rest.split_once(' ') else {
+        return Err(FrameError::Truncated);
+    };
+    if crc_str.len() != 8 {
+        return Err(if payload.is_empty() && crc_str.len() < 8 {
+            FrameError::Truncated
+        } else {
+            corrupt("bad frame checksum field")
+        });
+    }
+    let Ok(stored) = u32::from_str_radix(crc_str, 16) else {
+        return Err(corrupt("bad frame checksum field"));
+    };
+    if payload.len() < len {
+        // The payload was cut short: a torn write, detectable even when the
+        // truncated text would still parse as a (wrong) record.
+        return Err(FrameError::Truncated);
+    }
+    if payload.len() > len {
+        return Err(corrupt("frame payload longer than its declared length"));
+    }
+    if crc32(payload.as_bytes()) != stored {
+        return Err(corrupt("frame checksum mismatch"));
+    }
+    let mut records =
+        read_stream(payload.as_bytes()).map_err(|e| FrameError::Corrupt(e.to_string()))?;
+    match (records.pop(), records.pop()) {
+        (Some(record), None) => Ok(record),
+        _ => Err(corrupt("frame payload is not exactly one record")),
+    }
+}
+
+/// Reads a framed log.  `tolerate_torn_tail` enables the live-log lenience
+/// for the final line; frozen logs pass `false`.
+fn read_framed_log(path: &Path, tolerate_torn_tail: bool) -> Result<Vec<StreamRecord>> {
+    let text = fs::read_to_string(path).map_err(|e| io_err("opening a log for replay", e))?;
+    let lines: Vec<&str> = text
+        .split('\n')
+        .map(|l| l.trim_end_matches('\r'))
+        .filter(|l| !l.is_empty())
+        .collect();
+    let mut records = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match parse_frame(line) {
+            Ok(record) => records.push(record),
+            Err(FrameError::Truncated) if tolerate_torn_tail && i + 1 == lines.len() => {
+                // A torn buffered append: the record was never acknowledged.
+                break;
+            }
+            Err(FrameError::Truncated) => {
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "wal: {}: truncated frame before the end of the log (line {}): {line:?}",
+                        path.display(),
+                        i + 1
+                    ),
+                });
+            }
+            Err(FrameError::Corrupt(why)) => {
+                return Err(PdsError::InvalidParameter {
+                    message: format!(
+                        "wal: {}: corrupt frame (line {}): {why}",
+                        path.display(),
+                        i + 1
+                    ),
+                });
+            }
+        }
+    }
+    Ok(records)
+}
+
 /// The outcome of scanning a partition's logs: every replayable record (in
 /// original arrival order) plus the frozen files that must be deleted once
 /// the records are safely re-logged by [`PartitionWal::commit`].
 #[derive(Debug)]
 pub struct WalReplay {
-    /// Replayed records: frozen logs in seal order, then the live log.
+    /// Replayed records: uncovered frozen logs in seal order, then the live
+    /// log.
     pub records: Vec<StreamRecord>,
-    /// Frozen `.sealing` files absorbed by the replay (deleted at commit).
+    /// Frozen `.sealing` files absorbed by the replay — or already covered
+    /// by the manifest — and deleted at commit.
     frozen: Vec<PathBuf>,
 }
 
 /// The write-ahead log of one partition (see the module docs for the file
-/// lifecycle and the recovery protocol).
+/// lifecycle, the frame format and the recovery protocol).
 #[derive(Debug)]
 pub struct PartitionWal {
     dir: PathBuf,
     partition: usize,
     live_path: PathBuf,
     writer: BufWriter<File>,
+    /// Appends since the last [`PartitionWal::commit_group`] — lets the
+    /// group-commit pass skip shards that saw no writes this batch.
+    dirty: bool,
+}
+
+/// Which durability tier WAL commits reach (configured per store through
+/// [`StoreConfig::wal_sync`](crate::StoreConfig::wal_sync)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalSync {
+    /// Flush buffered appends to the operating system at every commit
+    /// boundary: survives process crashes (the tier the crash matrix
+    /// pins).  The default.
+    #[default]
+    Flush,
+    /// Additionally `File::sync_data` at every commit boundary: survives
+    /// power loss, paid once per group commit rather than per record.
+    Fsync,
 }
 
 impl PartitionWal {
-    /// **Phase 1 of recovery** — reads partition `partition`'s replayable
-    /// records (frozen logs in seal order, then the live log) without
-    /// deleting or truncating anything, so a failure anywhere in the replay
-    /// leaves every log intact.  Stale `.tmp` staging files from a crashed
+    /// **Phase 1 of recovery** — reads the partition's replayable records
+    /// (frozen logs in seal order, then the live log) without deleting or
+    /// truncating anything, so a failure anywhere in the replay leaves
+    /// every log intact.  Stale `.tmp` staging files from a crashed
     /// recovery are discarded.
-    pub fn scan(dir: &Path, partition: usize) -> Result<WalReplay> {
+    ///
+    /// Frozen logs whose seal sequence appears in `covered` are **not**
+    /// replayed — their records are already carried by a manifest-installed
+    /// segment (the manifest entry is the seal's commit point) — but they
+    /// are still queued for deletion at commit.
+    pub fn scan_skipping(
+        dir: &Path,
+        partition: usize,
+        covered: &BTreeSet<u64>,
+    ) -> Result<WalReplay> {
         fs::create_dir_all(dir).map_err(|e| io_err("creating the wal directory", e))?;
         let _ = fs::remove_file(dir.join(format!("wal-{partition}.log.tmp")));
         let mut records = Vec::new();
@@ -135,12 +307,15 @@ impl PartitionWal {
             }
         }
         frozen.sort();
-        for (_, path) in &frozen {
-            records.extend(Self::read_log(path)?);
+        for (seq, path) in &frozen {
+            if covered.contains(seq) {
+                continue;
+            }
+            records.extend(read_framed_log(path, false)?);
         }
         let live = live_path(dir, partition);
         if live.exists() {
-            records.extend(Self::read_live_log(&live)?);
+            records.extend(read_framed_log(&live, true)?);
         }
         Ok(WalReplay {
             records,
@@ -148,41 +323,37 @@ impl PartitionWal {
         })
     }
 
-    /// Reads the live log tolerating a **torn final line**: appends are
-    /// buffered, so a crash can leave the file ending mid-record.  If
-    /// dropping exactly the last line makes the log parse, that line is an
-    /// unacknowledged append and is discarded; a parse error anywhere else
-    /// still aborts (the file is corrupt, not torn).  Frozen logs are
-    /// always complete (rotation flushes first) and use the strict reader.
-    fn read_live_log(path: &Path) -> Result<Vec<StreamRecord>> {
-        let text = fs::read_to_string(path).map_err(|e| io_err("opening a log for replay", e))?;
-        match read_stream(text.as_bytes()) {
-            Ok(records) => Ok(records),
-            Err(strict_err) => {
-                let trimmed = text.trim_end();
-                let head = match trimmed.rfind('\n') {
-                    Some(pos) => &trimmed[..=pos],
-                    None => "", // a single torn line: nothing survives
-                };
-                match read_stream(head.as_bytes()) {
-                    Ok(records) => Ok(records),
-                    Err(_) => Err(strict_err),
-                }
-            }
-        }
+    /// [`PartitionWal::scan_skipping`] with nothing covered — every frozen
+    /// log replays.
+    pub fn scan(dir: &Path, partition: usize) -> Result<WalReplay> {
+        Self::scan_skipping(dir, partition, &BTreeSet::new())
     }
 
-    /// **Phase 3 of recovery** — atomically replaces partition
-    /// `partition`'s live log with exactly `live_records` (the replayed
-    /// records now sitting in the memtable): writes them to a `.tmp`
-    /// staging file, renames it over the live log, then deletes the frozen
-    /// files the replay absorbed.  Returns the append handle for subsequent
-    /// ingest.
+    /// **Phase 3 of recovery** — atomically replaces the partition's live
+    /// log with exactly `live_records` (the replayed records now sitting in
+    /// the memtable): writes them to a `.tmp` staging file, renames it over
+    /// the live log, then deletes the frozen files the replay absorbed.
+    /// Returns the append handle for subsequent ingest.
     pub fn commit(
         dir: &Path,
         partition: usize,
         live_records: &[StreamRecord],
         replay: &WalReplay,
+    ) -> Result<Self> {
+        Self::commit_synced(dir, partition, live_records, replay, WalSync::Flush)
+    }
+
+    /// [`PartitionWal::commit`] honoring a durability tier: on
+    /// [`WalSync::Fsync`] the staged log is `sync_data`'d before the rename
+    /// and the directory is fsynced after it, **before** the absorbed
+    /// frozen logs are deleted — a power loss can then never persist the
+    /// deletions without the recovered live log they were absorbed into.
+    pub fn commit_synced(
+        dir: &Path,
+        partition: usize,
+        live_records: &[StreamRecord],
+        replay: &WalReplay,
+        sync: WalSync,
     ) -> Result<Self> {
         let live = live_path(dir, partition);
         let tmp = dir.join(format!("wal-{partition}.log.tmp"));
@@ -190,12 +361,27 @@ impl PartitionWal {
             let mut staged = BufWriter::new(
                 File::create(&tmp).map_err(|e| io_err("creating the staging log", e))?,
             );
-            write_stream(live_records, &mut staged)?;
+            for record in live_records {
+                staged
+                    .write_all(frame_record(record)?.as_bytes())
+                    .map_err(|e| io_err("writing the staging log", e))?;
+            }
             staged
                 .flush()
                 .map_err(|e| io_err("flushing the staging log", e))?;
+            if sync == WalSync::Fsync {
+                staged
+                    .get_ref()
+                    .sync_data()
+                    .map_err(|e| io_err("fsyncing the staging log", e))?;
+            }
         }
         fs::rename(&tmp, &live).map_err(|e| io_err("publishing the recovered live log", e))?;
+        if sync == WalSync::Fsync {
+            File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| io_err("fsyncing the wal directory", e))?;
+        }
         for path in &replay.frozen {
             let _ = fs::remove_file(path);
         }
@@ -210,6 +396,7 @@ impl PartitionWal {
             partition,
             live_path: live,
             writer,
+            dirty: false,
         })
     }
 
@@ -223,15 +410,14 @@ impl PartitionWal {
         Ok((wal, replay.records))
     }
 
-    fn read_log(path: &Path) -> Result<Vec<StreamRecord>> {
-        let file = File::open(path).map_err(|e| io_err("opening a log for replay", e))?;
-        read_stream(BufReader::new(file))
-    }
-
-    /// Appends one routed record to the live log (buffered; see
-    /// [`PartitionWal::sync`]).
+    /// Appends one routed record as a CRC-framed line (buffered; see
+    /// [`PartitionWal::sync`] / [`PartitionWal::commit_group`]).
     pub fn append(&mut self, record: &StreamRecord) -> Result<()> {
-        write_stream(std::iter::once(record), &mut self.writer)
+        self.writer
+            .write_all(frame_record(record)?.as_bytes())
+            .map_err(|e| io_err("appending to the live log", e))?;
+        self.dirty = true;
+        Ok(())
     }
 
     /// Flushes buffered appends to the operating system.
@@ -239,6 +425,25 @@ impl PartitionWal {
         self.writer
             .flush()
             .map_err(|e| io_err("flushing the live log", e))
+    }
+
+    /// The group-commit boundary: flushes buffered appends and, on the
+    /// [`WalSync::Fsync`] tier, additionally syncs file data to the device.
+    /// A no-op when nothing was appended since the last commit, so the
+    /// batch paths can sweep every touched shard cheaply.
+    pub fn commit_group(&mut self, sync: WalSync) -> Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.sync()?;
+        if sync == WalSync::Fsync {
+            self.writer
+                .get_ref()
+                .sync_data()
+                .map_err(|e| io_err("fsyncing the live log", e))?;
+        }
+        self.dirty = false;
+        Ok(())
     }
 
     /// Freezes the live log for seal `seq`: flushes, renames it to the
@@ -254,6 +459,7 @@ impl PartitionWal {
         match File::create(&self.live_path) {
             Ok(file) => {
                 self.writer = BufWriter::new(file);
+                self.dirty = false;
                 Ok(frozen)
             }
             Err(e) => {
@@ -274,8 +480,10 @@ impl PartitionWal {
     /// instead, so after an error the live log and the memtable agree as
     /// multisets though not necessarily in order.
     pub fn reabsorb(&mut self, frozen: &Path) -> Result<()> {
-        let records = Self::read_log(frozen)?;
-        write_stream(&records, &mut self.writer)?;
+        let records = read_framed_log(frozen, false)?;
+        for record in &records {
+            self.append(record)?;
+        }
         self.sync()?;
         fs::remove_file(frozen).map_err(|e| io_err("removing a reabsorbed frozen log", e))
     }
@@ -301,6 +509,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pds-wal-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
+    }
+
+    fn basic(item: usize, prob: f64) -> StreamRecord {
+        StreamRecord::Basic { item, prob }
     }
 
     #[test]
@@ -341,14 +553,9 @@ mod tests {
     fn scan_is_read_only_until_commit() {
         let dir = tmp_dir("scan-read-only");
         let (mut wal, _) = PartitionWal::open(&dir, 0).unwrap();
-        wal.append(&StreamRecord::Basic { item: 1, prob: 0.5 })
-            .unwrap();
+        wal.append(&basic(1, 0.5)).unwrap();
         let frozen = wal.rotate(0).unwrap();
-        wal.append(&StreamRecord::Basic {
-            item: 2,
-            prob: 0.25,
-        })
-        .unwrap();
+        wal.append(&basic(2, 0.25)).unwrap();
         wal.sync().unwrap();
         drop(wal);
 
@@ -369,28 +576,45 @@ mod tests {
     }
 
     #[test]
+    fn scan_skipping_ignores_covered_frozen_logs_but_retires_them() {
+        let dir = tmp_dir("scan-skipping");
+        let (mut wal, _) = PartitionWal::open(&dir, 1).unwrap();
+        wal.append(&basic(1, 0.5)).unwrap();
+        let frozen0 = wal.rotate(0).unwrap();
+        wal.append(&basic(2, 0.25)).unwrap();
+        let frozen1 = wal.rotate(1).unwrap();
+        wal.append(&basic(3, 0.125)).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        // Seal 0's records are covered by an installed segment; only seal
+        // 1's frozen records and the live tail replay.
+        let covered: BTreeSet<u64> = [0u64].into_iter().collect();
+        let replay = PartitionWal::scan_skipping(&dir, 1, &covered).unwrap();
+        assert_eq!(replay.records, vec![basic(2, 0.25), basic(3, 0.125)]);
+        // Commit still deletes the covered frozen file (its records live in
+        // the manifest-installed segment now).
+        let _wal = PartitionWal::commit(&dir, 1, &replay.records, &replay).unwrap();
+        assert!(!frozen0.exists());
+        assert!(!frozen1.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn reabsorb_undoes_a_rotation_keeping_newer_appends() {
         let dir = tmp_dir("reabsorb");
         let (mut wal, _) = PartitionWal::open(&dir, 2).unwrap();
-        wal.append(&StreamRecord::Basic {
-            item: 5,
-            prob: 0.75,
-        })
-        .unwrap();
+        wal.append(&basic(5, 0.75)).unwrap();
         let frozen = wal.rotate(0).unwrap();
         // A record logged after the rotation must survive the undo.
-        wal.append(&StreamRecord::Basic { item: 6, prob: 0.5 })
-            .unwrap();
+        wal.append(&basic(6, 0.5)).unwrap();
         wal.reabsorb(&frozen).unwrap();
         assert!(!frozen.exists());
         drop(wal);
         let (_w, replayed) = PartitionWal::open(&dir, 2).unwrap();
         assert_eq!(replayed.len(), 2);
-        assert!(replayed.contains(&StreamRecord::Basic {
-            item: 5,
-            prob: 0.75
-        }));
-        assert!(replayed.contains(&StreamRecord::Basic { item: 6, prob: 0.5 }));
+        assert!(replayed.contains(&basic(5, 0.75)));
+        assert!(replayed.contains(&basic(6, 0.5)));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -398,8 +622,7 @@ mod tests {
     fn retire_removes_frozen_logs_and_is_idempotent() {
         let dir = tmp_dir("retire");
         let (mut wal, _) = PartitionWal::open(&dir, 0).unwrap();
-        wal.append(&StreamRecord::Basic { item: 0, prob: 0.9 })
-            .unwrap();
+        wal.append(&basic(0, 0.9)).unwrap();
         let frozen = wal.rotate(5).unwrap();
         assert!(frozen.exists());
         PartitionWal::retire(&frozen);
@@ -416,70 +639,121 @@ mod tests {
         let dir = tmp_dir("isolation");
         let (mut a, _) = PartitionWal::open(&dir, 0).unwrap();
         let (mut b, _) = PartitionWal::open(&dir, 1).unwrap();
-        a.append(&StreamRecord::Basic { item: 1, prob: 0.5 })
-            .unwrap();
-        b.append(&StreamRecord::Basic {
-            item: 9,
-            prob: 0.25,
-        })
-        .unwrap();
+        a.append(&basic(1, 0.5)).unwrap();
+        b.append(&basic(9, 0.25)).unwrap();
         drop(a);
         drop(b);
         let (_a2, ra) = PartitionWal::open(&dir, 0).unwrap();
         let (_b2, rb) = PartitionWal::open(&dir, 1).unwrap();
-        assert_eq!(ra, vec![StreamRecord::Basic { item: 1, prob: 0.5 }]);
-        assert_eq!(
-            rb,
-            vec![StreamRecord::Basic {
-                item: 9,
-                prob: 0.25
-            }]
-        );
+        assert_eq!(ra, vec![basic(1, 0.5)]);
+        assert_eq!(rb, vec![basic(9, 0.25)]);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_logs_surface_as_errors_without_destroying_files() {
+    fn corrupt_frames_surface_as_errors_without_destroying_files() {
         let dir = tmp_dir("corrupt");
         fs::create_dir_all(&dir).unwrap();
-        // Corruption that is NOT a torn tail (a bad line followed by a good
-        // one) must abort the scan.
-        fs::write(dir.join("wal-2.log"), "b 0 not-a-number\nb 1 0.5\n").unwrap();
+        // A frame whose payload is garbage (valid CRC over an unparseable
+        // record) must abort the scan.
+        let payload = "b 0 not-a-number";
+        let bad = format!(
+            "r {} {:08x} {payload}\n",
+            payload.len(),
+            crc32(payload.as_bytes())
+        );
+        fs::write(
+            dir.join("wal-2.log"),
+            format!("{bad}{}", frame_record(&basic(1, 0.5)).unwrap()),
+        )
+        .unwrap();
         assert!(PartitionWal::scan(&dir, 2).is_err());
         // The corrupt log is still there for inspection/repair.
         assert!(dir.join("wal-2.log").exists());
-        fs::write(dir.join("wal-2.log"), "b 0 0.5\n").unwrap();
+        fs::write(dir.join("wal-2.log"), frame_record(&basic(0, 0.5)).unwrap()).unwrap();
         let replay = PartitionWal::scan(&dir, 2).unwrap();
         assert_eq!(replay.records.len(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn torn_final_lines_are_dropped_not_fatal() {
+    fn torn_final_frames_are_dropped_not_fatal() {
         let dir = tmp_dir("torn");
         fs::create_dir_all(&dir).unwrap();
+        let good: String = [basic(0, 0.5), basic(1, 0.25)]
+            .iter()
+            .map(|r| frame_record(r).unwrap())
+            .collect();
         // A crash mid-append leaves a partial last line: the acknowledged
         // prefix replays, the torn tail is discarded.
-        fs::write(dir.join("wal-0.log"), "b 0 0.5\nb 1 0.25\nx 2:0.1 3:").unwrap();
+        let torn = frame_record(&StreamRecord::Alternatives(vec![(2, 0.1), (3, 0.5)])).unwrap();
+        let torn = &torn[..torn.len() - 6]; // cut mid-payload
+        fs::write(dir.join("wal-0.log"), format!("{good}{torn}")).unwrap();
         let replay = PartitionWal::scan(&dir, 0).unwrap();
-        assert_eq!(
-            replay.records,
-            vec![
-                StreamRecord::Basic { item: 0, prob: 0.5 },
-                StreamRecord::Basic {
-                    item: 1,
-                    prob: 0.25
-                },
-            ]
-        );
+        assert_eq!(replay.records, vec![basic(0, 0.5), basic(1, 0.25)]);
         // A log that is one torn line replays as empty.
-        fs::write(dir.join("wal-1.log"), "b 7 0.").unwrap();
+        let lone = frame_record(&basic(7, 0.25)).unwrap();
+        fs::write(dir.join("wal-1.log"), &lone[..lone.len() - 2]).unwrap();
         let replay = PartitionWal::scan(&dir, 1).unwrap();
         assert!(replay.records.is_empty());
-        // Frozen logs stay strict: rotation flushed them, so a bad line is
-        // corruption, not a torn tail.
-        fs::write(dir.join("wal-3.0.sealing"), "b 9 0.").unwrap();
+        // Frozen logs stay strict: rotation flushed them, so a short frame
+        // is corruption there, not a torn tail.
+        fs::write(dir.join("wal-3.0.sealing"), &lone[..lone.len() - 2]).unwrap();
         assert!(PartitionWal::scan(&dir, 3).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_but_parseable_truncation_is_detected() {
+        let dir = tmp_dir("torn-parseable");
+        fs::create_dir_all(&dir).unwrap();
+        // `b 3 0.25` torn to `b 3 0.2` still parses as a record — the exact
+        // silent-wrong-probability hazard the frame exists to stop.  The
+        // declared length no longer matches, so the tail is dropped (live
+        // log), never replayed as 0.2.
+        let full = frame_record(&basic(3, 0.25)).unwrap();
+        let torn = &full[..full.len() - 2]; // "...b 3 0.2" without newline
+        fs::write(dir.join("wal-0.log"), torn).unwrap();
+        let replay = PartitionWal::scan(&dir, 0).unwrap();
+        assert!(
+            replay.records.is_empty(),
+            "torn probability must not replay"
+        );
+
+        // The same truncation mid-file (with a later record) is corruption.
+        let next = frame_record(&basic(4, 0.5)).unwrap();
+        fs::write(dir.join("wal-1.log"), format!("{torn}\n{next}")).unwrap();
+        assert!(PartitionWal::scan(&dir, 1).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_frames_are_rejected() {
+        let dir = tmp_dir("bit-flip");
+        fs::create_dir_all(&dir).unwrap();
+        let line = frame_record(&basic(3, 0.25)).unwrap();
+        // Flip one character of the payload (probability digit): the CRC
+        // catches it even though the line still parses structurally.
+        let flipped = line.replace("0.25", "0.26");
+        assert_ne!(flipped, line);
+        fs::write(dir.join("wal-0.log"), &flipped).unwrap();
+        assert!(PartitionWal::scan(&dir, 0).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_flushes_once_and_fsync_tier_syncs() {
+        let dir = tmp_dir("group-commit");
+        let (mut wal, _) = PartitionWal::open(&dir, 0).unwrap();
+        for i in 0..16 {
+            wal.append(&basic(i, 0.5)).unwrap();
+        }
+        wal.commit_group(WalSync::Fsync).unwrap();
+        // Nothing new: the second commit is a no-op (dirty flag cleared).
+        wal.commit_group(WalSync::Flush).unwrap();
+        drop(wal);
+        let (_w, replayed) = PartitionWal::open(&dir, 0).unwrap();
+        assert_eq!(replayed.len(), 16);
         let _ = fs::remove_dir_all(&dir);
     }
 }

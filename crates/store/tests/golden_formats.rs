@@ -1,0 +1,149 @@
+//! Byte-pinned golden fixtures for the on-disk formats: `PDSG` (segment),
+//! `PDST` (whole store), the CRC-trailed segment blob and the `MANIFEST`.
+//!
+//! The fixtures in `tests/golden/` are checked into the repository.  Every
+//! test here (a) re-encodes a deterministic artefact and asserts the bytes
+//! are **identical** to the fixture, and (b) decodes the fixture and
+//! asserts it still means the same thing — so an accidental format change
+//! fails review instead of silently breaking stores written by older
+//! builds.
+//!
+//! To bless an *intentional* format change, bump the affected
+//! `BINARY_VERSION`, run with `PDS_GOLDEN_BLESS=1`, and commit the new
+//! fixtures together with the decoder that still reads the old version.
+
+use std::path::PathBuf;
+
+use pds_core::metrics::ErrorMetric;
+use pds_core::stream::StreamRecord;
+use pds_store::manifest::Manifest;
+use pds_store::{PartitionSpec, Segment, StoreConfig, SynopsisKind, SynopsisStore, WalSync};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compares `bytes` against the checked-in fixture (or writes it under
+/// `PDS_GOLDEN_BLESS=1`).
+fn check_golden(name: &str, bytes: &[u8]) {
+    let path = golden_dir().join(name);
+    if std::env::var("PDS_GOLDEN_BLESS").is_ok() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, bytes).unwrap();
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with PDS_GOLDEN_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, bytes,
+        "the {name} disk format drifted from its golden fixture; if the change \
+         is intentional, bump the format version and re-bless"
+    );
+}
+
+/// The deterministic store every fixture derives from: 2 partitions over
+/// 16 items, dyadic probabilities, two seals in partition 0 and one in
+/// partition 1.
+fn fixture_store() -> SynopsisStore {
+    let store = SynopsisStore::new(StoreConfig::new(
+        PartitionSpec::uniform(16, 2).unwrap(),
+        4,
+        8,
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    ))
+    .unwrap();
+    let probs = [0.5, 0.25, 0.125, 0.75];
+    for round in 0..2 {
+        for (i, &prob) in probs.iter().enumerate() {
+            store
+                .ingest(StreamRecord::Basic {
+                    item: i + 2 * round,
+                    prob,
+                })
+                .unwrap();
+        }
+    }
+    for (i, &prob) in probs.iter().enumerate() {
+        store
+            .ingest(StreamRecord::Basic { item: 10 + i, prob })
+            .unwrap();
+    }
+    store.seal_all().unwrap();
+    store
+}
+
+#[test]
+fn segment_pdsg_format_is_pinned() {
+    let store = fixture_store();
+    let segment = &store.segments(0)[0];
+    let bytes = segment.to_binary().unwrap();
+    check_golden("segment.pdsg", &bytes);
+    // The fixture still decodes to the same segment.
+    let decoded =
+        Segment::from_binary(&std::fs::read(golden_dir().join("segment.pdsg")).unwrap()).unwrap();
+    assert_eq!(&decoded, segment);
+}
+
+#[test]
+fn segment_blob_format_is_pinned() {
+    let store = fixture_store();
+    let segment = &store.segments(1)[0];
+    let blob = segment.to_blob().unwrap();
+    check_golden("segment.blob", &blob);
+    let decoded =
+        Segment::from_blob(&std::fs::read(golden_dir().join("segment.blob")).unwrap()).unwrap();
+    assert_eq!(&decoded, segment);
+}
+
+#[test]
+fn store_pdst_format_is_pinned() {
+    let store = fixture_store();
+    let bytes = store.to_binary().unwrap();
+    check_golden("store.pdst", &bytes);
+    let decoded =
+        SynopsisStore::from_binary(&std::fs::read(golden_dir().join("store.pdst")).unwrap())
+            .unwrap();
+    assert_eq!(decoded.config(), store.config());
+    assert_eq!(decoded.stats(), store.stats());
+    for (lo, hi) in [(0usize, 15usize), (0, 7), (10, 13), (5, 5)] {
+        assert_eq!(decoded.range_estimate(lo, hi), store.range_estimate(lo, hi));
+    }
+}
+
+#[test]
+fn manifest_format_is_pinned() {
+    // A deterministic manifest history: three installs, then a compaction
+    // replacing partition 0's two segments with one.  `replace` publishes a
+    // full rewrite, so the resulting file is exactly the canonical encoding
+    // of the final live set.
+    let dir = std::env::temp_dir().join(format!("pds-golden-manifest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let (mut manifest, live) = Manifest::open(&dir, WalSync::Flush).unwrap();
+        assert!(live.is_empty());
+        manifest.install(0, 0).unwrap();
+        manifest.install(1, 0).unwrap();
+        manifest.install(0, 1).unwrap();
+        manifest.replace(0, &[0, 1], 2).unwrap();
+    }
+    let bytes = std::fs::read(dir.join("MANIFEST")).unwrap();
+    check_golden("MANIFEST.golden", &bytes);
+    // The fixture still loads to the same live set.
+    let golden_dir_copy =
+        std::env::temp_dir().join(format!("pds-golden-manifest-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&golden_dir_copy);
+    std::fs::create_dir_all(&golden_dir_copy).unwrap();
+    std::fs::copy(
+        golden_dir().join("MANIFEST.golden"),
+        golden_dir_copy.join("MANIFEST"),
+    )
+    .unwrap();
+    let (_m, live) = Manifest::open(&golden_dir_copy, WalSync::Flush).unwrap();
+    assert_eq!(live, vec![(0, 2), (1, 0)]);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&golden_dir_copy);
+}

@@ -17,12 +17,12 @@ use pds_store::{PartitionSpec, StoreConfig, SynopsisKind, SynopsisStore};
 const N: usize = 24;
 
 fn config(parts: usize, threshold: usize) -> StoreConfig {
-    StoreConfig {
-        partitions: PartitionSpec::uniform(N, parts).unwrap(),
-        seal_threshold: threshold,
-        segment_budget: 6, // lossy on purpose: segment bytes depend on the DP
-        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
-    }
+    StoreConfig::new(
+        PartitionSpec::uniform(N, parts).unwrap(),
+        threshold,
+        6, // lossy on purpose: segment bytes depend on the DP
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    )
 }
 
 /// A mixed-model record stream (same shape as the round-trip suite).

@@ -41,13 +41,13 @@ fn record_stream(max_len: usize) -> impl Strategy<Value = Vec<StreamRecord>> {
 }
 
 fn full_budget_config(parts: usize, threshold: usize) -> StoreConfig {
-    StoreConfig {
-        partitions: PartitionSpec::uniform(N, parts).unwrap(),
-        seal_threshold: threshold,
+    StoreConfig::new(
+        PartitionSpec::uniform(N, parts).unwrap(),
+        threshold,
         // Budget >= partition width: segment histograms are exact.
-        segment_budget: N,
-        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
-    }
+        N,
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    )
 }
 
 proptest! {
@@ -149,13 +149,13 @@ proptest! {
         pairs in prop::collection::vec((0..N, 0.01f64..1.0), 24..120),
         parts in 2usize..5,
     ) {
-        let store = SynopsisStore::new(StoreConfig {
-            partitions: PartitionSpec::uniform(N, parts).unwrap(),
-            seal_threshold: 1000,
+        let store = SynopsisStore::new(StoreConfig::new(
+            PartitionSpec::uniform(N, parts).unwrap(),
+            1000,
             // A generous per-segment budget, as a real deployment would use.
-            segment_budget: N,
-            synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
-        })
+            N,
+            SynopsisKind::Histogram(ErrorMetric::Sse),
+        ))
         .unwrap();
         for &(item, prob) in &pairs {
             store.ingest(StreamRecord::Basic { item, prob }).unwrap();

@@ -97,6 +97,14 @@ pub fn answer_with_wavelet(synopsis: &WaveletSynopsis, query: FrequencyQuery) ->
 /// every live memtable (exact running expectations) and sealed segment
 /// (histogram bucket walks or wavelet reconstructions) overlapping the
 /// queried range.
+///
+/// The store may be serving mid-lifecycle — seals and compactions in
+/// flight, or freshly reopened after a crash.  A crash-durable store
+/// (`SynopsisStore::open_with_wal`) reopened from its manifest, segment
+/// blobs and WAL tail answers **bit-identically** to the uninterrupted
+/// run (pinned by `tests/store_end_to_end.rs` and the crash-injection
+/// matrix in `crates/store/tests/store_crash_matrix.rs`), so AQP callers
+/// need no special restart handling.
 pub fn answer_with_store(store: &SynopsisStore, query: FrequencyQuery) -> QueryAnswer {
     let (s, e) = query.range();
     QueryAnswer {
@@ -213,12 +221,12 @@ mod tests {
         use pds_core::stream::records_of;
 
         let rel = workload();
-        let store = SynopsisStore::new(StoreConfig {
-            partitions: PartitionSpec::uniform(64, 4).unwrap(),
-            seal_threshold: 1_000_000, // manual sealing
-            segment_budget: 64,        // full budget: segments are exact
-            synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
-        })
+        let store = SynopsisStore::new(StoreConfig::new(
+            PartitionSpec::uniform(64, 4).unwrap(),
+            1_000_000, // manual sealing
+            64,        // full budget: segments are exact
+            SynopsisKind::Histogram(ErrorMetric::Sse),
+        ))
         .unwrap();
         store.ingest_all(records_of(&rel)).unwrap();
         // Seal half the partitions; the rest stays live in memtables.

@@ -34,12 +34,12 @@ fn exact_prefix(records: &[StreamRecord]) -> Vec<f64> {
 #[test]
 fn pipeline_ingests_seals_compacts_merges_and_serves() {
     let records = stream(20_000);
-    let store = SynopsisStore::new(StoreConfig {
-        partitions: PartitionSpec::uniform(N, PARTS).unwrap(),
-        seal_threshold: 2_000,
-        segment_budget: 24,
-        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
-    })
+    let store = SynopsisStore::new(StoreConfig::new(
+        PartitionSpec::uniform(N, PARTS).unwrap(),
+        2_000,
+        24,
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    ))
     .unwrap();
     store.ingest_all(records.iter().cloned()).unwrap();
     let stats = store.stats();
@@ -100,12 +100,12 @@ fn pipeline_ingests_seals_compacts_merges_and_serves() {
 #[test]
 fn store_binary_snapshot_meets_the_compression_bar() {
     let records = stream(30_000);
-    let store = SynopsisStore::new(StoreConfig {
-        partitions: PartitionSpec::uniform(N, 2).unwrap(),
-        seal_threshold: 100_000,
-        segment_budget: 200,
-        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
-    })
+    let store = SynopsisStore::new(StoreConfig::new(
+        PartitionSpec::uniform(N, 2).unwrap(),
+        100_000,
+        200,
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    ))
     .unwrap();
     store.ingest_all(records).unwrap();
     store.seal_all().unwrap();
@@ -145,12 +145,12 @@ fn store_binary_snapshot_meets_the_compression_bar() {
 #[test]
 fn wavelet_segments_flow_through_the_same_pipeline() {
     let records = stream(4_000);
-    let store = SynopsisStore::new(StoreConfig {
-        partitions: PartitionSpec::uniform(N, PARTS).unwrap(),
-        seal_threshold: 1_000,
-        segment_budget: 32,
-        synopsis: SynopsisKind::Wavelet,
-    })
+    let store = SynopsisStore::new(StoreConfig::new(
+        PartitionSpec::uniform(N, PARTS).unwrap(),
+        1_000,
+        32,
+        SynopsisKind::Wavelet,
+    ))
     .unwrap();
     store.ingest_all(records.iter().cloned()).unwrap();
     store.seal_all().unwrap();
@@ -188,11 +188,13 @@ fn concurrent_ingest_answers_aqp_queries_identically_to_serial() {
     // ingested per-record on one thread versus batched on the pool with
     // background seal workers yields identical `answer_with_store` results.
     let records = stream(12_000);
-    let make_config = || StoreConfig {
-        partitions: PartitionSpec::uniform(N, PARTS).unwrap(),
-        seal_threshold: 1_500,
-        segment_budget: 24,
-        synopsis: SynopsisKind::Histogram(ErrorMetric::Sse),
+    let make_config = || {
+        StoreConfig::new(
+            PartitionSpec::uniform(N, PARTS).unwrap(),
+            1_500,
+            24,
+            SynopsisKind::Histogram(ErrorMetric::Sse),
+        )
     };
     let serial = SynopsisStore::new(make_config()).unwrap();
     for record in &records {
@@ -214,4 +216,52 @@ fn concurrent_ingest_answers_aqp_queries_identically_to_serial() {
         assert_eq!(a.to_bits(), b.to_bits(), "query [{start}, {end}]");
     }
     assert_eq!(serial.to_binary().unwrap(), concurrent.to_binary().unwrap());
+}
+
+#[test]
+fn durable_store_reopens_and_answers_aqp_queries_identically() {
+    // The AQP-level face of the crash-durability contract (the crash-point
+    // matrix lives in `crates/store/tests/store_crash_matrix.rs`): a store
+    // that sealed into install-time blobs, compacted, and then "crashed"
+    // answers every `answer_with_store` query bit-identically after a
+    // reopen from manifest + segment blobs + WAL tail alone.
+    let dir = std::env::temp_dir().join(format!("pds-e2e-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let make_config = || {
+        StoreConfig::new(
+            PartitionSpec::uniform(N, PARTS).unwrap(),
+            1_500,
+            24,
+            SynopsisKind::Histogram(ErrorMetric::Sse),
+        )
+    };
+    let records = stream(9_000);
+    let queries: Vec<FrequencyQuery> = [(0usize, N - 1), (3, 3), (17, 230), (100, 101), (400, 511)]
+        .iter()
+        .map(|&(start, end)| FrequencyQuery::RangeSum { start, end })
+        .collect();
+
+    let before: Vec<f64> = {
+        let store = SynopsisStore::open_with_wal(make_config(), &dir).unwrap();
+        store.ingest_all(records.iter().cloned()).unwrap();
+        store.seal_all().unwrap();
+        store.compact_all().unwrap();
+        // A few live records on top: they must come back from the WAL.
+        for record in records.iter().take(40) {
+            store.ingest(record.clone()).unwrap();
+        }
+        queries
+            .iter()
+            .map(|&q| answer_with_store(&store, q).estimate)
+            .collect()
+        // Dropped without snapshot(): durability comes from blobs + WAL.
+    };
+
+    let reopened = SynopsisStore::open_with_wal(make_config(), &dir).unwrap();
+    assert_eq!(reopened.stats().live_records, 40);
+    for (q, want) in queries.iter().zip(&before) {
+        let got = answer_with_store(&reopened, *q).estimate;
+        assert_eq!(got.to_bits(), want.to_bits(), "query {q:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
