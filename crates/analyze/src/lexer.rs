@@ -1,0 +1,460 @@
+//! A small, self-contained Rust lexer for the invariant checker.
+//!
+//! The registry is offline, so `syn` is unavailable; the rules in
+//! [`crate::rules`] only need a *token stream with spans* — identifiers,
+//! punctuation, literals — plus the `// analyze:allow(<rule>) <justification>`
+//! escape-hatch comments.  This lexer provides exactly that: it understands
+//! line and (nested) block comments, string / raw-string / byte-string /
+//! char literals, lifetimes, numbers with suffixes, and the multi-character
+//! operators the rules match on (`::`, `->`, `=>`, `..`, `..=`, `==`, `!=`,
+//! `<=`, `>=`).  Everything else is emitted as single-character punctuation.
+//!
+//! It is deliberately **not** a full Rust lexer: shebangs, `c"..."`
+//! literals and exotic raw identifiers are out of scope for this
+//! workspace's sources, and the fixture tests pin the constructs the rules
+//! depend on.
+
+/// Token categories the rule passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `let`, `unwrap`, ...).
+    Ident,
+    /// Numeric literal, including suffixes (`0xC0DE`, `1.5e-3`, `17u64`).
+    Number,
+    /// String literal of any flavour (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-character operators listed in the module docs are
+    /// fused into one token, everything else is a single character.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Category.
+    pub kind: TokKind,
+    /// Exact source text (for `Str`, includes the quotes/prefix).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True if this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// One `// analyze:allow(<rule>) <justification>` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Everything after the closing parenthesis, trimmed.  The checker
+    /// rejects empty justifications: an allow must say *why*.
+    pub justification: String,
+}
+
+/// Output of [`lex`]: the token stream plus all allow comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Escape-hatch comments in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Tokenize `source`.  Comments and whitespace are skipped (allow comments
+/// are captured into [`Lexed::allows`]); the lexer never fails — unknown
+/// bytes become single-character punctuation so rule passes can keep
+/// scanning.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line, col, String::new()),
+                'r' if matches!(self.peek(1), Some('"') | Some('#')) && self.is_raw_start(1) => {
+                    self.raw_string(line, col, String::from("r"))
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, col, String::from("b"));
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_lit(line, col, String::from("b"));
+                }
+                'b' if self.peek(1) == Some('r') && self.is_raw_start(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line, col, String::from("br"));
+                }
+                '\'' => self.quote(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c == '_' || c.is_alphabetic() => self.ident(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+        self.out
+    }
+
+    /// Is the text at `offset` (relative to `pos`, which sits on `r` or the
+    /// char after `b`) the start of a raw string: `"`, or hashes then `"`?
+    fn is_raw_start(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // Strip `//`, doc-comment `/`/`!` markers, then look for the allow
+        // escape hatch.
+        let body = text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim_start();
+        if let Some(rest) = body.strip_prefix("analyze:allow(") {
+            if let Some(close) = rest.find(')') {
+                let rule = rest[..close].trim().to_string();
+                let justification = rest[close + 1..].trim().to_string();
+                self.out.allows.push(Allow {
+                    line,
+                    rule,
+                    justification,
+                });
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string(&mut self, line: u32, col: u32, mut text: String) {
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32, mut text: String) {
+        self.bump(); // the `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            text.push('#');
+            hashes += 1;
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        let closer: String = std::iter::once('"')
+            .chain(std::iter::repeat_n('#', hashes))
+            .collect();
+        let mut body = String::new();
+        loop {
+            if body.ends_with(&closer) {
+                break;
+            }
+            match self.bump() {
+                Some(c) => body.push(c),
+                None => break,
+            }
+        }
+        text.push_str(&body);
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    fn char_lit(&mut self, line: u32, col: u32, mut text: String) {
+        text.push('\'');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, text, line, col);
+    }
+
+    /// A `'` is either a lifetime or a char literal.
+    fn quote(&mut self, line: u32, col: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match next {
+            Some(c) if c == '_' || c.is_alphabetic() => after != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+        } else {
+            self.char_lit(line, col, String::new());
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.25` but not the range in `0..10`.
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && text.chars().last().is_some_and(|l| l == 'e' || l == 'E')
+                && text.contains('.')
+            {
+                // Exponent sign in `1.0e-5`.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        const FUSED: [&str; 9] = ["..=", "::", "->", "=>", "..", "==", "!=", "<=", ">="];
+        for op in FUSED {
+            let matches = op
+                .chars()
+                .enumerate()
+                .all(|(i, oc)| self.peek(i) == Some(oc));
+            if matches {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, op.to_string(), line, col);
+                return;
+            }
+        }
+        let c = self.bump().unwrap_or(' ');
+        self.push(TokKind::Punct, c.to_string(), line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_fused_operators() {
+        assert_eq!(
+            texts("fn f() -> Result<(), E> { a::b != c..=d }"),
+            vec![
+                "fn", "f", "(", ")", "->", "Result", "<", "(", ")", ",", "E", ">", "{", "a", "::",
+                "b", "!=", "c", "..=", "d", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes_do_not_leak_tokens() {
+        let toks = lex(r#"let s = "a \" } // not a comment"; done"#).tokens;
+        assert_eq!(toks[3].kind, TokKind::Str);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert!(!toks.iter().any(|t| t.is_ident("comment")));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = lex(r##"let m = *b"PDSG"; let r = r#"x "quoted" y"#;"##).tokens;
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["b\"PDSG\"", "r#\"x \"quoted\" y\"#"]);
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_numbers() {
+        let toks = lex("/* outer /* inner */ still comment */ 0xC0DE 1.5e-3 0..10").tokens;
+        assert_eq!(toks[0].text, "0xC0DE");
+        assert_eq!(toks[1].text, "1.5e-3");
+        assert_eq!(
+            toks[2..]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            vec!["0", "..", "10"]
+        );
+    }
+
+    #[test]
+    fn allow_comments_are_captured_with_justification() {
+        let lexed = lex(
+            "// analyze:allow(lock-discipline) WAL append must precede ack\nlet x = 1;\n\
+             // analyze:allow(panic-freedom)\n",
+        );
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "lock-discipline");
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.allows[0].justification, "WAL append must precede ack");
+        assert_eq!(lexed.allows[1].justification, "");
+    }
+
+    #[test]
+    fn line_and_column_spans_are_accurate() {
+        let toks = lex("a\n  bcd e").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 7));
+    }
+}

@@ -1,0 +1,147 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p pds-analyze -- check [--root <dir>]
+//! cargo run -p pds-analyze -- fuzz [--iters N] [--seed S] [--corpus <dir>]
+//! ```
+//!
+//! `check` exits non-zero when any rule fires; `fuzz` exits non-zero when
+//! any mutation panics, hangs, or a corrupted CRC is accepted.
+
+// Printing diagnostics to stdout is this binary's product; the workspace
+// denies `print_stdout` for library code.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pds_analyze::{fuzz, rules};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("fuzz") => run_fuzz(&args[1..]),
+        _ => {
+            eprintln!("usage: pds-analyze <check [--root DIR] | fuzz [--iters N] [--seed S] [--corpus DIR]>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Default workspace root: two levels above this crate's manifest.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_u64(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let root = flag_value(args, "--root")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_root);
+    let report = match rules::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pds-analyze: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!(
+            "{}:{}:{}: [{}] {}",
+            d.file, d.line, d.col, d.rule, d.message
+        );
+    }
+    if !report.allows.is_empty() {
+        println!("recorded allows ({}):", report.allows.len());
+        for a in &report.allows {
+            println!(
+                "  {}:{}: allow({}) used {}x — {}",
+                a.file, a.line, a.rule, a.uses, a.justification
+            );
+        }
+    }
+    println!(
+        "pds-analyze: {} file(s), {} finding(s), {} allow(s)",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.allows.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_fuzz(args: &[String]) -> ExitCode {
+    let iters = flag_value(args, "--iters")
+        .and_then(parse_u64)
+        .unwrap_or(50_000);
+    let seed = flag_value(args, "--seed")
+        .and_then(parse_u64)
+        .unwrap_or(0xC0DE);
+    let corpus = flag_value(args, "--corpus")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| default_root().join("crates/analyze/corpus"));
+    let config = fuzz::FuzzConfig {
+        iters,
+        seed,
+        corpus_dir: Some(corpus.clone()),
+        emit_samples: args.iter().any(|a| a == "--emit-corpus"),
+        ..fuzz::FuzzConfig::default()
+    };
+    println!(
+        "pds-analyze fuzz: iters={iters} seed={seed:#x} corpus={}",
+        corpus.display()
+    );
+    let outcome = fuzz::run(&config);
+    let secs = outcome.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "pds-analyze fuzz: {} mutations in {:.2}s ({:.0} mutations/s); \
+         {} rejected as PdsError, {} decoded valid, {} corrupted-CRC inputs \
+         (all rejected: {}), {} recovery cases",
+        outcome.mutations,
+        secs,
+        outcome.mutations as f64 / secs,
+        outcome.rejected,
+        outcome.accepted_valid,
+        outcome.crc_mutations,
+        outcome.crc_mutations == outcome.crc_rejected,
+        outcome.recovery_cases,
+    );
+    if outcome.failures.is_empty() {
+        println!("pds-analyze fuzz: no panics, no hangs, no silent CRC accepts");
+        ExitCode::SUCCESS
+    } else {
+        for f in &outcome.failures {
+            println!(
+                "FAILURE [{}] {} (input {} bytes, minimised {} bytes)",
+                f.kind,
+                f.what,
+                f.input.len(),
+                f.minimized.len()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

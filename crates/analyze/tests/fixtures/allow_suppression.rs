@@ -1,0 +1,18 @@
+// Fixture for allow suppression and the allow-discipline rule.  Analysed
+// with the synthetic path `crates/store/src/wal.rs` (a panic-freedom
+// scoped file); never compiled.
+
+pub fn line_scoped(bytes: &[u8]) -> u8 {
+    // analyze:allow(panic-freedom) fixture: the preceding parse guarantees one byte
+    bytes[0]
+}
+
+// analyze:allow(panic-freedom) fixture: whole-function suppression
+pub fn fn_scoped(bytes: &[u8]) -> u8 {
+    bytes.iter().next().unwrap()
+}
+
+pub fn unjustified(x: u8) -> u8 {
+    // analyze:allow(panic-freedom)
+    x + 1
+}

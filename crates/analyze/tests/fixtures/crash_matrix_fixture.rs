@@ -1,0 +1,9 @@
+// Miniature crash-matrix model for the crash-coverage fixture.  Analysed
+// with the synthetic path `crates/store/tests/store_crash_matrix.rs`;
+// never compiled.
+
+const MATRIX: [Row; 1] = [Row {
+    label: "fixture-covered",
+    at: 1,
+    serial_count: 0,
+}];

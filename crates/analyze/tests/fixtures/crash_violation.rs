@@ -1,0 +1,25 @@
+// Fixture for the crash-coverage rule.  Analysed with the synthetic path
+// `crates/store/src/crash_fixture.rs` alongside a miniature crash-matrix
+// model; never compiled.
+
+use std::fs;
+
+pub fn publish_unlabelled(dir: &Path) -> Result<()> {
+    let tmp = dir.join("MANIFEST.tmp");
+    fs::write(&tmp, b"x")?;
+    fs::rename(&tmp, dir.join("MANIFEST"))?; // VIOLATION: no crash point
+    Ok(())
+}
+
+pub fn publish_labelled(dir: &Path) -> Result<()> {
+    let tmp = dir.join("seg.tmp");
+    fs::write(&tmp, b"x")?;
+    crate::crashpoint::reached("fixture-covered");
+    fs::rename(&tmp, dir.join("seg.bin"))?; // fine: labelled above
+    Ok(())
+}
+
+pub fn stray_label() {
+    // VIOLATION: this label is missing from the crash-matrix test.
+    crate::crashpoint::reached("not-in-matrix");
+}

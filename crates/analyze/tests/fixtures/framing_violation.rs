@@ -1,0 +1,33 @@
+// Fixture for the binio-framing rule.  Analysed with the synthetic path
+// `crates/core/src/framing_fixture.rs`; never compiled.
+
+const ORPHAN_MAGIC: [u8; 4] = *b"ORPH";
+const PAIRED_MAGIC: [u8; 4] = *b"PAIR";
+
+pub fn write_orphan(n: u64) -> Result<Vec<u8>> {
+    // VIOLATION: no ByteReader::envelope anywhere checks ORPHAN_MAGIC.
+    let mut w = ByteWriter::envelope(ORPHAN_MAGIC, 1);
+    w.put_varint(n);
+    Ok(w.into_bytes())
+}
+
+pub fn write_paired(n: u64) -> Result<Vec<u8>> {
+    let mut w = ByteWriter::envelope(PAIRED_MAGIC, 1);
+    w.put_varint(n);
+    Ok(w.into_bytes())
+}
+
+pub fn read_paired(bytes: &[u8]) -> Result<u64> {
+    let (mut r, version) = ByteReader::envelope(bytes, "paired", PAIRED_MAGIC)?;
+    // VIOLATION: a length-prefixed read happens before any version check.
+    let n = r.get_varint()?;
+    if version != 1 {
+        return Err(bad_version());
+    }
+    Ok(n)
+}
+
+pub fn seal_payload(bytes: &mut Vec<u8>) {
+    // VIOLATION: this crate appends a CRC but no function verifies one.
+    append_crc32(bytes);
+}

@@ -1,0 +1,34 @@
+// Fixture for the lock-discipline rule.  Analysed with the synthetic path
+// `crates/store/src/lock_fixture.rs`; never compiled.
+
+use std::fs;
+
+pub fn bad_hold(store: &Store) {
+    let mut shard = store.shards[0].write();
+    fs::rename("a", "b").ok(); // VIOLATION: file I/O while `shard` is held
+    shard.push(1);
+}
+
+pub fn bad_nested(store: &Store) {
+    let a = store.shards[0].read();
+    let b = store.shards[1].read(); // VIOLATION: nested lock acquisition
+    a.len() + b.len()
+}
+
+pub fn good_scoped(store: &Store) {
+    let task = {
+        let mut shard = store.shards[0].write();
+        shard.take()
+    };
+    // Guard dropped with the block: I/O here is fine.
+    fs::rename("a", "b").ok();
+    task
+}
+
+pub fn good_early_drop(store: &Store) {
+    let shard = store.shards[0].read();
+    let n = shard.len();
+    drop(shard);
+    fs::rename("a", "b").ok(); // fine: guard explicitly dropped
+    n
+}

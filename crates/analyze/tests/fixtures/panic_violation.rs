@@ -1,0 +1,29 @@
+// Fixture for the panic-freedom rule.  Analysed with the synthetic path
+// `crates/core/src/binio.rs` (one of the rule's scoped files); never
+// compiled.
+
+pub fn decode(bytes: &[u8]) -> u8 {
+    let first = bytes[0]; // VIOLATION: index without a visible guard
+    let second = bytes.iter().next().unwrap(); // VIOLATION: unwrap
+    panic!("boom"); // VIOLATION: panic macro
+}
+
+pub fn guarded(bytes: &[u8]) -> u8 {
+    if bytes.len() > 2 {
+        bytes[2] // fine: a length check is in scope
+    } else {
+        0
+    }
+}
+
+pub fn masked(bytes: &[u8; 8], i: usize) -> u8 {
+    bytes[i % 8] // fine: modulus bounds the index
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        Some(1).unwrap(); // fine: tests are exempt
+    }
+}

@@ -1,0 +1,71 @@
+//! Fuzz regression gates, run by plain `cargo test`:
+//!
+//! * every checked-in corpus file under `crates/analyze/corpus/` replays
+//!   against its decoder — `__valid__` files must decode, `__reject__`
+//!   files must be rejected, and nothing may panic or stall;
+//! * a deterministic smoke campaign (a scaled-down version of the CI
+//!   `fuzz --iters 50000` job) must finish with zero failures.
+
+use std::path::Path;
+
+use pds_analyze::fuzz::{self, FuzzConfig};
+
+#[test]
+fn corpus_replays_clean() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    match fuzz::replay_corpus(&corpus) {
+        Ok(replayed) => assert!(
+            replayed >= 38,
+            "corpus shrank: only {replayed} replays ran — were files deleted?"
+        ),
+        Err(errors) => panic!("corpus regression:\n{}", errors.join("\n")),
+    }
+}
+
+#[test]
+fn fuzz_smoke_finds_nothing() {
+    let outcome = fuzz::run(&FuzzConfig {
+        iters: 2_000,
+        seed: 0xC0DE,
+        corpus_dir: None,
+        recovery_cases: Some(8),
+        ..FuzzConfig::default()
+    });
+    assert_eq!(outcome.mutations, 2_000);
+    assert_eq!(outcome.recovery_cases, 8);
+    assert!(
+        outcome.crc_mutations > 0,
+        "the campaign must exercise CRC-protected targets"
+    );
+    assert_eq!(
+        outcome.crc_mutations, outcome.crc_rejected,
+        "every corrupted-CRC input must be rejected"
+    );
+    let failures: Vec<&str> = outcome.failures.iter().map(|f| f.what.as_str()).collect();
+    assert!(
+        failures.is_empty(),
+        "fuzz smoke found decoder misbehaviour:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn fuzz_is_deterministic_per_seed() {
+    let run = |seed| {
+        let o = fuzz::run(&FuzzConfig {
+            iters: 500,
+            seed,
+            corpus_dir: None,
+            recovery_cases: Some(0),
+            ..FuzzConfig::default()
+        });
+        (
+            o.rejected,
+            o.accepted_valid,
+            o.crc_mutations,
+            o.crc_rejected,
+        )
+    };
+    assert_eq!(run(7), run(7), "identical seeds must replay identically");
+    assert_ne!(run(7), run(8), "different seeds must diverge");
+}

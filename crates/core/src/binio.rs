@@ -162,9 +162,18 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
+    /// Takes exactly `N` bytes as a fixed-size array — the panic-free
+    /// backbone of the integer readers ([`Self::take`] already bounds the
+    /// slice, so the copy lengths always agree).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Reads a single byte.
     pub fn get_u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        Ok(self.take_array::<1>()?[0])
     }
 
     /// Reads `n` raw bytes (the counterpart of [`ByteWriter::put_bytes`]).
@@ -174,17 +183,17 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an `f64` from its little-endian IEEE-754 bit pattern.
     pub fn get_f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an unsigned LEB128 varint, rejecting encodings longer than 10
@@ -242,6 +251,7 @@ const CRC32_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
+        // analyze:allow(panic-freedom) const-eval table fill: `i` is bounded by the enclosing `while i < 256`, and an out-of-range write would fail compilation, not runtime
         table[i] = crc;
         i += 1;
     }
@@ -279,7 +289,9 @@ pub fn verify_crc32<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8]> {
         });
     }
     let (payload, trailer) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+    let mut stored = [0u8; 4];
+    stored.copy_from_slice(trailer);
+    let stored = u32::from_le_bytes(stored);
     let computed = crc32(payload);
     if stored != computed {
         return Err(PdsError::InvalidParameter {

@@ -22,9 +22,15 @@
 //! | `post-wal-append` | after a WAL append has been flushed, before the ingest acknowledges |
 //! | `frozen-pre-build` | after a memtable froze (WAL rotated), before the segment build |
 //! | `built-pre-install` | after the segment built, before its blob/manifest install |
+//! | `mid-blob-publish` | after a segment blob staged to `.bin.tmp`, before the rename |
 //! | `installed-pre-wal-retire` | after blob + manifest install, before the frozen WAL retires |
 //! | `mid-compaction-swap` | after the merged segment built, before it swaps in |
 //! | `mid-manifest-publish` | after the rewritten manifest staged to `.tmp`, before the rename |
+//! | `mid-wal-recovery-commit` | after the recovered live log staged to `.log.tmp`, before the rename |
+//!
+//! Coverage is machine-checked: the `pds-analyze` crate's `crash-coverage`
+//! rule asserts every atomic tmp-rename publish site is preceded by one of
+//! these labels and that every label appears in the crash-matrix test.
 //!
 //! With the environment unset the hook is one relaxed atomic load — cheap
 //! enough to live in release builds, which is the point: the tested binary

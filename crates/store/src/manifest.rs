@@ -132,7 +132,9 @@ impl Manifest {
                 // Torn final append.
                 break;
             }
-            let stored = u32::from_le_bytes(record[13..].try_into().expect("4 bytes"));
+            let mut stored = [0u8; 4];
+            stored.copy_from_slice(&record[13..]);
+            let stored = u32::from_le_bytes(stored);
             if crc32(&record[..13]) != stored {
                 return Err(PdsError::InvalidParameter {
                     message: "manifest: record checksum mismatch — the file is corrupted".into(),
@@ -143,8 +145,12 @@ impl Manifest {
                     message: format!("manifest: unknown record op {}", record[0]),
                 });
             }
-            let partition = u32::from_le_bytes(record[1..5].try_into().expect("4 bytes")) as usize;
-            let seq = u64::from_le_bytes(record[5..13].try_into().expect("8 bytes"));
+            let mut partition_bytes = [0u8; 4];
+            partition_bytes.copy_from_slice(&record[1..5]);
+            let partition = u32::from_le_bytes(partition_bytes) as usize;
+            let mut seq_bytes = [0u8; 8];
+            seq_bytes.copy_from_slice(&record[5..13]);
+            let seq = u64::from_le_bytes(seq_bytes);
             if !live.insert((partition, seq)) {
                 return Err(PdsError::InvalidParameter {
                     message: format!(
@@ -155,6 +161,16 @@ impl Manifest {
             }
         }
         Ok(live)
+    }
+
+    /// Parses raw manifest bytes into the live `(partition, seq)` list,
+    /// ascending — the decoder surface the fuzz harness (`pds-analyze`)
+    /// drives directly.  Same tolerance contract as reopen: an empty file
+    /// is an empty store, a torn *final* record is dropped, and any other
+    /// anomaly (checksum mismatch, bad op, duplicate install, bad header)
+    /// is a [`PdsError`].
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Vec<(usize, u64)>> {
+        Ok(Self::parse(bytes)?.into_iter().collect())
     }
 
     /// Serialises a full manifest (header plus one install record per live

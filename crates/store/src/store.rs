@@ -797,8 +797,10 @@ impl SynopsisStore {
                 let p = self.inner.config.partitions.partition_of(item)?;
                 let inserted = {
                     let mut shard = self.write_shard(p);
+                    // analyze:allow(lock-discipline) the shard lock is the WAL group-commit serialisation point by design; the append goes to this shard's own log only
                     self.insert_locked(p, &mut shard, record).and_then(|task| {
                         compactions.extend(task);
+                        // analyze:allow(lock-discipline) commit of this shard's own WAL; acknowledging before the flush would lose acknowledged records on crash
                         self.commit_wal_locked(&mut shard)
                     })
                 };
@@ -819,9 +821,11 @@ impl SynopsisStore {
                 for (p, sub) in by_partition {
                     let mut shard = self.write_shard(p);
                     let inserted = self
+                        // analyze:allow(lock-discipline) per-sub-tuple append to this shard's own WAL; the shard lock is the designed commit serialisation point
                         .insert_locked(p, &mut shard, StreamRecord::Alternatives(sub))
                         .and_then(|task| {
                             compactions.extend(task);
+                            // analyze:allow(lock-discipline) commit of this shard's own WAL under its own lock; no other shard's lock is ever taken here
                             self.commit_wal_locked(&mut shard)
                         });
                     if let Err(e) = inserted {
@@ -1037,11 +1041,13 @@ impl SynopsisStore {
         let mut compactions = Vec::new();
         let mut shard = self.write_shard(p);
         for record in records.drain(..) {
+            // analyze:allow(lock-discipline) batch ingest holds the shard lock across its own WAL appends on purpose: one group commit per batch is the whole point
             match self.insert_locked(p, &mut shard, record) {
                 Ok(task) => compactions.extend(task),
                 Err(e) => return (compactions, Some(e)),
             }
         }
+        // analyze:allow(lock-discipline) the batch's single group commit to this shard's own WAL
         let error = self.commit_wal_locked(&mut shard).err();
         (compactions, error)
     }
@@ -1153,6 +1159,7 @@ impl SynopsisStore {
                     .map_err(|e| blob_io("fsyncing a segment blob", e))?;
             }
         }
+        crashpoint::reached("mid-blob-publish");
         fs::rename(&tmp, durable.dir.join(&name))
             .map_err(|e| blob_io("publishing a segment blob", e))?;
         if sync == WalSync::Fsync {
@@ -1352,6 +1359,7 @@ impl SynopsisStore {
     pub fn seal_partition(&self, p: usize) -> Result<bool> {
         let (sealed, compaction) = {
             let mut shard = self.write_shard(p);
+            // analyze:allow(lock-discipline) freeze + WAL rotation must be atomic with the memtable swap; the expensive segment build runs after this guard drops
             self.seal_locked(p, &mut shard)?
         };
         self.run_compactions(compaction.into_iter().collect())?;
@@ -1367,6 +1375,7 @@ impl SynopsisStore {
         let mut tasks = Vec::new();
         for p in 0..self.num_partitions() {
             let mut shard = self.write_shard(p);
+            // analyze:allow(lock-discipline) freeze only swaps the memtable and rotates this shard's own WAL; segment builds run outside the guard
             if let Some(task) = self.freeze(p, &mut shard)? {
                 tasks.push(task);
             }
@@ -1751,6 +1760,7 @@ impl SynopsisStore {
                 let blob: &[u8] = match &sealed.binary {
                     Some(cached) => cached,
                     None => {
+                        // analyze:allow(lock-discipline) cold fallback for segments installed before blob caching: an in-memory encode under a read guard, no file I/O
                         encoded = sealed.segment.to_binary()?;
                         &encoded
                     }

@@ -112,7 +112,9 @@ pub fn frame_record(record: &StreamRecord) -> Result<String> {
     while payload.last() == Some(&b'\n') || payload.last() == Some(&b'\r') {
         payload.pop();
     }
-    let payload = String::from_utf8(payload).expect("stream line format is ascii");
+    let payload = String::from_utf8(payload).map_err(|_| PdsError::InvalidParameter {
+        message: "wal: serialised stream line is not valid utf-8".into(),
+    })?;
     Ok(format!(
         "r {} {:08x} {payload}\n",
         payload.len(),
@@ -185,6 +187,34 @@ fn parse_frame(line: &str) -> std::result::Result<StreamRecord, FrameError> {
     match (records.pop(), records.pop()) {
         (Some(record), None) => Ok(record),
         _ => Err(corrupt("frame payload is not exactly one record")),
+    }
+}
+
+/// Outcome of parsing one framed WAL line — the decoder surface the fuzz
+/// harness (`pds-analyze`) drives directly.  Mirrors the internal framing
+/// result: a valid record, a structurally short (torn) frame, or
+/// corruption with its reason.
+#[derive(Debug)]
+pub enum FrameOutcome {
+    /// The line framed a single valid record.
+    Record(StreamRecord),
+    /// The line is structurally short — a torn buffered append.  Tolerated
+    /// only on the final line of a *live* log.
+    Truncated,
+    /// A complete frame failing its checksum, length, or record parse:
+    /// corruption, never tolerated.
+    Corrupt(String),
+}
+
+/// Parses one framed WAL line without any tail tolerance, classifying the
+/// result.  This is [`frame_record`]'s decoding counterpart; the fuzzer
+/// asserts that no mutated line ever panics here and that a line whose CRC
+/// was corrupted never classifies as [`FrameOutcome::Record`].
+pub fn parse_frame_line(line: &str) -> FrameOutcome {
+    match parse_frame(line) {
+        Ok(record) => FrameOutcome::Record(record),
+        Err(FrameError::Truncated) => FrameOutcome::Truncated,
+        Err(FrameError::Corrupt(why)) => FrameOutcome::Corrupt(why),
     }
 }
 
@@ -376,6 +406,7 @@ impl PartitionWal {
                     .map_err(|e| io_err("fsyncing the staging log", e))?;
             }
         }
+        crate::crashpoint::reached("mid-wal-recovery-commit");
         fs::rename(&tmp, &live).map_err(|e| io_err("publishing the recovered live log", e))?;
         if sync == WalSync::Fsync {
             File::open(dir)

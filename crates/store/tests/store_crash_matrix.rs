@@ -109,7 +109,7 @@ struct Row {
     serial_count: u64,
 }
 
-const MATRIX: [Row; 10] = [
+const MATRIX: [Row; 12] = [
     // Crash right after the very first WAL append is flushed: exactly one
     // record is acknowledged and must replay.
     Row {
@@ -138,6 +138,14 @@ const MATRIX: [Row; 10] = [
     // The segment is built but neither blob nor manifest entry landed.
     Row {
         label: "built-pre-install",
+        at: 1,
+        serial_count: 6,
+    },
+    // The first blob is staged to `seg-*.bin.tmp` but never renamed: the
+    // manifest has no entry, the staging file is swept, the frozen WAL
+    // replays the seal.
+    Row {
+        label: "mid-blob-publish",
         at: 1,
         serial_count: 6,
     },
@@ -170,6 +178,16 @@ const MATRIX: [Row; 10] = [
         label: "mid-manifest-publish",
         at: 2,
         serial_count: 12,
+    },
+    // The recovered live log is staged to `wal-*.log.tmp` but never
+    // renamed.  Hit 1 fires during the child's *initial* `open_with_wal`
+    // (the phase-3 commit of partition 0 on an empty directory), so the
+    // child dies before acknowledging anything and the parent recovers an
+    // empty store.
+    Row {
+        label: "mid-wal-recovery-commit",
+        at: 1,
+        serial_count: 0,
     },
 ];
 

@@ -51,6 +51,7 @@
 //! | `crates/wavelet`  | `pds-wavelet`   | Haar transform, SSE and non-SSE thresholding |
 //! | `crates/store`    | `pds-store`     | concurrent sharded ingest memtables, background sealing, per-partition WALs, compaction, store persistence |
 //! | `crates/bench`    | `pds-bench`     | workloads, report tables, figure binaries  |
+//! | `crates/analyze`  | `pds-analyze`   | workspace invariant checker (lock discipline, panic-freedom, binio framing, crash-point coverage) + deterministic decoder/recovery fuzzer |
 //!
 //! ### Multi-core execution
 //!
@@ -98,6 +99,8 @@
 //! cargo run --release -p pds-bench --bin example1    # paper Example 1
 //! cargo run --release -p pds-bench --bin figure2     # paper Figure 2 tables
 //! cargo run --release --example quickstart           # guided tour
+//! cargo run -p pds-analyze -- check                  # static invariant lints
+//! cargo run --release -p pds-analyze -- fuzz         # 50k-mutation decoder fuzz
 //! ```
 //!
 //! The figure binaries (`example1`, `figure2`, `figure3`, `figure4`,
