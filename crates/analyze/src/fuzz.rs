@@ -40,6 +40,7 @@ use pds_core::generator::test_workloads;
 use pds_core::metrics::ErrorMetric;
 use pds_core::stream::StreamRecord;
 use pds_histogram::{build_histogram, Histogram};
+use pds_server::proto;
 use pds_store::manifest::Manifest;
 use pds_store::wal::{self, FrameOutcome};
 use pds_store::{PartitionSpec, Segment, StoreConfig, SynopsisKind, SynopsisStore, WalSync};
@@ -66,6 +67,8 @@ pub enum Kind {
     ManifestBytes,
     /// `wal::parse_frame_line` (`r <len> <crc32> <payload>` text frame).
     WalFrame,
+    /// `pds_server::proto::parse_command_bytes` (one network command line).
+    Cmd,
 }
 
 impl Kind {
@@ -80,6 +83,7 @@ impl Kind {
             Kind::Store => "store",
             Kind::ManifestBytes => "manifest",
             Kind::WalFrame => "walframe",
+            Kind::Cmd => "cmd",
         }
     }
 
@@ -93,6 +97,7 @@ impl Kind {
             "store" => Kind::Store,
             "manifest" => Kind::ManifestBytes,
             "walframe" => Kind::WalFrame,
+            "cmd" => Kind::Cmd,
             _ => return None,
         })
     }
@@ -407,6 +412,23 @@ fn seed_inputs(seed: u64) -> pds_core::error::Result<Vec<SeedInput>> {
     ] {
         seeds.push(SeedInput::frame(wal::frame_record(&record)?));
     }
+
+    // Network command lines: one valid seed per verb so mutations explore
+    // every arm of the server's decode surface.
+    for line in [
+        &b"PING\n"[..],
+        b"EST 17\n",
+        b"RANGE 3 250\n",
+        b"STATS\n",
+        b"MERGE 8\n",
+        b"INGEST 1024\n",
+        b"SEAL\n",
+        b"FLUSH\n",
+        b"SNAPSHOT\n",
+        b"QUIT\n",
+    ] {
+        seeds.push(SeedInput::plain(Kind::Cmd, line.to_vec()));
+    }
     Ok(seeds)
 }
 
@@ -625,6 +647,9 @@ fn decode_once(kind: Kind, bytes: &[u8]) -> bool {
             // A byte mutation that breaks UTF-8 is rejected before framing.
             Err(_) => false,
         },
+        // The server's command parser is total: arbitrary bytes must parse
+        // or reject, never panic — the `ERR`-line-and-survive contract.
+        Kind::Cmd => proto::parse_command_bytes(bytes).is_ok(),
     }
 }
 
@@ -870,6 +895,7 @@ pub fn replay_corpus(dir: &Path) -> Result<usize, Vec<String>> {
                 Kind::Store,
                 Kind::ManifestBytes,
                 Kind::WalFrame,
+                Kind::Cmd,
             ],
         };
         for kind in kinds {

@@ -17,7 +17,8 @@
 //!
 //! ## Rule catalogue
 //!
-//! ### `lock-discipline` (files under `crates/store/src`)
+//! ### `lock-discipline` (files under `crates/store/src` and
+//! `crates/server/src`)
 //!
 //! **What:** no shard `read()`/`write()` guard (including the
 //! `write_shard`/`read_shard` helpers) may live across file I/O, fsync,
@@ -25,7 +26,12 @@
 //! store's I/O-wrapping helpers, or another lock acquisition.  The rule
 //! flags every such call in the token window between the guard's binding
 //! and the end of its enclosing block (or `drop(guard)`); guards that are
-//! never bound are tracked to the end of their statement.
+//! never bound are tracked to the end of their statement.  In
+//! `crates/server/src` a zero-arg `.lock()` counts as an acquisition too:
+//! the server's connection-queue mutex may never be held across socket
+//! I/O or a store call.  (Store files are exempt from the `.lock()` shape
+//! on purpose — the WAL's internal mutex exists precisely to serialise its
+//! own file I/O.)
 //!
 //! **Why:** PR 5 narrowed every durable commit to *"write blob + manifest
 //! first, lock only for the in-memory swap"* — holding a shard lock across
@@ -40,22 +46,33 @@
 //! whole function.
 //!
 //! ### `panic-freedom` (`pds-core::binio`, store `wal.rs` / `manifest.rs` /
-//! `segment.rs`)
+//! `segment.rs`; all of `crates/server/src`; the query-path functions of
+//! `store.rs`)
 //!
-//! **What:** in non-test code of the durability-critical files, no
+//! **What:** in non-test code of the covered scope, no
 //! `.unwrap()` / `.expect()`, no `panic!` / `todo!` / `unimplemented!` /
 //! `unreachable!`, and no index expression without visible bounds
-//! evidence.  Evidence (deliberately coarse — this is a reviewer aid with
+//! evidence.  Coverage has three tiers: the four durability-critical
+//! decoder files and the whole `pds-server` crate are covered wall to
+//! wall, while `crates/store/src/store.rs` is covered only inside the
+//! query-path functions (`range_estimate`, `estimate`, `stats`,
+//! `partition_pieces`, `merge_global`, `snapshot_view`, `read_shard` and
+//! the `SnapshotView` accessors) — the write paths *should* panic rather
+//! than keep mutating behind a poisoned lock.  Evidence (deliberately coarse — this is a reviewer aid with
 //! an escape hatch, not a prover): the value passed a `?` check, the index
 //! contains a mask/modulus/`min`/`max`, the enclosing scope calls a
 //! length/slicing helper (`len`, `remaining`, `chunks`, `split_at`, …)
 //! before the site, or the indexed local is a fixed-size array literal.
 //!
 //! **Why:** these files parse *untrusted bytes* (blobs, WAL tails,
-//! manifests after a crash).  Every failure must surface as `PdsError` so
-//! recovery can proceed; a panic in a decoder turns a torn write into an
-//! unrecoverable store.  The fuzzer ([`fuzz`]) enforces the same contract
-//! dynamically; this rule keeps the panics from being written at all.
+//! manifests after a crash — and, for `pds-server`, arbitrary network
+//! input).  Every failure must surface as an error (`PdsError`, or an
+//! `ERR` protocol line) so recovery and serving can proceed; a panic in a
+//! decoder turns a torn write into an unrecoverable store, and a panic on
+//! the serving path lets one hostile client kill the process.  The fuzzer
+//! ([`fuzz`]) enforces the same contract dynamically (including the `cmd`
+//! target over the server's command parser); this rule keeps the panics
+//! from being written at all.
 //!
 //! **Suppress:** `// analyze:allow(panic-freedom) <why it cannot fire>`.
 //!

@@ -304,13 +304,17 @@ const LOCK_BANNED_CALLS: &[&str] = &[
 const LOCK_BANNED_PATHS: &[&str] = &["fs", "File", "OpenOptions", "PartitionWal", "Manifest"];
 
 /// `.read()` / `.write()` (zero-arg: the RwLock shape, not `io::Write`) or
-/// `write_shard(` / `read_shard(` at `i`.  Returns `(last_token_of_pattern,
+/// `write_shard(` / `read_shard(` at `i`.  With `include_mutex`, zero-arg
+/// `.lock()` counts too — used for `pds-server`, where the connection-queue
+/// `Mutex` must never be held across I/O or store calls.  (Store files keep
+/// `include_mutex` off: the WAL's internal mutex exists precisely to
+/// serialise its own file I/O.)  Returns `(last_token_of_pattern,
 /// description)`.
-fn acquisition_at(tokens: &[Token], i: usize) -> Option<(usize, String)> {
+fn acquisition_at(tokens: &[Token], i: usize, include_mutex: bool) -> Option<(usize, String)> {
     if tokens[i].is_punct(".")
-        && tokens
-            .get(i + 1)
-            .is_some_and(|t| t.is_ident("read") || t.is_ident("write"))
+        && tokens.get(i + 1).is_some_and(|t| {
+            t.is_ident("read") || t.is_ident("write") || (include_mutex && t.is_ident("lock"))
+        })
         && tokens.get(i + 2).is_some_and(|t| t.is_punct("("))
         && tokens.get(i + 3).is_some_and(|t| t.is_punct(")"))
     {
@@ -352,7 +356,7 @@ fn find_binding(tokens: &[Token], lo: usize, acq: usize) -> Option<(usize, Strin
     None
 }
 
-fn lock_discipline(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+fn lock_discipline(model: &SourceModel, include_mutex: bool, out: &mut Vec<Diagnostic>) {
     let tokens = &model.tokens;
     for f in &model.fns {
         let Some((open, close)) = f.body else {
@@ -364,7 +368,7 @@ fn lock_discipline(model: &SourceModel, out: &mut Vec<Diagnostic>) {
                 i += 1;
                 continue;
             }
-            let Some((acq_end, desc)) = acquisition_at(tokens, i) else {
+            let Some((acq_end, desc)) = acquisition_at(tokens, i, include_mutex) else {
                 i += 1;
                 continue;
             };
@@ -427,7 +431,15 @@ fn lock_discipline(model: &SourceModel, out: &mut Vec<Diagnostic>) {
                     (acq_end + 1, end, format!("temporary {desc} guard"))
                 }
             };
-            scan_lock_window(model, win_start, win_end, &label, guard_line, out);
+            scan_lock_window(
+                model,
+                win_start,
+                win_end,
+                &label,
+                guard_line,
+                include_mutex,
+                out,
+            );
             i = acq_end + 1;
         }
     }
@@ -439,6 +451,7 @@ fn scan_lock_window(
     end: usize,
     label: &str,
     guard_line: u32,
+    include_mutex: bool,
     out: &mut Vec<Diagnostic>,
 ) {
     let tokens = &model.tokens;
@@ -471,7 +484,7 @@ fn scan_lock_window(
             continue;
         }
         // Nested lock acquisition.
-        if let Some((acq_end, desc)) = acquisition_at(tokens, b) {
+        if let Some((acq_end, desc)) = acquisition_at(tokens, b, include_mutex) {
             out.push(Diagnostic {
                 file: model.display(),
                 line: t.line,
@@ -539,10 +552,63 @@ const GUARD_EVIDENCE: &[&str] = &[
     "clamp",
 ];
 
-fn panic_freedom(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+/// The query-path functions of `crates/store/src/store.rs` held to
+/// panic-freedom: everything a network front-end exposes directly
+/// (`pds-server` routes client commands here), plus the helpers they answer
+/// through.  Write paths (`ingest`, seal, compaction) stay outside the rule
+/// — a writer observing lock poison *must* panic rather than keep mutating.
+const STORE_QUERY_FNS: &[&str] = &[
+    "range_estimate",
+    "estimate",
+    "stats",
+    "partition_pieces",
+    "merge_global",
+    "snapshot_view",
+    "read_shard",
+    "n",
+    "num_partitions",
+    "segment_count",
+    "live_records",
+];
+
+/// Whole-file panic-freedom: the durability-critical decoder files and
+/// every non-test line of `pds-server`.
+fn panic_freedom(model: &SourceModel, context: &str, out: &mut Vec<Diagnostic>) {
+    panic_freedom_scoped(model, context, |_| true, out);
+}
+
+/// Panic-freedom restricted to the bodies of the named functions — used for
+/// the store's query path, where the same file also holds write paths that
+/// are *supposed* to panic on poisoned locks.
+fn panic_freedom_fns(
+    model: &SourceModel,
+    names: &[&str],
+    context: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let bodies: Vec<(usize, usize)> = model
+        .fns
+        .iter()
+        .filter(|f| names.contains(&f.name.as_str()))
+        .filter_map(|f| f.body)
+        .collect();
+    panic_freedom_scoped(
+        model,
+        context,
+        |i| bodies.iter().any(|&(open, close)| i > open && i < close),
+        out,
+    );
+}
+
+fn panic_freedom_scoped(
+    model: &SourceModel,
+    context: &str,
+    in_scope: impl Fn(usize) -> bool,
+    out: &mut Vec<Diagnostic>,
+) {
     let tokens = &model.tokens;
     for i in 0..tokens.len() {
-        if model.in_test(i) {
+        if model.in_test(i) || !in_scope(i) {
             continue;
         }
         let t = &tokens[i];
@@ -558,8 +624,8 @@ fn panic_freedom(model: &SourceModel, out: &mut Vec<Diagnostic>) {
                 col: t.col,
                 rule: RULE_PANIC,
                 message: format!(
-                    "`.{}()` in durability-critical code: corrupted input must \
-                     surface as `PdsError`, not a panic",
+                    "`.{}()` in {context}: hostile input must surface as an \
+                     error, not a panic",
                     t.text
                 ),
             });
@@ -574,7 +640,7 @@ fn panic_freedom(model: &SourceModel, out: &mut Vec<Diagnostic>) {
                 line: t.line,
                 col: t.col,
                 rule: RULE_PANIC,
-                message: format!("`{}!` in durability-critical code", t.text),
+                message: format!("`{}!` in {context}", t.text),
             });
             continue;
         }
@@ -1063,8 +1129,15 @@ fn path_str(model: &SourceModel) -> String {
 /// Run every applicable rule over `models` and fold allow-suppression.
 ///
 /// Scoping (by workspace-relative path):
-/// * `lock-discipline`, `crash-coverage` — files under `crates/store/src`;
-/// * `panic-freedom` — the four durability-critical files (see crate docs);
+/// * `lock-discipline` — files under `crates/store/src` (shard-lock shapes)
+///   and `crates/server/src` (additionally treating zero-arg `.lock()` as
+///   an acquisition: the server may hold no lock across I/O or store
+///   calls);
+/// * `crash-coverage` — files under `crates/store/src`;
+/// * `panic-freedom` — the four durability-critical files (see crate docs),
+///   the whole of `crates/server/src` (the serving path: hostile bytes must
+///   cost an `ERR` line, never the process), and the query-path functions
+///   of `crates/store/src/store.rs` (`STORE_QUERY_FNS`);
 /// * `binio-framing` — all `src` files;
 /// * files under `tests/` participate only as the crash-matrix label list.
 pub fn analyze_sources(models: &[SourceModel]) -> Report {
@@ -1078,10 +1151,21 @@ pub fn analyze_sources(models: &[SourceModel]) -> Report {
     for model in &src_models {
         let p = path_str(model);
         if p.contains("crates/store/src") {
-            lock_discipline(model, &mut raw);
+            lock_discipline(model, false, &mut raw);
+        }
+        if p.contains("crates/server/src") {
+            lock_discipline(model, true, &mut raw);
+            panic_freedom(model, "the serving path", &mut raw);
         }
         if PANIC_FILES.iter().any(|f| p.ends_with(f)) {
-            panic_freedom(model, &mut raw);
+            panic_freedom(model, "durability-critical code", &mut raw);
+        } else if p.ends_with("crates/store/src/store.rs") {
+            panic_freedom_fns(
+                model,
+                STORE_QUERY_FNS,
+                "the panic-free query path",
+                &mut raw,
+            );
         }
     }
 

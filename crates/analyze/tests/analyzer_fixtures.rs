@@ -57,6 +57,41 @@ fn panic_freedom_fires_on_seeded_spans_only() {
 }
 
 #[test]
+fn query_path_scoping_fires_inside_query_fns_only() {
+    let report = analyze(&[(
+        "crates/store/src/store.rs",
+        include_str!("fixtures/query_path_violation.rs"),
+    )]);
+    assert_eq!(
+        findings(&report),
+        vec![(7, RULE_PANIC), (8, RULE_PANIC)],
+        "expected the index and unwrap seeds inside `range_estimate` only \
+         (the identical shapes in `ingest` are write-path): {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn server_crate_is_wholly_on_the_serving_path_contract() {
+    let report = analyze(&[(
+        "crates/server/src/conn_fixture.rs",
+        include_str!("fixtures/server_violation.rs"),
+    )]);
+    assert_eq!(
+        findings(&report),
+        vec![
+            (6, RULE_PANIC),
+            (10, RULE_PANIC),
+            (11, RULE_LOCK),
+            (11, RULE_PANIC),
+        ],
+        "expected write_all under the connection mutex plus the three \
+         panic seeds: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
 fn binio_framing_fires_on_seeded_spans_only() {
     let report = analyze(&[(
         "crates/core/src/framing_fixture.rs",

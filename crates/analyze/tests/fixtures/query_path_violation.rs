@@ -1,0 +1,16 @@
+//! Fixture: panic-freedom is scoped to the query-path functions of
+//! `store.rs` — seeds inside `range_estimate` fire; the same shapes in
+//! the write path (`ingest`) stay silent, as writers must panic on poison.
+
+pub fn range_estimate(lo: usize, hi: usize) -> f64 {
+    let v = vec![1.0, 2.0];
+    let first = v[lo];
+    let last = v.get(hi).copied().unwrap();
+    first + last
+}
+
+pub fn ingest(item: usize) -> f64 {
+    let v = vec![1.0, 2.0];
+    let sum = v[item] + v.get(item).copied().unwrap();
+    panic!("writers may panic on poisoned state: {sum}")
+}

@@ -1,0 +1,12 @@
+//! Fixture: the whole `pds-server` crate is on the serving-path contract —
+//! panics anywhere in non-test code, and I/O while the connection-queue
+//! mutex is held, must fire.
+
+pub fn reply(values: &[f64], idx: usize) -> f64 {
+    values[idx]
+}
+
+pub fn drain(queue: &std::sync::Mutex<Vec<u8>>, out: &mut dyn std::io::Write) {
+    let guard = queue.lock().unwrap();
+    out.write_all(&guard).unwrap();
+}

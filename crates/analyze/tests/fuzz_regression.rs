@@ -15,7 +15,7 @@ fn corpus_replays_clean() {
     let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
     match fuzz::replay_corpus(&corpus) {
         Ok(replayed) => assert!(
-            replayed >= 38,
+            replayed >= 54,
             "corpus shrank: only {replayed} replays ran — were files deleted?"
         ),
         Err(errors) => panic!("corpus regression:\n{}", errors.join("\n")),

@@ -1,0 +1,73 @@
+//! # pds-server
+//!
+//! A concurrent TCP front-end serving approximate-query-processing reads
+//! (and ingest) over a [`SynopsisStore`] — the network surface on top of
+//! the panic-free query path: reads execute against immutable
+//! [`SnapshotView`]s (`Arc`-cloned segment handles plus memtable copies
+//! captured under one brief read lock per shard), so queries never block
+//! ingest and never hold a shard lock across socket I/O.
+//!
+//! ## Protocol
+//!
+//! Line-oriented text commands, one per line (`\n`-terminated; a trailing
+//! `\r` is tolerated).  Fields are separated by ASCII whitespace and verbs
+//! are case-sensitive upper-case.  Every command is answered by exactly one
+//! response line — optionally followed by a raw binary body — so clients
+//! can pipeline freely:
+//!
+//! | Command | Reply | Meaning |
+//! |---|---|---|
+//! | `PING` | `OK pong` | liveness probe |
+//! | `EST <item>` | `OK <f64>` | expected frequency of one item, from a fresh snapshot view |
+//! | `RANGE <lo> <hi>` | `OK <f64>` | expected total frequency over the inclusive range |
+//! | `STATS` | `OK ingested=<u64> live=<u64> seals=<u64> segments=<n> split=<u64>` | point-in-time counters |
+//! | `MERGE <b>` | `OK BIN <len>` + `<len>` bytes | global `b`-bucket merged histogram, `PDSH` binio envelope |
+//! | `SNAPSHOT` | `OK BIN <len>` + `<len>` bytes | seal everything and serialise, `PDST` binio envelope |
+//! | `INGEST <count>` | `OK <records>` | the next `count` lines are stream-format records (see below) |
+//! | `SEAL` | `OK sealed` | seal every live memtable |
+//! | `FLUSH` | `OK flushed` | wait for background seals, surface their errors |
+//! | `QUIT` | `OK bye` | close the connection |
+//!
+//! Replies beginning `OK` are successes; anything the server cannot parse
+//! or execute is answered with a single `ERR <reason>` line and the
+//! **connection survives** — a malformed, oversized, or torn command can
+//! cost at most its own batch, never the process or the session.  Float
+//! replies use Rust's shortest round-trip formatting, so parsing the text
+//! back yields bit-identical values to direct [`SynopsisStore`] calls.
+//!
+//! `INGEST <count>` is followed by exactly `count` lines in the existing
+//! stream text format of `pds_core::io` (`b <item> <prob>`,
+//! `x <item>:<prob> ...`, `v <item> <freq>:<prob> ...`, `#` comments and
+//! blank lines ignored).  The batch is parsed **after** all `count` lines
+//! are consumed, so a malformed record rejects the whole batch with `ERR`
+//! while the connection stays framing-aligned; nothing from a rejected
+//! batch is ingested.  Bulk responses (`MERGE`, `SNAPSHOT`) reuse the
+//! workspace's versioned binio envelopes verbatim — the `<len>` bytes
+//! after `OK BIN <len>` are exactly what `Histogram::from_binary` /
+//! `SynopsisStore::from_binary` accept.
+//!
+//! ## Concurrency model
+//!
+//! Connections are multiplexed over a fixed worker pool sized by
+//! `pds_core::pool::num_threads()` — the same `PDS_THREADS` /
+//! `set_num_threads` resolution every other parallel path in the
+//! workspace uses.  An admission gate caps concurrently admitted
+//! connections ([`ServerConfig::max_connections`]); excess connections are
+//! answered `ERR server at capacity` and closed instead of queueing
+//! unboundedly.  Every connection carries read and write timeouts, and a
+//! per-line byte cap bounds memory per connection.
+//!
+//! The whole crate is covered by the pds-analyze **panic-freedom** rule
+//! (and lock-discipline): no `unwrap`/`expect`/indexing on the serving
+//! path, no lock held across I/O — hostile input degrades to `ERR` lines.
+//!
+//! [`SynopsisStore`]: pds_store::SynopsisStore
+//! [`SnapshotView`]: pds_store::SnapshotView
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod proto;
+mod server;
+
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -112,5 +112,5 @@ pub mod wal;
 pub use compaction::CompactionPolicy;
 pub use memtable::Memtable;
 pub use segment::{Segment, SegmentSynopsis, SynopsisKind};
-pub use store::{PartitionSpec, StoreConfig, StoreStats, SynopsisStore};
+pub use store::{PartitionSpec, SnapshotView, StoreConfig, StoreStats, SynopsisStore};
 pub use wal::{PartitionWal, WalSync};

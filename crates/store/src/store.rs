@@ -29,7 +29,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use pds_core::binio::{crc32, ByteReader, ByteWriter};
 use pds_core::error::{PdsError, Result};
@@ -92,12 +92,15 @@ impl PartitionSpec {
 
     /// Domain size `n`.
     pub fn n(&self) -> usize {
-        *self.bounds.last().expect("non-empty bounds")
+        // `from_bounds` guarantees at least two bounds, but the query path
+        // must stay panic-free even on a degenerate spec: an empty or
+        // single-`0` bounds vector is simply an empty domain.
+        self.bounds.last().copied().unwrap_or(0)
     }
 
     /// Number of partitions.
     pub fn len(&self) -> usize {
-        self.bounds.len() - 1
+        self.bounds.len().saturating_sub(1)
     }
 
     /// Always false: a spec names at least one partition.
@@ -345,7 +348,7 @@ impl Clone for SynopsisStore {
             .shards
             .iter()
             .map(|s| {
-                let shard = s.read().expect("shard lock poisoned");
+                let shard = s.read().unwrap_or_else(|e| e.into_inner());
                 // Fold any in-flight frozen memtables back into the cloned
                 // live buffer (newest-first prepending restores arrival
                 // order), so a clone racing a background seal still holds
@@ -738,33 +741,57 @@ impl SynopsisStore {
         self.inner.shards[p].write().expect("shard lock poisoned")
     }
 
+    /// Shared read access to partition `p`'s shard, recovering from lock
+    /// poisoning.  Poison recovery is sound for readers: a writer that
+    /// panicked mid-mutation left the shard in whatever state its last
+    /// completed assignment produced, and every shard field is a valid
+    /// value at every assignment boundary (memtables and segment vectors
+    /// are replaced wholesale, never patched in place) — so one crashed
+    /// writer must not wedge every query forever.  Returns `None` when `p`
+    /// is out of range, which readers treat as an empty partition.
+    fn read_shard(&self, p: usize) -> Option<RwLockReadGuard<'_, Shard>> {
+        self.inner
+            .shards
+            .get(p)
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
     /// A point-in-time copy of partition `p`'s live memtable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p >= num_partitions()` (like slice indexing).
     pub fn memtable_snapshot(&self, p: usize) -> Memtable {
         self.inner.shards[p]
             .read()
-            .expect("shard lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .memtable
             .clone()
     }
 
     /// A point-in-time copy of partition `p`'s sealed segments, oldest
     /// (lowest seal sequence) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p >= num_partitions()` (like slice indexing).
     pub fn segments(&self, p: usize) -> Vec<Segment> {
         self.inner.shards[p]
             .read()
-            .expect("shard lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .segments
             .iter()
             .map(|s| (*s.segment).clone())
             .collect()
     }
 
-    /// Point-in-time counters.
+    /// Point-in-time counters.  Poison-recovering (see `read_shard`): a
+    /// panicked writer cannot take the stats endpoint down with it.
     pub fn stats(&self) -> StoreStats {
         let mut live_records = 0u64;
         let mut segments = 0usize;
         for shard in &self.inner.shards {
-            let shard = shard.read().expect("shard lock poisoned");
+            let shard = shard.read().unwrap_or_else(|e| e.into_inner());
             live_records += shard.memtable.len() as u64;
             // In-flight frozen memtables are still unsealed records.
             live_records += shard
@@ -1438,9 +1465,12 @@ impl SynopsisStore {
     }
 
     /// The summed piecewise-constant summary of partition `p`'s sealed
-    /// segments (`None` when the partition has no segments).
+    /// segments (`None` when the partition has no segments or `p` is out of
+    /// range).  Poison-recovering (see `read_shard`).
     fn partition_pieces(&self, p: usize) -> Result<Option<Vec<Piece>>> {
-        let shard = self.inner.shards[p].read().expect("shard lock poisoned");
+        let Some(shard) = self.read_shard(p) else {
+            return Ok(None);
+        };
         match shard.segments.len() {
             0 => Ok(None),
             1 => Ok(Some(shard.segments[0].segment.pieces())),
@@ -1642,6 +1672,11 @@ impl SynopsisStore {
     /// pool task per partition.  Live memtable records are **not** included
     /// — seal first for a full snapshot.
     pub fn merge_global(&self, b: usize) -> Result<Histogram> {
+        if b == 0 {
+            return Err(PdsError::InvalidParameter {
+                message: "merge_global needs a bucket budget of at least 1".into(),
+            });
+        }
         let per_partition = pool::parallel_map((0..self.num_partitions()).collect(), |p| {
             self.partition_pieces(p)
         });
@@ -1655,6 +1690,18 @@ impl SynopsisStore {
                 }
             }
         }
+        // More buckets than candidate cut ranges would silently clamp in
+        // the DP and hand back fewer buckets than asked for; surface the
+        // bad budget instead of a degenerate histogram.
+        if b > pieces.len() {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "merge budget {b} exceeds the {} available synopsis piece(s); \
+                     seal more data or lower b",
+                    pieces.len()
+                ),
+            });
+        }
         optimal_piecewise_histogram(&pieces, b)
     }
 
@@ -1662,26 +1709,33 @@ impl SynopsisStore {
     /// item range `[lo, hi]`: sealed segments answer from their synopses,
     /// live memtables from their exact running expectations.  Read-locks
     /// only the shards overlapping the range.
+    ///
+    /// Total on the panic-free serving contract: a range lying (partly or
+    /// wholly) outside the domain is clamped to it, an empty-domain store
+    /// answers 0.0, and shard-lock poisoning is recovered from (see
+    /// `read_shard`) — a network front-end can expose this path directly.
     pub fn range_estimate(&self, lo: usize, hi: usize) -> f64 {
-        let hi = hi.min(self.n().saturating_sub(1));
+        let n = self.n();
+        if n == 0 {
+            return 0.0;
+        }
+        let hi = hi.min(n - 1);
         if lo > hi {
             return 0.0;
         }
-        let first = self
-            .inner
-            .config
-            .partitions
-            .partition_of(lo)
-            .expect("lo in domain");
-        let last = self
-            .inner
-            .config
-            .partitions
-            .partition_of(hi)
-            .expect("hi in domain");
+        // `lo <= hi < n`, so both lookups are in-domain; degrade to an
+        // empty answer rather than panic if that invariant ever breaks.
+        let (Ok(first), Ok(last)) = (
+            self.inner.config.partitions.partition_of(lo),
+            self.inner.config.partitions.partition_of(hi),
+        ) else {
+            return 0.0;
+        };
         let mut total = 0.0;
         for p in first..=last {
-            let shard = self.inner.shards[p].read().expect("shard lock poisoned");
+            let Some(shard) = self.read_shard(p) else {
+                continue;
+            };
             for sealed in &shard.segments {
                 total += sealed.segment.range_sum(lo, hi);
             }
@@ -1698,6 +1752,39 @@ impl SynopsisStore {
     /// The estimated expected frequency of one item.
     pub fn estimate(&self, item: usize) -> f64 {
         self.range_estimate(item, item)
+    }
+
+    /// An immutable point-in-time view of the whole store for serving
+    /// queries: per partition, the `Arc`-cloned sealed-segment handles, the
+    /// `Arc`-cloned frozen memtables and a copy of the live memtable, all
+    /// captured under one brief read lock per shard (poison-recovering,
+    /// see `read_shard`).  The view answers [`SnapshotView::range_estimate`]
+    /// with **bitwise** the value the store itself would have answered at
+    /// capture time, holds no locks, and is unaffected by later ingest —
+    /// a network front-end can serve from it without ever holding a shard
+    /// lock across I/O.
+    pub fn snapshot_view(&self) -> SnapshotView {
+        let parts = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.read().unwrap_or_else(|e| e.into_inner());
+                ViewPartition {
+                    segments: shard
+                        .segments
+                        .iter()
+                        .map(|sealed| Arc::clone(&sealed.segment))
+                        .collect(),
+                    memtable: shard.memtable.clone(),
+                    frozen: shard.frozen.iter().map(|(_, m)| Arc::clone(m)).collect(),
+                }
+            })
+            .collect();
+        SnapshotView {
+            partitions: self.inner.config.partitions.clone(),
+            parts,
+        }
     }
 
     /// Serialises the sealed state into the compact binary format.  Live
@@ -1750,7 +1837,7 @@ impl SynopsisStore {
         w.put_varint(self.inner.seals.load(Ordering::Relaxed));
         w.put_varint(self.inner.split_tuples.load(Ordering::Relaxed));
         for shard in &self.inner.shards {
-            let shard = shard.read().expect("shard lock poisoned");
+            let shard = shard.read().unwrap_or_else(|e| e.into_inner());
             w.put_varint(shard.segments.len() as u64);
             for sealed in &shard.segments {
                 // Installed segments carry their encoding from install (or
@@ -1912,6 +1999,95 @@ fn decode_synopsis_kind(r: &mut ByteReader<'_>) -> Result<SynopsisKind> {
         other => Err(PdsError::InvalidParameter {
             message: format!("store: unknown synopsis kind tag {other}"),
         }),
+    }
+}
+
+/// One partition of a [`SnapshotView`]: the `Arc`-shared sealed segments,
+/// the `Arc`-shared frozen memtables and a copy of the live memtable at
+/// capture time.
+#[derive(Debug, Clone)]
+struct ViewPartition {
+    segments: Vec<Arc<Segment>>,
+    memtable: Memtable,
+    frozen: Vec<Arc<Memtable>>,
+}
+
+/// An immutable point-in-time view of a [`SynopsisStore`], captured by
+/// [`SynopsisStore::snapshot_view`]: answers point/range estimates
+/// **bitwise-identically** to the store at capture time, holds no locks,
+/// shares the sealed segments (and frozen memtables) by `Arc` rather than
+/// copying them, and is isolated from every later ingest, seal or
+/// compaction.  The serving surface for read paths that must never block
+/// writers or hold a shard lock across I/O.
+#[derive(Debug, Clone)]
+pub struct SnapshotView {
+    partitions: PartitionSpec,
+    parts: Vec<ViewPartition>,
+}
+
+impl SnapshotView {
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.partitions.n()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Sealed segments captured by the view, summed over all partitions.
+    pub fn segment_count(&self) -> usize {
+        self.parts.iter().map(|p| p.segments.len()).sum()
+    }
+
+    /// Records still unsealed at capture time (live + frozen memtables).
+    pub fn live_records(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|p| p.memtable.len() as u64 + p.frozen.iter().map(|m| m.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Estimated expected total frequency over the inclusive item range
+    /// `[lo, hi]` **at capture time**: same clamping, same summation order
+    /// and therefore bitwise the same value as
+    /// [`SynopsisStore::range_estimate`] on the store the view was taken
+    /// from.  Panic-free on any input.
+    pub fn range_estimate(&self, lo: usize, hi: usize) -> f64 {
+        let n = self.n();
+        if n == 0 {
+            return 0.0;
+        }
+        let hi = hi.min(n - 1);
+        if lo > hi {
+            return 0.0;
+        }
+        let (Ok(first), Ok(last)) = (
+            self.partitions.partition_of(lo),
+            self.partitions.partition_of(hi),
+        ) else {
+            return 0.0;
+        };
+        let mut total = 0.0;
+        for p in first..=last {
+            let Some(part) = self.parts.get(p) else {
+                continue;
+            };
+            for segment in &part.segments {
+                total += segment.range_sum(lo, hi);
+            }
+            total += part.memtable.range_sum(lo, hi);
+            for frozen in &part.frozen {
+                total += frozen.range_sum(lo, hi);
+            }
+        }
+        total
+    }
+
+    /// The estimated expected frequency of one item at capture time.
+    pub fn estimate(&self, item: usize) -> f64 {
+        self.range_estimate(item, item)
     }
 }
 
@@ -2432,5 +2608,171 @@ mod tests {
                 .is_err()
         );
         assert!(SynopsisStore::new(StoreConfig::new(spec, 4, 0, SynopsisKind::Wavelet)).is_err());
+    }
+
+    #[test]
+    fn empty_domain_store_answers_zero_not_panic() {
+        // Regression: `estimate(0)` used to clamp `hi` to 0 via
+        // `n().saturating_sub(1)` and then die on
+        // `partition_of(lo).expect("lo in domain")`.  A degenerate spec is
+        // only constructible in-module (from_bounds demands two bounds),
+        // which is exactly how a decoder bug or future refactor would
+        // produce it — the query path must shrug, not crash.
+        let spec = PartitionSpec { bounds: vec![0] };
+        assert_eq!(spec.n(), 0);
+        assert_eq!(spec.len(), 0);
+        let store = SynopsisStore::new(StoreConfig::new(
+            spec,
+            4,
+            4,
+            SynopsisKind::Histogram(ErrorMetric::Sse),
+        ))
+        .unwrap();
+        assert_eq!(store.n(), 0);
+        assert_eq!(store.estimate(0), 0.0);
+        assert_eq!(store.range_estimate(0, 0), 0.0);
+        assert_eq!(store.range_estimate(0, usize::MAX), 0.0);
+        assert_eq!(store.stats().live_records, 0);
+        let view = store.snapshot_view();
+        assert_eq!(view.estimate(0), 0.0);
+        assert_eq!(view.range_estimate(3, 99), 0.0);
+    }
+
+    #[test]
+    fn out_of_domain_ranges_clamp_to_zero() {
+        let store = SynopsisStore::new(config(16, 4, 1 << 20)).unwrap();
+        store
+            .ingest(StreamRecord::Basic { item: 2, prob: 0.5 })
+            .unwrap();
+        // Both endpoints past the domain: nothing to sum.
+        assert_eq!(store.range_estimate(16, 20), 0.0);
+        assert_eq!(store.estimate(usize::MAX), 0.0);
+        // `lo` in domain, `hi` clamped: the in-domain prefix still answers.
+        assert!((store.range_estimate(0, usize::MAX) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisoned_shard_still_answers_queries() {
+        let store = SynopsisStore::new(config(16, 2, 4)).unwrap();
+        for i in 0..8 {
+            store
+                .ingest(StreamRecord::Basic {
+                    item: i % 16,
+                    prob: 0.5,
+                })
+                .unwrap();
+        }
+        let before = store.range_estimate(0, 15);
+        let stats_before = store.stats();
+        // Poison shard 0: a thread panics while holding the write lock.
+        let lock = &store.inner.shards[0];
+        let poisoned = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = lock.write().unwrap();
+                panic!("poison the shard on purpose");
+            })
+            .join()
+            .is_err()
+        });
+        assert!(poisoned);
+        assert!(lock.is_poisoned(), "the write lock must now be poisoned");
+        // Read-only paths recover instead of propagating the panic.
+        assert_eq!(store.range_estimate(0, 15), before);
+        assert_eq!(store.estimate(2), store.estimate(2));
+        let stats_after = store.stats();
+        assert_eq!(stats_after.live_records, stats_before.live_records);
+        assert!(store.partition_pieces(0).is_ok());
+        let view = store.snapshot_view();
+        assert_eq!(view.range_estimate(0, 15), before);
+        let _ = store.memtable_snapshot(0);
+        let _ = store.segments(0);
+        let clone = store.clone();
+        assert_eq!(clone.range_estimate(0, 15), before);
+    }
+
+    #[test]
+    fn merge_global_rejects_zero_budget() {
+        let store = SynopsisStore::new(config(16, 4, 2)).unwrap();
+        store
+            .ingest_all(
+                basic_stream(BasicStreamConfig {
+                    n: 16,
+                    skew: 0.5,
+                    seed: 9,
+                })
+                .take(24),
+            )
+            .unwrap();
+        store.seal_all().unwrap();
+        assert!(matches!(
+            store.merge_global(0),
+            Err(PdsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_global_rejects_budget_over_available_pieces() {
+        // No sealed data: every partition contributes exactly one zero-run
+        // piece, so the available piece count is the partition count.
+        let store = SynopsisStore::new(config(16, 4, 1 << 20)).unwrap();
+        let merged = store.merge_global(4).unwrap();
+        assert_eq!(merged.n(), 16);
+        assert!(matches!(
+            store.merge_global(5),
+            Err(PdsError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            store.merge_global(usize::MAX),
+            Err(PdsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_view_is_bitwise_equal_and_isolated() {
+        let store = SynopsisStore::new(config(64, 4, 8)).unwrap();
+        store
+            .ingest_all(
+                basic_stream(BasicStreamConfig {
+                    n: 64,
+                    skew: 0.5,
+                    seed: 41,
+                })
+                .take(300),
+            )
+            .unwrap();
+        let view = store.snapshot_view();
+        assert_eq!(view.n(), 64);
+        assert_eq!(view.num_partitions(), 4);
+        // Bitwise equality against the live store on a sweep of ranges,
+        // including clamped and inverted ones.
+        for lo in (0..64).step_by(7) {
+            for hi in [lo, lo + 3, 63, 200] {
+                assert_eq!(
+                    view.range_estimate(lo, hi).to_bits(),
+                    store.range_estimate(lo, hi).to_bits(),
+                    "view must answer bitwise-identically at [{lo}, {hi}]"
+                );
+            }
+        }
+        let frozen_answer = view.range_estimate(0, 63);
+        let live_before = store.range_estimate(0, 63);
+        // Later ingest and sealing change the store, never the view.
+        store
+            .ingest_all(
+                basic_stream(BasicStreamConfig {
+                    n: 64,
+                    skew: 0.5,
+                    seed: 42,
+                })
+                .take(100),
+            )
+            .unwrap();
+        store.seal_all().unwrap();
+        assert!(store.range_estimate(0, 63) > live_before);
+        assert_eq!(
+            view.range_estimate(0, 63).to_bits(),
+            frozen_answer.to_bits()
+        );
+        assert!(view.live_records() + view.segment_count() as u64 > 0);
     }
 }

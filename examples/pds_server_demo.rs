@@ -1,0 +1,249 @@
+//! The TCP front-end under concurrent load: stream 100k+ uncertain tuples
+//! through `pds-server`'s `INGEST` command while query clients hammer
+//! `RANGE`/`EST` against snapshot views, then prove the served store is
+//! **bitwise indistinguishable** from a `SynopsisStore` driven directly by
+//! the same batches — float replies use Rust's shortest round-trip
+//! formatting, so even the text protocol loses no bits.
+//!
+//! ```text
+//! cargo run --release --example pds_server_demo
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use probsyn::core::io::{read_stream, write_stream};
+use probsyn::core::pool;
+use probsyn::prelude::*;
+use probsyn::server::{Server, ServerConfig, ServerHandle};
+
+const TUPLES: usize = 120_000;
+const BATCH: usize = 2_048;
+const DOMAIN: usize = 4_096;
+const PARTITIONS: usize = 16;
+const COMPARISON_QUERIES: usize = 1_500;
+
+/// A tiny line-protocol client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(handle.addr())?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn cmd(&mut self, line: &str) -> std::io::Result<String> {
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        self.writer.write_all(&framed)?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply)?;
+        Ok(reply.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn ok_value(&mut self, line: &str) -> std::io::Result<f64> {
+        let reply = self.cmd(line)?;
+        reply
+            .strip_prefix("OK ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad reply: {reply}")))
+    }
+
+    fn bin_body(&mut self, reply: &str) -> std::io::Result<Vec<u8>> {
+        let len: usize = reply
+            .strip_prefix("OK BIN ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad binary reply: {reply}")))?;
+        let mut bytes = vec![0u8; len];
+        self.reader.read_exact(&mut bytes)?;
+        Ok(bytes)
+    }
+}
+
+fn store_config() -> Result<StoreConfig> {
+    Ok(StoreConfig::new(
+        PartitionSpec::uniform(DOMAIN, PARTITIONS)?,
+        2_000,
+        24,
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    ))
+}
+
+fn main() -> Result<()> {
+    let io_err = |e: std::io::Error| PdsError::InvalidParameter {
+        message: format!("demo i/o failure: {e}"),
+    };
+    // The server multiplexes connections over the shared pool; the demo
+    // drives one ingest client plus several query clients concurrently, so
+    // make sure enough workers exist for all of them to be in flight.
+    if pool::num_threads() < 4 {
+        pool::set_num_threads(Some(4));
+    }
+    let queriers = (pool::num_threads() - 1).clamp(1, 3);
+
+    let store = Arc::new(SynopsisStore::new(store_config()?)?);
+    let server = Server::bind(
+        Arc::clone(&store),
+        ("127.0.0.1", 0),
+        ServerConfig::default(),
+    )
+    .map_err(io_err)?;
+    let handle = server.handle();
+    let serve_thread = std::thread::spawn(move || server.serve());
+    println!(
+        "pds-server listening on {} ({} pool workers, {queriers} query clients)\n",
+        handle.addr(),
+        pool::num_threads()
+    );
+
+    // Deterministic workload, pre-encoded into protocol batches.
+    let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+        n: DOMAIN,
+        skew: 0.7,
+        seed: 2009,
+    })
+    .take(TUPLES)
+    .collect();
+    let batches: Vec<String> = records
+        .chunks(BATCH)
+        .map(|batch| {
+            let mut bytes = Vec::new();
+            write_stream(batch.iter(), &mut bytes)?;
+            String::from_utf8(bytes).map_err(|_| PdsError::InvalidParameter {
+                message: "stream text must be UTF-8".into(),
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    // Phase 1: ingest through the socket while query clients race.
+    let done = AtomicBool::new(false);
+    let concurrent_queries = AtomicU64::new(0);
+    let ingest_started = Instant::now();
+    let ingest_time = std::thread::scope(|scope| -> std::io::Result<Duration> {
+        for q in 0..queriers {
+            let (handle, done, counter) = (&handle, &done, &concurrent_queries);
+            scope.spawn(move || -> std::io::Result<()> {
+                let mut client = Client::connect(handle)?;
+                let mut i = q as u64;
+                while !done.load(Ordering::SeqCst) {
+                    let lo = (i as usize * 131) % DOMAIN;
+                    let hi = lo + (i as usize % 257);
+                    let range = client.ok_value(&format!("RANGE {lo} {hi}"))?;
+                    let point = client.ok_value(&format!("EST {}", (i as usize * 17) % DOMAIN))?;
+                    assert!(range.is_finite() && point.is_finite());
+                    counter.fetch_add(2, Ordering::Relaxed);
+                    i += 1;
+                }
+                client.cmd("QUIT")?;
+                Ok(())
+            });
+        }
+        let mut ingest = Client::connect(&handle)?;
+        for text in &batches {
+            let lines = text.lines().count();
+            let mut payload = format!("INGEST {lines}\n").into_bytes();
+            payload.extend_from_slice(text.as_bytes());
+            ingest.writer.write_all(&payload)?;
+            let mut reply = String::new();
+            ingest.reader.read_line(&mut reply)?;
+            if !reply.starts_with("OK ") {
+                return Err(std::io::Error::other(format!("ingest refused: {reply}")));
+            }
+        }
+        ingest.cmd("QUIT")?;
+        let elapsed = ingest_started.elapsed();
+        done.store(true, Ordering::SeqCst);
+        Ok(elapsed)
+    })
+    .map_err(io_err)?;
+
+    let served_queries = concurrent_queries.load(Ordering::Relaxed);
+    println!(
+        "ingested {TUPLES} tuples over the socket in {ingest_time:.2?} \
+         ({:.0} tuples/s) in {} batches of {BATCH}",
+        TUPLES as f64 / ingest_time.as_secs_f64(),
+        batches.len(),
+    );
+    println!("answered {served_queries} snapshot-view queries concurrently with ingest\n");
+
+    // Phase 2: a mirror store fed the identical batches directly — same
+    // text, same parser, same chunking.
+    let mirror = SynopsisStore::new(store_config()?)?;
+    for text in &batches {
+        mirror.ingest_batch(read_stream(text.as_bytes())?)?;
+    }
+
+    // Phase 3: quiesced bitwise comparison, server reply vs direct call.
+    let mut client = Client::connect(&handle).map_err(io_err)?;
+    let compare_started = Instant::now();
+    let mut compared = 0usize;
+    for step in 0..COMPARISON_QUERIES {
+        let lo = (step * 89) % DOMAIN;
+        let hi = lo + (step * 13) % 501;
+        let via_server = client
+            .ok_value(&format!("RANGE {lo} {hi}"))
+            .map_err(io_err)?;
+        let direct = mirror.range_estimate(lo, hi);
+        assert_eq!(
+            via_server.to_bits(),
+            direct.to_bits(),
+            "RANGE {lo} {hi}: server {via_server} != direct {direct}"
+        );
+        compared += 1;
+    }
+    let compare_time = compare_started.elapsed();
+    println!(
+        "verified {compared} RANGE queries bitwise-equal to direct calls \
+         in {compare_time:.2?} ({:.0} queries/s round-trip)",
+        compared as f64 / compare_time.as_secs_f64(),
+    );
+
+    // STATS must agree exactly with the direct counters.
+    let stats = mirror.stats();
+    let via_server = client.cmd("STATS").map_err(io_err)?;
+    let direct = format!(
+        "OK ingested={} live={} seals={} segments={} split={}",
+        stats.ingested_records, stats.live_records, stats.seals, stats.segments, stats.split_tuples
+    );
+    assert_eq!(via_server, direct, "STATS diverged from the direct store");
+    println!("STATS agrees with the direct store: {via_server}");
+
+    // A global merged histogram over the socket, byte-identical to the
+    // library call after both stores seal.
+    client.cmd("SEAL").map_err(io_err)?;
+    mirror.seal_all()?;
+    let reply = client.cmd("MERGE 48").map_err(io_err)?;
+    let over_socket = client.bin_body(&reply).map_err(io_err)?;
+    let direct = mirror.merge_global(48)?.to_binary()?;
+    assert_eq!(over_socket, direct, "MERGE envelope diverged");
+    let merged = Histogram::from_binary(&over_socket)?;
+    println!(
+        "MERGE 48 returned {} bytes over the socket, byte-identical to \
+         merge_global(48) ({} buckets)",
+        over_socket.len(),
+        merged.num_buckets()
+    );
+
+    client.cmd("QUIT").map_err(io_err)?;
+    handle.shutdown();
+    serve_thread
+        .join()
+        .map_err(|_| PdsError::InvalidParameter {
+            message: "server thread panicked".into(),
+        })?
+        .map_err(io_err)?;
+    println!("\nserver drained and shut down cleanly");
+    Ok(())
+}

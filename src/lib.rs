@@ -16,7 +16,10 @@
 //! * [`store`](pds_store) — the partitioned streaming-ingest and persistent
 //!   synopsis store: per-item-range memtables, sealed segments with their own
 //!   synopses, LSM-style compaction, a partition-merge DP producing global
-//!   histograms, and the versioned compact binary format.
+//!   histograms, and the versioned compact binary format;
+//! * [`server`](pds_server) — a concurrent TCP front-end serving the store's
+//!   panic-free query path over a line-oriented text protocol, with reads
+//!   executing against immutable snapshot views.
 //!
 //! ## Quickstart
 //!
@@ -41,7 +44,7 @@
 //!
 //! ## Workspace layout
 //!
-//! The repository is a six-package Cargo workspace rooted at this crate:
+//! The repository is a seven-package Cargo workspace rooted at this crate:
 //!
 //! | Path              | Package         | Contents                                   |
 //! |-------------------|-----------------|--------------------------------------------|
@@ -50,6 +53,7 @@
 //! | `crates/histogram`| `pds-histogram` | bucket-cost oracles, DP (serial + level-parallel), `(1+ε)` approximation, partition-merge DP |
 //! | `crates/wavelet`  | `pds-wavelet`   | Haar transform, SSE and non-SSE thresholding |
 //! | `crates/store`    | `pds-store`     | concurrent sharded ingest memtables, background sealing, per-partition WALs, compaction, store persistence |
+//! | `crates/server`   | `pds-server`    | snapshot-isolated TCP query/ingest front-end (`EST`/`RANGE`/`STATS`/`MERGE`/`INGEST`/admin verbs), worker pool over `pds_core::pool` |
 //! | `crates/bench`    | `pds-bench`     | workloads, report tables, figure binaries  |
 //! | `crates/analyze`  | `pds-analyze`   | workspace invariant checker (lock discipline, panic-freedom, binio framing, crash-point coverage) + deterministic decoder/recovery fuzzer |
 //!
@@ -99,6 +103,7 @@
 //! cargo run --release -p pds-bench --bin example1    # paper Example 1
 //! cargo run --release -p pds-bench --bin figure2     # paper Figure 2 tables
 //! cargo run --release --example quickstart           # guided tour
+//! cargo run --release --example pds_server_demo      # TCP front-end under concurrent load
 //! cargo run -p pds-analyze -- check                  # static invariant lints
 //! cargo run --release -p pds-analyze -- fuzz         # 50k-mutation decoder fuzz
 //! ```
@@ -110,6 +115,7 @@
 
 pub use pds_core as core;
 pub use pds_histogram as histogram;
+pub use pds_server as server;
 pub use pds_store as store;
 pub use pds_wavelet as wavelet;
 
