@@ -45,9 +45,9 @@
 //! on the line above the flagged call, or above the `fn` to cover the
 //! whole function.
 //!
-//! ### `panic-freedom` (`pds-core::binio`, store `wal.rs` / `manifest.rs` /
-//! `segment.rs`; all of `crates/server/src`; the query-path functions of
-//! `store.rs`)
+//! ### `panic-freedom` (`pds-core::binio` and `pds-core::telemetry`, store
+//! `wal.rs` / `manifest.rs` / `segment.rs` / `telemetry.rs`; all of
+//! `crates/server/src`; the query-path functions of `store.rs`)
 //!
 //! **What:** in non-test code of the covered scope, no
 //! `.unwrap()` / `.expect()`, no `panic!` / `todo!` / `unimplemented!` /
@@ -56,9 +56,13 @@
 //! decoder files and the whole `pds-server` crate are covered wall to
 //! wall, while `crates/store/src/store.rs` is covered only inside the
 //! query-path functions (`range_estimate`, `estimate`, `stats`,
-//! `partition_pieces`, `merge_global`, `snapshot_view`, `read_shard` and
-//! the `SnapshotView` accessors) — the write paths *should* panic rather
-//! than keep mutating behind a poisoned lock.  Evidence (deliberately coarse — this is a reviewer aid with
+//! `partition_pieces`, `merge_global`, `snapshot_view`, their timed
+//! `*_core` bodies, the `render_metrics`/`render_events` telemetry
+//! surface, `read_shard` and the `SnapshotView` accessors) — the write
+//! paths *should* panic rather than keep mutating behind a poisoned lock.
+//! The telemetry files join the list because they record inside
+//! shard-guard windows and render on the serving path: a panic there
+//! turns an observability feature into an availability bug.  Evidence (deliberately coarse — this is a reviewer aid with
 //! an escape hatch, not a prover): the value passed a `?` check, the index
 //! contains a mask/modulus/`min`/`max`, the enclosing scope calls a
 //! length/slicing helper (`len`, `remaining`, `chunks`, `split_at`, …)
@@ -110,6 +114,24 @@
 //! never interrupt — exactly where an untested torn state hides.
 //!
 //! **Suppress:** `// analyze:allow(crash-coverage) <why>`.
+//!
+//! ### `telemetry-pairing` (all workspace `src` files)
+//!
+//! **What:** every latency observation — a `.observe(` call in non-test
+//! code — must sit in a function with visible start evidence earlier in
+//! its tokens: the identifier `Stopwatch` (a parameter type or
+//! `Stopwatch::start`) or an identifier ending in `start`
+//! (`maybe_start`).  `crates/core/src/telemetry.rs` additionally runs the
+//! mutex-inclusive lock-discipline pass: the registry's render mutex may
+//! never be held across I/O or another acquisition.
+//!
+//! **Why:** a histogram fed a literal, or a stopwatch started in some
+//! unrelated scope, silently records garbage — the series keeps
+//! rendering, dashboards keep graphing, and nothing fails.  Forcing the
+//! start into the same function keeps every recording site reviewable at
+//! a glance.
+//!
+//! **Suppress:** `// analyze:allow(telemetry-pairing) <why>`.
 //!
 //! ### `allow-discipline` (automatic)
 //!

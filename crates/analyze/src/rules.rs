@@ -1,4 +1,4 @@
-//! The four invariant rules and the machinery that runs them.
+//! The five invariant rules and the machinery that runs them.
 //!
 //! Every rule works on the token stream of [`crate::lexer`] — see the crate
 //! docs ([`crate`]) for the catalogue of what each rule checks, why it
@@ -26,6 +26,8 @@ pub const RULE_PANIC: &str = "panic-freedom";
 pub const RULE_FRAMING: &str = "binio-framing";
 /// Rule name: tmp-rename publishes need a registered crash point.
 pub const RULE_CRASH: &str = "crash-coverage";
+/// Rule name: every latency observation pairs with a visible start.
+pub const RULE_TELEMETRY: &str = "telemetry-pairing";
 /// Rule name: allows must be justified and must still suppress something.
 pub const RULE_ALLOW: &str = "allow-discipline";
 
@@ -528,6 +530,11 @@ const PANIC_FILES: &[&str] = &[
     "crates/store/src/wal.rs",
     "crates/store/src/manifest.rs",
     "crates/store/src/segment.rs",
+    // Telemetry records inside shard-guard windows and renders on the
+    // serving path: a panic here would turn an observability feature into
+    // an availability bug.
+    "crates/core/src/telemetry.rs",
+    "crates/store/src/telemetry.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
@@ -559,16 +566,21 @@ const GUARD_EVIDENCE: &[&str] = &[
 /// — a writer observing lock poison *must* panic rather than keep mutating.
 const STORE_QUERY_FNS: &[&str] = &[
     "range_estimate",
+    "range_estimate_core",
     "estimate",
     "stats",
     "partition_pieces",
     "merge_global",
+    "merge_global_core",
     "snapshot_view",
+    "snapshot_view_core",
     "read_shard",
     "n",
     "num_partitions",
     "segment_count",
     "live_records",
+    "render_metrics",
+    "render_events",
 ];
 
 /// Whole-file panic-freedom: the durability-critical decoder files and
@@ -1119,6 +1131,48 @@ fn matrix_labels(model: &SourceModel) -> HashSet<String> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 5: telemetry-pairing
+// ---------------------------------------------------------------------------
+
+/// Every latency observation (`.observe(`) in non-test code must sit in a
+/// function that visibly starts a stopwatch: an ident `Stopwatch` (the
+/// parameter type, or `Stopwatch::start`) or an ident ending in `start`
+/// (`maybe_start`) earlier in the same function.  This is the static half
+/// of the "every histogram recording site pairs a start with an observe"
+/// contract — it keeps a refactor from feeding a histogram a literal or a
+/// stopwatch started in some unrelated scope.
+fn telemetry_pairing(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        if model.in_test(i) {
+            continue;
+        }
+        if !(tokens[i].is_punct(".")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("observe"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct("(")))
+        {
+            continue;
+        }
+        let from = model.enclosing_fn(i).map_or(0, |f| f.kw);
+        let evidence = tokens[from..i].iter().any(|t| {
+            t.kind == TokKind::Ident && (t.text == "Stopwatch" || t.text.ends_with("start"))
+        });
+        if !evidence {
+            out.push(Diagnostic {
+                file: model.display(),
+                line: tokens[i + 1].line,
+                col: tokens[i + 1].col,
+                rule: RULE_TELEMETRY,
+                message: "`.observe(..)` without visible start evidence (no \
+                          `Stopwatch` or `*start` identifier earlier in the \
+                          enclosing function)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Orchestration
 // ---------------------------------------------------------------------------
 
@@ -1139,6 +1193,10 @@ fn path_str(model: &SourceModel) -> String {
 ///   cost an `ERR` line, never the process), and the query-path functions
 ///   of `crates/store/src/store.rs` (`STORE_QUERY_FNS`);
 /// * `binio-framing` — all `src` files;
+/// * `telemetry-pairing` — all `src` files (only telemetry code contains
+///   `.observe(` sites); `crates/core/src/telemetry.rs` additionally gets
+///   the mutex-inclusive lock-discipline pass — the registry mutex may
+///   never be held across I/O or another lock;
 /// * files under `tests/` participate only as the crash-matrix label list.
 pub fn analyze_sources(models: &[SourceModel]) -> Report {
     let mut raw: Vec<Diagnostic> = Vec::new();
@@ -1157,6 +1215,11 @@ pub fn analyze_sources(models: &[SourceModel]) -> Report {
             lock_discipline(model, true, &mut raw);
             panic_freedom(model, "the serving path", &mut raw);
         }
+        if p.ends_with("crates/core/src/telemetry.rs") {
+            // The registry/render mutex is the only lock telemetry owns;
+            // it must never be held across I/O or another acquisition.
+            lock_discipline(model, true, &mut raw);
+        }
         if PANIC_FILES.iter().any(|f| p.ends_with(f)) {
             panic_freedom(model, "durability-critical code", &mut raw);
         } else if p.ends_with("crates/store/src/store.rs") {
@@ -1167,6 +1230,7 @@ pub fn analyze_sources(models: &[SourceModel]) -> Report {
                 &mut raw,
             );
         }
+        telemetry_pairing(model, &mut raw);
     }
 
     // binio-framing needs cross-file sight; give it every src model.

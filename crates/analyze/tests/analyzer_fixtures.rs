@@ -9,6 +9,7 @@
 
 use pds_analyze::rules::{
     self, Report, SourceModel, RULE_ALLOW, RULE_CRASH, RULE_FRAMING, RULE_LOCK, RULE_PANIC,
+    RULE_TELEMETRY,
 };
 
 fn analyze(files: &[(&str, &str)]) -> Report {
@@ -123,6 +124,21 @@ fn crash_coverage_fires_on_seeded_spans_only() {
         findings(&report),
         vec![(10, RULE_CRASH), (24, RULE_CRASH)],
         "expected the unlabelled publish and the stray label seeds: {:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn telemetry_pairing_fires_on_seeded_spans_only() {
+    let report = analyze(&[(
+        "crates/store/src/telemetry_fixture.rs",
+        include_str!("fixtures/telemetry_pairing.rs"),
+    )]);
+    assert_eq!(
+        findings(&report),
+        vec![(17, RULE_TELEMETRY)],
+        "expected only the evidence-free `.observe(` seed (the Stopwatch \
+         parameter, the maybe_start call, and the test mod are clean): {:#?}",
         report.diagnostics
     );
 }

@@ -1,0 +1,26 @@
+//! Fixture: telemetry-pairing.  `good_*` observations carry visible
+//! start evidence; the seeded `.observe(` in `bad_observes_literal` has
+//! none and must be the only finding.
+
+fn good_observes_with_stopwatch(hist: &LatencyHistogram, sw: Stopwatch) {
+    hist.observe(sw);
+}
+
+fn good_observes_after_maybe_start(tel: &Telemetry) {
+    let sw = tel.maybe_start();
+    if let Some(sw) = sw {
+        tel.seconds.observe(sw);
+    }
+}
+
+fn bad_observes_literal(hist: &LatencyHistogram) {
+    hist.observe(42);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt(hist: &LatencyHistogram) {
+        hist.observe(7);
+    }
+}

@@ -23,7 +23,14 @@
 //!   helpers — the single place where worker-thread policy (the
 //!   `PDS_THREADS` environment variable, the programmatic override, the
 //!   hardware default) is resolved for every parallel path in the
-//!   workspace.
+//!   workspace;
+//! * lock-free observability primitives ([`telemetry`]): atomic counters,
+//!   gauges, log₂-bucketed latency histograms, a Prometheus-style text
+//!   exposition registry, and a bounded event ring — the recording path
+//!   never locks or allocates, so the store and server instrument their
+//!   hot paths (even inside shard-guard windows) at negligible cost.
+//!   Named `telemetry` to avoid clashing with the paper's [`metrics`]
+//!   (synopsis *error* metrics).
 //!
 //! Synopsis construction itself lives in the `pds-histogram` and
 //! `pds-wavelet` crates; `probsyn` re-exports everything under one roof.
@@ -58,6 +65,7 @@ pub mod model;
 pub mod moments;
 pub mod pool;
 pub mod stream;
+pub mod telemetry;
 pub mod values;
 pub mod worlds;
 

@@ -21,11 +21,14 @@
 //! | `EST <item>` | `OK <f64>` | expected frequency of one item, from a fresh snapshot view |
 //! | `RANGE <lo> <hi>` | `OK <f64>` | expected total frequency over the inclusive range |
 //! | `STATS` | `OK ingested=<u64> live=<u64> seals=<u64> segments=<n> split=<u64>` | point-in-time counters |
+//! | `STATS JSON` | `OK {"version":1,"stats":{…}}` | the same counters as the versioned single-line JSON envelope ([`StoreStats::to_json`]) |
 //! | `MERGE <b>` | `OK BIN <len>` + `<len>` bytes | global `b`-bucket merged histogram, `PDSH` binio envelope |
 //! | `SNAPSHOT` | `OK BIN <len>` + `<len>` bytes | seal everything and serialise, `PDST` binio envelope |
 //! | `INGEST <count>` | `OK <records>` | the next `count` lines are stream-format records (see below) |
 //! | `SEAL` | `OK sealed` | seal every live memtable |
 //! | `FLUSH` | `OK flushed` | wait for background seals, surface their errors |
+//! | `METRICS` | `OK BIN <len>` + `<len>` bytes | telemetry scrape: Prometheus-style text exposition, server + store series |
+//! | `METRICS EVENTS` | `OK BIN <len>` + `<len>` bytes | recent notable events, one `server …`/`store …` line each, oldest first |
 //! | `QUIT` | `OK bye` | close the connection |
 //!
 //! Replies beginning `OK` are successes; anything the server cannot parse
@@ -61,7 +64,28 @@
 //! (and lock-discipline): no `unwrap`/`expect`/indexing on the serving
 //! path, no lock held across I/O — hostile input degrades to `ERR` lines.
 //!
+//! ## Observability
+//!
+//! The server keeps its own always-on telemetry (`pds_core::telemetry`
+//! atomics — recording never locks or allocates): per-verb request
+//! counters and log₂-bucketed latency histograms
+//! (`pds_server_requests_total{verb="…"}`,
+//! `pds_server_request_seconds…{verb="…"}` — latency spans execution
+//! including the reply write), bytes read/written, connections
+//! total/active/refused, timeout-terminated connections, and `ERR` reply
+//! lines written by the command loop (capacity refusals are counted under
+//! `pds_server_connections_refused_total` instead).  `METRICS`
+//! concatenates this server exposition with
+//! [`SynopsisStore::render_metrics`] — one scrape covers both layers —
+//! and `METRICS EVENTS` dumps the bounded event rings (each line
+//! prefixed `server ` or `store `, then `t=<secs-since-start>` and the
+//! decoded event).  Store-side recording obeys the
+//! `StoreConfig::telemetry` knob and is bit-invisible to query results;
+//! see the pds-store crate docs.
+//!
 //! [`SynopsisStore`]: pds_store::SynopsisStore
+//! [`SynopsisStore::render_metrics`]: pds_store::SynopsisStore::render_metrics
+//! [`StoreStats::to_json`]: pds_store::StoreStats::to_json
 //! [`SnapshotView`]: pds_store::SnapshotView
 
 #![warn(missing_docs)]
@@ -69,5 +93,6 @@
 
 pub mod proto;
 mod server;
+mod telemetry;
 
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -30,8 +30,12 @@ pub enum Command {
         /// Upper end of the inclusive item range.
         hi: usize,
     },
-    /// `STATS` — point-in-time store counters.
-    Stats,
+    /// `STATS [JSON]` — point-in-time store counters, as the classic
+    /// `key=value` line or (with `JSON`) the versioned JSON envelope.
+    Stats {
+        /// `true` for `STATS JSON`: reply with the stable JSON form.
+        json: bool,
+    },
     /// `MERGE <b>` — global `b`-bucket merged histogram (binary body).
     Merge {
         /// Bucket budget of the merged histogram.
@@ -48,6 +52,13 @@ pub enum Command {
     Flush,
     /// `SNAPSHOT` — seal and serialise the store (binary body).
     Snapshot,
+    /// `METRICS [EVENTS]` — telemetry scrape (binary body): the
+    /// Prometheus-style text exposition, or (with `EVENTS`) the recent
+    /// decoded event lines.
+    Metrics {
+        /// `true` for `METRICS EVENTS`: reply with the event dump.
+        events: bool,
+    },
     /// `QUIT` — close the connection.
     Quit,
 }
@@ -105,7 +116,9 @@ pub fn parse_command(line: &str) -> Result<Command, ProtoError> {
             lo: arg_usize(&mut fields, "RANGE", "lo")?,
             hi: arg_usize(&mut fields, "RANGE", "hi")?,
         },
-        "STATS" => Command::Stats,
+        "STATS" => Command::Stats {
+            json: opt_keyword(&mut fields, "STATS", "JSON")?,
+        },
         "MERGE" => Command::Merge {
             b: arg_usize(&mut fields, "MERGE", "b")?,
         },
@@ -115,11 +128,14 @@ pub fn parse_command(line: &str) -> Result<Command, ProtoError> {
         "SEAL" => Command::Seal,
         "FLUSH" => Command::Flush,
         "SNAPSHOT" => Command::Snapshot,
+        "METRICS" => Command::Metrics {
+            events: opt_keyword(&mut fields, "METRICS", "EVENTS")?,
+        },
         "QUIT" => Command::Quit,
         other => {
             return Err(ProtoError::new(format!(
                 "unknown command {:?} (expected PING, EST, RANGE, STATS, MERGE, \
-                 INGEST, SEAL, FLUSH, SNAPSHOT or QUIT)",
+                 INGEST, SEAL, FLUSH, SNAPSHOT, METRICS or QUIT)",
                 truncate_for_error(other)
             )))
         }
@@ -139,6 +155,23 @@ pub fn parse_command_bytes(bytes: &[u8]) -> Result<Command, ProtoError> {
     match std::str::from_utf8(bytes) {
         Ok(text) => parse_command(text.trim_end_matches(['\r', '\n'])),
         Err(_) => Err(ProtoError::new("command line is not valid UTF-8")),
+    }
+}
+
+/// Accepts an optional bare keyword argument: absent → `false`, exactly
+/// `keyword` → `true`, anything else → a [`ProtoError`] naming it.
+fn opt_keyword<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    verb: &str,
+    keyword: &str,
+) -> Result<bool, ProtoError> {
+    match fields.next() {
+        None => Ok(false),
+        Some(raw) if raw == keyword => Ok(true),
+        Some(raw) => Err(ProtoError::new(format!(
+            "{verb} takes no argument or {keyword}, got {:?}",
+            truncate_for_error(raw)
+        ))),
     }
 }
 
@@ -181,7 +214,11 @@ mod tests {
             parse_command("  RANGE 3 250  "),
             Ok(Command::Range { lo: 3, hi: 250 })
         );
-        assert_eq!(parse_command("STATS"), Ok(Command::Stats));
+        assert_eq!(parse_command("STATS"), Ok(Command::Stats { json: false }));
+        assert_eq!(
+            parse_command("STATS JSON"),
+            Ok(Command::Stats { json: true })
+        );
         assert_eq!(parse_command("MERGE 8"), Ok(Command::Merge { b: 8 }));
         assert_eq!(
             parse_command("INGEST 1024"),
@@ -190,6 +227,14 @@ mod tests {
         assert_eq!(parse_command("SEAL"), Ok(Command::Seal));
         assert_eq!(parse_command("FLUSH"), Ok(Command::Flush));
         assert_eq!(parse_command("SNAPSHOT"), Ok(Command::Snapshot));
+        assert_eq!(
+            parse_command("METRICS"),
+            Ok(Command::Metrics { events: false })
+        );
+        assert_eq!(
+            parse_command("METRICS EVENTS"),
+            Ok(Command::Metrics { events: true })
+        );
         assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
         assert_eq!(
             parse_command_bytes(b"EST 2\r\n"),
@@ -214,6 +259,10 @@ mod tests {
             "BOGUS 4",
             "PING extra",
             "QUIT now",
+            "STATS BOGUS",
+            "STATS JSON extra",
+            "METRICS BOGUS",
+            "METRICS EVENTS extra",
         ] {
             let err = parse_command(bad).expect_err(bad);
             assert!(!err.message().is_empty());

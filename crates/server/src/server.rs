@@ -10,9 +10,11 @@ use std::time::Duration;
 
 use pds_core::io::read_stream;
 use pds_core::pool;
+use pds_core::telemetry::{Counter, Stopwatch};
 use pds_store::SynopsisStore;
 
 use crate::proto::{self, Command};
+use crate::telemetry::ServerTelemetry;
 
 /// Transport knobs; `..Default::default()` friendly.
 #[derive(Debug, Clone)]
@@ -105,6 +107,7 @@ pub struct Server {
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
+    telemetry: Arc<ServerTelemetry>,
 }
 
 impl Server {
@@ -122,6 +125,7 @@ impl Server {
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
             addr,
+            telemetry: Arc::new(ServerTelemetry::new()),
         })
     }
 
@@ -152,13 +156,16 @@ impl Server {
         };
         let store = &self.store;
         let config = &self.config;
+        let telemetry = &self.telemetry;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     while let Some(stream) = conns.pop() {
                         // Errors are per-connection: a broken socket ends
                         // that session, never the worker.
-                        let _ = serve_connection(store, config, stream);
+                        telemetry.record_admitted();
+                        let result = serve_connection(store, config, telemetry, stream);
+                        telemetry.record_closed(result.as_ref().err().map(io::Error::kind));
                         conns.admitted.fetch_sub(1, Ordering::SeqCst);
                     }
                 });
@@ -184,6 +191,7 @@ impl Server {
             let admitted = conns.admitted.fetch_add(1, Ordering::SeqCst);
             if admitted >= self.config.max_connections {
                 conns.admitted.fetch_sub(1, Ordering::SeqCst);
+                self.telemetry.record_refused();
                 refuse(stream, &self.config);
                 continue;
             }
@@ -279,24 +287,49 @@ fn drain_through_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
     }
 }
 
+/// [`Write`] adapter feeding every byte written into the server's
+/// bytes-written counter (lock-free, so counting costs one atomic add per
+/// socket write).
+struct CountingWriter<W: Write> {
+    inner: W,
+    written: Arc<Counter>,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// The per-connection command loop.  Malformed input is answered with an
 /// `ERR` line and the loop continues; I/O errors (including timeouts) end
 /// the connection.
 fn serve_connection(
     store: &Arc<SynopsisStore>,
     config: &ServerConfig,
+    tel: &ServerTelemetry,
     stream: TcpStream,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
     let _ = stream.set_nodelay(true);
-    let mut writer = stream.try_clone()?;
+    let mut writer = CountingWriter {
+        inner: stream.try_clone()?,
+        written: tel.bytes_written_handle(),
+    };
     let mut reader = BufReader::new(stream);
     loop {
         let line = match read_line_bounded(&mut reader, config.max_line_bytes)? {
             LineOutcome::Eof => return Ok(()),
             LineOutcome::Oversized => {
                 write_err(
+                    tel,
                     &mut writer,
                     &format!("line exceeds {} bytes", config.max_line_bytes),
                 )?;
@@ -304,62 +337,110 @@ fn serve_connection(
             }
             LineOutcome::Line(line) => line,
         };
+        tel.add_bytes_read(line.len() as u64 + 1);
         let command = match proto::parse_command_bytes(&line) {
             Ok(command) => command,
             Err(e) => {
-                write_err(&mut writer, &e.message())?;
+                write_err(tel, &mut writer, &e.message())?;
                 continue;
             }
         };
-        match command {
-            Command::Ping => writer.write_all(b"OK pong\n")?,
-            Command::Est { item } => {
-                // A fresh snapshot view per query: captured under brief
-                // per-shard read locks, answered with no lock held.
-                let value = store.snapshot_view().estimate(item);
-                write_ok_value(&mut writer, value)?;
-            }
-            Command::Range { lo, hi } => {
-                let value = store.snapshot_view().range_estimate(lo, hi);
-                write_ok_value(&mut writer, value)?;
-            }
-            Command::Stats => {
-                let stats = store.stats();
-                let reply = format!(
-                    "OK ingested={} live={} seals={} segments={} split={}\n",
-                    stats.ingested_records,
-                    stats.live_records,
-                    stats.seals,
-                    stats.segments,
-                    stats.split_tuples
-                );
-                writer.write_all(reply.as_bytes())?;
-            }
-            Command::Merge { b } => match store.merge_global(b).and_then(|h| h.to_binary()) {
-                Ok(bytes) => write_ok_bin(&mut writer, &bytes)?,
-                Err(e) => write_err(&mut writer, &e.to_string())?,
-            },
-            Command::Snapshot => match store.snapshot() {
-                Ok(bytes) => write_ok_bin(&mut writer, &bytes)?,
-                Err(e) => write_err(&mut writer, &e.to_string())?,
-            },
-            Command::Seal => match store.seal_all() {
-                Ok(()) => writer.write_all(b"OK sealed\n")?,
-                Err(e) => write_err(&mut writer, &e.to_string())?,
-            },
-            Command::Flush => match store.flush() {
-                Ok(()) => writer.write_all(b"OK flushed\n")?,
-                Err(e) => write_err(&mut writer, &e.to_string())?,
-            },
-            Command::Ingest { count } => {
-                ingest_batch(store, config, &mut reader, &mut writer, count)?;
-            }
-            Command::Quit => {
-                writer.write_all(b"OK bye\n")?;
-                return Ok(());
-            }
+        // Per-verb accounting: the request counts once it parses, and the
+        // latency histogram spans execution including the reply write.
+        tel.record_request(&command);
+        let sw = Stopwatch::start();
+        let quit = execute_command(store, config, tel, &mut reader, &mut writer, command)?;
+        tel.record_latency(&command, sw);
+        if quit {
+            return Ok(());
         }
     }
+}
+
+/// Executes one parsed command, writing its reply; returns `true` for
+/// `QUIT` (close after the reply).
+fn execute_command<R: BufRead, W: Write>(
+    store: &Arc<SynopsisStore>,
+    config: &ServerConfig,
+    tel: &ServerTelemetry,
+    reader: &mut R,
+    writer: &mut W,
+    command: Command,
+) -> io::Result<bool> {
+    match command {
+        Command::Ping => writer.write_all(b"OK pong\n")?,
+        Command::Est { item } => {
+            // A fresh snapshot view per query: captured under brief
+            // per-shard read locks, answered with no lock held.
+            let value = store.snapshot_view().estimate(item);
+            write_ok_value(writer, value)?;
+        }
+        Command::Range { lo, hi } => {
+            let value = store.snapshot_view().range_estimate(lo, hi);
+            write_ok_value(writer, value)?;
+        }
+        Command::Stats { json: false } => {
+            let stats = store.stats();
+            let reply = format!(
+                "OK ingested={} live={} seals={} segments={} split={}\n",
+                stats.ingested_records,
+                stats.live_records,
+                stats.seals,
+                stats.segments,
+                stats.split_tuples
+            );
+            writer.write_all(reply.as_bytes())?;
+        }
+        Command::Stats { json: true } => match store.stats().to_json() {
+            Ok(json) => writer.write_all(format!("OK {json}\n").as_bytes())?,
+            Err(e) => write_err(tel, writer, &e.to_string())?,
+        },
+        Command::Metrics { events: false } => {
+            // One scrape covers both layers: the server exposition first,
+            // then the store's (disjoint series name prefixes).
+            let mut text = tel.render();
+            text.push_str(&store.render_metrics());
+            write_ok_bin(writer, text.as_bytes())?;
+        }
+        Command::Metrics { events: true } => {
+            let mut text = String::new();
+            for line in tel.render_events() {
+                text.push_str("server ");
+                text.push_str(&line);
+                text.push('\n');
+            }
+            for line in store.render_events() {
+                text.push_str("store ");
+                text.push_str(&line);
+                text.push('\n');
+            }
+            write_ok_bin(writer, text.as_bytes())?;
+        }
+        Command::Merge { b } => match store.merge_global(b).and_then(|h| h.to_binary()) {
+            Ok(bytes) => write_ok_bin(writer, &bytes)?,
+            Err(e) => write_err(tel, writer, &e.to_string())?,
+        },
+        Command::Snapshot => match store.snapshot() {
+            Ok(bytes) => write_ok_bin(writer, &bytes)?,
+            Err(e) => write_err(tel, writer, &e.to_string())?,
+        },
+        Command::Seal => match store.seal_all() {
+            Ok(()) => writer.write_all(b"OK sealed\n")?,
+            Err(e) => write_err(tel, writer, &e.to_string())?,
+        },
+        Command::Flush => match store.flush() {
+            Ok(()) => writer.write_all(b"OK flushed\n")?,
+            Err(e) => write_err(tel, writer, &e.to_string())?,
+        },
+        Command::Ingest { count } => {
+            ingest_batch(store, config, tel, reader, writer, count)?;
+        }
+        Command::Quit => {
+            writer.write_all(b"OK bye\n")?;
+            return Ok(true);
+        }
+    }
+    Ok(false)
 }
 
 /// Consumes the `count` declared batch lines, then parses and ingests the
@@ -369,12 +450,14 @@ fn serve_connection(
 fn ingest_batch<R: BufRead>(
     store: &Arc<SynopsisStore>,
     config: &ServerConfig,
+    tel: &ServerTelemetry,
     reader: &mut R,
     writer: &mut impl Write,
     count: usize,
 ) -> io::Result<()> {
     if count > config.max_batch {
         return write_err(
+            tel,
             writer,
             &format!("INGEST count {count} exceeds the {} cap", config.max_batch),
         );
@@ -397,19 +480,22 @@ fn ingest_batch<R: BufRead>(
                     )
                 });
             }
-            LineOutcome::Line(line) => match String::from_utf8(line) {
-                Ok(record_line) => {
-                    text.push_str(&record_line);
-                    text.push('\n');
+            LineOutcome::Line(line) => {
+                tel.add_bytes_read(line.len() as u64 + 1);
+                match String::from_utf8(line) {
+                    Ok(record_line) => {
+                        text.push_str(&record_line);
+                        text.push('\n');
+                    }
+                    Err(_) => {
+                        defect.get_or_insert_with(|| format!("ingest line {} is not UTF-8", i + 1));
+                    }
                 }
-                Err(_) => {
-                    defect.get_or_insert_with(|| format!("ingest line {} is not UTF-8", i + 1));
-                }
-            },
+            }
         }
     }
     if let Some(reason) = defect {
-        return write_err(writer, &reason);
+        return write_err(tel, writer, &reason);
     }
     let outcome = read_stream(text.as_bytes()).and_then(|records| {
         let n = records.len();
@@ -417,7 +503,7 @@ fn ingest_batch<R: BufRead>(
     });
     match outcome {
         Ok(n) => writer.write_all(format!("OK {n}\n").as_bytes()),
-        Err(e) => write_err(writer, &e.to_string()),
+        Err(e) => write_err(tel, writer, &e.to_string()),
     }
 }
 
@@ -433,7 +519,10 @@ fn write_ok_bin(writer: &mut impl Write, bytes: &[u8]) -> io::Result<()> {
 }
 
 /// One sanitised `ERR` line: the reason can never smuggle a newline.
-fn write_err(writer: &mut impl Write, reason: &str) -> io::Result<()> {
+/// Every command-loop `ERR` reply routes through here, so
+/// `pds_server_err_replies_total` counts them all.
+fn write_err(tel: &ServerTelemetry, writer: &mut impl Write, reason: &str) -> io::Result<()> {
+    tel.record_err_reply();
     let clean: String = reason
         .chars()
         .map(|c| if c.is_control() { ' ' } else { c })

@@ -437,3 +437,69 @@ fn admission_gate_refuses_connections_over_the_cap() {
     }
     panic!("the admission slot was never released");
 }
+
+#[test]
+fn metrics_scrape_and_stats_json_cover_both_layers() {
+    let store = Arc::new(SynopsisStore::new(store_config(64, 4, 32)).unwrap());
+    let server = RunningServer::start(Arc::clone(&store), ServerConfig::default());
+    let mut client = Client::connect(&server.handle);
+
+    // Drive every instrumented path at least once: ingest (sealing some
+    // memtables via the low threshold), queries, an ERR reply.
+    ingest_over(&mut client, &workload(100, 3, 64));
+    assert_eq!(client.cmd("SEAL"), "OK sealed");
+    assert_eq!(client.cmd("FLUSH"), "OK flushed");
+    let _ = ok_value(&client.cmd("EST 7"));
+    let _ = ok_value(&client.cmd("RANGE 0 63"));
+    assert!(client.cmd("BOGUS").starts_with("ERR "));
+
+    // STATS JSON: the versioned envelope, parseable back into StoreStats.
+    let reply = client.cmd("STATS JSON");
+    let json = reply.strip_prefix("OK ").expect("OK <json> reply");
+    assert!(json.starts_with("{\"version\":1,"), "{json}");
+    let parsed = pds_store::StoreStats::from_json(json).expect("parse STATS JSON");
+    assert_eq!(parsed, store.stats());
+
+    // METRICS: one scrape covers server and store series.
+    let reply = client.cmd("METRICS");
+    let text = String::from_utf8(client.recv_bin(&reply)).expect("exposition is UTF-8");
+    for needle in [
+        "pds_server_requests_total{verb=\"ingest\"} 1",
+        "pds_server_requests_total{verb=\"est\"} 1",
+        "pds_server_requests_total{verb=\"stats\"} 1",
+        "pds_server_request_seconds_count{verb=\"range\"} 1",
+        "pds_server_err_replies_total 1",
+        "pds_server_connections_total 1",
+        "pds_server_connections_active 1",
+        "# TYPE pds_server_request_seconds histogram",
+        "pds_store_telemetry_enabled 1",
+        "pds_store_ingested_records_total 100",
+        // One client batch fans out to one per-shard commit group per
+        // partition it touches — all 4, with 100 records over 64 items.
+        "pds_store_ingest_batches_total 4",
+        "# TYPE pds_store_query_seconds histogram",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    let series: std::collections::HashSet<&str> = text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .filter_map(|l| l.split(['{', ' ']).next())
+        .collect();
+    assert!(
+        series.len() >= 25,
+        "a scrape must expose at least 25 distinct series, got {}: {series:?}",
+        series.len()
+    );
+
+    // METRICS EVENTS: the seal surfaced as a store event line.
+    let reply = client.cmd("METRICS EVENTS");
+    let events = String::from_utf8(client.recv_bin(&reply)).expect("events are UTF-8");
+    assert!(
+        events
+            .lines()
+            .any(|l| l.starts_with("store ") && l.contains("seal-installed")),
+        "no seal-installed event in:\n{events}"
+    );
+    client.quit();
+}

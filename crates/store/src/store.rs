@@ -37,15 +37,18 @@ use pds_core::metrics::ErrorMetric;
 use pds_core::model::ValuePdfModel;
 use pds_core::pool;
 use pds_core::stream::StreamRecord;
+use pds_core::telemetry::Stopwatch;
 use pds_histogram::merge::{optimal_piecewise_histogram, sum_pieces, Piece};
 use pds_histogram::Histogram;
 use pds_wavelet::build_sse_wavelet;
+use serde::{Deserialize, Serialize};
 
 use crate::compaction::CompactionPolicy;
 use crate::crashpoint;
 use crate::manifest::{segment_blob_name, Manifest};
 use crate::memtable::Memtable;
 use crate::segment::{Segment, SegmentSynopsis, SynopsisKind};
+use crate::telemetry::{QueryOp, StoreTelemetry};
 use crate::wal::{PartitionWal, WalSync};
 
 /// One x-tuple's alternatives grouped by owning partition.
@@ -149,11 +152,19 @@ pub struct StoreConfig {
     /// (survives power loss, paid once per group commit).  A runtime knob:
     /// not persisted by [`SynopsisStore::to_binary`].
     pub wal_sync: WalSync,
+    /// Whether the store records telemetry (counters, latency histograms
+    /// and the event ring behind [`SynopsisStore::render_metrics`]).
+    /// Recording is lock-free and allocation-free, and **never** affects
+    /// results — estimates, snapshots and segment bytes are bit-identical
+    /// on or off — so the default is on; turn it off to shave the last
+    /// clock reads from the hot path.  A runtime knob: not persisted by
+    /// [`SynopsisStore::to_binary`].
+    pub telemetry: bool,
 }
 
 impl StoreConfig {
-    /// A configuration with the default runtime knobs: manual compaction
-    /// and flush-tier WAL durability.
+    /// A configuration with the default runtime knobs: manual compaction,
+    /// flush-tier WAL durability and telemetry recording on.
     pub fn new(
         partitions: PartitionSpec,
         seal_threshold: usize,
@@ -167,12 +178,17 @@ impl StoreConfig {
             synopsis,
             compaction: None,
             wal_sync: WalSync::Flush,
+            telemetry: true,
         }
     }
 }
 
 /// Point-in-time counters describing a store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializes to stable, versioned JSON via [`StoreStats::to_json`] /
+/// [`StoreStats::from_json`] — the machine-parseable form behind the
+/// server's `STATS JSON` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreStats {
     /// Stream records accepted by [`SynopsisStore::ingest`].
     pub ingested_records: u64,
@@ -188,6 +204,51 @@ pub struct StoreStats {
     pub segments: usize,
     /// X-tuples whose alternatives were split across partitions.
     pub split_tuples: u64,
+}
+
+/// Versioned wire envelope for [`StoreStats::to_json`] /
+/// [`StoreStats::from_json`].
+#[derive(Serialize, Deserialize)]
+struct StatsEnvelope {
+    version: u32,
+    stats: StoreStats,
+}
+
+impl StoreStats {
+    /// The stats JSON envelope version written by [`StoreStats::to_json`].
+    pub const FORMAT_VERSION: u32 = 1;
+
+    /// Serialises the counters into a single-line, versioned JSON envelope
+    /// (`{"version":1,"stats":{...}}`) so `STATS JSON` consumers can detect
+    /// skew instead of mis-reading renamed fields.
+    pub fn to_json(&self) -> Result<String> {
+        let envelope = StatsEnvelope {
+            version: Self::FORMAT_VERSION,
+            stats: *self,
+        };
+        serde_json::to_string(&envelope).map_err(|e| PdsError::InvalidParameter {
+            message: format!("store stats serialization failed: {e}"),
+        })
+    }
+
+    /// Reconstructs counters from [`StoreStats::to_json`] output, rejecting
+    /// malformed JSON and version skew with a [`PdsError`].
+    pub fn from_json(text: &str) -> Result<Self> {
+        let envelope: StatsEnvelope =
+            serde_json::from_str(text).map_err(|e| PdsError::InvalidParameter {
+                message: format!("store stats deserialization failed: {e}"),
+            })?;
+        if envelope.version != Self::FORMAT_VERSION {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "store stats envelope version {} is not supported (expected {})",
+                    envelope.version,
+                    Self::FORMAT_VERSION
+                ),
+            });
+        }
+        Ok(envelope.stats)
+    }
 }
 
 /// One sealed segment as held by its shard: the seal sequence, the shared
@@ -242,6 +303,10 @@ struct StoreInner {
     ingested: AtomicU64,
     seals: AtomicU64,
     split_tuples: AtomicU64,
+    /// Process-local instrumentation (never persisted, never cloned):
+    /// recording is lock-free, so every path — including shard-guard
+    /// windows — may record.
+    telemetry: StoreTelemetry,
 }
 
 /// A frozen memtable on its way to becoming a segment (shared with its
@@ -336,14 +401,20 @@ pub struct SynopsisStore {
 /// **no** durable directory (file handles and manifests cannot be
 /// duplicated meaningfully — two stores appending to one manifest would
 /// corrupt it).  Memtables frozen for an in-flight background seal are
-/// folded back into the clone's live memtable (no records are lost),
-/// though the `seals` counter keeps counting the in-flight freeze — and an
-/// in-flight compaction's inputs are still present, so the clone holds the
+/// folded back into the clone's live memtable (no records are lost), and
+/// the clone's `seals` counter is **decremented once per folded-back
+/// freeze**: in a clone, `seals` counts exactly the freezes whose segment
+/// the clone holds (so with no compaction, `stats().seals == segments as
+/// u64` — pinned by `clone_seals_counter_excludes_in_flight_freezes`),
+/// never a freeze whose outcome the clone cannot see.  An in-flight
+/// compaction's inputs are still present, so the clone holds the
 /// consistent pre-swap state; [`SynopsisStore::flush`] first for settled
-/// counters.
+/// counters.  Telemetry is process-local and starts fresh (all zeros) in
+/// the clone.
 impl Clone for SynopsisStore {
     fn clone(&self) -> Self {
-        let shards = self
+        let mut folded_back = 0u64;
+        let shards: Vec<RwLock<Shard>> = self
             .inner
             .shards
             .iter()
@@ -356,6 +427,7 @@ impl Clone for SynopsisStore {
                 let mut memtable = shard.memtable.clone();
                 for (_, frozen) in shard.frozen.iter().rev() {
                     memtable.absorb_front((**frozen).clone());
+                    folded_back += 1;
                 }
                 RwLock::new(Shard {
                     memtable,
@@ -367,14 +439,29 @@ impl Clone for SynopsisStore {
                 })
             })
             .collect();
+        // The folded-back freezes' records are live again in the clone, so
+        // they are no longer seals *of the clone*: a seal is counted when a
+        // memtable freezes, and these memtables just un-froze.  (The counter
+        // is read after the shard locks: each freeze observed in a shard
+        // above has already bumped it, so the subtraction never underflows;
+        // saturate anyway — a degenerate counter must not panic `clone`.)
+        let seals = self
+            .inner
+            .seals
+            .load(Ordering::Relaxed)
+            .saturating_sub(folded_back);
         SynopsisStore {
             inner: Arc::new(StoreInner {
-                config: self.inner.config.clone(),
                 shards,
                 durable: None,
                 ingested: AtomicU64::new(self.inner.ingested.load(Ordering::Relaxed)),
-                seals: AtomicU64::new(self.inner.seals.load(Ordering::Relaxed)),
+                seals: AtomicU64::new(seals),
                 split_tuples: AtomicU64::new(self.inner.split_tuples.load(Ordering::Relaxed)),
+                telemetry: StoreTelemetry::new(
+                    self.inner.config.partitions.len(),
+                    self.inner.config.telemetry,
+                ),
+                config: self.inner.config.clone(),
             }),
             sealer: None,
         }
@@ -413,6 +500,7 @@ impl SynopsisStore {
                 })
             })
             .collect();
+        let telemetry = StoreTelemetry::new(config.partitions.len(), config.telemetry);
         Ok(SynopsisStore {
             inner: Arc::new(StoreInner {
                 config,
@@ -421,6 +509,7 @@ impl SynopsisStore {
                 ingested: AtomicU64::new(0),
                 seals: AtomicU64::new(0),
                 split_tuples: AtomicU64::new(0),
+                telemetry,
             }),
             sealer: None,
         })
@@ -452,6 +541,7 @@ impl SynopsisStore {
     /// restarts at 0); `seals` counts the loaded segments.  Post-recovery
     /// counters describe the recovered process, not the pre-crash one.
     pub fn open_with_wal(config: StoreConfig, dir: impl AsRef<Path>) -> Result<Self> {
+        let recovery_sw = Stopwatch::start();
         let dir = dir.as_ref();
         // The logs are only meaningful under the partition layout that
         // wrote them: a `wal.meta` stamp pins the bounds, so reopening with
@@ -558,6 +648,11 @@ impl SynopsisStore {
             )?;
             store.write_shard(p).wal = Some(wal);
         }
+        store.inner.telemetry.record_recovery(
+            recovery_sw.elapsed_secs(),
+            loaded_segments,
+            loaded_records + replayed_records,
+        );
         Ok(store)
     }
 
@@ -810,6 +905,24 @@ impl SynopsisStore {
         }
     }
 
+    /// The store's Prometheus-style text exposition: every telemetry
+    /// series (ingest/freeze/WAL/seal/compaction counters, latency
+    /// histograms, the recovery gauge) plus the [`SynopsisStore::stats`]
+    /// counters rendered as series.  Total on the panic-free serving
+    /// contract — a scrape endpoint can expose this path directly; with
+    /// [`StoreConfig::telemetry`] off the series exist but stay at zero
+    /// (and `pds_store_telemetry_enabled` reads 0).
+    pub fn render_metrics(&self) -> String {
+        self.inner.telemetry.render(&self.stats())
+    }
+
+    /// The store's retained telemetry events (seal installs, compaction
+    /// commits, WAL rotations, recovery), oldest first, one decoded line
+    /// per event.  Panic-free; empty with telemetry off.
+    pub fn render_events(&self) -> Vec<String> {
+        self.inner.telemetry.render_events()
+    }
+
     /// Appends one stream record, routing it to the partition(s) owning its
     /// items; a partition whose memtable reaches the seal threshold is
     /// sealed automatically (inline, or on the background workers when
@@ -878,7 +991,9 @@ impl SynopsisStore {
     /// batch per touched shard, never one per record.
     fn commit_wal_locked(&self, shard: &mut Shard) -> Result<()> {
         if let Some(wal) = shard.wal.as_mut() {
+            let sw = self.inner.telemetry.maybe_start();
             wal.commit_group(self.inner.config.wal_sync)?;
+            self.inner.telemetry.record_wal_commit(sw);
             crashpoint::reached("post-wal-append");
         }
         Ok(())
@@ -1066,6 +1181,7 @@ impl SynopsisStore {
         records: &mut Vec<StreamRecord>,
     ) -> (Vec<CompactTask>, Option<PdsError>) {
         let mut compactions = Vec::new();
+        let sw = self.inner.telemetry.maybe_start();
         let mut shard = self.write_shard(p);
         for record in records.drain(..) {
             // analyze:allow(lock-discipline) batch ingest holds the shard lock across its own WAL appends on purpose: one group commit per batch is the whole point
@@ -1076,6 +1192,8 @@ impl SynopsisStore {
         }
         // analyze:allow(lock-discipline) the batch's single group commit to this shard's own WAL
         let error = self.commit_wal_locked(&mut shard).err();
+        drop(shard);
+        self.inner.telemetry.record_batch(sw);
         (compactions, error)
     }
 
@@ -1093,6 +1211,7 @@ impl SynopsisStore {
             wal.append(&record)?;
         }
         shard.memtable.insert(record)?;
+        self.inner.telemetry.record_ingest(p);
         if shard.memtable.len() >= self.inner.config.seal_threshold {
             return self.seal_locked(p, shard).map(|(_, task)| task);
         }
@@ -1125,6 +1244,9 @@ impl SynopsisStore {
             None => None,
         };
         self.inner.seals.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .telemetry
+            .record_frozen(p, seq, wal_frozen.is_some());
         let memtable = Arc::new(memtable);
         shard.frozen.push((seq, Arc::clone(&memtable)));
         Ok(Some(SealTask {
@@ -1140,6 +1262,7 @@ impl SynopsisStore {
     /// the shard lock, so the install only does file I/O).
     fn build_task(inner: &StoreInner, task: &SealTask) -> Result<(Segment, Option<Vec<u8>>)> {
         crashpoint::reached("frozen-pre-build");
+        let sw = inner.telemetry.maybe_start();
         let relation = task.memtable.to_relation()?;
         let budget = inner.config.segment_budget.min(task.memtable.width());
         let segment = Segment::build(
@@ -1153,6 +1276,7 @@ impl SynopsisStore {
             Some(_) => Some(segment.to_binary()?),
             None => None,
         };
+        inner.telemetry.record_seal_build(sw);
         Ok((segment, binary))
     }
 
@@ -1226,12 +1350,14 @@ impl SynopsisStore {
                     Some(b) => b,
                     None => segment.to_binary()?,
                 };
+                let sw = inner.telemetry.maybe_start();
                 Self::write_segment_blob(durable, inner.config.wal_sync, partition, seq, &binary)?;
                 durable
                     .manifest
                     .lock()
                     .expect("manifest lock poisoned")
                     .install(partition, seq)?;
+                inner.telemetry.record_seal_commit(sw, binary.len() as u64);
                 crashpoint::reached("installed-pre-wal-retire");
                 Ok(Some(Arc::new(binary)))
             }
@@ -1257,6 +1383,9 @@ impl SynopsisStore {
         if let Some(frozen) = wal_frozen {
             PartitionWal::retire(frozen);
         }
+        inner
+            .telemetry
+            .record_installed(partition, seq, segment.records());
         let pos = shard.segments.partition_point(|s| s.seq < seq);
         shard.segments.insert(
             pos,
@@ -1524,6 +1653,7 @@ impl SynopsisStore {
     /// policy.  Returns the follow-up round, if the swap filled another
     /// tier.  Every exit clears the partition's `compacting` flag.
     fn run_compact_task(inner: &StoreInner, task: CompactTask) -> Result<Option<CompactTask>> {
+        let sw = inner.telemetry.maybe_start();
         let clear_flag = || {
             inner.shards[task.partition]
                 .write()
@@ -1598,6 +1728,7 @@ impl SynopsisStore {
         }
         // Short write lock: swap the output in, release, then delete the
         // superseded blobs (the manifest no longer names them).
+        let blob_bytes = binary.as_ref().map_or(0, |b| b.len() as u64);
         let next = {
             let mut shard = inner.shards[task.partition]
                 .write()
@@ -1615,6 +1746,13 @@ impl SynopsisStore {
             shard.compacting = false;
             Self::maybe_compaction(inner, &mut shard, task.partition)
         };
+        inner.telemetry.record_compaction(
+            sw,
+            task.partition,
+            task.out_seq,
+            input_seqs.len() as u64,
+            blob_bytes,
+        );
         if let Some(durable) = &inner.durable {
             for seq in &input_seqs {
                 let _ = fs::remove_file(durable.dir.join(segment_blob_name(task.partition, *seq)));
@@ -1672,6 +1810,15 @@ impl SynopsisStore {
     /// pool task per partition.  Live memtable records are **not** included
     /// — seal first for a full snapshot.
     pub fn merge_global(&self, b: usize) -> Result<Histogram> {
+        let sw = self.inner.telemetry.maybe_start();
+        let merged = self.merge_global_core(b);
+        self.inner.telemetry.record_query(QueryOp::MergeGlobal, sw);
+        merged
+    }
+
+    /// The untimed body of [`SynopsisStore::merge_global`] (the public
+    /// wrapper only adds the query-latency observation).
+    fn merge_global_core(&self, b: usize) -> Result<Histogram> {
         if b == 0 {
             return Err(PdsError::InvalidParameter {
                 message: "merge_global needs a bucket budget of at least 1".into(),
@@ -1715,6 +1862,17 @@ impl SynopsisStore {
     /// answers 0.0, and shard-lock poisoning is recovered from (see
     /// `read_shard`) — a network front-end can expose this path directly.
     pub fn range_estimate(&self, lo: usize, hi: usize) -> f64 {
+        let sw = self.inner.telemetry.maybe_start();
+        let total = self.range_estimate_core(lo, hi);
+        self.inner.telemetry.record_query(QueryOp::Range, sw);
+        total
+    }
+
+    /// The untimed body of [`SynopsisStore::range_estimate`], shared with
+    /// [`SynopsisStore::estimate`] so a point query records one
+    /// `op="estimate"` sample, never an extra `op="range_estimate"` one.
+    /// Same panic-free serving contract as the public wrapper.
+    fn range_estimate_core(&self, lo: usize, hi: usize) -> f64 {
         let n = self.n();
         if n == 0 {
             return 0.0;
@@ -1751,7 +1909,10 @@ impl SynopsisStore {
 
     /// The estimated expected frequency of one item.
     pub fn estimate(&self, item: usize) -> f64 {
-        self.range_estimate(item, item)
+        let sw = self.inner.telemetry.maybe_start();
+        let value = self.range_estimate_core(item, item);
+        self.inner.telemetry.record_query(QueryOp::Point, sw);
+        value
     }
 
     /// An immutable point-in-time view of the whole store for serving
@@ -1764,6 +1925,14 @@ impl SynopsisStore {
     /// a network front-end can serve from it without ever holding a shard
     /// lock across I/O.
     pub fn snapshot_view(&self) -> SnapshotView {
+        let sw = self.inner.telemetry.maybe_start();
+        let view = self.snapshot_view_core();
+        self.inner.telemetry.record_query(QueryOp::Snapshot, sw);
+        view
+    }
+
+    /// The untimed body of [`SynopsisStore::snapshot_view`].
+    fn snapshot_view_core(&self) -> SnapshotView {
         let parts = self
             .inner
             .shards
@@ -2774,5 +2943,138 @@ mod tests {
             frozen_answer.to_bits()
         );
         assert!(view.live_records() + view.segment_count() as u64 > 0);
+    }
+
+    #[test]
+    fn stats_json_round_trips_and_rejects_skew() {
+        let store = SynopsisStore::new(config(12, 3, 4)).unwrap();
+        for i in 0..7 {
+            store
+                .ingest(StreamRecord::Basic {
+                    item: i % 12,
+                    prob: 0.5,
+                })
+                .unwrap();
+        }
+        store
+            .ingest(StreamRecord::Alternatives(vec![(0, 0.25), (11, 0.5)]))
+            .unwrap();
+        let stats = store.stats();
+        let json = stats.to_json().unwrap();
+        // Single line (the server sends it as one `OK <json>` reply) with
+        // the versioned envelope shape.
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with("{\"version\":1,"));
+        assert_eq!(StoreStats::from_json(&json).unwrap(), stats);
+        // Version skew and malformed payloads are errors, not panics.
+        assert!(StoreStats::from_json(&json.replace("\"version\":1", "\"version\":99")).is_err());
+        assert!(StoreStats::from_json("not json").is_err());
+        assert!(StoreStats::from_json("{\"version\":1}").is_err());
+    }
+
+    #[test]
+    fn clone_seals_counter_excludes_in_flight_freezes() {
+        let store = SynopsisStore::new(config(12, 3, 100)).unwrap();
+        for i in 0..9 {
+            store
+                .ingest(StreamRecord::Basic {
+                    item: i % 12,
+                    prob: 0.5,
+                })
+                .unwrap();
+        }
+        // One completed seal in partition 0, then a freeze in partition 1
+        // held in-flight by hand (exactly the state a clone racing a
+        // background seal observes).
+        store.seal_partition(0).unwrap();
+        let task = {
+            let mut shard = store.write_shard(1);
+            store.freeze(1, &mut shard).unwrap().unwrap()
+        };
+        assert_eq!(store.stats().seals, 2, "the in-flight freeze is counted");
+        let cloned = store.clone();
+        let stats = cloned.stats();
+        // The folded-back freeze is no longer a seal of the clone: every
+        // counted seal has its installed segment present.
+        assert_eq!(stats.seals, 1);
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.seals, stats.segments as u64);
+        // No records were lost: the frozen memtable's mass is live again.
+        assert_eq!(stats.ingested_records, 9);
+        // Partition 0 sealed its 4 records (items 0..4); the other 5 are
+        // live again after the fold-back.
+        assert_eq!(stats.live_records, 5);
+        for lo in 0..12 {
+            assert_eq!(
+                cloned.range_estimate(lo, 11).to_bits(),
+                store.range_estimate(lo, 11).to_bits()
+            );
+        }
+        // Settle the original so its worker state stays consistent.
+        let mut shard = store.write_shard(1);
+        SynopsisStore::unfreeze(&store.inner, &mut shard, task);
+        drop(shard);
+        assert_eq!(store.stats().seals, 1);
+    }
+
+    #[test]
+    fn render_metrics_exposes_store_series_and_events() {
+        let mut cfg = config(12, 3, 4);
+        cfg.compaction = Some(CompactionPolicy {
+            min_merge: 2,
+            tier_ratio: 2.0,
+        });
+        let store = SynopsisStore::new(cfg).unwrap();
+        for i in 0..24 {
+            store
+                .ingest(StreamRecord::Basic {
+                    item: i % 4,
+                    prob: 0.5,
+                })
+                .unwrap();
+        }
+        let _ = store.estimate(0);
+        let _ = store.range_estimate(0, 11);
+        let _ = store.snapshot_view();
+        store.seal_all().unwrap();
+        let text = store.render_metrics();
+        assert!(text.contains("pds_store_telemetry_enabled 1"));
+        assert!(text.contains("pds_store_ingest_records_total{partition=\"0\"} 24"));
+        assert!(text.contains("pds_store_freezes_total"));
+        assert!(text.contains("pds_store_query_seconds_count{op=\"estimate\"} 1"));
+        assert!(text.contains("pds_store_query_seconds_count{op=\"range_estimate\"} 1"));
+        assert!(text.contains("pds_store_query_seconds_count{op=\"snapshot_view\"} 1"));
+        assert!(text.contains("pds_store_ingested_records_total 24"));
+        assert!(text.contains("pds_store_compaction_rounds_total"));
+        let events = store.render_events();
+        assert!(
+            events.iter().any(|e| e.contains("seal-installed")),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(|e| e.contains("compaction-committed")),
+            "{events:?}"
+        );
+
+        // With the knob off the same workload records nothing.
+        let mut cfg = config(12, 3, 4);
+        cfg.telemetry = false;
+        let quiet = SynopsisStore::new(cfg).unwrap();
+        for i in 0..8 {
+            quiet
+                .ingest(StreamRecord::Basic {
+                    item: i % 12,
+                    prob: 0.5,
+                })
+                .unwrap();
+        }
+        let _ = quiet.estimate(0);
+        let text = quiet.render_metrics();
+        assert!(text.contains("pds_store_telemetry_enabled 0"));
+        assert!(text.contains("pds_store_ingest_records_total{partition=\"0\"} 0"));
+        assert!(text.contains("pds_store_query_seconds_count{op=\"estimate\"} 0"));
+        // The stats-derived series still report the real counters.
+        assert!(text.contains("pds_store_ingested_records_total 8"));
+        assert!(quiet.render_events().is_empty());
     }
 }

@@ -1,0 +1,364 @@
+//! Store-side instrumentation: one [`StoreTelemetry`] per
+//! [`SynopsisStore`](crate::SynopsisStore), holding the registered
+//! counters/gauges/histograms and the event ring for every store
+//! subsystem (ingest, seal, WAL, compaction, recovery, queries).
+//!
+//! Recording is gated on [`StoreConfig::telemetry`](crate::StoreConfig):
+//! when the knob is off, [`StoreTelemetry::maybe_start`] returns `None`
+//! and every `record_*` method is a no-op, so the disabled cost is one
+//! branch per site.  Recording never takes a lock and never allocates
+//! (the primitives are `pds_core::telemetry` atomics), so every site —
+//! including those inside shard-guard windows — is legal under the
+//! analyzer's lock-discipline rule.  Telemetry reads the clock but never
+//! feeds back into results: the `telemetry_invisibility` suite pins that
+//! estimates, snapshots and segment bytes are bit-identical with the
+//! knob on and off.
+
+use std::sync::Arc;
+
+use pds_core::telemetry::{Counter, EventRing, Gauge, LatencyHistogram, Registry, Stopwatch};
+
+use crate::store::StoreStats;
+
+/// Event-kind tags of the store's [`EventRing`].
+pub(crate) mod event {
+    /// A sealed segment installed: `a`=partition, `b`=seal seq,
+    /// `c`=records.
+    pub const SEAL_INSTALLED: u64 = 1;
+    /// A compaction round committed: `a`=partition, `b`=output seq,
+    /// `c`=input segments.
+    pub const COMPACTION_COMMITTED: u64 = 2;
+    /// A WAL file rotated at a freeze: `a`=partition, `b`=seal seq.
+    pub const WAL_ROTATED: u64 = 3;
+    /// Crash recovery completed: `a`=segments reloaded, `b`=records
+    /// recovered (blob + WAL replay), `c`=milliseconds taken.
+    pub const RECOVERY: u64 = 4;
+}
+
+/// The query operations timed into `pds_store_query_seconds{op=...}`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum QueryOp {
+    /// [`SynopsisStore::estimate`](crate::SynopsisStore::estimate).
+    Point = 0,
+    /// [`SynopsisStore::range_estimate`](crate::SynopsisStore::range_estimate).
+    Range = 1,
+    /// [`SynopsisStore::merge_global`](crate::SynopsisStore::merge_global).
+    MergeGlobal = 2,
+    /// [`SynopsisStore::snapshot_view`](crate::SynopsisStore::snapshot_view).
+    Snapshot = 3,
+}
+
+const QUERY_OPS: [(QueryOp, &str); 4] = [
+    (QueryOp::Point, "op=\"estimate\""),
+    (QueryOp::Range, "op=\"range_estimate\""),
+    (QueryOp::MergeGlobal, "op=\"merge_global\""),
+    (QueryOp::Snapshot, "op=\"snapshot_view\""),
+];
+
+/// Events retained for `METRICS EVENTS`: enough to cover the recent
+/// seal/compaction history of a busy store without unbounded growth.
+const EVENT_CAPACITY: usize = 256;
+
+/// All store-side metric series plus the event ring (see the module
+/// docs).  Constructed fresh per store (clones restart at zero — the
+/// counters describe a process's activity, not the data).
+#[derive(Debug)]
+pub(crate) struct StoreTelemetry {
+    enabled: bool,
+    registry: Registry,
+    events: EventRing,
+    ingest_records: Vec<Arc<Counter>>,
+    ingest_batches: Arc<Counter>,
+    ingest_batch_seconds: Arc<LatencyHistogram>,
+    freezes: Arc<Counter>,
+    wal_rotations: Arc<Counter>,
+    wal_commits: Arc<Counter>,
+    wal_commit_seconds: Arc<LatencyHistogram>,
+    seal_build_seconds: Arc<LatencyHistogram>,
+    seal_commit_seconds: Arc<LatencyHistogram>,
+    seal_bytes: Arc<Counter>,
+    compaction_rounds: Arc<Counter>,
+    compaction_input_segments: Arc<Counter>,
+    compaction_bytes: Arc<Counter>,
+    compaction_seconds: Arc<LatencyHistogram>,
+    recovery_seconds: Arc<Gauge>,
+    recovered_records: Arc<Counter>,
+    query_seconds: Vec<Arc<LatencyHistogram>>,
+}
+
+impl StoreTelemetry {
+    /// Registers every store series (one ingest counter per partition).
+    pub(crate) fn new(partitions: usize, enabled: bool) -> Self {
+        let registry = Registry::new();
+        // Rendered straight from the registry; nothing records into it
+        // after this set, so no field keeps a handle.
+        registry
+            .gauge("pds_store_telemetry_enabled", "")
+            .set(f64::from(u8::from(enabled)));
+        let ingest_records = (0..partitions)
+            .map(|p| {
+                registry.counter(
+                    "pds_store_ingest_records_total",
+                    &format!("partition=\"{p}\""),
+                )
+            })
+            .collect();
+        StoreTelemetry {
+            enabled,
+            ingest_records,
+            ingest_batches: registry.counter("pds_store_ingest_batches_total", ""),
+            ingest_batch_seconds: registry.histogram("pds_store_ingest_batch_seconds", ""),
+            freezes: registry.counter("pds_store_freezes_total", ""),
+            wal_rotations: registry.counter("pds_store_wal_rotations_total", ""),
+            wal_commits: registry.counter("pds_store_wal_commits_total", ""),
+            wal_commit_seconds: registry.histogram("pds_store_wal_commit_seconds", ""),
+            seal_build_seconds: registry.histogram("pds_store_seal_build_seconds", ""),
+            seal_commit_seconds: registry.histogram("pds_store_seal_commit_seconds", ""),
+            seal_bytes: registry.counter("pds_store_seal_bytes_total", ""),
+            compaction_rounds: registry.counter("pds_store_compaction_rounds_total", ""),
+            compaction_input_segments: registry
+                .counter("pds_store_compaction_input_segments_total", ""),
+            compaction_bytes: registry.counter("pds_store_compaction_bytes_total", ""),
+            compaction_seconds: registry.histogram("pds_store_compaction_seconds", ""),
+            recovery_seconds: registry.gauge("pds_store_recovery_seconds", ""),
+            recovered_records: registry.counter("pds_store_recovered_records_total", ""),
+            query_seconds: QUERY_OPS
+                .iter()
+                .map(|(_, labels)| registry.histogram("pds_store_query_seconds", labels))
+                .collect(),
+            events: EventRing::new(EVENT_CAPACITY),
+            registry,
+        }
+    }
+
+    /// Starts a stopwatch when telemetry is enabled; `None` otherwise.
+    /// Pair the result with a `record_*` method (the analyzer's
+    /// `telemetry-pairing` rule checks the pairing at every observe site).
+    pub(crate) fn maybe_start(&self) -> Option<Stopwatch> {
+        if self.enabled {
+            Some(Stopwatch::start())
+        } else {
+            None
+        }
+    }
+
+    /// One record inserted into partition `p`'s shard (the single choke
+    /// point shared by the per-record and batched ingest paths).
+    pub(crate) fn record_ingest(&self, p: usize) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(counter) = self.ingest_records.get(p) {
+            counter.inc();
+        }
+    }
+
+    /// One per-partition sub-batch inserted under a single shard lock.
+    pub(crate) fn record_batch(&self, sw: Option<Stopwatch>) {
+        if let Some(sw) = sw {
+            self.ingest_batches.inc();
+            self.ingest_batch_seconds.observe(sw);
+        }
+    }
+
+    /// One memtable frozen for sealing; `rotated` when the shard's WAL
+    /// rotated with it (emits a [`event::WAL_ROTATED`] event).
+    pub(crate) fn record_frozen(&self, p: usize, seq: u64, rotated: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.freezes.inc();
+        if rotated {
+            self.wal_rotations.inc();
+            self.events.push(event::WAL_ROTATED, p as u64, seq, 0);
+        }
+    }
+
+    /// One WAL group commit (the flush/fsync at the ingest-call or
+    /// sub-batch boundary).
+    pub(crate) fn record_wal_commit(&self, sw: Option<Stopwatch>) {
+        if let Some(sw) = sw {
+            self.wal_commits.inc();
+            self.wal_commit_seconds.observe(sw);
+        }
+    }
+
+    /// One segment built from a frozen memtable.
+    pub(crate) fn record_seal_build(&self, sw: Option<Stopwatch>) {
+        if let Some(sw) = sw {
+            self.seal_build_seconds.observe(sw);
+        }
+    }
+
+    /// One durable seal commit (blob publish + manifest record) of
+    /// `bytes` blob bytes.
+    pub(crate) fn record_seal_commit(&self, sw: Option<Stopwatch>, bytes: u64) {
+        if let Some(sw) = sw {
+            self.seal_bytes.add(bytes);
+            self.seal_commit_seconds.observe(sw);
+        }
+    }
+
+    /// One segment installed in memory at its sequence position.
+    pub(crate) fn record_installed(&self, p: usize, seq: u64, records: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.events
+            .push(event::SEAL_INSTALLED, p as u64, seq, records);
+    }
+
+    /// One compaction round committed (`inputs` segments merged into the
+    /// output at `out_seq`, whose blob is `bytes` long when durable).
+    pub(crate) fn record_compaction(
+        &self,
+        sw: Option<Stopwatch>,
+        p: usize,
+        out_seq: u64,
+        inputs: u64,
+        bytes: u64,
+    ) {
+        if let Some(sw) = sw {
+            self.compaction_rounds.inc();
+            self.compaction_input_segments.add(inputs);
+            self.compaction_bytes.add(bytes);
+            self.compaction_seconds.observe(sw);
+            self.events
+                .push(event::COMPACTION_COMMITTED, p as u64, out_seq, inputs);
+        }
+    }
+
+    /// Crash recovery finished: `segments` reloaded from blobs and
+    /// `records` recovered in `seconds` wall time.
+    pub(crate) fn record_recovery(&self, seconds: f64, segments: u64, records: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.recovery_seconds.set(seconds);
+        self.recovered_records.add(records);
+        self.events
+            .push(event::RECOVERY, segments, records, (seconds * 1e3) as u64);
+    }
+
+    /// One timed query operation.
+    pub(crate) fn record_query(&self, op: QueryOp, sw: Option<Stopwatch>) {
+        if let Some(sw) = sw {
+            if let Some(hist) = self.query_seconds.get(op as usize) {
+                hist.observe(sw);
+            }
+        }
+    }
+
+    /// The full store exposition: every registered series plus the
+    /// point-in-time [`StoreStats`] counters rendered as series of their
+    /// own (`pds_store_ingested_records_total`, `pds_store_live_records`,
+    /// `pds_store_seals_total`, `pds_store_segments`,
+    /// `pds_store_split_tuples_total`).
+    pub(crate) fn render(&self, stats: &StoreStats) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.registry.render();
+        let _ = writeln!(out, "# TYPE pds_store_ingested_records_total counter");
+        let _ = writeln!(
+            out,
+            "pds_store_ingested_records_total {}",
+            stats.ingested_records
+        );
+        let _ = writeln!(out, "# TYPE pds_store_live_records gauge");
+        let _ = writeln!(out, "pds_store_live_records {}", stats.live_records);
+        let _ = writeln!(out, "# TYPE pds_store_seals_total counter");
+        let _ = writeln!(out, "pds_store_seals_total {}", stats.seals);
+        let _ = writeln!(out, "# TYPE pds_store_segments gauge");
+        let _ = writeln!(out, "pds_store_segments {}", stats.segments);
+        let _ = writeln!(out, "# TYPE pds_store_split_tuples_total counter");
+        let _ = writeln!(out, "pds_store_split_tuples_total {}", stats.split_tuples);
+        let _ = writeln!(out, "# TYPE pds_store_events_total counter");
+        let _ = writeln!(out, "pds_store_events_total {}", self.events.pushed());
+        out
+    }
+
+    /// The retained store events, oldest first, decoded to one line each.
+    pub(crate) fn render_events(&self) -> Vec<String> {
+        self.events.dump(|kind, a, b, c| match kind {
+            event::SEAL_INSTALLED => {
+                format!("seal-installed partition={a} seq={b} records={c}")
+            }
+            event::COMPACTION_COMMITTED => {
+                format!("compaction-committed partition={a} out_seq={b} inputs={c}")
+            }
+            event::WAL_ROTATED => format!("wal-rotated partition={a} seq={b}"),
+            event::RECOVERY => {
+                format!("recovery segments={a} records={b} took_ms={c}")
+            }
+            other => format!("unknown-event kind={other} a={a} b={b} c={c}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let tel = StoreTelemetry::new(2, false);
+        assert!(tel.maybe_start().is_none());
+        tel.record_ingest(0);
+        tel.record_frozen(0, 0, true);
+        tel.record_recovery(1.0, 1, 2);
+        tel.record_batch(None);
+        let stats = StoreStats {
+            ingested_records: 0,
+            live_records: 0,
+            seals: 0,
+            segments: 0,
+            split_tuples: 0,
+        };
+        let text = tel.render(&stats);
+        assert!(text.contains("pds_store_telemetry_enabled 0"));
+        assert!(text.contains("pds_store_ingest_records_total{partition=\"0\"} 0"));
+        assert!(text.contains("pds_store_freezes_total 0"));
+        assert!(tel.render_events().is_empty());
+    }
+
+    #[test]
+    fn enabled_telemetry_counts_and_traces() {
+        let tel = StoreTelemetry::new(2, true);
+        tel.record_ingest(0);
+        tel.record_ingest(0);
+        tel.record_ingest(1);
+        tel.record_ingest(99); // out of range: ignored, never panics
+        let sw = tel.maybe_start();
+        tel.record_batch(sw);
+        tel.record_frozen(1, 7, true);
+        tel.record_installed(1, 7, 1234);
+        let sw = tel.maybe_start();
+        tel.record_compaction(sw, 1, 9, 3, 77);
+        tel.record_recovery(0.25, 2, 500);
+        let stats = StoreStats {
+            ingested_records: 3,
+            live_records: 1,
+            seals: 1,
+            segments: 2,
+            split_tuples: 0,
+        };
+        let text = tel.render(&stats);
+        assert!(text.contains("pds_store_telemetry_enabled 1"));
+        assert!(text.contains("pds_store_ingest_records_total{partition=\"0\"} 2"));
+        assert!(text.contains("pds_store_ingest_records_total{partition=\"1\"} 1"));
+        assert!(text.contains("pds_store_ingest_batches_total 1"));
+        assert!(text.contains("pds_store_ingest_batch_seconds_count 1"));
+        assert!(text.contains("pds_store_freezes_total 1"));
+        assert!(text.contains("pds_store_wal_rotations_total 1"));
+        assert!(text.contains("pds_store_compaction_rounds_total 1"));
+        assert!(text.contains("pds_store_compaction_input_segments_total 3"));
+        assert!(text.contains("pds_store_recovery_seconds 0.25"));
+        assert!(text.contains("pds_store_ingested_records_total 3"));
+        assert!(text.contains("pds_store_segments 2"));
+        let events = tel.render_events();
+        assert_eq!(events.len(), 4);
+        assert!(events[0].contains("wal-rotated partition=1 seq=7"));
+        assert!(events[1].contains("seal-installed partition=1 seq=7 records=1234"));
+        assert!(events[2].contains("compaction-committed partition=1 out_seq=9 inputs=3"));
+        assert!(events[3].contains("recovery segments=2 records=500 took_ms=250"));
+    }
+}

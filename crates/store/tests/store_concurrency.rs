@@ -330,3 +330,92 @@ fn wal_covers_concurrent_batch_ingest() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Answers within float-reassociation noise of a helper, flagging the
+/// per-point relative error.
+fn assert_estimates_close(got: &[f64], reference: &[f64], ctx: &str) {
+    assert_eq!(got.len(), reference.len());
+    for (i, (g, r)) in got.iter().zip(reference).enumerate() {
+        let tol = 1e-9 * r.abs().max(1.0);
+        assert!(
+            (g - r).abs() <= tol,
+            "{ctx}: point {i} diverged beyond reassociation noise: {g} vs {r}"
+        );
+    }
+}
+
+/// Snapshot views captured while another thread commits compaction rounds
+/// always answer like the quiesced store.  The segment budget here equals
+/// the domain size, so seal and compaction are lossless: the only change a
+/// merge may introduce is floating-point *reassociation* of the bucket
+/// sums (last-ULP noise).  Every view must therefore match the quiesced
+/// reference to within 1e-9 relative — a torn view (one shard pre-swap,
+/// another post-swap of different record mass) or a half-installed merge
+/// would diverge by whole record weights.  Runs at a 4-wide pool (the
+/// `PDS_THREADS=4` shape of the rest of this suite).
+#[test]
+fn snapshot_views_race_compaction_commits_consistently() {
+    pool::set_num_threads(Some(4));
+    let cfg = StoreConfig::new(
+        PartitionSpec::uniform(N, 4).unwrap(),
+        50,
+        N, // lossless: N buckets represent the N-item domain exactly
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    );
+    let store = SynopsisStore::new(cfg).unwrap();
+    let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+        n: N,
+        skew: 0.6,
+        seed: 55,
+    })
+    .take(3_000)
+    .collect();
+    store.ingest_batch(records.iter().cloned()).unwrap();
+    store.seal_all().unwrap();
+    assert!(
+        store.stats().segments >= 8,
+        "need several segments per partition for compaction to race against"
+    );
+
+    // Quiesced reference, captured through the same snapshot-view path.
+    let quiesced = store.snapshot_view();
+    let reference: Vec<f64> = (0..N)
+        .flat_map(|lo| [quiesced.estimate(lo), quiesced.range_estimate(lo, N - 1)])
+        .collect();
+
+    std::thread::scope(|scope| {
+        let compactor = scope.spawn(|| {
+            for _ in 0..25 {
+                store.compact_all().unwrap();
+            }
+        });
+        let mut views = 0usize;
+        while !compactor.is_finished() || views == 0 {
+            let view = store.snapshot_view();
+            let got: Vec<f64> = (0..N)
+                .flat_map(|lo| [view.estimate(lo), view.range_estimate(lo, N - 1)])
+                .collect();
+            assert_estimates_close(&got, &reference, &format!("racing view {views}"));
+            views += 1;
+        }
+        compactor.join().unwrap();
+    });
+
+    // Fully quiesced rebuild: a fresh store over the same stream, sealed
+    // and compacted, answers identically to every racing view.
+    let rebuilt = SynopsisStore::new(StoreConfig::new(
+        PartitionSpec::uniform(N, 4).unwrap(),
+        50,
+        N,
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    ))
+    .unwrap();
+    rebuilt.ingest_batch(records).unwrap();
+    rebuilt.seal_all().unwrap();
+    rebuilt.compact_all().unwrap();
+    let rebuilt_estimates: Vec<f64> = (0..N)
+        .flat_map(|lo| [rebuilt.estimate(lo), rebuilt.range_estimate(lo, N - 1)])
+        .collect();
+    assert_estimates_close(&rebuilt_estimates, &reference, "quiesced rebuild");
+    pool::set_num_threads(None);
+}

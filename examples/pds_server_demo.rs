@@ -236,6 +236,100 @@ fn main() -> Result<()> {
         merged.num_buckets()
     );
 
+    // Phase 4: METRICS scrape gate.  The exposition must cover both layers,
+    // agree exactly with the client side's own command tally, and be
+    // internally consistent: every histogram's +Inf bucket equals its
+    // _count, every value is finite and non-negative.
+    let reply = client.cmd("METRICS").map_err(io_err)?;
+    let text = String::from_utf8(client.bin_body(&reply).map_err(io_err)?).map_err(|_| {
+        PdsError::InvalidParameter {
+            message: "METRICS exposition must be UTF-8".into(),
+        }
+    })?;
+    let series: Vec<(String, f64)> = text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (name, value) = l.rsplit_once(' ').expect("metric line has a value");
+            (name.to_string(), value.parse().expect("numeric value"))
+        })
+        .collect();
+    let value = |name: &str| -> f64 {
+        series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("series {name} missing from METRICS"))
+    };
+    for (name, v) in &series {
+        assert!(
+            v.is_finite() && *v >= 0.0,
+            "series {name} has bad value {v}"
+        );
+    }
+    // Per-verb counters vs the demo's own tally.  The querier threads
+    // incremented `concurrent_queries` once per RANGE and once per EST, and
+    // this METRICS request counted itself before rendering.
+    let verb = |v: &str| value(&format!("pds_server_requests_total{{verb=\"{v}\"}}")) as u64;
+    let querier_pairs = served_queries / 2;
+    assert_eq!(verb("range"), querier_pairs + COMPARISON_QUERIES as u64);
+    assert_eq!(verb("est"), querier_pairs);
+    assert_eq!(verb("ingest"), batches.len() as u64);
+    assert_eq!(verb("stats"), 1);
+    assert_eq!(verb("seal"), 1);
+    assert_eq!(verb("merge"), 1);
+    assert_eq!(verb("metrics"), 1);
+    assert_eq!(verb("quit"), queriers as u64 + 1);
+    assert_eq!(value("pds_server_err_replies_total"), 0.0);
+    assert_eq!(
+        value("pds_server_connections_total") as u64,
+        queriers as u64 + 2
+    );
+    assert_eq!(value("pds_server_connections_active"), 1.0);
+    assert_eq!(value("pds_store_ingested_records_total") as usize, TUPLES);
+    assert!(value("pds_store_seal_build_seconds_count") >= 1.0);
+    // Histogram consistency: +Inf cumulative bucket == _count, for every
+    // histogram of both layers.
+    let mut histograms_checked = 0usize;
+    for (name, v) in &series {
+        let Some(idx) = name.find("_bucket{") else {
+            continue;
+        };
+        if !name.contains("le=\"+Inf\"") {
+            continue;
+        }
+        let inner = name[idx + "_bucket".len()..]
+            .trim_start_matches('{')
+            .trim_end_matches('}');
+        let kept: Vec<&str> = inner.split(',').filter(|l| !l.starts_with("le=")).collect();
+        let count_name = if kept.is_empty() {
+            format!("{}_count", &name[..idx])
+        } else {
+            format!("{}_count{{{}}}", &name[..idx], kept.join(","))
+        };
+        assert_eq!(*v, value(&count_name), "{name} disagrees with {count_name}");
+        histograms_checked += 1;
+    }
+    assert!(histograms_checked >= 10, "too few histograms in METRICS");
+    let distinct: std::collections::BTreeSet<&str> = series
+        .iter()
+        .map(|(n, _)| n.split('{').next().unwrap_or(n))
+        .collect();
+    assert!(
+        distinct.len() >= 25,
+        "METRICS must cover at least 25 distinct series, got {}",
+        distinct.len()
+    );
+    assert!(distinct.iter().any(|n| n.starts_with("pds_server_")));
+    assert!(distinct.iter().any(|n| n.starts_with("pds_store_")));
+    println!(
+        "METRICS scrape: {} series over {} names span both layers; per-verb \
+         counters match the client tally, {histograms_checked} histograms \
+         internally consistent",
+        series.len(),
+        distinct.len(),
+    );
+
     client.cmd("QUIT").map_err(io_err)?;
     handle.shutdown();
     serve_thread

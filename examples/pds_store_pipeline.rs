@@ -46,7 +46,85 @@ fn reopen_arg() -> bool {
     std::env::args().skip(1).any(|a| a == "--reopen")
 }
 
+/// `--telemetry-gate`: instead of the full pipeline, measure batched
+/// ingest+seal throughput with the telemetry knob on and off (alternating
+/// rounds, min-of-N against scheduler noise) and fail unless the
+/// instrumented store stays within 5% of the uninstrumented one.
+fn telemetry_gate_arg() -> bool {
+    std::env::args().skip(1).any(|a| a == "--telemetry-gate")
+}
+
+/// The `--telemetry-gate` benchmark: telemetry must cost (almost) nothing.
+fn run_telemetry_gate() -> Result<()> {
+    const GATE_RECORDS: usize = 400_000;
+    const ROUNDS: usize = 3;
+    let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+        n: N,
+        skew: 0.7,
+        seed: 42,
+    })
+    .take(GATE_RECORDS)
+    .collect();
+
+    let run_once = |telemetry: bool| -> Result<f64> {
+        let mut config = StoreConfig::new(
+            PartitionSpec::uniform(N, PARTITIONS)?,
+            SEAL_THRESHOLD,
+            SEGMENT_BUCKETS,
+            SynopsisKind::Histogram(ErrorMetric::Sse),
+        );
+        config.telemetry = telemetry;
+        let store = SynopsisStore::new(config)?;
+        let t = Instant::now();
+        store.ingest_batch(records.iter().cloned())?;
+        store.seal_all()?;
+        let secs = t.elapsed().as_secs_f64();
+        // The timed work actually was (or was not) instrumented.
+        let scrape = store.render_metrics();
+        assert!(scrape.contains(&format!(
+            "pds_store_telemetry_enabled {}",
+            u8::from(telemetry)
+        )));
+        if telemetry {
+            assert!(scrape.contains("pds_store_ingest_batch_seconds_count"));
+        }
+        Ok(secs)
+    };
+
+    // Warm-up round per knob (page cache, allocator, cpu clocks), then
+    // alternate measured rounds so drift hits both knobs equally.
+    run_once(false)?;
+    run_once(true)?;
+    let (mut on_min, mut off_min) = (f64::INFINITY, f64::INFINITY);
+    for round in 0..ROUNDS {
+        let off = run_once(false)?;
+        let on = run_once(true)?;
+        off_min = off_min.min(off);
+        on_min = on_min.min(on);
+        println!(
+            "round {round}: telemetry off {:.0} tuples/s, on {:.0} tuples/s",
+            GATE_RECORDS as f64 / off,
+            GATE_RECORDS as f64 / on,
+        );
+    }
+    let overhead = on_min / off_min - 1.0;
+    println!(
+        "best-of-{ROUNDS}: off {off_min:.3}s, on {on_min:.3}s — overhead {:.2}%",
+        overhead * 100.0,
+    );
+    assert!(
+        on_min <= off_min * 1.05,
+        "telemetry overhead {:.2}% exceeds the 5% ingest budget",
+        overhead * 100.0,
+    );
+    println!("telemetry gate passed: instrumented ingest within 5% of uninstrumented");
+    Ok(())
+}
+
 fn main() -> Result<()> {
+    if telemetry_gate_arg() {
+        return run_telemetry_gate();
+    }
     // ------------------------------------------------------------ ingestion
     let threads = threads_arg();
     if let Some(t) = threads {

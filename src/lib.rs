@@ -19,7 +19,8 @@
 //!   histograms, and the versioned compact binary format;
 //! * [`server`](pds_server) — a concurrent TCP front-end serving the store's
 //!   panic-free query path over a line-oriented text protocol, with reads
-//!   executing against immutable snapshot views.
+//!   executing against immutable snapshot views and a `METRICS` verb
+//!   exposing both layers' telemetry as a Prometheus-style scrape.
 //!
 //! ## Quickstart
 //!
@@ -49,13 +50,13 @@
 //! | Path              | Package         | Contents                                   |
 //! |-------------------|-----------------|--------------------------------------------|
 //! | `.`               | `probsyn`       | umbrella re-exports, [`prelude`], [`aqp`]  |
-//! | `crates/core`     | `pds-core`      | uncertainty models, worlds, moments, generators, stream records, binary-envelope primitives, scoped thread pool (`pds_core::pool`) |
+//! | `crates/core`     | `pds-core`      | uncertainty models, worlds, moments, generators, stream records, binary-envelope primitives, scoped thread pool (`pds_core::pool`), lock-free telemetry primitives (`pds_core::telemetry`) |
 //! | `crates/histogram`| `pds-histogram` | bucket-cost oracles, DP (serial + level-parallel), `(1+ε)` approximation, partition-merge DP |
 //! | `crates/wavelet`  | `pds-wavelet`   | Haar transform, SSE and non-SSE thresholding |
-//! | `crates/store`    | `pds-store`     | concurrent sharded ingest memtables, background sealing, per-partition WALs, compaction, store persistence |
-//! | `crates/server`   | `pds-server`    | snapshot-isolated TCP query/ingest front-end (`EST`/`RANGE`/`STATS`/`MERGE`/`INGEST`/admin verbs), worker pool over `pds_core::pool` |
+//! | `crates/store`    | `pds-store`     | concurrent sharded ingest memtables, background sealing, per-partition WALs, compaction, store persistence, pipeline telemetry (counters/histograms/events behind `StoreConfig::telemetry`) |
+//! | `crates/server`   | `pds-server`    | snapshot-isolated TCP query/ingest front-end (`EST`/`RANGE`/`STATS [JSON]`/`MERGE`/`INGEST`/`METRICS`/admin verbs), worker pool over `pds_core::pool`, per-verb request telemetry |
 //! | `crates/bench`    | `pds-bench`     | workloads, report tables, figure binaries  |
-//! | `crates/analyze`  | `pds-analyze`   | workspace invariant checker (lock discipline, panic-freedom, binio framing, crash-point coverage) + deterministic decoder/recovery fuzzer |
+//! | `crates/analyze`  | `pds-analyze`   | workspace invariant checker (lock discipline, panic-freedom, binio framing, crash-point coverage, telemetry start/observe pairing) + deterministic decoder/recovery fuzzer |
 //!
 //! ### Multi-core execution
 //!
@@ -68,6 +69,20 @@
 //! **deterministic** — identical outputs (bit-for-bit) at every thread
 //! count — so parallelism is a pure throughput knob, pinned by the
 //! serial-vs-concurrent equivalence suites.
+//!
+//! ### Observability
+//!
+//! The store and server are instrumented with lock-free, allocation-free
+//! telemetry (`pds_core::telemetry`: atomic counters and gauges, log₂-bucket
+//! latency histograms, a bounded event ring).  `SynopsisStore::render_metrics`
+//! and the server's `METRICS` verb expose everything as a Prometheus-style
+//! text scrape; `STATS JSON` returns the machine-readable store counters and
+//! `METRICS EVENTS` dumps the recent structured event trace.  The store-side
+//! knob is `StoreConfig::telemetry` (default on); turning it off is
+//! **bit-invisible** — estimates, snapshots and segment bytes are identical
+//! either way, pinned by a deterministic test — and the instrumented ingest
+//! path stays within 5% of the uninstrumented one, gated in CI
+//! (`pds_store_pipeline --telemetry-gate`).
 //!
 //! ### Persistent formats
 //!
@@ -104,6 +119,7 @@
 //! cargo run --release -p pds-bench --bin figure2     # paper Figure 2 tables
 //! cargo run --release --example quickstart           # guided tour
 //! cargo run --release --example pds_server_demo      # TCP front-end under concurrent load
+//! cargo run --release --example pds_store_pipeline -- --telemetry-gate   # 5% overhead gate
 //! cargo run -p pds-analyze -- check                  # static invariant lints
 //! cargo run --release -p pds-analyze -- fuzz         # 50k-mutation decoder fuzz
 //! ```
