@@ -102,8 +102,9 @@
 //!
 //! ### `crash-coverage` (files under `crates/store/src`)
 //!
-//! **What:** every atomic publish — an `fs::rename` whose source is a
-//! `tmp`/`staging` path — must be preceded, in the same function, by a
+//! **What:** every atomic publish — an `fs::rename(from, ..)` or
+//! `vfs::rename(site, from, ..)` whose source is a `tmp`/`staging` path —
+//! must be preceded, in the same function, by a
 //! `crashpoint::reached("<label>")`; and every label used in the sources
 //! must appear as a `label:` of the crash-matrix test
 //! (`crates/store/tests/store_crash_matrix.rs`), so arming the label
@@ -132,6 +133,22 @@
 //! a glance.
 //!
 //! **Suppress:** `// analyze:allow(telemetry-pairing) <why>`.
+//!
+//! ### `vfs-discipline` (files under `crates/store/src`)
+//!
+//! **What:** non-test store code may not call `fs::`, `File::` or
+//! `OpenOptions::` functions directly — every durable operation must route
+//! through the `pds_core::vfs` passthrough.  Test modules are exempt (they
+//! stage fixtures and inspect artefacts directly).
+//!
+//! **Why:** the vfs layer is where the deterministic fault injector, the
+//! bounded retry policy and the I/O-error telemetry all live.  A direct
+//! filesystem call is invisible to the fault matrix (so its failure mode
+//! is never exercised), skips retry, and fails without a trace — exactly
+//! the silent error path this PR's degraded-mode machinery exists to
+//! close.
+//!
+//! **Suppress:** `// analyze:allow(vfs-discipline) <why this bypass is safe>`.
 //!
 //! ### `allow-discipline` (automatic)
 //!

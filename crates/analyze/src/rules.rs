@@ -28,6 +28,8 @@ pub const RULE_FRAMING: &str = "binio-framing";
 pub const RULE_CRASH: &str = "crash-coverage";
 /// Rule name: every latency observation pairs with a visible start.
 pub const RULE_TELEMETRY: &str = "telemetry-pairing";
+/// Rule name: store durable I/O must route through `pds_core::vfs`.
+pub const RULE_VFS: &str = "vfs-discipline";
 /// Rule name: allows must be justified and must still suppress something.
 pub const RULE_ALLOW: &str = "allow-discipline";
 
@@ -303,7 +305,14 @@ const LOCK_BANNED_CALLS: &[&str] = &[
 ];
 
 /// Qualified-path prefixes whose associated calls are always I/O.
-const LOCK_BANNED_PATHS: &[&str] = &["fs", "File", "OpenOptions", "PartitionWal", "Manifest"];
+const LOCK_BANNED_PATHS: &[&str] = &[
+    "fs",
+    "vfs",
+    "File",
+    "OpenOptions",
+    "PartitionWal",
+    "Manifest",
+];
 
 /// `.read()` / `.write()` (zero-arg: the RwLock shape, not `io::Write`) or
 /// `write_shard(` / `read_shard(` at `i`.  With `include_mutex`, zero-arg
@@ -535,6 +544,9 @@ const PANIC_FILES: &[&str] = &[
     // an availability bug.
     "crates/core/src/telemetry.rs",
     "crates/store/src/telemetry.rs",
+    // Every durable byte of the store flows through the vfs passthrough;
+    // a panic here would sit under every WAL append and manifest publish.
+    "crates/core/src/vfs.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
@@ -1074,15 +1086,26 @@ fn crash_coverage(
             if model.in_test(i) {
                 continue;
             }
-            if !(tokens[i].is_ident("fs")
-                && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            // `fs::rename(from, to)` takes the source path first;
+            // `vfs::rename(site, from, to)` carries its fault-site label
+            // first, so the source path is the second argument.
+            let from_arg = if tokens[i].is_ident("fs") {
+                0
+            } else if tokens[i].is_ident("vfs") {
+                1
+            } else {
+                continue;
+            };
+            if !(tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
                 && tokens.get(i + 2).is_some_and(|t| t.is_ident("rename"))
                 && tokens.get(i + 3).is_some_and(|t| t.is_punct("(")))
             {
                 continue;
             }
             let args = call_args(tokens, i + 3);
-            let Some(&first) = args.first() else { continue };
+            let Some(&first) = args.get(from_arg) else {
+                continue;
+            };
             let is_publish = tokens[first.0..first.1].iter().any(|t| {
                 t.kind == TokKind::Ident
                     && (t.text.to_lowercase().contains("tmp")
@@ -1173,6 +1196,55 @@ fn telemetry_pairing(model: &SourceModel, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 6: vfs-discipline
+// ---------------------------------------------------------------------------
+
+/// Path prefixes whose associated calls reach the filesystem directly,
+/// bypassing the `pds_core::vfs` passthrough (and with it the fault
+/// injector, the retry policy and the I/O-error telemetry).
+const VFS_BANNED_PATHS: &[&str] = &["fs", "File", "OpenOptions"];
+
+/// Every durable byte of `crates/store` must flow through `pds_core::vfs`:
+/// a direct `fs::`/`File::`/`OpenOptions::` call in non-test store code is
+/// invisible to the fault matrix, untried by the retry policy, and
+/// uncounted by the I/O-error telemetry.  Test modules are exempt (they
+/// stage fixtures); anything else needs an
+/// `// analyze:allow(vfs-discipline) <why>` justification.
+fn vfs_discipline(model: &SourceModel, out: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        if model.in_test(i) {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident
+            && VFS_BANNED_PATHS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && tokens.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident)
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct("("))
+            // `vfs::…` calls lex as `vfs :: fs`-free shapes already, but a
+            // store-local `fs` module re-export would still be direct I/O —
+            // only a preceding `vfs ::` qualification makes the call routed.
+            && !(i >= 2 && tokens[i - 1].is_punct("::") && tokens[i - 2].is_ident("vfs"))
+        {
+            out.push(Diagnostic {
+                file: model.display(),
+                line: tokens[i + 2].line,
+                col: tokens[i + 2].col,
+                rule: RULE_VFS,
+                message: format!(
+                    "direct `{}::{}` call in store code: durable I/O must \
+                     route through `pds_core::vfs` so the fault matrix, retry \
+                     policy and I/O telemetry all see it",
+                    t.text,
+                    tokens[i + 2].text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Orchestration
 // ---------------------------------------------------------------------------
 
@@ -1187,6 +1259,8 @@ fn path_str(model: &SourceModel) -> String {
 ///   and `crates/server/src` (additionally treating zero-arg `.lock()` as
 ///   an acquisition: the server may hold no lock across I/O or store
 ///   calls);
+/// * `vfs-discipline` — files under `crates/store/src` (durable I/O must
+///   route through `pds_core::vfs`, not raw `fs`/`File`/`OpenOptions`);
 /// * `crash-coverage` — files under `crates/store/src`;
 /// * `panic-freedom` — the four durability-critical files (see crate docs),
 ///   the whole of `crates/server/src` (the serving path: hostile bytes must
@@ -1210,6 +1284,7 @@ pub fn analyze_sources(models: &[SourceModel]) -> Report {
         let p = path_str(model);
         if p.contains("crates/store/src") {
             lock_discipline(model, false, &mut raw);
+            vfs_discipline(model, &mut raw);
         }
         if p.contains("crates/server/src") {
             lock_discipline(model, true, &mut raw);

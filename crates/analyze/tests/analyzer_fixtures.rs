@@ -9,7 +9,7 @@
 
 use pds_analyze::rules::{
     self, Report, SourceModel, RULE_ALLOW, RULE_CRASH, RULE_FRAMING, RULE_LOCK, RULE_PANIC,
-    RULE_TELEMETRY,
+    RULE_TELEMETRY, RULE_VFS,
 };
 
 fn analyze(files: &[(&str, &str)]) -> Report {
@@ -141,6 +141,28 @@ fn telemetry_pairing_fires_on_seeded_spans_only() {
          parameter, the maybe_start call, and the test mod are clean): {:#?}",
         report.diagnostics
     );
+}
+
+#[test]
+fn vfs_discipline_fires_on_seeded_spans_only() {
+    let report = analyze(&[(
+        "crates/store/src/vfs_fixture.rs",
+        include_str!("fixtures/vfs_violation.rs"),
+    )]);
+    assert_eq!(
+        findings(&report),
+        vec![(9, RULE_VFS), (13, RULE_VFS), (17, RULE_VFS)],
+        "expected the direct fs::/File::/OpenOptions:: seeds only (the \
+         vfs-routed call, the justified allow, and the test mod are \
+         clean): {:#?}",
+        report.diagnostics
+    );
+    let allow = report
+        .allows
+        .iter()
+        .find(|a| a.rule == RULE_VFS)
+        .expect("the vfs-discipline allow must be recorded");
+    assert_eq!(allow.uses, 1, "the allow must suppress the metadata probe");
 }
 
 #[test]

@@ -2,20 +2,20 @@
 // `crates/store/src/crash_fixture.rs` alongside a miniature crash-matrix
 // model; never compiled.
 
-use std::fs;
+use pds_core::vfs;
 
 pub fn publish_unlabelled(dir: &Path) -> Result<()> {
     let tmp = dir.join("MANIFEST.tmp");
-    fs::write(&tmp, b"x")?;
-    fs::rename(&tmp, dir.join("MANIFEST"))?; // VIOLATION: no crash point
+    vfs::write("site", &tmp, b"x")?;
+    vfs::rename("site", &tmp, dir.join("MANIFEST"))?; // VIOLATION: no crash point
     Ok(())
 }
 
 pub fn publish_labelled(dir: &Path) -> Result<()> {
     let tmp = dir.join("seg.tmp");
-    fs::write(&tmp, b"x")?;
+    vfs::write("site", &tmp, b"x")?;
     crate::crashpoint::reached("fixture-covered");
-    fs::rename(&tmp, dir.join("seg.bin"))?; // fine: labelled above
+    vfs::rename("site", &tmp, dir.join("seg.bin"))?; // fine: labelled above
     Ok(())
 }
 

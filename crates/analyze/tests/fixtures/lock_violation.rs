@@ -1,11 +1,11 @@
 // Fixture for the lock-discipline rule.  Analysed with the synthetic path
 // `crates/store/src/lock_fixture.rs`; never compiled.
 
-use std::fs;
+use pds_core::vfs;
 
 pub fn bad_hold(store: &Store) {
     let mut shard = store.shards[0].write();
-    fs::rename("a", "b").ok(); // VIOLATION: file I/O while `shard` is held
+    vfs::rename("site", "a", "b").ok(); // VIOLATION: file I/O while `shard` is held
     shard.push(1);
 }
 
@@ -21,7 +21,7 @@ pub fn good_scoped(store: &Store) {
         shard.take()
     };
     // Guard dropped with the block: I/O here is fine.
-    fs::rename("a", "b").ok();
+    vfs::rename("site", "a", "b").ok();
     task
 }
 
@@ -29,6 +29,6 @@ pub fn good_early_drop(store: &Store) {
     let shard = store.shards[0].read();
     let n = shard.len();
     drop(shard);
-    fs::rename("a", "b").ok(); // fine: guard explicitly dropped
+    vfs::rename("site", "a", "b").ok(); // fine: guard explicitly dropped
     n
 }

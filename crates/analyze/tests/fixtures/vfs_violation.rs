@@ -1,0 +1,35 @@
+//! Fixture: vfs-discipline.  Direct filesystem calls in non-test store
+//! code are findings; vfs-routed calls, justified allows and test code
+//! are clean.
+
+use pds_core::vfs;
+use std::fs::{self, File, OpenOptions};
+
+pub fn bad_direct_write(path: &Path) -> io::Result<()> {
+    fs::write(path, b"x") // VIOLATION: bypasses the vfs passthrough
+}
+
+pub fn bad_direct_create(path: &Path) -> io::Result<File> {
+    File::create(path) // VIOLATION: invisible to the fault matrix
+}
+
+pub fn bad_direct_open(path: &Path) -> io::Result<File> {
+    OpenOptions::new().append(true).open(path) // VIOLATION: skips retry
+}
+
+pub fn good_routed(path: &Path) -> io::Result<()> {
+    vfs::write("blob-write", path, b"x")
+}
+
+pub fn good_allowed(path: &Path) -> u64 {
+    // analyze:allow(vfs-discipline) fixture: metadata probe, no durable bytes move
+    fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_stages_fixtures_directly() {
+        std::fs::write("scratch", b"x").unwrap();
+    }
+}

@@ -42,6 +42,14 @@ pub enum PdsError {
         /// The offending frequency value.
         value: f64,
     },
+    /// The durable substrate failed persistently and the store has entered
+    /// its sticky degraded read-only mode: every mutating operation returns
+    /// this error while queries keep serving the acknowledged prefix.  Only
+    /// reopening the store clears it.
+    Degraded {
+        /// The durable-path failure that tripped degradation.
+        cause: String,
+    },
 }
 
 impl fmt::Display for PdsError {
@@ -62,6 +70,9 @@ impl fmt::Display for PdsError {
             ),
             PdsError::InvalidFrequency { context, value } => {
                 write!(f, "invalid frequency {value} ({context})")
+            }
+            PdsError::Degraded { cause } => {
+                write!(f, "store is degraded (read-only): {cause}")
             }
         }
     }
@@ -108,6 +119,12 @@ mod tests {
             message: "B must be >= 1".into(),
         };
         assert!(e.to_string().contains("B must be"));
+
+        let e = PdsError::Degraded {
+            cause: "wal-append: injected EIO".into(),
+        };
+        assert!(e.to_string().contains("degraded"));
+        assert!(e.to_string().contains("wal-append"));
     }
 
     #[test]

@@ -30,7 +30,13 @@
 //!   never locks or allocates, so the store and server instrument their
 //!   hot paths (even inside shard-guard windows) at negligible cost.
 //!   Named `telemetry` to avoid clashing with the paper's [`metrics`]
-//!   (synopsis *error* metrics).
+//!   (synopsis *error* metrics);
+//! * the durable-path filesystem surface ([`vfs`]): a zero-cost
+//!   passthrough over `std::fs` whose every call carries a site label, with
+//!   a deterministic fault injector behind it (EIO, ENOSPC, short writes,
+//!   fsync and rename failures at labeled sites) — the store's disk-error
+//!   robustness matrix drives it the same way the crash matrix drives the
+//!   store's crash points.
 //!
 //! Synopsis construction itself lives in the `pds-histogram` and
 //! `pds-wavelet` crates; `probsyn` re-exports everything under one roof.
@@ -67,6 +73,7 @@ pub mod pool;
 pub mod stream;
 pub mod telemetry;
 pub mod values;
+pub mod vfs;
 pub mod worlds;
 
 pub use error::{PdsError, Result};

@@ -29,6 +29,7 @@
 //! | `FLUSH` | `OK flushed` | wait for background seals, surface their errors |
 //! | `METRICS` | `OK BIN <len>` + `<len>` bytes | telemetry scrape: Prometheus-style text exposition, server + store series |
 //! | `METRICS EVENTS` | `OK BIN <len>` + `<len>` bytes | recent notable events, one `server …`/`store …` line each, oldest first |
+//! | `HEALTH` | `OK healthy` \| `OK degraded <cause>` | store health probe (degraded = sticky read-only mode, see below) |
 //! | `QUIT` | `OK bye` | close the connection |
 //!
 //! Replies beginning `OK` are successes; anything the server cannot parse
@@ -37,6 +38,26 @@
 //! cost at most its own batch, never the process or the session.  Float
 //! replies use Rust's shortest round-trip formatting, so parsing the text
 //! back yields bit-identical values to direct [`SynopsisStore`] calls.
+//!
+//! ## Degraded read-only mode
+//!
+//! When the store's durable write path fails persistently (a WAL, segment
+//! blob or manifest write still failing after its bounded retries), the
+//! store flips into **sticky degraded read-only mode** rather than
+//! crashing or silently dropping data: every acknowledged record stays
+//! queryable, and reads (`EST`, `RANGE`, `STATS`, `MERGE`, `METRICS`)
+//! keep serving.  The server surfaces the mode two ways:
+//!
+//! * `HEALTH` answers `OK degraded <cause>` (still `OK` — the probe
+//!   itself succeeded; only the write path is down).
+//! * Write verbs (`INGEST`, `SEAL`, `FLUSH`, `SNAPSHOT`) answer
+//!   `ERR DEGRADED <cause>` — the machine-matchable prefix lets clients
+//!   tell "this store is read-only now, fail over" from a bad request.
+//!
+//! The mode is cleared only by restarting the server over the reopened
+//! directory (recovery replays the durable state).  The store-side
+//! `pds_store_degraded` gauge and `io-error`/`degraded` events appear in
+//! `METRICS` / `METRICS EVENTS` scrapes.
 //!
 //! `INGEST <count>` is followed by exactly `count` lines in the existing
 //! stream text format of `pds_core::io` (`b <item> <prob>`,

@@ -59,6 +59,10 @@ pub enum Command {
         /// `true` for `METRICS EVENTS`: reply with the event dump.
         events: bool,
     },
+    /// `HEALTH` — store health probe: `OK healthy`, or
+    /// `OK degraded <cause>` once the store has entered its sticky
+    /// degraded read-only mode.
+    Health,
     /// `QUIT` — close the connection.
     Quit,
 }
@@ -131,11 +135,12 @@ pub fn parse_command(line: &str) -> Result<Command, ProtoError> {
         "METRICS" => Command::Metrics {
             events: opt_keyword(&mut fields, "METRICS", "EVENTS")?,
         },
+        "HEALTH" => Command::Health,
         "QUIT" => Command::Quit,
         other => {
             return Err(ProtoError::new(format!(
                 "unknown command {:?} (expected PING, EST, RANGE, STATS, MERGE, \
-                 INGEST, SEAL, FLUSH, SNAPSHOT, METRICS or QUIT)",
+                 INGEST, SEAL, FLUSH, SNAPSHOT, METRICS, HEALTH or QUIT)",
                 truncate_for_error(other)
             )))
         }
@@ -235,6 +240,7 @@ mod tests {
             parse_command("METRICS EVENTS"),
             Ok(Command::Metrics { events: true })
         );
+        assert_eq!(parse_command("HEALTH"), Ok(Command::Health));
         assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
         assert_eq!(
             parse_command_bytes(b"EST 2\r\n"),
@@ -263,6 +269,7 @@ mod tests {
             "STATS JSON extra",
             "METRICS BOGUS",
             "METRICS EVENTS extra",
+            "HEALTH now",
         ] {
             let err = parse_command(bad).expect_err(bad);
             assert!(!err.message().is_empty());

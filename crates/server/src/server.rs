@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use pds_core::error::PdsError;
 use pds_core::io::read_stream;
 use pds_core::pool;
 use pds_core::telemetry::{Counter, Stopwatch};
@@ -418,23 +419,35 @@ fn execute_command<R: BufRead, W: Write>(
         }
         Command::Merge { b } => match store.merge_global(b).and_then(|h| h.to_binary()) {
             Ok(bytes) => write_ok_bin(writer, &bytes)?,
-            Err(e) => write_err(tel, writer, &e.to_string())?,
+            Err(e) => write_store_err(tel, writer, &e)?,
         },
         Command::Snapshot => match store.snapshot() {
             Ok(bytes) => write_ok_bin(writer, &bytes)?,
-            Err(e) => write_err(tel, writer, &e.to_string())?,
+            Err(e) => write_store_err(tel, writer, &e)?,
         },
         Command::Seal => match store.seal_all() {
             Ok(()) => writer.write_all(b"OK sealed\n")?,
-            Err(e) => write_err(tel, writer, &e.to_string())?,
+            Err(e) => write_store_err(tel, writer, &e)?,
         },
         Command::Flush => match store.flush() {
             Ok(()) => writer.write_all(b"OK flushed\n")?,
-            Err(e) => write_err(tel, writer, &e.to_string())?,
+            Err(e) => write_store_err(tel, writer, &e)?,
         },
         Command::Ingest { count } => {
             ingest_batch(store, config, tel, reader, writer, count)?;
         }
+        Command::Health => match store.degraded() {
+            // Degraded is still `OK`: the probe succeeded and reads keep
+            // serving — only the durable write path is down.
+            None => writer.write_all(b"OK healthy\n")?,
+            Some(cause) => {
+                let clean: String = cause
+                    .chars()
+                    .map(|c| if c.is_control() { ' ' } else { c })
+                    .collect();
+                writer.write_all(format!("OK degraded {clean}\n").as_bytes())?;
+            }
+        },
         Command::Quit => {
             writer.write_all(b"OK bye\n")?;
             return Ok(true);
@@ -503,7 +516,18 @@ fn ingest_batch<R: BufRead>(
     });
     match outcome {
         Ok(n) => writer.write_all(format!("OK {n}\n").as_bytes()),
-        Err(e) => write_err(tel, writer, &e.to_string()),
+        Err(e) => write_store_err(tel, writer, &e),
+    }
+}
+
+/// Routes a store-surfaced error to its `ERR` form.  A degraded store
+/// answers with the machine-matchable `ERR DEGRADED <cause>` so clients
+/// can tell "this store is read-only now" from a malformed request;
+/// everything else ships its display form.
+fn write_store_err(tel: &ServerTelemetry, writer: &mut impl Write, e: &PdsError) -> io::Result<()> {
+    match e {
+        PdsError::Degraded { cause } => write_err(tel, writer, &format!("DEGRADED {cause}")),
+        other => write_err(tel, writer, &other.to_string()),
     }
 }
 

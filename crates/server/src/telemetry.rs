@@ -23,9 +23,9 @@ mod event {
 }
 
 /// Label values of the per-verb series, indexed by [`verb_index`].
-const VERBS: [&str; 11] = [
+const VERBS: [&str; 12] = [
     "ping", "est", "range", "stats", "merge", "ingest", "seal", "flush", "snapshot", "metrics",
-    "quit",
+    "health", "quit",
 ];
 
 /// The per-verb series index of a parsed command.
@@ -41,7 +41,8 @@ fn verb_index(command: &Command) -> usize {
         Command::Flush => 7,
         Command::Snapshot => 8,
         Command::Metrics { .. } => 9,
-        Command::Quit => 10,
+        Command::Health => 10,
+        Command::Quit => 11,
     }
 }
 
@@ -208,6 +209,7 @@ mod tests {
             Command::Flush,
             Command::Snapshot,
             Command::Metrics { events: false },
+            Command::Health,
             Command::Quit,
         ];
         let mut seen = [false; VERBS.len()];

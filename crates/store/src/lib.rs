@@ -42,23 +42,36 @@
 //!   compaction replaces entries through an atomic tmp-rename publish.
 //!
 //! Reopen order is **manifest → segment blobs → WAL tail**.  What a crash
-//! can cost at each lifecycle stage, before and after the blob/manifest
-//! machinery (PR 5):
+//! can cost at each lifecycle stage — and, since the fault-injectable vfs
+//! layer, what a *failing disk* at the same stage does to a store that
+//! stays up (fault sites from [`FAULT_SITES`]; "degrades" means the sticky
+//! read-only mode of [`SynopsisStore::degraded`], entered only after the
+//! [`StoreConfig::io_retries`] budget is exhausted):
 //!
-//! | crash while the record/segment is… | before PR 5 | now |
+//! | crash while the record/segment is… | crash outcome | I/O failure at the same stage (site) |
 //! |---|---|---|
-//! | buffered in a live memtable | replayed from the WAL | same (CRC-framed: a torn-but-parseable line is detected, not replayed wrong) |
-//! | frozen, segment build in flight | replayed from the frozen WAL log | same |
-//! | built, blob/manifest not yet written | replayed from the frozen WAL log | same |
-//! | **installed, before any snapshot** | **lost** (lived only in memory) | reloaded from its blob via the manifest |
-//! | mid-compaction (merge or swap) | n/a (compaction blocked the shard) | inputs stay authoritative until the manifest publish; the half-done output blob is swept at reopen |
-//! | snapshotted via [`SynopsisStore::to_binary`] | durable in the snapshot | same (and installed segments are no longer re-serialised: their cached install-time encoding is reused) |
+//! | buffered in a live memtable | replayed from the WAL (CRC-framed: a torn-but-parseable line is detected, not replayed wrong) | `wal-append` degrades before the memtable insert (nothing acknowledged, nothing lost); `wal-commit` degrades after it (the batch is unacknowledged but visible — the documented over-inclusion window) |
+//! | frozen, segment build in flight | replayed from the frozen WAL log | `wal-rotate` restores the records to the live memtable and degrades |
+//! | built, blob/manifest not yet written | replayed from the frozen WAL log | `blob-write` / `blob-publish` unfreeze the records back into the live memtable and WAL, then degrade |
+//! | **installed** | reloaded from its blob via the manifest | `manifest-install` unfreezes and degrades (the published blob becomes an orphan, swept at the next reopen); a failed `wal-retire` afterwards is counted, never fatal — the manifest entry already covers the log |
+//! | mid-compaction (merge or swap) | inputs stay authoritative until the manifest publish; the half-done output blob is swept at reopen | `manifest-replace` degrades with the inputs still authoritative; a failed superseded-blob `cleanup` is counted, never fatal |
+//! | being recovered at reopen | n/a | `recovery-read` / `recovery-commit` abort [`SynopsisStore::open_with_wal`] with a [`PdsError`] — an open never half-succeeds or degrades |
 //!
 //! Every deliverable of that table is pinned by the deterministic
 //! crash-injection matrix (`tests/store_crash_matrix.rs`, labels in
-//! [`crashpoint`]) and the corruption property suites: a torn file replays
-//! exactly the acknowledged prefix, a bit-flipped blob or frame is a
-//! [`PdsError`], never a panic or a silently wrong answer.
+//! [`crashpoint`]), the exhaustive **fault matrix**
+//! (`tests/store_fault_matrix.rs`: every [`FAULT_SITES`] label × every
+//! `pds_core::vfs::fault::ErrorClass`, 55 rows) and the corruption/fault
+//! property suites: a torn file replays exactly the acknowledged prefix, a
+//! bit-flipped blob or frame is a [`PdsError`], an injected EIO/ENOSPC/
+//! short-write/fsync/rename failure is retried, degraded or counted per
+//! the table — never a panic, never a silently wrong answer.  Transient
+//! faults on idempotent steps are absorbed by the bounded retry
+//! ([`StoreConfig::io_retries`] attempts, [`StoreConfig::io_backoff_ms`]
+//! exponential backoff); appends are the designed exception (a partially
+//! buffered frame cannot be rewound), so they degrade on first failure.
+//! Dropping a degraded handle and reopening the directory recovers a
+//! healthy, writable store.
 //!
 //! Persistence of whole stores additionally uses the versioned **compact
 //! binary format** (see `pds_core::binio`): segments and stores encode to
@@ -94,7 +107,14 @@
 //! compaction rounds and every query operation
 //! (`estimate`/`range_estimate`/`merge_global`/`snapshot_view`), a
 //! recovery-time gauge, and a bounded event ring of recent notable events
-//! (seal installed, compaction committed, WAL rotated, recovery).
+//! (seal installed, compaction committed, WAL rotated, recovery).  The
+//! fault-injectable I/O layer feeds the same surface: retry counts
+//! (`pds_store_io_retries_total`), I/O errors split by injected/real
+//! (`pds_store_io_errors_total`), tolerated cleanup failures
+//! (`pds_store_io_cleanup_errors_total`) and the
+//! `pds_store_degraded` health gauge — which is maintained even with the
+//! telemetry knob off, because degradation is operational state, not
+//! observability.
 //! [`SynopsisStore::render_metrics`] renders the Prometheus-style text
 //! exposition (including the [`SynopsisStore::stats`] counters as
 //! series); [`SynopsisStore::render_events`] dumps the decoded event
@@ -136,4 +156,5 @@ pub use compaction::CompactionPolicy;
 pub use memtable::Memtable;
 pub use segment::{Segment, SegmentSynopsis, SynopsisKind};
 pub use store::{PartitionSpec, SnapshotView, StoreConfig, StoreStats, SynopsisStore};
+pub use telemetry::FAULT_SITES;
 pub use wal::{PartitionWal, WalSync};

@@ -49,14 +49,15 @@
 //! corruption and errors with the file intact.
 
 use std::collections::BTreeSet;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::fs::File;
 use std::path::{Path, PathBuf};
 
 use pds_core::binio::{crc32, ByteReader, ByteWriter};
 use pds_core::error::{PdsError, Result};
+use pds_core::vfs;
 
 use crate::crashpoint;
+use crate::telemetry::IoPolicy;
 use crate::wal::WalSync;
 
 fn io_err(context: &str, e: std::io::Error) -> PdsError {
@@ -81,6 +82,9 @@ pub struct Manifest {
     live: BTreeSet<(usize, u64)>,
     writer: File,
     sync: WalSync,
+    /// Retry/backoff policy plus the telemetry hook for every durable
+    /// operation this handle performs.
+    policy: IoPolicy,
 }
 
 impl Manifest {
@@ -186,27 +190,52 @@ impl Manifest {
     /// Stages the full live set to `MANIFEST.tmp` and atomically renames it
     /// over `MANIFEST` — the all-or-nothing edit used by compaction and the
     /// compacting rewrite at open.  Reopens the append handle afterwards.
+    ///
+    /// Every step is idempotent from a clean staging write, so transient
+    /// failures get the policy's bounded retry: a retried publish simply
+    /// restages the tmp file and renames again.
     fn publish(&mut self) -> Result<()> {
         let tmp = self.dir.join("MANIFEST.tmp");
         let bytes = Self::encode(&self.live);
-        fs::write(&tmp, &bytes).map_err(|e| io_err("staging the manifest", e))?;
-        if self.sync == WalSync::Fsync {
-            File::open(&tmp)
-                .and_then(|f| f.sync_data())
+        let Manifest {
+            dir,
+            path,
+            sync,
+            policy,
+            ..
+        } = &*self;
+        policy
+            .run("manifest-replace", || {
+                vfs::write("manifest-replace", &tmp, &bytes)
+            })
+            .map_err(|e| io_err("staging the manifest", e))?;
+        if *sync == WalSync::Fsync {
+            policy
+                .run("manifest-replace", || {
+                    vfs::sync_path("manifest-replace", &tmp)
+                })
                 .map_err(|e| io_err("fsyncing the staged manifest", e))?;
         }
         crashpoint::reached("mid-manifest-publish");
-        fs::rename(&tmp, &self.path).map_err(|e| io_err("publishing the manifest", e))?;
-        if self.sync == WalSync::Fsync {
+        policy
+            .run("manifest-replace", || {
+                vfs::rename("manifest-replace", &tmp, path)
+            })
+            .map_err(|e| io_err("publishing the manifest", e))?;
+        if *sync == WalSync::Fsync {
             // Make the rename itself power-loss durable: the directory
             // entry must reach the device, not just the file contents.
-            File::open(&self.dir)
-                .and_then(|d| d.sync_all())
+            policy
+                .run("manifest-replace", || {
+                    vfs::sync_dir("manifest-replace", dir)
+                })
                 .map_err(|e| io_err("fsyncing the store directory", e))?;
         }
-        self.writer = OpenOptions::new()
-            .append(true)
-            .open(&self.path)
+        self.writer = self
+            .policy
+            .run("manifest-replace", || {
+                vfs::open_append("manifest-replace", &self.path, false)
+            })
             .map_err(|e| io_err("reopening the manifest for append", e))?;
         Ok(())
     }
@@ -222,20 +251,29 @@ impl Manifest {
     /// manifest record never landed — are deleted; their records replay
     /// from the still-present frozen WAL logs.
     pub fn open(dir: &Path, sync: WalSync) -> Result<(Self, Vec<(usize, u64)>)> {
-        fs::create_dir_all(dir).map_err(|e| io_err("creating the store directory", e))?;
+        Self::open_with(dir, sync, IoPolicy::default())
+    }
+
+    /// [`Manifest::open`] with an explicit I/O policy — the store threads
+    /// its configured retry budget and telemetry through here.
+    pub(crate) fn open_with(
+        dir: &Path,
+        sync: WalSync,
+        policy: IoPolicy,
+    ) -> Result<(Self, Vec<(usize, u64)>)> {
+        vfs::create_dir_all("recovery-read", dir)
+            .map_err(|e| io_err("creating the store directory", e))?;
         let path = dir.join("MANIFEST");
         let live = if path.exists() {
-            let bytes = fs::read(&path).map_err(|e| io_err("reading the manifest", e))?;
+            let bytes =
+                vfs::read("recovery-read", &path).map_err(|e| io_err("reading the manifest", e))?;
             Self::parse(&bytes)?
         } else {
             BTreeSet::new()
         };
         // Writer is replaced by the publish below; create/open the file so
         // the struct is well-formed first.
-        let writer = OpenOptions::new()
-            .append(true)
-            .create(true)
-            .open(&path)
+        let writer = vfs::open_append("recovery-read", &path, true)
             .map_err(|e| io_err("opening the manifest for append", e))?;
         let mut manifest = Manifest {
             dir: dir.to_path_buf(),
@@ -243,6 +281,7 @@ impl Manifest {
             live,
             writer,
             sync,
+            policy,
         };
         manifest.publish()?;
         manifest.remove_orphan_blobs()?;
@@ -251,16 +290,19 @@ impl Manifest {
     }
 
     /// Deletes `seg-*.bin` blobs (and stale `.bin.tmp` staging files) that
-    /// no live manifest entry references.
+    /// no live manifest entry references.  Removal failures are counted as
+    /// cleanup errors, never fatal: an unremoved orphan is swept again at
+    /// the next open.
     fn remove_orphan_blobs(&self) -> Result<()> {
-        let entries =
-            fs::read_dir(&self.dir).map_err(|e| io_err("listing the store directory", e))?;
+        let entries = vfs::read_dir("recovery-read", &self.dir)
+            .map_err(|e| io_err("listing the store directory", e))?;
         for entry in entries {
             let entry = entry.map_err(|e| io_err("listing the store directory", e))?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             if name.ends_with(".bin.tmp") {
-                let _ = fs::remove_file(entry.path());
+                self.policy
+                    .cleanup("cleanup", vfs::remove_file("cleanup", &entry.path()));
                 continue;
             }
             let Some(stem) = name
@@ -276,7 +318,8 @@ impl Manifest {
                 continue;
             };
             if !self.live.contains(&(p, seq)) {
-                let _ = fs::remove_file(entry.path());
+                self.policy
+                    .cleanup("cleanup", vfs::remove_file("cleanup", &entry.path()));
             }
         }
         Ok(())
@@ -317,33 +360,36 @@ impl Manifest {
         // Remember the pre-append length: a failed append (partial write,
         // or a write that landed but whose fsync failed) is truncated away
         // entirely, so the file never carries a phantom or partial record
-        // that a later successful append would bury mid-file.
-        let pre_len = self
-            .writer
-            .metadata()
-            .map_err(|e| io_err("sizing the manifest", e))?
-            .len();
-        let undo = |m: &mut Self| {
-            m.live.remove(&(partition, seq));
-            let _ = m.writer.set_len(pre_len);
-        };
-        if let Err(e) = self
-            .writer
-            .write_all(&frame)
-            .map_err(|e| io_err("appending an install record", e))
-        {
-            undo(self);
-            return Err(e);
-        }
-        if self.sync == WalSync::Fsync {
-            if let Err(e) = self
-                .writer
-                .sync_data()
-                .map_err(|e| io_err("fsyncing the manifest", e))
-            {
-                undo(self);
-                return Err(e);
+        // that a later successful append would bury mid-file.  The same
+        // truncation makes the append idempotent, so the whole
+        // rewind-write-sync sequence is safe under the policy's bounded
+        // retry.
+        let pre_len = vfs::file_len("manifest-install", &self.path, &self.writer)
+            .map_err(|e| io_err("sizing the manifest", e))?;
+        let Manifest {
+            path,
+            writer,
+            sync,
+            policy,
+            ..
+        } = &mut *self;
+        let result = policy.run("manifest-install", || {
+            vfs::set_len("manifest-install", path, writer, pre_len)?;
+            vfs::write_all("manifest-install", path, writer, &frame)?;
+            if *sync == WalSync::Fsync {
+                vfs::sync_data("manifest-install", path, writer)?;
             }
+            Ok(())
+        });
+        if let Err(e) = result {
+            self.live.remove(&(partition, seq));
+            // Best-effort rewind of whatever the failed attempts left
+            // behind; a leftover partial frame is the tolerated torn tail.
+            self.policy.cleanup(
+                "manifest-install",
+                vfs::set_len("manifest-install", &self.path, &self.writer, pre_len),
+            );
+            return Err(io_err("appending an install record", e));
         }
         Ok(())
     }
@@ -382,6 +428,7 @@ impl Manifest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pds-manifest-{tag}-{}", std::process::id()));

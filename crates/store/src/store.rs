@@ -26,10 +26,9 @@
 //! `store_concurrency` suite pins.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use pds_core::binio::{crc32, ByteReader, ByteWriter};
 use pds_core::error::{PdsError, Result};
@@ -38,6 +37,7 @@ use pds_core::model::ValuePdfModel;
 use pds_core::pool;
 use pds_core::stream::StreamRecord;
 use pds_core::telemetry::Stopwatch;
+use pds_core::vfs;
 use pds_histogram::merge::{optimal_piecewise_histogram, sum_pieces, Piece};
 use pds_histogram::Histogram;
 use pds_wavelet::build_sse_wavelet;
@@ -48,7 +48,7 @@ use crate::crashpoint;
 use crate::manifest::{segment_blob_name, Manifest};
 use crate::memtable::Memtable;
 use crate::segment::{Segment, SegmentSynopsis, SynopsisKind};
-use crate::telemetry::{QueryOp, StoreTelemetry};
+use crate::telemetry::{IoPolicy, QueryOp, StoreTelemetry};
 use crate::wal::{PartitionWal, WalSync};
 
 /// One x-tuple's alternatives grouped by owning partition.
@@ -160,6 +160,18 @@ pub struct StoreConfig {
     /// clock reads from the hot path.  A runtime knob: not persisted by
     /// [`SynopsisStore::to_binary`].
     pub telemetry: bool,
+    /// Bounded retries for **idempotent** durable-path operations (WAL
+    /// group commits and rotations, manifest installs and publishes, blob
+    /// staging and renames) after a transient I/O failure; `0` disables
+    /// retry.  An operation that still fails after the budget flips the
+    /// store into its sticky degraded read-only mode (see
+    /// [`SynopsisStore::degraded`]).  A runtime knob: not persisted by
+    /// [`SynopsisStore::to_binary`].
+    pub io_retries: u32,
+    /// Base backoff before durable-path retry `k` sleeps
+    /// `io_backoff_ms << k` milliseconds; `0` retries immediately.  A
+    /// runtime knob: not persisted by [`SynopsisStore::to_binary`].
+    pub io_backoff_ms: u64,
 }
 
 impl StoreConfig {
@@ -179,6 +191,8 @@ impl StoreConfig {
             compaction: None,
             wal_sync: WalSync::Flush,
             telemetry: true,
+            io_retries: 2,
+            io_backoff_ms: 1,
         }
     }
 }
@@ -305,8 +319,54 @@ struct StoreInner {
     split_tuples: AtomicU64,
     /// Process-local instrumentation (never persisted, never cloned):
     /// recording is lock-free, so every path — including shard-guard
-    /// windows — may record.
-    telemetry: StoreTelemetry,
+    /// windows — may record.  Shared (`Arc`) so the I/O policies inside
+    /// the WAL and manifest handles can report into it.
+    telemetry: Arc<StoreTelemetry>,
+    /// The sticky degraded read-only latch: set (once, with the cause) by
+    /// the first durable-path failure that survives the retry budget.
+    /// Every mutating path checks it and returns [`PdsError::Degraded`];
+    /// queries never look at it.  Only reopening the store clears it.
+    degraded: OnceLock<String>,
+}
+
+impl StoreInner {
+    /// The store's durable-path failure policy (configured retry budget,
+    /// reporting into the store's telemetry).
+    fn io_policy(&self) -> IoPolicy {
+        IoPolicy::new(
+            self.config.io_retries,
+            self.config.io_backoff_ms,
+            Some(Arc::clone(&self.telemetry)),
+        )
+    }
+
+    /// Refuses mutating work while the store is degraded.
+    fn check_writable(&self) -> Result<()> {
+        match self.degraded.get() {
+            Some(cause) => Err(PdsError::Degraded {
+                cause: cause.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Trips (or re-reports) the sticky degraded mode after a durable-path
+    /// failure at `site`, converting the failure into the
+    /// [`PdsError::Degraded`] the mutating operation returns.  The first
+    /// caller wins the latch and emits the telemetry gauge/event; later
+    /// failures keep the original cause.
+    fn degrade(&self, site: &str, e: PdsError) -> PdsError {
+        if let PdsError::Degraded { .. } = e {
+            return e;
+        }
+        let cause = format!("{site}: {e}");
+        if self.degraded.set(cause.clone()).is_ok() {
+            self.telemetry.record_degraded(site);
+        }
+        PdsError::Degraded {
+            cause: self.degraded.get().cloned().unwrap_or(cause),
+        }
+    }
 }
 
 /// A frozen memtable on its way to becoming a segment (shared with its
@@ -457,10 +517,13 @@ impl Clone for SynopsisStore {
                 ingested: AtomicU64::new(self.inner.ingested.load(Ordering::Relaxed)),
                 seals: AtomicU64::new(seals),
                 split_tuples: AtomicU64::new(self.inner.split_tuples.load(Ordering::Relaxed)),
-                telemetry: StoreTelemetry::new(
+                telemetry: Arc::new(StoreTelemetry::new(
                     self.inner.config.partitions.len(),
                     self.inner.config.telemetry,
-                ),
+                )),
+                // A clone has no durable substrate, so nothing can fail
+                // durably: it starts healthy even off a degraded original.
+                degraded: OnceLock::new(),
                 config: self.inner.config.clone(),
             }),
             sealer: None,
@@ -482,6 +545,21 @@ impl SynopsisStore {
     }
 
     fn with_durability(config: StoreConfig, durable: Option<Durable>) -> Result<Self> {
+        let telemetry = Arc::new(StoreTelemetry::new(
+            config.partitions.len(),
+            config.telemetry,
+        ));
+        Self::with_parts(config, durable, telemetry)
+    }
+
+    /// [`SynopsisStore::with_durability`] with a pre-built telemetry layer
+    /// — the durable open constructs telemetry *before* recovery so the
+    /// recovery-path I/O policies can already report into it.
+    fn with_parts(
+        config: StoreConfig,
+        durable: Option<Durable>,
+        telemetry: Arc<StoreTelemetry>,
+    ) -> Result<Self> {
         if config.seal_threshold == 0 || config.segment_budget == 0 {
             return Err(PdsError::InvalidParameter {
                 message: "the seal threshold and the segment budget must be positive".into(),
@@ -500,7 +578,6 @@ impl SynopsisStore {
                 })
             })
             .collect();
-        let telemetry = StoreTelemetry::new(config.partitions.len(), config.telemetry);
         Ok(SynopsisStore {
             inner: Arc::new(StoreInner {
                 config,
@@ -510,6 +587,7 @@ impl SynopsisStore {
                 seals: AtomicU64::new(0),
                 split_tuples: AtomicU64::new(0),
                 telemetry,
+                degraded: OnceLock::new(),
             }),
             sealer: None,
         })
@@ -548,13 +626,25 @@ impl SynopsisStore {
         // a different layout errors instead of silently ignoring logs of
         // partitions that no longer exist (or mis-routing records).
         Self::check_wal_meta(&config, dir)?;
-        let (manifest, live) = Manifest::open(dir, config.wal_sync)?;
-        let store = Self::with_durability(
+        // Telemetry first, so recovery's own I/O (and any cleanup errors
+        // swept along the way) is already counted.
+        let telemetry = Arc::new(StoreTelemetry::new(
+            config.partitions.len(),
+            config.telemetry,
+        ));
+        let policy = IoPolicy::new(
+            config.io_retries,
+            config.io_backoff_ms,
+            Some(Arc::clone(&telemetry)),
+        );
+        let (manifest, live) = Manifest::open_with(dir, config.wal_sync, policy.clone())?;
+        let store = Self::with_parts(
             config,
             Some(Durable {
                 dir: dir.to_path_buf(),
                 manifest: Mutex::new(manifest),
             }),
+            telemetry,
         )?;
         // Phase 0: reload the manifest-committed segments from their blobs
         // (entries arrive ascending by (partition, seq), so each shard's
@@ -571,9 +661,10 @@ impl SynopsisStore {
                 });
             }
             let path = dir.join(segment_blob_name(p, seq));
-            let mut bytes = fs::read(&path).map_err(|e| PdsError::InvalidParameter {
-                message: format!("store: reading segment blob {}: {e}", path.display()),
-            })?;
+            let mut bytes =
+                vfs::read("recovery-read", &path).map_err(|e| PdsError::InvalidParameter {
+                    message: format!("store: reading segment blob {}: {e}", path.display()),
+                })?;
             let segment = Segment::from_blob(&bytes)?;
             let (start, width) = store.inner.config.partitions.range(p);
             if segment.start() != start || segment.width() != width {
@@ -618,7 +709,7 @@ impl SynopsisStore {
                 let manifest = durable.manifest.lock().expect("manifest lock poisoned");
                 manifest.covered_seqs(p)
             };
-            replays.push(PartitionWal::scan_skipping(dir, p, &covered)?);
+            replays.push(PartitionWal::scan_skipping_with(dir, p, &covered, &policy)?);
         }
         // Phase 2: replay into the memtables.  Records were already routed
         // (x-tuples split per partition) when first logged; sealing is
@@ -639,12 +730,13 @@ impl SynopsisStore {
         // Phase 3: publish each partition's recovered live log atomically
         // and attach the append handles.
         for (p, replay) in replays.iter().enumerate() {
-            let wal = PartitionWal::commit_synced(
+            let wal = PartitionWal::commit_synced_with(
                 dir,
                 p,
                 &replay.records,
                 replay,
                 store.inner.config.wal_sync,
+                policy.clone(),
             )?;
             store.write_shard(p).wal = Some(wal);
         }
@@ -662,7 +754,8 @@ impl SynopsisStore {
         let meta_io = |context: &str, e: std::io::Error| PdsError::InvalidParameter {
             message: format!("wal: {context}: {e}"),
         };
-        std::fs::create_dir_all(dir).map_err(|e| meta_io("creating the wal directory", e))?;
+        vfs::create_dir_all("recovery-read", dir)
+            .map_err(|e| meta_io("creating the wal directory", e))?;
         let path = dir.join("wal.meta");
         let bounds = &config.partitions.bounds;
         let stamp = bounds
@@ -671,7 +764,7 @@ impl SynopsisStore {
             .collect::<Vec<_>>()
             .join(" ");
         if path.exists() {
-            let on_disk = std::fs::read_to_string(&path)
+            let on_disk = vfs::read_to_string("recovery-read", &path)
                 .map_err(|e| meta_io("reading the partition stamp", e))?;
             if on_disk.trim() != stamp {
                 return Err(PdsError::InvalidParameter {
@@ -683,7 +776,7 @@ impl SynopsisStore {
                 });
             }
         } else {
-            std::fs::write(&path, format!("{stamp}\n"))
+            vfs::write("recovery-commit", &path, format!("{stamp}\n").as_bytes())
                 .map_err(|e| meta_io("writing the partition stamp", e))?;
         }
         Ok(())
@@ -737,16 +830,22 @@ impl SynopsisStore {
                     // Build AND durably commit (blob + manifest) before
                     // touching the shard lock: the lock is held only for
                     // the in-memory swap, never for file I/O or fsyncs.
-                    let committed = Self::build_task(inner, &task).and_then(|(segment, binary)| {
-                        let binary = Self::commit_durable(
-                            inner,
-                            task.partition,
-                            task.seq,
-                            &segment,
-                            binary,
-                        )?;
-                        Ok((segment, binary))
-                    });
+                    // A degraded store skips the build entirely: the
+                    // frozen records go back to the live memtable (still
+                    // queryable) and the parked error reaches flush().
+                    let committed = inner
+                        .check_writable()
+                        .and_then(|()| Self::build_task(inner, &task))
+                        .and_then(|(segment, binary)| {
+                            let binary = Self::commit_durable(
+                                inner,
+                                task.partition,
+                                task.seq,
+                                &segment,
+                                binary,
+                            )?;
+                            Ok((segment, binary))
+                        });
                     match committed {
                         Ok((segment, binary)) => {
                             let mut shard = inner.shards[task.partition]
@@ -923,13 +1022,33 @@ impl SynopsisStore {
         self.inner.telemetry.render_events()
     }
 
+    /// The cause that flipped this store into degraded read-only mode, or
+    /// `None` while it is healthy.
+    ///
+    /// A store degrades when a durable-path write (WAL append/commit/rotate,
+    /// blob publish, manifest install/replace) still fails after the
+    /// configured retries ([`StoreConfig::io_retries`]).  Degradation is
+    /// **sticky**: mutating calls return [`PdsError::Degraded`] from then
+    /// on, queries keep serving everything acknowledged before the fault,
+    /// and only reopening the directory (which replays the durable state)
+    /// clears the condition.
+    pub fn degraded(&self) -> Option<String> {
+        self.inner.degraded.get().cloned()
+    }
+
     /// Appends one stream record, routing it to the partition(s) owning its
     /// items; a partition whose memtable reaches the seal threshold is
     /// sealed automatically (inline, or on the background workers when
     /// enabled).  X-tuples spanning several partitions are split per
     /// partition (see the crate docs for the semantics).  Thread-safe
     /// through `&self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdsError::Degraded`] without touching any state once the
+    /// store has entered degraded read-only mode (see the crate docs).
     pub fn ingest(&self, record: StreamRecord) -> Result<()> {
+        self.inner.check_writable()?;
         record.validate()?;
         let mut compactions: Vec<CompactTask> = Vec::new();
         match record {
@@ -992,7 +1111,8 @@ impl SynopsisStore {
     fn commit_wal_locked(&self, shard: &mut Shard) -> Result<()> {
         if let Some(wal) = shard.wal.as_mut() {
             let sw = self.inner.telemetry.maybe_start();
-            wal.commit_group(self.inner.config.wal_sync)?;
+            wal.commit_group(self.inner.config.wal_sync)
+                .map_err(|e| self.inner.degrade("wal-commit", e))?;
             self.inner.telemetry.record_wal_commit(sw);
             crashpoint::reached("post-wal-append");
         }
@@ -1038,6 +1158,7 @@ impl SynopsisStore {
     /// does not affect the result: each partition still sees exactly its
     /// sub-sequence of records in arrival order.
     pub fn ingest_all(&self, records: impl IntoIterator<Item = StreamRecord>) -> Result<()> {
+        self.inner.check_writable()?;
         let mut routed: Vec<Vec<StreamRecord>> = vec![Vec::new(); self.num_partitions()];
         let mut pending = 0usize;
         let mut split = 0u64;
@@ -1090,6 +1211,7 @@ impl SynopsisStore {
     /// partitions; such a failed batch is not added to the accepted-record
     /// counters.
     pub fn ingest_batch(&self, records: impl IntoIterator<Item = StreamRecord>) -> Result<()> {
+        self.inner.check_writable()?;
         let mut routed: Vec<Vec<StreamRecord>> = vec![Vec::new(); self.num_partitions()];
         let mut ingested = 0u64;
         let mut split = 0u64;
@@ -1208,7 +1330,13 @@ impl SynopsisStore {
         record: StreamRecord,
     ) -> Result<Option<CompactTask>> {
         if let Some(wal) = shard.wal.as_mut() {
-            wal.append(&record)?;
+            // Appends are not retryable (a partially buffered frame cannot
+            // be rewound), so a failed append degrades immediately.  The
+            // record was never acknowledged and never reached the
+            // memtable; if the torn buffer ever flushes, replay drops it
+            // as the tolerated torn tail.
+            wal.append(&record)
+                .map_err(|e| self.inner.degrade("wal-append", e))?;
         }
         shard.memtable.insert(record)?;
         self.inner.telemetry.record_ingest(p);
@@ -1235,10 +1363,12 @@ impl SynopsisStore {
                 Err(e) => {
                     // The lock is held and the fresh memtable is untouched:
                     // swap the records straight back so a failed rotation
-                    // (disk full, rename error) loses nothing.
+                    // (disk full, rename error) loses nothing.  The retry
+                    // budget is already spent inside rotate, so the store
+                    // degrades.
                     shard.memtable = memtable;
                     shard.next_seq = seq;
-                    return Err(e);
+                    return Err(self.inner.degrade("wal-rotate", e));
                 }
             },
             None => None,
@@ -1281,45 +1411,59 @@ impl SynopsisStore {
     }
 
     /// Publishes a segment's durable blob — the `PDSG` bytes plus a CRC-32
-    /// trailer — as `seg-<p>-<seq>.bin` via an atomic tmp-rename.
+    /// trailer — as `seg-<p>-<seq>.bin` via an atomic tmp-rename.  Both
+    /// halves are idempotent (staging re-creates the tmp from scratch,
+    /// rename/dir-sync re-issue cleanly), so each gets the policy's bounded
+    /// retry.  On failure, the faulting site (`blob-write` or
+    /// `blob-publish`) is returned alongside the error so the caller can
+    /// degrade with an accurate label.
     fn write_segment_blob(
         durable: &Durable,
+        policy: &IoPolicy,
         sync: WalSync,
         partition: usize,
         seq: u64,
         binary: &[u8],
-    ) -> Result<()> {
+    ) -> std::result::Result<(), (&'static str, PdsError)> {
         let blob_io = |context: &str, e: std::io::Error| PdsError::InvalidParameter {
             message: format!("store: {context}: {e}"),
         };
         let name = segment_blob_name(partition, seq);
         let tmp = durable.dir.join(format!("{name}.tmp"));
-        {
-            // Two writes (payload, 4-byte CRC trailer) instead of copying
-            // the whole encoding just to append the trailer.
-            use std::io::Write as _;
-            let mut staged =
-                fs::File::create(&tmp).map_err(|e| blob_io("staging a segment blob", e))?;
-            staged
-                .write_all(binary)
-                .and_then(|()| staged.write_all(&crc32(binary).to_le_bytes()))
-                .map_err(|e| blob_io("staging a segment blob", e))?;
-            if sync == WalSync::Fsync {
-                staged
-                    .sync_data()
-                    .map_err(|e| blob_io("fsyncing a segment blob", e))?;
-            }
-        }
+        policy
+            .run("blob-write", || {
+                // Two writes (payload, 4-byte CRC trailer) instead of
+                // copying the whole encoding just to append the trailer.
+                // `create` truncates, so a retry restages from byte zero.
+                let mut staged = vfs::create("blob-write", &tmp)?;
+                vfs::write_all("blob-write", &tmp, &mut staged, binary)?;
+                vfs::write_all(
+                    "blob-write",
+                    &tmp,
+                    &mut staged,
+                    &crc32(binary).to_le_bytes(),
+                )?;
+                if sync == WalSync::Fsync {
+                    vfs::sync_data("blob-write", &tmp, &staged)?;
+                }
+                Ok(())
+            })
+            .map_err(|e| ("blob-write", blob_io("staging a segment blob", e)))?;
         crashpoint::reached("mid-blob-publish");
-        fs::rename(&tmp, durable.dir.join(&name))
-            .map_err(|e| blob_io("publishing a segment blob", e))?;
+        policy
+            .run("blob-publish", || {
+                vfs::rename("blob-publish", &tmp, &durable.dir.join(&name))
+            })
+            .map_err(|e| ("blob-publish", blob_io("publishing a segment blob", e)))?;
         if sync == WalSync::Fsync {
             // The manifest entry written next is the seal's commit point:
             // the blob's directory entry must hit the device first, or a
             // power loss could persist the entry but not the blob.
-            fs::File::open(&durable.dir)
-                .and_then(|d| d.sync_all())
-                .map_err(|e| blob_io("fsyncing the store directory", e))?;
+            policy
+                .run("blob-publish", || {
+                    vfs::sync_dir("blob-publish", &durable.dir)
+                })
+                .map_err(|e| ("blob-publish", blob_io("fsyncing the store directory", e)))?;
         }
         Ok(())
     }
@@ -1351,12 +1495,22 @@ impl SynopsisStore {
                     None => segment.to_binary()?,
                 };
                 let sw = inner.telemetry.maybe_start();
-                Self::write_segment_blob(durable, inner.config.wal_sync, partition, seq, &binary)?;
+                let policy = inner.io_policy();
+                Self::write_segment_blob(
+                    durable,
+                    &policy,
+                    inner.config.wal_sync,
+                    partition,
+                    seq,
+                    &binary,
+                )
+                .map_err(|(site, e)| inner.degrade(site, e))?;
                 durable
                     .manifest
                     .lock()
                     .expect("manifest lock poisoned")
-                    .install(partition, seq)?;
+                    .install(partition, seq)
+                    .map_err(|e| inner.degrade("manifest-install", e))?;
                 inner.telemetry.record_seal_commit(sw, binary.len() as u64);
                 crashpoint::reached("installed-pre-wal-retire");
                 Ok(Some(Arc::new(binary)))
@@ -1381,7 +1535,12 @@ impl SynopsisStore {
         wal_frozen: Option<&Path>,
     ) -> Option<CompactTask> {
         if let Some(frozen) = wal_frozen {
-            PartitionWal::retire(frozen);
+            // The seal is already manifest-committed, so a failed retire
+            // costs nothing but disk space (the covered log is skipped at
+            // reopen); count it rather than drop it.
+            inner
+                .io_policy()
+                .cleanup("wal-retire", PartitionWal::retire(frozen));
         }
         inner
             .telemetry
@@ -1462,8 +1621,13 @@ impl SynopsisStore {
         let memtable = Arc::try_unwrap(task.memtable).unwrap_or_else(|shared| (*shared).clone());
         shard.memtable.absorb_front(memtable);
         if let (Some(wal), Some(frozen)) = (shard.wal.as_mut(), task.wal_frozen.as_deref()) {
-            // Best-effort: the records are back in memory either way.
-            let _ = wal.reabsorb(frozen);
+            // Best-effort: the records are back in memory either way, and
+            // at reopen the un-reabsorbed frozen log replays them (its
+            // seal never committed) — but a failure is counted, not
+            // dropped.
+            if wal.reabsorb(frozen).is_err() {
+                inner.telemetry.record_cleanup_error("cleanup");
+            }
         }
         inner.seals.fetch_sub(1, Ordering::Relaxed);
     }
@@ -1513,6 +1677,7 @@ impl SynopsisStore {
     /// background sealing, scheduled ([`SynopsisStore::flush`] waits for
     /// it).
     pub fn seal_partition(&self, p: usize) -> Result<bool> {
+        self.inner.check_writable()?;
         let (sealed, compaction) = {
             let mut shard = self.write_shard(p);
             // analyze:allow(lock-discipline) freeze + WAL rotation must be atomic with the memtable swap; the expensive segment build runs after this guard drops
@@ -1528,6 +1693,7 @@ impl SynopsisStore {
     /// otherwise, and installation order follows the seal sequence — the
     /// sealed state is identical to serial sealing at every thread count.
     pub fn seal_all(&self) -> Result<()> {
+        self.inner.check_writable()?;
         let mut tasks = Vec::new();
         for p in 0..self.num_partitions() {
             let mut shard = self.write_shard(p);
@@ -1660,6 +1826,12 @@ impl SynopsisStore {
                 .expect("shard lock poisoned")
                 .compacting = false;
         };
+        // A degraded store runs no rounds: the inputs stay authoritative
+        // and queryable.  The reserved round still clears its flag.
+        if let Err(e) = inner.check_writable() {
+            clear_flag();
+            return Err(e);
+        }
         let (merged, binary) = match Self::build_compacted(inner, &task) {
             Ok(built) => built,
             Err(e) => {
@@ -1698,16 +1870,18 @@ impl SynopsisStore {
         // authoritative and the output blob an orphan (swept at open); a
         // crash after it reopens compacted.
         if let Some(durable) = &inner.durable {
+            let policy = inner.io_policy();
             let bytes = binary.as_deref().expect("durable compaction encodes");
-            if let Err(e) = Self::write_segment_blob(
+            if let Err((site, e)) = Self::write_segment_blob(
                 durable,
+                &policy,
                 inner.config.wal_sync,
                 task.partition,
                 task.out_seq,
                 bytes,
             ) {
                 clear_flag();
-                return Err(e);
+                return Err(inner.degrade(site, e));
             }
             let committed = durable
                 .manifest
@@ -1716,14 +1890,19 @@ impl SynopsisStore {
                 .replace(task.partition, &input_seqs, task.out_seq);
             if let Err(e) = committed {
                 // The manifest still names the inputs; drop the orphan
-                // output blob and surface the error.
-                let _ = fs::remove_file(
-                    durable
-                        .dir
-                        .join(segment_blob_name(task.partition, task.out_seq)),
+                // output blob (counted on failure, and swept again at the
+                // next open either way) and surface the error.
+                policy.cleanup(
+                    "cleanup",
+                    vfs::remove_file(
+                        "cleanup",
+                        &durable
+                            .dir
+                            .join(segment_blob_name(task.partition, task.out_seq)),
+                    ),
                 );
                 clear_flag();
-                return Err(e);
+                return Err(inner.degrade("manifest-replace", e));
             }
         }
         // Short write lock: swap the output in, release, then delete the
@@ -1754,8 +1933,18 @@ impl SynopsisStore {
             blob_bytes,
         );
         if let Some(durable) = &inner.durable {
+            // Superseded input blobs are garbage once the replace record is
+            // durable; a failed delete is counted, not fatal (the orphan
+            // sweep at the next open removes the leftover).
+            let policy = inner.io_policy();
             for seq in &input_seqs {
-                let _ = fs::remove_file(durable.dir.join(segment_blob_name(task.partition, *seq)));
+                policy.cleanup(
+                    "cleanup",
+                    vfs::remove_file(
+                        "cleanup",
+                        &durable.dir.join(segment_blob_name(task.partition, *seq)),
+                    ),
+                );
             }
         }
         Ok(next)
@@ -1772,6 +1961,7 @@ impl SynopsisStore {
     /// handles with no lock held, so ingest and queries proceed during
     /// compaction.
     pub fn compact_partition(&self, p: usize) -> Result<()> {
+        self.inner.check_writable()?;
         let task = {
             let mut shard = self.write_shard(p);
             if shard.compacting || shard.segments.len() < 2 {

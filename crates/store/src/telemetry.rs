@@ -15,8 +15,10 @@
 //! knob on and off.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use pds_core::telemetry::{Counter, EventRing, Gauge, LatencyHistogram, Registry, Stopwatch};
+use pds_core::vfs;
 
 use crate::store::StoreStats;
 
@@ -33,6 +35,53 @@ pub(crate) mod event {
     /// Crash recovery completed: `a`=segments reloaded, `b`=records
     /// recovered (blob + WAL replay), `c`=milliseconds taken.
     pub const RECOVERY: u64 = 4;
+    /// A durable-path I/O operation failed: `a`=fault-site index into
+    /// [`FAULT_SITES`](super::FAULT_SITES), `b`=1 when injected by the
+    /// test fault injector (0 for a real disk error), `c`=retry attempt
+    /// number on which the failure was observed (0 = first try).
+    pub const IO_ERROR: u64 = 5;
+    /// A best-effort cleanup (stale tmp / retired WAL / orphan blob
+    /// removal) failed: `a`=fault-site index.
+    pub const CLEANUP_ERROR: u64 = 6;
+    /// The store entered its sticky degraded read-only mode:
+    /// `a`=fault-site index of the failure that tripped it.
+    pub const DEGRADED: u64 = 7;
+}
+
+/// Every labeled durable-path fault site, in the order used by the
+/// telemetry event encoding and iterated by the fault-matrix suite.
+/// One label per distinct durable operation the store performs; the
+/// `cleanup` label covers every best-effort removal (stale recovery
+/// tmps, absorbed frozen logs, orphan/superseded blobs).
+pub const FAULT_SITES: [&str; 11] = [
+    "wal-append",
+    "wal-commit",
+    "wal-rotate",
+    "wal-retire",
+    "recovery-read",
+    "recovery-commit",
+    "manifest-install",
+    "manifest-replace",
+    "blob-write",
+    "blob-publish",
+    "cleanup",
+];
+
+/// Encodes a site label as its [`FAULT_SITES`] index for the event ring
+/// (the array length doubles as "unknown").
+fn site_index(site: &str) -> u64 {
+    FAULT_SITES
+        .iter()
+        .position(|s| *s == site)
+        .unwrap_or(FAULT_SITES.len()) as u64
+}
+
+/// Decodes an event-ring site index back to its label.
+fn site_name(index: u64) -> &'static str {
+    FAULT_SITES
+        .get(index as usize)
+        .copied()
+        .unwrap_or("unknown")
 }
 
 /// The query operations timed into `pds_store_query_seconds{op=...}`.
@@ -84,6 +133,11 @@ pub(crate) struct StoreTelemetry {
     recovery_seconds: Arc<Gauge>,
     recovered_records: Arc<Counter>,
     query_seconds: Vec<Arc<LatencyHistogram>>,
+    io_retries: Arc<Counter>,
+    io_errors_injected: Arc<Counter>,
+    io_errors_real: Arc<Counter>,
+    io_cleanup_errors: Arc<Counter>,
+    degraded: Arc<Gauge>,
 }
 
 impl StoreTelemetry {
@@ -126,6 +180,11 @@ impl StoreTelemetry {
                 .iter()
                 .map(|(_, labels)| registry.histogram("pds_store_query_seconds", labels))
                 .collect(),
+            io_retries: registry.counter("pds_store_io_retries_total", ""),
+            io_errors_injected: registry.counter("pds_store_io_errors_total", "kind=\"injected\""),
+            io_errors_real: registry.counter("pds_store_io_errors_total", "kind=\"real\""),
+            io_cleanup_errors: registry.counter("pds_store_io_cleanup_errors_total", ""),
+            degraded: registry.gauge("pds_store_degraded", ""),
             events: EventRing::new(EVENT_CAPACITY),
             registry,
         }
@@ -240,6 +299,57 @@ impl StoreTelemetry {
             .push(event::RECOVERY, segments, records, (seconds * 1e3) as u64);
     }
 
+    /// One durable-path I/O failure at `site` on retry `attempt`
+    /// (0 = first try).  Injected (fault-injector) and real disk errors
+    /// count into separate `kind` label series so a matrix run can tell
+    /// them apart from genuine environment trouble.
+    pub(crate) fn record_io_error(&self, site: &str, e: &std::io::Error, attempt: u32) {
+        if !self.enabled {
+            return;
+        }
+        let injected = vfs::fault::is_injected(e);
+        if injected {
+            self.io_errors_injected.inc();
+        } else {
+            self.io_errors_real.inc();
+        }
+        self.events.push(
+            event::IO_ERROR,
+            site_index(site),
+            u64::from(injected),
+            u64::from(attempt),
+        );
+    }
+
+    /// One bounded retry issued after a transient-class failure.
+    pub(crate) fn record_io_retry(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.io_retries.inc();
+    }
+
+    /// One best-effort cleanup (tmp/frozen-log/orphan-blob removal) that
+    /// failed with something other than `NotFound`.
+    pub(crate) fn record_cleanup_error(&self, site: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.io_cleanup_errors.inc();
+        self.events
+            .push(event::CLEANUP_ERROR, site_index(site), 0, 0);
+    }
+
+    /// The store entered (or reopened out of) its sticky degraded
+    /// read-only mode.  The gauge records regardless of the telemetry
+    /// knob: health is operational state, not workload accounting.
+    pub(crate) fn record_degraded(&self, site: &str) {
+        self.degraded.set(1.0);
+        if self.enabled {
+            self.events.push(event::DEGRADED, site_index(site), 0, 0);
+        }
+    }
+
     /// One timed query operation.
     pub(crate) fn record_query(&self, op: QueryOp, sw: Option<Stopwatch>) {
         if let Some(sw) = sw {
@@ -289,8 +399,119 @@ impl StoreTelemetry {
             event::RECOVERY => {
                 format!("recovery segments={a} records={b} took_ms={c}")
             }
+            event::IO_ERROR => format!(
+                "io-error site={} injected={} attempt={c}",
+                site_name(a),
+                b != 0
+            ),
+            event::CLEANUP_ERROR => format!("cleanup-error site={}", site_name(a)),
+            event::DEGRADED => format!("degraded site={}", site_name(a)),
             other => format!("unknown-event kind={other} a={a} b={b} c={c}"),
         })
+    }
+}
+
+/// The store's durable-path failure policy: bounded retry with
+/// exponential backoff for idempotent operations, plus the telemetry
+/// hooks that make every I/O failure (retried, surfaced, or best-effort
+/// cleanup) observable.  Cloned into each [`PartitionWal`] and
+/// [`Manifest`] handle; the default (used by handles opened outside a
+/// store) retries twice with no backoff and records nothing.
+///
+/// [`PartitionWal`]: crate::wal::PartitionWal
+/// [`Manifest`]: crate::manifest::Manifest
+#[derive(Debug, Clone)]
+pub(crate) struct IoPolicy {
+    /// Retries after the first failed attempt (`0` disables retry).
+    retries: u32,
+    /// Base backoff before retry `k` sleeps `backoff_ms << k` milliseconds.
+    backoff_ms: u64,
+    /// Telemetry sink; `None` for standalone WAL/manifest handles.
+    telemetry: Option<Arc<StoreTelemetry>>,
+}
+
+impl Default for IoPolicy {
+    fn default() -> Self {
+        IoPolicy {
+            retries: 2,
+            backoff_ms: 0,
+            telemetry: None,
+        }
+    }
+}
+
+impl IoPolicy {
+    /// A policy with the store's configured retry budget, reporting into
+    /// the store's telemetry.
+    pub(crate) fn new(
+        retries: u32,
+        backoff_ms: u64,
+        telemetry: Option<Arc<StoreTelemetry>>,
+    ) -> Self {
+        IoPolicy {
+            retries,
+            backoff_ms,
+            telemetry,
+        }
+    }
+
+    /// Runs an **idempotent** durable operation with bounded retry:
+    /// every failure is observed into telemetry, every retry counted and
+    /// backed off exponentially (`backoff_ms << attempt`), and the final
+    /// failure returned to the caller (who degrades the store).  Only
+    /// operations safe to re-issue belong here — `wal-append` notably
+    /// does not (see [`PartitionWal::append`](crate::wal::PartitionWal::append)).
+    pub(crate) fn run<T>(
+        &self,
+        site: &str,
+        mut op: impl FnMut() -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    self.observe_attempt(site, &e, attempt);
+                    if attempt >= self.retries {
+                        return Err(e);
+                    }
+                    if let Some(tel) = &self.telemetry {
+                        tel.record_io_retry();
+                    }
+                    if self.backoff_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(self.backoff_ms << attempt));
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Observes a failure of a **non-retryable** operation (one whose
+    /// side effects cannot be rewound, like a buffered WAL append).
+    pub(crate) fn observe_error(&self, site: &str, e: &std::io::Error) {
+        self.observe_attempt(site, e, 0);
+    }
+
+    /// Accounts the outcome of a best-effort cleanup removal: `NotFound`
+    /// is the idempotent no-op, anything else is counted and traced —
+    /// never silently dropped, never fatal.
+    pub(crate) fn cleanup(&self, site: &str, result: std::io::Result<()>) {
+        if let Err(e) = result {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                return;
+            }
+            if let Some(tel) = &self.telemetry {
+                tel.record_io_error(site, &e, 0);
+                tel.record_cleanup_error(site);
+            }
+        }
+    }
+
+    fn observe_attempt(&self, site: &str, e: &std::io::Error, attempt: u32) {
+        if let Some(tel) = &self.telemetry {
+            tel.record_io_error(site, e, attempt);
+        }
     }
 }
 
@@ -360,5 +581,122 @@ mod tests {
         assert!(events[1].contains("seal-installed partition=1 seq=7 records=1234"));
         assert!(events[2].contains("compaction-committed partition=1 out_seq=9 inputs=3"));
         assert!(events[3].contains("recovery segments=2 records=500 took_ms=250"));
+    }
+
+    #[test]
+    fn io_errors_split_injected_from_real() {
+        let tel = StoreTelemetry::new(1, true);
+        let real = std::io::Error::other("disk on fire");
+        let injected = std::io::Error::other("injected eio at wal-commit");
+        tel.record_io_error("wal-commit", &real, 0);
+        tel.record_io_error("wal-commit", &injected, 1);
+        tel.record_io_retry();
+        tel.record_cleanup_error("cleanup");
+        tel.record_degraded("wal-commit");
+        let stats = StoreStats {
+            ingested_records: 0,
+            live_records: 0,
+            seals: 0,
+            segments: 0,
+            split_tuples: 0,
+        };
+        let text = tel.render(&stats);
+        assert!(text.contains("pds_store_io_errors_total{kind=\"real\"} 1"));
+        assert!(text.contains("pds_store_io_errors_total{kind=\"injected\"} 1"));
+        assert!(text.contains("pds_store_io_retries_total 1"));
+        assert!(text.contains("pds_store_io_cleanup_errors_total 1"));
+        assert!(text.contains("pds_store_degraded 1"));
+        let events = tel.render_events();
+        assert_eq!(events.len(), 4);
+        assert!(events[0].ends_with("io-error site=wal-commit injected=false attempt=0"));
+        assert!(events[1].ends_with("io-error site=wal-commit injected=true attempt=1"));
+        assert!(events[2].ends_with("cleanup-error site=cleanup"));
+        assert!(events[3].ends_with("degraded site=wal-commit"));
+    }
+
+    #[test]
+    fn degraded_gauge_sets_even_with_telemetry_off() {
+        // Health is operational state: the gauge must be scrape-able even
+        // when workload accounting is disabled.  The event ring stays
+        // silent (it is workload accounting).
+        let tel = StoreTelemetry::new(1, false);
+        tel.record_degraded("blob-publish");
+        let stats = StoreStats {
+            ingested_records: 0,
+            live_records: 0,
+            seals: 0,
+            segments: 0,
+            split_tuples: 0,
+        };
+        assert!(tel.render(&stats).contains("pds_store_degraded 1"));
+        assert!(tel.render_events().is_empty());
+    }
+
+    #[test]
+    fn io_policy_retries_then_surfaces_final_failure() {
+        let tel = Arc::new(StoreTelemetry::new(1, true));
+        let policy = IoPolicy::new(2, 0, Some(Arc::clone(&tel)));
+        let mut calls = 0u32;
+        let out: std::io::Result<u32> = policy.run("manifest-install", || {
+            calls += 1;
+            if calls < 3 {
+                Err(std::io::Error::other("transient"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        let mut calls = 0u32;
+        let out: std::io::Result<()> = policy.run("manifest-install", || {
+            calls += 1;
+            Err(std::io::Error::other("persistent"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3); // first try + 2 retries, then give up
+        let stats = StoreStats {
+            ingested_records: 0,
+            live_records: 0,
+            seals: 0,
+            segments: 0,
+            split_tuples: 0,
+        };
+        let text = tel.render(&stats);
+        assert!(text.contains("pds_store_io_retries_total 4"));
+        assert!(text.contains("pds_store_io_errors_total{kind=\"real\"} 5"));
+    }
+
+    #[test]
+    fn cleanup_ignores_not_found_counts_the_rest() {
+        let tel = Arc::new(StoreTelemetry::new(1, true));
+        let policy = IoPolicy::new(0, 0, Some(Arc::clone(&tel)));
+        policy.cleanup(
+            "cleanup",
+            Err(std::io::Error::from(std::io::ErrorKind::NotFound)),
+        );
+        policy.cleanup("cleanup", Ok(()));
+        policy.cleanup("wal-retire", Err(std::io::Error::other("busy")));
+        let stats = StoreStats {
+            ingested_records: 0,
+            live_records: 0,
+            seals: 0,
+            segments: 0,
+            split_tuples: 0,
+        };
+        let text = tel.render(&stats);
+        assert!(text.contains("pds_store_io_cleanup_errors_total 1"));
+        let events = tel.render_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].ends_with("io-error site=wal-retire injected=false attempt=0"));
+        assert!(events[1].ends_with("cleanup-error site=wal-retire"));
+    }
+
+    #[test]
+    fn fault_sites_round_trip_through_event_encoding() {
+        for (i, site) in FAULT_SITES.iter().enumerate() {
+            assert_eq!(site_index(site), i as u64);
+            assert_eq!(site_name(i as u64), *site);
+        }
+        assert_eq!(site_index("no-such-site"), FAULT_SITES.len() as u64);
+        assert_eq!(site_name(FAULT_SITES.len() as u64), "unknown");
     }
 }

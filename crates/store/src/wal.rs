@@ -83,7 +83,7 @@
 //! the whole batch instead of taxing every record.
 
 use std::collections::BTreeSet;
-use std::fs::{self, File, OpenOptions};
+use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
@@ -91,6 +91,9 @@ use pds_core::binio::crc32;
 use pds_core::error::{PdsError, Result};
 use pds_core::io::{read_stream, write_stream};
 use pds_core::stream::StreamRecord;
+use pds_core::vfs;
+
+use crate::telemetry::IoPolicy;
 
 fn io_err(context: &str, e: std::io::Error) -> PdsError {
     PdsError::InvalidParameter {
@@ -221,7 +224,8 @@ pub fn parse_frame_line(line: &str) -> FrameOutcome {
 /// Reads a framed log.  `tolerate_torn_tail` enables the live-log lenience
 /// for the final line; frozen logs pass `false`.
 fn read_framed_log(path: &Path, tolerate_torn_tail: bool) -> Result<Vec<StreamRecord>> {
-    let text = fs::read_to_string(path).map_err(|e| io_err("opening a log for replay", e))?;
+    let text = vfs::read_to_string("recovery-read", path)
+        .map_err(|e| io_err("opening a log for replay", e))?;
     let lines: Vec<&str> = text
         .split('\n')
         .map(|l| l.trim_end_matches('\r'))
@@ -282,6 +286,9 @@ pub struct PartitionWal {
     /// Appends since the last [`PartitionWal::commit_group`] — lets the
     /// group-commit pass skip shards that saw no writes this batch.
     dirty: bool,
+    /// Retry/backoff policy plus the telemetry hook for durable-path I/O
+    /// (attached by the store; defaults to no retries, no telemetry).
+    policy: IoPolicy,
 }
 
 /// Which durability tier WAL commits reach (configured per store through
@@ -314,14 +321,29 @@ impl PartitionWal {
         partition: usize,
         covered: &BTreeSet<u64>,
     ) -> Result<WalReplay> {
-        fs::create_dir_all(dir).map_err(|e| io_err("creating the wal directory", e))?;
-        let _ = fs::remove_file(dir.join(format!("wal-{partition}.log.tmp")));
+        Self::scan_skipping_with(dir, partition, covered, &IoPolicy::default())
+    }
+
+    /// [`PartitionWal::scan_skipping`] with the store's I/O policy
+    /// attached, so stale-staging cleanup failures are counted instead of
+    /// silently dropped.
+    pub(crate) fn scan_skipping_with(
+        dir: &Path,
+        partition: usize,
+        covered: &BTreeSet<u64>,
+        policy: &IoPolicy,
+    ) -> Result<WalReplay> {
+        vfs::create_dir_all("recovery-read", dir)
+            .map_err(|e| io_err("creating the wal directory", e))?;
+        let stale = dir.join(format!("wal-{partition}.log.tmp"));
+        policy.cleanup("cleanup", vfs::remove_file("cleanup", &stale));
         let mut records = Vec::new();
 
         // Frozen logs: wal-<p>.<seq>.sealing, replayed in ascending order.
         let prefix = format!("wal-{partition}.");
         let mut frozen: Vec<(u64, PathBuf)> = Vec::new();
-        let entries = fs::read_dir(dir).map_err(|e| io_err("listing the wal directory", e))?;
+        let entries = vfs::read_dir("recovery-read", dir)
+            .map_err(|e| io_err("listing the wal directory", e))?;
         for entry in entries {
             let entry = entry.map_err(|e| io_err("listing the wal directory", e))?;
             let name = entry.file_name();
@@ -385,41 +407,66 @@ impl PartitionWal {
         replay: &WalReplay,
         sync: WalSync,
     ) -> Result<Self> {
+        Self::commit_synced_with(
+            dir,
+            partition,
+            live_records,
+            replay,
+            sync,
+            IoPolicy::default(),
+        )
+    }
+
+    /// [`PartitionWal::commit_synced`] with the store's I/O policy: the
+    /// atomic rename retries on transient errors, absorbed-frozen-log
+    /// cleanup failures are counted, and the returned handle keeps the
+    /// policy for its append/commit lifetime.
+    pub(crate) fn commit_synced_with(
+        dir: &Path,
+        partition: usize,
+        live_records: &[StreamRecord],
+        replay: &WalReplay,
+        sync: WalSync,
+        policy: IoPolicy,
+    ) -> Result<Self> {
         let live = live_path(dir, partition);
         let tmp = dir.join(format!("wal-{partition}.log.tmp"));
         {
             let mut staged = BufWriter::new(
-                File::create(&tmp).map_err(|e| io_err("creating the staging log", e))?,
+                vfs::create("recovery-commit", &tmp)
+                    .map_err(|e| io_err("creating the staging log", e))?,
             );
             for record in live_records {
-                staged
-                    .write_all(frame_record(record)?.as_bytes())
-                    .map_err(|e| io_err("writing the staging log", e))?;
+                vfs::write_all(
+                    "recovery-commit",
+                    &tmp,
+                    &mut staged,
+                    frame_record(record)?.as_bytes(),
+                )
+                .map_err(|e| io_err("writing the staging log", e))?;
             }
-            staged
-                .flush()
+            vfs::flush("recovery-commit", &tmp, &mut staged)
                 .map_err(|e| io_err("flushing the staging log", e))?;
             if sync == WalSync::Fsync {
-                staged
-                    .get_ref()
-                    .sync_data()
+                vfs::sync_data("recovery-commit", &tmp, staged.get_ref())
                     .map_err(|e| io_err("fsyncing the staging log", e))?;
             }
         }
         crate::crashpoint::reached("mid-wal-recovery-commit");
-        fs::rename(&tmp, &live).map_err(|e| io_err("publishing the recovered live log", e))?;
+        policy
+            .run("recovery-commit", || {
+                vfs::rename("recovery-commit", &tmp, &live)
+            })
+            .map_err(|e| io_err("publishing the recovered live log", e))?;
         if sync == WalSync::Fsync {
-            File::open(dir)
-                .and_then(|d| d.sync_all())
+            vfs::sync_dir("recovery-commit", dir)
                 .map_err(|e| io_err("fsyncing the wal directory", e))?;
         }
         for path in &replay.frozen {
-            let _ = fs::remove_file(path);
+            policy.cleanup("cleanup", vfs::remove_file("cleanup", path));
         }
         let writer = BufWriter::new(
-            OpenOptions::new()
-                .append(true)
-                .open(&live)
+            vfs::open_append("recovery-commit", &live, false)
                 .map_err(|e| io_err("opening the live log for append", e))?,
         );
         Ok(PartitionWal {
@@ -428,6 +475,7 @@ impl PartitionWal {
             live_path: live,
             writer,
             dirty: false,
+            policy,
         })
     }
 
@@ -443,34 +491,64 @@ impl PartitionWal {
 
     /// Appends one routed record as a CRC-framed line (buffered; see
     /// [`PartitionWal::sync`] / [`PartitionWal::commit_group`]).
+    ///
+    /// Append errors are **not retried**: a partially buffered frame
+    /// cannot be rewound, so a retry would stack a second copy behind torn
+    /// bytes.  The error surfaces (and is counted); the store degrades,
+    /// and the torn tail — if the buffer ever reaches the disk — is
+    /// exactly the torn-final-frame case replay already tolerates.
     pub fn append(&mut self, record: &StreamRecord) -> Result<()> {
-        self.writer
-            .write_all(frame_record(record)?.as_bytes())
-            .map_err(|e| io_err("appending to the live log", e))?;
+        let frame = frame_record(record)?;
+        let result = vfs::write_all(
+            "wal-append",
+            &self.live_path,
+            &mut self.writer,
+            frame.as_bytes(),
+        );
+        if let Err(e) = &result {
+            self.policy.observe_error("wal-append", e);
+        }
+        result.map_err(|e| io_err("appending to the live log", e))?;
         self.dirty = true;
         Ok(())
     }
 
-    /// Flushes buffered appends to the operating system.
+    /// Flushes buffered appends to the operating system (with the policy's
+    /// bounded retry: a flush retry re-drains whatever the first attempt
+    /// left buffered, so the operation is idempotent).
     pub fn sync(&mut self) -> Result<()> {
-        self.writer
-            .flush()
+        let PartitionWal {
+            live_path,
+            writer,
+            policy,
+            ..
+        } = self;
+        policy
+            .run("wal-commit", || vfs::flush("wal-commit", live_path, writer))
             .map_err(|e| io_err("flushing the live log", e))
     }
 
     /// The group-commit boundary: flushes buffered appends and, on the
     /// [`WalSync::Fsync`] tier, additionally syncs file data to the device.
     /// A no-op when nothing was appended since the last commit, so the
-    /// batch paths can sweep every touched shard cheaply.
+    /// batch paths can sweep every touched shard cheaply.  Both steps are
+    /// idempotent, so transient errors get the policy's bounded retry.
     pub fn commit_group(&mut self, sync: WalSync) -> Result<()> {
         if !self.dirty {
             return Ok(());
         }
         self.sync()?;
         if sync == WalSync::Fsync {
-            self.writer
-                .get_ref()
-                .sync_data()
+            let PartitionWal {
+                live_path,
+                writer,
+                policy,
+                ..
+            } = self;
+            policy
+                .run("wal-commit", || {
+                    vfs::sync_data("wal-commit", live_path, writer.get_ref())
+                })
                 .map_err(|e| io_err("fsyncing the live log", e))?;
         }
         self.dirty = false;
@@ -486,8 +564,15 @@ impl PartitionWal {
         let frozen = self
             .dir
             .join(format!("wal-{}.{seq}.sealing", self.partition));
-        fs::rename(&self.live_path, &frozen).map_err(|e| io_err("freezing the live log", e))?;
-        match File::create(&self.live_path) {
+        self.policy
+            .run("wal-rotate", || {
+                vfs::rename("wal-rotate", &self.live_path, &frozen)
+            })
+            .map_err(|e| io_err("freezing the live log", e))?;
+        match self
+            .policy
+            .run("wal-rotate", || vfs::create("wal-rotate", &self.live_path))
+        {
             Ok(file) => {
                 self.writer = BufWriter::new(file);
                 self.dirty = false;
@@ -496,8 +581,12 @@ impl PartitionWal {
             Err(e) => {
                 // Undo the rename so `writer`'s fd and `live_path` stay
                 // coherent: appends keep landing in the (restored) live log
-                // and a later rotation can retry cleanly.
-                let _ = fs::rename(&frozen, &self.live_path);
+                // and a later rotation can retry cleanly.  A failed undo is
+                // counted, not dropped — the caller degrades on the error.
+                self.policy.cleanup(
+                    "wal-rotate",
+                    vfs::rename("wal-rotate", &frozen, &self.live_path),
+                );
                 Err(io_err("creating the live log", e))
             }
         }
@@ -516,13 +605,18 @@ impl PartitionWal {
             self.append(record)?;
         }
         self.sync()?;
-        fs::remove_file(frozen).map_err(|e| io_err("removing a reabsorbed frozen log", e))
+        vfs::remove_file("cleanup", frozen)
+            .map_err(|e| io_err("removing a reabsorbed frozen log", e))
     }
 
     /// Removes a frozen log whose records are now covered by an installed
-    /// segment.  Missing files are ignored (idempotent).
-    pub fn retire(frozen: &Path) {
-        let _ = fs::remove_file(frozen);
+    /// segment.  Missing files are ignored (idempotent); other failures
+    /// surface so the caller can count them as cleanup errors.
+    pub fn retire(frozen: &Path) -> std::io::Result<()> {
+        match vfs::remove_file("wal-retire", frozen) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -535,6 +629,7 @@ impl Drop for PartitionWal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("pds-wal-test-{tag}-{}", std::process::id()));
@@ -656,9 +751,9 @@ mod tests {
         wal.append(&basic(0, 0.9)).unwrap();
         let frozen = wal.rotate(5).unwrap();
         assert!(frozen.exists());
-        PartitionWal::retire(&frozen);
+        PartitionWal::retire(&frozen).unwrap();
         assert!(!frozen.exists());
-        PartitionWal::retire(&frozen); // second call is a no-op
+        PartitionWal::retire(&frozen).unwrap(); // second call is a no-op
         drop(wal);
         let (_wal2, replayed) = PartitionWal::open(&dir, 0).unwrap();
         assert!(replayed.is_empty(), "retired records must not replay");

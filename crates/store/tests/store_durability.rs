@@ -11,12 +11,22 @@
 //! lose — the truly torn states (mid-seal, mid-compaction, mid-publish)
 //! are covered by the subprocess crash matrix in `store_crash_matrix.rs`.
 //!
+//! The fault-interleaving property layers the deterministic vfs fault
+//! injector on top: random ops with random transient-or-exhausting faults
+//! armed around them must keep the acknowledged prefix bitwise-equal to an
+//! uninterrupted mirror, degrade instead of corrupting when the retry
+//! budget is exhausted, and recover cleanly at the next reopen.  (The
+//! exhaustive per-site × per-class sweep is `store_fault_matrix.rs`; this
+//! property covers the *interleavings* the sweep's fixed scripts cannot.)
+//!
 //! [`PdsError`]: pds_core::error::PdsError
 
 use proptest::prelude::*;
 
+use pds_core::error::PdsError;
 use pds_core::metrics::ErrorMetric;
 use pds_core::stream::StreamRecord;
+use pds_core::vfs::fault::{self, ErrorClass, FaultSpec};
 use pds_store::{CompactionPolicy, PartitionSpec, StoreConfig, SynopsisKind, SynopsisStore};
 
 const N: usize = 24;
@@ -261,6 +271,218 @@ proptest! {
             // The scan is read-only: the corrupt file survives.
             prop_assert!(log_path.exists());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Sites a runtime mutation (ingest / seal / compact) can cross, in the
+/// order the fault plan indexes them.
+const RUNTIME_SITES: [&str; 9] = [
+    "wal-append",
+    "wal-commit",
+    "wal-rotate",
+    "blob-write",
+    "blob-publish",
+    "manifest-install",
+    "manifest-replace",
+    "wal-retire",
+    "cleanup",
+];
+
+/// Sites a reopen crosses (recovery reads, the WAL re-commit, the manifest
+/// republish and the orphan/stale sweeps).
+const REOPEN_SITES: [&str; 4] = [
+    "recovery-read",
+    "recovery-commit",
+    "manifest-replace",
+    "cleanup",
+];
+
+/// One entry of the fault plan: which site and class to arm around the
+/// same-indexed op, and whether the fault is transient (one failing op —
+/// inside the default retry budget) or persistent enough to exhaust it.
+#[derive(Debug, Clone, Copy)]
+struct PlannedFault {
+    site_idx: usize,
+    class_idx: usize,
+    transient: bool,
+}
+
+fn fault_plan(max_len: usize) -> impl Strategy<Value = Vec<Option<PlannedFault>>> {
+    prop::collection::vec(
+        prop::option::weighted(
+            0.4,
+            (
+                0..RUNTIME_SITES.len(),
+                0..ErrorClass::ALL.len(),
+                any::<bool>(),
+            )
+                .prop_map(|(site_idx, class_idx, transient)| PlannedFault {
+                    site_idx,
+                    class_idx,
+                    transient,
+                }),
+        ),
+        max_len,
+    )
+}
+
+fn ranges_match(a: &SynopsisStore, b: &SynopsisStore) -> bool {
+    [(0usize, N - 1), (0, 9), (10, 17), (5, 5), (20, 23)]
+        .into_iter()
+        .all(|(lo, hi)| a.range_estimate(lo, hi) == b.range_estimate(lo, hi))
+}
+
+/// Config for the fault-interleaving property: seals and compactions are
+/// script-driven only (huge threshold, no auto-compaction policy), so
+/// every failed op is all-or-nothing — a degraded durable store and the
+/// acked-prefix mirror always share the same memtable/segment structure,
+/// which is what makes the bitwise comparison sound.
+fn fault_config() -> StoreConfig {
+    let mut cfg = config();
+    cfg.seal_threshold = usize::MAX >> 1;
+    cfg.compaction = None;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fault interleaving: random transient-or-exhausting injected faults
+    /// around random ops never corrupt the acknowledged prefix.  Every op
+    /// the durable store acknowledges is mirrored in-memory and the two
+    /// must agree bitwise after every healthy step; an exhausted retry
+    /// budget must surface as sticky [`PdsError::Degraded`] (never a
+    /// panic, never a wrong answer), and the next fault-free reopen must
+    /// recover a healthy store serving the acknowledged records — with at
+    /// most the one unacknowledged in-flight record over-included.
+    #[test]
+    fn injected_faults_never_corrupt_the_acknowledged_prefix(
+        script in ops(24),
+        plan in fault_plan(24),
+        case in 0u64..u64::MAX,
+    ) {
+        let dir = unique_dir("fault-interleave", case);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mirror = SynopsisStore::new(fault_config()).unwrap();
+        let mut durable = SynopsisStore::open_with_wal(fault_config(), &dir).unwrap();
+        // The unacknowledged record a failed ingest may have over-included
+        // in the memtable (the documented wal-commit window).
+        let mut over: Option<StreamRecord> = None;
+        let mut degraded = false;
+
+        for (i, op) in script.iter().enumerate() {
+            let fault = plan.get(i).copied().flatten();
+            if let Op::CrashReopen = op {
+                drop(durable);
+                let guard = fault.map(|f| {
+                    let site = REOPEN_SITES[f.site_idx % REOPEN_SITES.len()];
+                    let count = if f.transient { 1 } else { 4 };
+                    fault::arm(
+                        FaultSpec::transient(site, ErrorClass::ALL[f.class_idx], 1, count)
+                            .scoped(&dir),
+                    )
+                });
+                durable = match SynopsisStore::open_with_wal(fault_config(), &dir) {
+                    Ok(store) => store,
+                    Err(_) => {
+                        // A faulted recovery aborts the open cleanly; the
+                        // fault-free retry must succeed.
+                        drop(guard);
+                        SynopsisStore::open_with_wal(fault_config(), &dir).unwrap()
+                    }
+                };
+                prop_assert!(durable.degraded().is_none());
+                prop_assert!(ranges_match(&durable, &mirror), "after reopen {}", i);
+                continue;
+            }
+
+            let guard = fault.map(|f| {
+                let count = if f.transient { 1 } else { 4 };
+                fault::arm(
+                    FaultSpec::transient(
+                        RUNTIME_SITES[f.site_idx],
+                        ErrorClass::ALL[f.class_idx],
+                        1,
+                        count,
+                    )
+                    .scoped(&dir),
+                )
+            });
+            let result = match op {
+                Op::Ingest(record) => durable.ingest(record.clone()),
+                Op::Seal(p) => durable.seal_partition(*p).map(|_| ()),
+                Op::Compact(p) => durable.compact_partition(*p),
+                Op::Snapshot => {
+                    // A pure read under an armed fault: the snapshot view
+                    // touches no disk and must keep answering correctly.
+                    let view = durable.snapshot_view();
+                    prop_assert_eq!(
+                        view.range_estimate(0, N - 1),
+                        mirror.range_estimate(0, N - 1),
+                        "snapshot view at op {}", i
+                    );
+                    Ok(())
+                }
+                Op::CrashReopen => unreachable!("handled above"),
+            };
+            drop(guard);
+            match result {
+                Ok(()) => {
+                    // Acknowledged: the mirror applies the same op and the
+                    // two must stay bitwise-identical.
+                    match op {
+                        Op::Ingest(record) => mirror.ingest(record.clone()).unwrap(),
+                        Op::Seal(p) => {
+                            mirror.seal_partition(*p).unwrap();
+                        }
+                        Op::Compact(p) => mirror.compact_partition(*p).unwrap(),
+                        Op::Snapshot => {}
+                        Op::CrashReopen => unreachable!(),
+                    }
+                    prop_assert!(ranges_match(&durable, &mirror), "after acked op {}", i);
+                }
+                Err(e) => {
+                    prop_assert!(
+                        matches!(e, PdsError::Degraded { .. }),
+                        "a faulted mutation must degrade, got {:?}",
+                        e
+                    );
+                    prop_assert!(durable.degraded().is_some());
+                    if let Op::Ingest(record) = op {
+                        over = Some(record.clone());
+                    }
+                    degraded = true;
+                    break;
+                }
+            }
+        }
+
+        if degraded {
+            // Sticky: further mutations are refused without touching the
+            // (now healthy) disk, and queries keep serving.
+            let refused = durable.ingest(StreamRecord::Basic { item: 0, prob: 0.1 });
+            prop_assert!(matches!(refused, Err(PdsError::Degraded { .. })));
+        }
+
+        // The fault-free reopen recovers every acknowledged record; a
+        // failed ingest may additionally have over-included its one
+        // unacknowledged record.
+        drop(durable);
+        let reopened = SynopsisStore::open_with_wal(fault_config(), &dir).unwrap();
+        prop_assert!(reopened.degraded().is_none());
+        let mut matches = ranges_match(&reopened, &mirror);
+        if !matches {
+            if let Some(record) = over {
+                mirror.ingest(record).unwrap();
+                matches = ranges_match(&reopened, &mirror);
+            }
+        }
+        prop_assert!(
+            matches,
+            "the reopened store must serve exactly the acknowledged prefix \
+             (plus at most the in-flight record)"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

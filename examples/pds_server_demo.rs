@@ -3,7 +3,11 @@
 //! `RANGE`/`EST` against snapshot views, then prove the served store is
 //! **bitwise indistinguishable** from a `SynopsisStore` driven directly by
 //! the same batches — float replies use Rust's shortest round-trip
-//! formatting, so even the text protocol loses no bits.
+//! formatting, so even the text protocol loses no bits.  A final phase
+//! arms the deterministic I/O fault injector against a durable store and
+//! proves the wire surface of degraded read-only mode: `ERR DEGRADED`
+//! write refusals, the `HEALTH` cause, the METRICS gauge, and bit-stable
+//! reads of the acknowledged prefix.
 //!
 //! ```text
 //! cargo run --release --example pds_server_demo
@@ -339,5 +343,107 @@ fn main() -> Result<()> {
         })?
         .map_err(io_err)?;
     println!("\nserver drained and shut down cleanly");
+
+    // Phase 5: fault-injected degradation over the wire.  A second server
+    // fronts a *durable* store; a persistently failing WAL append flips it
+    // into sticky degraded read-only mode, and every surface that reports
+    // health must agree — the HEALTH verb, the `ERR DEGRADED` write
+    // refusals, and the METRICS gauge — while reads keep serving the
+    // acknowledged prefix, bit for bit.
+    use pds_core::vfs::fault::{self, ErrorClass, FaultSpec};
+
+    let dir = std::env::temp_dir().join(format!("pds-server-demo-degrade-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(SynopsisStore::open_with_wal(store_config()?, &dir)?);
+    let server = Server::bind(
+        Arc::clone(&store),
+        ("127.0.0.1", 0),
+        ServerConfig::default(),
+    )
+    .map_err(io_err)?;
+    let handle = server.handle();
+    let serve_thread = std::thread::spawn(move || server.serve());
+    println!(
+        "\ndurable server listening on {} for the degradation phase",
+        handle.addr()
+    );
+
+    let mut client = Client::connect(&handle).map_err(io_err)?;
+    let ingest = |client: &mut Client, text: &str| -> std::io::Result<String> {
+        let mut payload = format!("INGEST {}\n", text.lines().count()).into_bytes();
+        payload.extend_from_slice(text.as_bytes());
+        client.writer.write_all(&payload)?;
+        let mut reply = String::new();
+        client.reader.read_line(&mut reply)?;
+        Ok(reply.trim_end_matches(['\r', '\n']).to_string())
+    };
+
+    // Acknowledge one batch on a healthy store, then pin a query answer.
+    let reply = ingest(&mut client, &batches[0]).map_err(io_err)?;
+    assert!(reply.starts_with("OK "), "healthy ingest refused: {reply}");
+    assert_eq!(client.cmd("HEALTH").map_err(io_err)?, "OK healthy");
+    let acked_answer = client.ok_value("RANGE 0 4095").map_err(io_err)?;
+
+    // A persistently failing disk at the WAL append site, scoped to this
+    // store's directory.
+    let guard = fault::arm(FaultSpec::persistent("wal-append", ErrorClass::Eio).scoped(&dir));
+    let refusal = ingest(&mut client, &batches[1]).map_err(io_err)?;
+    assert!(
+        refusal.starts_with("ERR DEGRADED ") && refusal.contains("injected"),
+        "degraded ingest must answer ERR DEGRADED with the cause: {refusal}"
+    );
+    let health = client.cmd("HEALTH").map_err(io_err)?;
+    assert!(
+        health.starts_with("OK degraded ") && health.contains("wal-append"),
+        "HEALTH must surface the degradation cause: {health}"
+    );
+    let seal_refusal = client.cmd("SEAL").map_err(io_err)?;
+    assert!(
+        seal_refusal.starts_with("ERR DEGRADED "),
+        "every write verb must refuse on a degraded store: {seal_refusal}"
+    );
+    // Reads keep serving the acknowledged prefix, bit for bit.
+    let during = client.ok_value("RANGE 0 4095").map_err(io_err)?;
+    assert_eq!(
+        during.to_bits(),
+        acked_answer.to_bits(),
+        "degraded reads must keep the acknowledged answer"
+    );
+    let reply = client.cmd("METRICS").map_err(io_err)?;
+    let text = String::from_utf8(client.bin_body(&reply).map_err(io_err)?).map_err(|_| {
+        PdsError::InvalidParameter {
+            message: "METRICS exposition must be UTF-8".into(),
+        }
+    })?;
+    assert!(
+        text.lines().any(|l| l == "pds_store_degraded 1"),
+        "the degradation gauge must be set in METRICS"
+    );
+
+    // Disarming the injector does not heal the store: degradation is
+    // sticky until the directory is reopened.
+    drop(guard);
+    let health = client.cmd("HEALTH").map_err(io_err)?;
+    assert!(
+        health.starts_with("OK degraded "),
+        "degradation must be sticky after the fault clears: {health}"
+    );
+    println!(
+        "degradation phase: ERR DEGRADED refusals, HEALTH cause, METRICS \
+         gauge and bit-stable reads all agree; mode is sticky once the \
+         fault clears"
+    );
+
+    client.cmd("QUIT").map_err(io_err)?;
+    handle.shutdown();
+    serve_thread
+        .join()
+        .map_err(|_| PdsError::InvalidParameter {
+            message: "server thread panicked".into(),
+        })?
+        .map_err(io_err)?;
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("degraded server drained and shut down cleanly");
     Ok(())
 }

@@ -121,9 +121,250 @@ fn run_telemetry_gate() -> Result<()> {
     Ok(())
 }
 
+/// `--vfs-gate`: instead of the full pipeline, replay a WAL-shaped durable
+/// write workload twice — once through the `pds_core::vfs` passthrough the
+/// store's durable paths route through, once through the raw `std::fs`
+/// calls it replaced — and fail unless the passthrough stays within 5% of
+/// the direct calls (alternating rounds, min-of-N against scheduler noise).
+fn vfs_gate_arg() -> bool {
+    std::env::args().skip(1).any(|a| a == "--vfs-gate")
+}
+
+/// The `--vfs-gate` benchmark: with no fault armed, the fault-injectable
+/// I/O layer must cost (almost) nothing over the `std::fs` calls it wraps.
+///
+/// Two halves, each a "passthrough vs raw" comparison:
+///
+/// * **Timed** — the store's exact per-record WAL append shape:
+///   [`pds_store::wal::frame_record`] (serialise + CRC-frame) followed by
+///   a buffered write, into a group-commit staging buffer.  The vfs run
+///   routes the write through [`pds_core::vfs::write_all`] — what
+///   `PartitionWal::append` does since the refactor — the baseline issues
+///   the raw `write_all` the pre-refactor code issued.  Per-record appends
+///   are the only place the per-call check (one relaxed atomic load)
+///   could show — on a syscall it is noise by construction — and keeping
+///   the timed loop off the disk keeps the gate sharp: fsync latency on a
+///   shared box swings tens of percent between runs, which would drown
+///   the very cost being gated.
+/// * **Untimed** — the full file-backed WAL round (append, group commit,
+///   rotation, segment-blob publish) against both backends, asserting the
+///   vfs run leaves **byte-identical** files behind: a passthrough must
+///   pass through.
+fn run_vfs_gate() -> Result<()> {
+    use std::io::{BufWriter, Write};
+
+    const FRAMES: usize = 300_000;
+    const FRAME_BYTES: usize = 64;
+    const ROUNDS: usize = 12;
+    // Any label works: nothing is armed, so the gate times the pure
+    // passthrough — exactly what production runs.
+    const SITE: &str = "wal-append";
+
+    let root = std::env::temp_dir().join(format!("pds-vfs-gate-{}", std::process::id()));
+    let log_hint = root.join("wal.log"); // fault-scope hint only; never opened
+
+    let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
+        n: N,
+        skew: 0.7,
+        seed: 42,
+    })
+    .take(10_000)
+    .collect();
+
+    // Timed half: one all-in-memory group-commit round over the real
+    // framed-append shape.  Returns wall time plus a checksum so the
+    // compiler cannot elide the writes.
+    let run_timed = |via_vfs: bool| -> Result<(f64, u64)> {
+        const COMMIT_EVERY: usize = 10_000;
+        let mut staging: Vec<u8> = Vec::with_capacity(COMMIT_EVERY * 48);
+        let mut checksum = 0u64;
+        let t = Instant::now();
+        for i in 0..FRAMES {
+            let frame = pds_store::wal::frame_record(&records[i % records.len()])?;
+            let io = if via_vfs {
+                pds_core::vfs::write_all(SITE, &log_hint, &mut staging, frame.as_bytes())
+            } else {
+                staging.write_all(frame.as_bytes())
+            };
+            io.map_err(|e| PdsError::InvalidParameter {
+                message: format!("vfs gate append failed: {e}"),
+            })?;
+            if (i + 1) % COMMIT_EVERY == 0 {
+                // Group commit: hand the batch off and reuse the buffer.
+                checksum = checksum
+                    .rotate_left(7)
+                    .wrapping_add(staging.iter().map(|&b| u64::from(b)).sum::<u64>());
+                staging.clear();
+            }
+        }
+        Ok((t.elapsed().as_secs_f64(), checksum))
+    };
+
+    // Untimed half: the full WAL-shaped round against real files — appends
+    // through a BufWriter, flush+fdatasync group commits, a log rotation
+    // by atomic rename, and a stage/sync/rename/dir-sync blob publish.
+    // Returns a checksum over every byte left on disk.
+    let run_files = |via_vfs: bool| -> std::io::Result<u64> {
+        const FILE_FRAMES: usize = 50_000;
+        let dir = root.join(if via_vfs { "vfs" } else { "std" });
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir)?;
+        let live = dir.join("wal-0001.log");
+        let retired = dir.join("wal-0000.retired");
+        let mut frame = [0u8; FRAME_BYTES];
+        let open = |path: &std::path::Path| -> std::io::Result<std::fs::File> {
+            if via_vfs {
+                pds_core::vfs::open_append(SITE, path, true)
+            } else {
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .create(true)
+                    .open(path)
+            }
+        };
+        let mut path = dir.join("wal-0000.log");
+        let mut writer = BufWriter::new(open(&path)?);
+        for i in 0..FILE_FRAMES {
+            frame[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            if via_vfs {
+                pds_core::vfs::write_all(SITE, &path, &mut writer, &frame)?;
+            } else {
+                writer.write_all(&frame)?;
+            }
+            if (i + 1) % (FILE_FRAMES / 5) == 0 {
+                if via_vfs {
+                    pds_core::vfs::flush(SITE, &path, &mut writer)?;
+                    pds_core::vfs::sync_data(SITE, &path, writer.get_ref())?;
+                } else {
+                    writer.flush()?;
+                    writer.get_ref().sync_data()?;
+                }
+            }
+            if i + 1 == FILE_FRAMES / 2 {
+                // Rotation: retire the synced log, open a fresh one.
+                drop(writer);
+                if via_vfs {
+                    pds_core::vfs::rename(SITE, &path, &retired)?;
+                } else {
+                    std::fs::rename(&path, &retired)?;
+                }
+                path = live.clone();
+                writer = BufWriter::new(open(&path)?);
+            }
+        }
+        if via_vfs {
+            pds_core::vfs::flush(SITE, &path, &mut writer)?;
+            pds_core::vfs::sync_data(SITE, &path, writer.get_ref())?;
+        } else {
+            writer.flush()?;
+            writer.get_ref().sync_data()?;
+        }
+        drop(writer);
+
+        // Segment-blob style publish: stage, sync, rename, sync dir.
+        let blob: Vec<u8> = (0..64 * 1024usize)
+            .map(|i| (i.wrapping_mul(131)) as u8)
+            .collect();
+        let stage = dir.join("seg-0-1.bin.tmp");
+        let published = dir.join("seg-0-1.bin");
+        if via_vfs {
+            pds_core::vfs::write(SITE, &stage, &blob)?;
+            pds_core::vfs::sync_path(SITE, &stage)?;
+            pds_core::vfs::rename(SITE, &stage, &published)?;
+            pds_core::vfs::sync_dir(SITE, &dir)?;
+        } else {
+            std::fs::write(&stage, &blob)?;
+            std::fs::File::open(&stage)?.sync_data()?;
+            std::fs::rename(&stage, &published)?;
+            std::fs::File::open(&dir)?.sync_all()?;
+        }
+
+        let mut names: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<std::io::Result<_>>()?;
+        names.sort();
+        let mut checksum = 0u64;
+        for name in names {
+            for (i, b) in std::fs::read(&name)?.iter().enumerate() {
+                checksum = checksum
+                    .rotate_left(7)
+                    .wrapping_add(u64::from(*b))
+                    .wrapping_add(i as u64);
+            }
+        }
+        Ok(checksum)
+    };
+
+    let io_err = |e: std::io::Error| PdsError::InvalidParameter {
+        message: format!("vfs gate I/O failed: {e}"),
+    };
+    std::fs::create_dir_all(&root).map_err(io_err)?;
+
+    // Correctness first: the passthrough must pass through, byte for byte.
+    let std_files = run_files(false).map_err(io_err)?;
+    let vfs_files = run_files(true).map_err(io_err)?;
+    assert_eq!(
+        vfs_files, std_files,
+        "the vfs passthrough must leave byte-identical files behind"
+    );
+    println!("file round: vfs and std::fs backends left byte-identical WAL + blob files");
+
+    // Warm-up round per backend, then alternate measured rounds so drift
+    // hits both equally (same protocol as the telemetry gate).
+    let (_, std_sum) = run_timed(false)?;
+    let (_, vfs_sum) = run_timed(true)?;
+    assert_eq!(
+        vfs_sum, std_sum,
+        "the two backends buffered different bytes"
+    );
+    // Paired rounds: each round measures both backends back to back (the
+    // order swapping each round so drift favours neither side) and
+    // contributes one vfs/raw ratio.  The gate is the **median** ratio —
+    // adjacent-in-time pairs cancel machine drift, and the median shrugs
+    // off the occasional descheduled round that would whipsaw a
+    // min-of-N comparison on a shared box.
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        let vfs_first = round % 2 == 0;
+        let (first, _) = run_timed(vfs_first)?;
+        let (second, _) = run_timed(!vfs_first)?;
+        let (vfs_secs, std_secs) = if vfs_first {
+            (first, second)
+        } else {
+            (second, first)
+        };
+        ratios.push(vfs_secs / std_secs);
+        println!(
+            "round {round}: raw appends {:.2}M frames/s, vfs appends {:.2}M frames/s \
+             (ratio {:.3})",
+            FRAMES as f64 / std_secs / 1e6,
+            FRAMES as f64 / vfs_secs / 1e6,
+            vfs_secs / std_secs,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median = (ratios[ROUNDS / 2 - 1] + ratios[ROUNDS / 2]) / 2.0;
+    let overhead = median - 1.0;
+    println!(
+        "median of {ROUNDS} paired rounds: vfs/raw ratio {median:.3} — overhead {:.2}%",
+        overhead * 100.0,
+    );
+    assert!(
+        median <= 1.05,
+        "vfs passthrough overhead {:.2}% exceeds the 5% budget",
+        overhead * 100.0,
+    );
+    println!("vfs gate passed: fault-injectable passthrough within 5% of raw appends");
+    Ok(())
+}
+
 fn main() -> Result<()> {
     if telemetry_gate_arg() {
         return run_telemetry_gate();
+    }
+    if vfs_gate_arg() {
+        return run_vfs_gate();
     }
     // ------------------------------------------------------------ ingestion
     let threads = threads_arg();

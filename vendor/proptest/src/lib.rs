@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 pub mod collection;
+pub mod option;
 
 /// Run-time configuration, mirroring `proptest::test_runner::Config`.
 #[derive(Debug, Clone)]
@@ -137,12 +138,54 @@ impl_tuple_strategy! {
 /// `use proptest::prelude::*`.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
 }
 
 pub mod prelude {
     pub use crate::prop;
+    pub use crate::{any, Arbitrary};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
     pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// The canonical strategy for a type, mirroring `proptest::arbitrary` far
+/// enough that `any::<bool>()` and friends work.
+pub trait Arbitrary: Sized {
+    fn generate_arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate_arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+// Limited to what the vendored `rand`'s `StandardSample` covers.
+impl_arbitrary_uniform!(bool, u32, u64, usize, f32, f64);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::generate_arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
 }
 
 /// Creates the deterministic RNG behind one property test.  Used by the

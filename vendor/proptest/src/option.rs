@@ -1,0 +1,40 @@
+//! Option strategies (`prop::option::of` / `prop::option::weighted`),
+//! mirroring `proptest::option`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Strategy for `Option<S::Value>` that is `Some` with probability `prob`.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    prob: f64,
+}
+
+/// `Some(inner)` with probability 0.5, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    weighted(0.5, inner)
+}
+
+/// `Some(inner)` with probability `prob`, `None` otherwise.
+pub fn weighted<S: Strategy>(prob: f64, inner: S) -> OptionStrategy<S> {
+    assert!(
+        (0.0..=1.0).contains(&prob),
+        "probability {prob} outside [0, 1]"
+    );
+    OptionStrategy { inner, prob }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        if rng.gen_bool(self.prob) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
