@@ -41,6 +41,7 @@ use pds_core::metrics::ErrorMetric;
 use pds_core::stream::StreamRecord;
 use pds_histogram::{build_histogram, Histogram};
 use pds_server::proto;
+use pds_store::blob;
 use pds_store::manifest::Manifest;
 use pds_store::wal::{self, FrameOutcome};
 use pds_store::{PartitionSpec, Segment, StoreConfig, SynopsisKind, SynopsisStore, WalSync};
@@ -59,8 +60,12 @@ pub enum Kind {
     Wav,
     /// `Segment::from_binary` (PDSG envelope).
     Seg,
-    /// `Segment::from_blob` (PDSG envelope + whole-input CRC trailer).
+    /// `Segment::from_blob` (v2 `PDSB` block container, or the v1 PDSG
+    /// envelope + whole-input CRC trailer).
     Blob,
+    /// `blob::decode_blob_meta` (footer + meta block only — the lazy-open
+    /// path, which never reads the synopsis block).
+    BlobMeta,
     /// `SynopsisStore::from_binary` (PDST envelope).
     Store,
     /// `Manifest::parse_bytes` (PDSM envelope + per-record CRCs).
@@ -80,6 +85,7 @@ impl Kind {
             Kind::Wav => "wav",
             Kind::Seg => "seg",
             Kind::Blob => "blob",
+            Kind::BlobMeta => "blobmeta",
             Kind::Store => "store",
             Kind::ManifestBytes => "manifest",
             Kind::WalFrame => "walframe",
@@ -94,6 +100,7 @@ impl Kind {
             "wav" => Kind::Wav,
             "seg" => Kind::Seg,
             "blob" => Kind::Blob,
+            "blobmeta" => Kind::BlobMeta,
             "store" => Kind::Store,
             "manifest" => Kind::ManifestBytes,
             "walframe" => Kind::WalFrame,
@@ -103,7 +110,11 @@ impl Kind {
     }
 
     /// Whether every byte of the encoding is covered by a checksum, making
-    /// "a single bit flip must be rejected" a hard invariant.
+    /// "a single bit flip must be rejected" a hard invariant.  `BlobMeta`
+    /// is deliberately *not* listed even though its input is a full blob
+    /// image: the metadata decoder never reads the synopsis block, so a
+    /// flip there is invisible to it by design (the block's own CRC catches
+    /// it at load time).
     fn crc_protected(self) -> bool {
         matches!(self, Kind::Blob | Kind::ManifestBytes | Kind::WalFrame)
     }
@@ -371,10 +382,12 @@ fn seed_inputs(seed: u64) -> pds_core::error::Result<Vec<SeedInput>> {
         )?;
         seeds.push(SeedInput::plain(Kind::Seg, seg.to_binary()?));
         seeds.push(SeedInput::plain(Kind::Blob, seg.to_blob()?));
+        seeds.push(SeedInput::plain(Kind::BlobMeta, seg.to_blob()?));
     }
     let wavelet_seg = Segment::build(0, 9, &workloads[0].relation, SynopsisKind::Wavelet, 8)?;
     seeds.push(SeedInput::plain(Kind::Seg, wavelet_seg.to_binary()?));
     seeds.push(SeedInput::plain(Kind::Blob, wavelet_seg.to_blob()?));
+    seeds.push(SeedInput::plain(Kind::BlobMeta, wavelet_seg.to_blob()?));
 
     let store = SynopsisStore::new(store_config()?)?;
     store.ingest_all(recovery_workload())?;
@@ -627,6 +640,15 @@ fn decode_once(kind: Kind, bytes: &[u8]) -> bool {
         Kind::Blob => match Segment::from_blob(bytes) {
             Ok(s) => {
                 let _ = s.to_blob();
+                true
+            }
+            Err(_) => false,
+        },
+        Kind::BlobMeta => match blob::decode_blob_meta(bytes) {
+            Ok(meta) => {
+                // Exercise the decoded value the way a pruned query would.
+                let _ = meta.prune.may_overlap(meta.start, 0, usize::MAX);
+                let _ = meta.records;
                 true
             }
             Err(_) => false,
@@ -892,6 +914,7 @@ pub fn replay_corpus(dir: &Path) -> Result<usize, Vec<String>> {
                 Kind::Wav,
                 Kind::Seg,
                 Kind::Blob,
+                Kind::BlobMeta,
                 Kind::Store,
                 Kind::ManifestBytes,
                 Kind::WalFrame,

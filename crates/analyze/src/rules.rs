@@ -547,6 +547,9 @@ const PANIC_FILES: &[&str] = &[
     // Every durable byte of the store flows through the vfs passthrough;
     // a panic here would sit under every WAL append and manifest publish.
     "crates/core/src/vfs.rs",
+    // The block-structured blob codec decodes untrusted footer/meta/block
+    // bytes both at reopen and lazily on the serving path.
+    "crates/store/src/blob.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
@@ -593,6 +596,18 @@ const STORE_QUERY_FNS: &[&str] = &[
     "live_records",
     "render_metrics",
     "render_events",
+    // The read-path acceleration helpers: bound clamping, segment-handle
+    // pruning/lazy loads (which serve queries directly) and the snapshot
+    // capture loop.
+    "clamp_range",
+    "load",
+    "fetch",
+    "range_sum",
+    "may_overlap",
+    "records",
+    "capture_one",
+    "capture_parts",
+    "view_from",
 ];
 
 /// Whole-file panic-freedom: the durability-critical decoder files and

@@ -57,6 +57,11 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Writes a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Writes a little-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -184,6 +189,11 @@ impl<'a> ByteReader<'a> {
     /// Reads a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16> {
         Ok(u16::from_le_bytes(self.take_array()?))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
@@ -343,6 +353,7 @@ mod tests {
         let mut w = ByteWriter::envelope(*b"TEST", 3);
         w.put_u8(7);
         w.put_u16(65535);
+        w.put_u32(0xDEAD_BEEF);
         w.put_u64(u64::MAX - 1);
         w.put_f64(-1.5e300);
         w.put_varint(0);
@@ -355,6 +366,7 @@ mod tests {
         assert_eq!(version, 3);
         assert_eq!(r.get_u8().unwrap(), 7);
         assert_eq!(r.get_u16().unwrap(), 65535);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
         assert_eq!(r.get_f64().unwrap(), -1.5e300);
         assert_eq!(r.get_varint().unwrap(), 0);

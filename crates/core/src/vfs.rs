@@ -37,7 +37,7 @@
 //! two separately.
 
 use std::fs;
-use std::io::{self, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Creates `path` and any missing parents.
@@ -54,6 +54,33 @@ pub fn read(site: &str, path: &Path) -> io::Result<Vec<u8>> {
         return Err(e);
     }
     fs::read(path)
+}
+
+/// Reads exactly `len` bytes starting at byte `offset` of the file at
+/// `path` — the lazy-block primitive: a blob footer or a single synopsis
+/// block is loaded without pulling the rest of the file into memory.  A
+/// file shorter than `offset + len` surfaces as
+/// [`io::ErrorKind::UnexpectedEof`].
+pub fn read_range(site: &str, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+    if let Some(e) = fault::check(site, path) {
+        return Err(e);
+    }
+    let mut file = fs::File::open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = vec![0u8; len];
+    file.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// The length in bytes of the file at `path` — the other half of the
+/// lazy-block protocol: a footer sits at a fixed offset from the *end* of
+/// its blob, so the reader must learn the length before the first
+/// [`read_range`].
+pub fn path_len(site: &str, path: &Path) -> io::Result<u64> {
+    if let Some(e) = fault::check(site, path) {
+        return Err(e);
+    }
+    Ok(fs::metadata(path)?.len())
 }
 
 /// Reads the entire file at `path` into a string.
@@ -587,6 +614,29 @@ mod tests {
             .filter_map(|e| e.ok())
             .any(|e| e.file_name() == "b.bin"));
         remove_file("test-site", &renamed).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_range_slices_measures_and_respects_faults() {
+        let dir = tmp_dir("range");
+        let path = dir.join("blocks.bin");
+        write("t-range", &path, b"0123456789").unwrap();
+        assert_eq!(path_len("t-range", &path).unwrap(), 10);
+        assert_eq!(read_range("t-range", &path, 0, 4).unwrap(), b"0123");
+        assert_eq!(read_range("t-range", &path, 6, 4).unwrap(), b"6789");
+        assert_eq!(read_range("t-range", &path, 10, 0).unwrap(), b"");
+        // Past-the-end reads surface as UnexpectedEof, never a short buffer.
+        let eof = read_range("t-range", &path, 8, 4).unwrap_err();
+        assert_eq!(eof.kind(), std::io::ErrorKind::UnexpectedEof);
+        // An armed fault at the site fails both primitives before any I/O.
+        let guard = fault::arm(FaultSpec::persistent("t-range", ErrorClass::Eio).scoped(&dir));
+        assert!(fault::is_injected(
+            &read_range("t-range", &path, 0, 4).unwrap_err()
+        ));
+        assert!(fault::is_injected(&path_len("t-range", &path).unwrap_err()));
+        drop(guard);
+        assert_eq!(read_range("t-range", &path, 2, 3).unwrap(), b"234");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

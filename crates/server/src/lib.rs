@@ -39,6 +39,27 @@
 //! replies use Rust's shortest round-trip formatting, so parsing the text
 //! back yields bit-identical values to direct [`SynopsisStore`] calls.
 //!
+//! **Out-of-domain reads are zero, not errors.**  `EST <item>` with
+//! `item` at or past the domain size, and `RANGE <lo> <hi>` whose window
+//! misses the domain entirely (`hi < lo`, or `lo` past the last item),
+//! answer the literal line `OK 0` — a well-formed question about items
+//! the store doesn't track has zero expected mass.  An in-domain `lo`
+//! with an oversized `hi` is clamped to the last item and answers the
+//! tail normally.  Clients may match the `OK 0` text; the contract is
+//! pinned by the integration suite and shared bit-for-bit with direct
+//! [`SynopsisStore`] calls (both route through the same `clamp_range`).
+//!
+//! **`MERGE` is served from the merged-synopsis cache when possible.**
+//! The store memoises the most recent global merge keyed on its internal
+//! version counter (bumped at every structural commit: a sealed-segment
+//! install or a compaction swap) plus the bucket budget `b`.  Repeating
+//! `MERGE <b>` against a structurally unchanged store replays the cached
+//! histogram — byte-identical body, no DP recomputation — and any seal
+//! or compaction invalidates the entry, so a reply is always exactly
+//! what a fresh merge would produce.  The wire shape never changes;
+//! cache effectiveness is visible as
+//! `pds_store_merge_cache_{hits,misses}_total` in `METRICS` scrapes.
+//!
 //! ## Degraded read-only mode
 //!
 //! When the store's durable write path fails persistently (a WAL, segment

@@ -183,6 +183,36 @@ fn basic_commands_round_trip_bitwise() {
     client.quit();
 }
 
+/// Out-of-domain and empty-window reads are well-formed questions whose
+/// answer is zero mass — the wire contract is the **literal line**
+/// `OK 0`, never `ERR`, and clients are entitled to match the text.
+/// This pins the `clamp_range` contract (store and snapshot view share
+/// it) at the protocol boundary.
+#[test]
+fn out_of_domain_reads_answer_the_literal_ok_zero_line() {
+    let store = Arc::new(SynopsisStore::new(store_config(64, 4, 1 << 20)).unwrap());
+    store.ingest_batch(workload(500, 13, 64)).unwrap();
+    let server = RunningServer::start(Arc::clone(&store), ServerConfig::default());
+    let mut client = Client::connect(&server.handle);
+
+    for cmd in [
+        "EST 64",                       // first item past the domain
+        "EST 18446744073709551615",     // u64::MAX parses, answers zero
+        "RANGE 64 99",                  // window entirely past the domain
+        "RANGE 10 3",                   // inverted window
+        "RANGE 63 0",                   // inverted at the domain edge
+        "RANGE 18446744073709551615 0", // hostile lo, inverted
+    ] {
+        assert_eq!(client.cmd(cmd), "OK 0", "{cmd} must answer literally");
+    }
+    // Clamping is one-sided: an in-domain `lo` with an oversized `hi`
+    // answers the full tail, not zero.
+    let clamped = ok_value(&client.cmd("RANGE 0 18446744073709551615"));
+    assert_eq!(clamped.to_bits(), store.range_estimate(0, 63).to_bits());
+    assert!(clamped > 0.0, "ingested mass must show through the clamp");
+    client.quit();
+}
+
 #[test]
 fn ingest_through_the_server_matches_direct_ingest_bitwise() {
     let store = Arc::new(SynopsisStore::new(store_config(128, 4, 64)).unwrap());
@@ -296,6 +326,20 @@ fn merge_and_snapshot_bulk_responses_decode_and_match_direct() {
     assert_eq!(merged_bytes, direct.to_binary().unwrap());
     let decoded = Histogram::from_binary(&merged_bytes).unwrap();
     assert_eq!(decoded.num_buckets(), direct.num_buckets());
+
+    // A repeated MERGE on the unchanged store serves from the store's
+    // merged-synopsis cache: byte-identical body, and the cache-hit
+    // counter moves in the METRICS scrape.  The wire shape is unchanged —
+    // clients cannot tell a hit from a recomputation except by speed.
+    let reply = client.cmd("MERGE 6");
+    assert_eq!(client.recv_bin(&reply), merged_bytes);
+    let scrape = client.cmd("METRICS");
+    let text = String::from_utf8(client.recv_bin(&scrape)).unwrap();
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("pds_store_merge_cache_hits_total ") && !l.ends_with(" 0")),
+        "repeat MERGE must register a merge-cache hit:\n{text}"
+    );
 
     // The merge edge cases surface as protocol errors, not panics.
     assert!(client.cmd("MERGE 0").starts_with("ERR "));

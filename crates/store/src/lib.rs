@@ -25,7 +25,50 @@
 //!    points are exactly the partition/bucket edges).
 //! 4. **Serve** — range-sum/count estimates combine live memtables with
 //!    sealed segments; the umbrella crate's `aqp` module routes its
-//!    [`FrequencyQuery`]s here.
+//!    [`FrequencyQuery`]s here.  The read path is **sub-linear in store
+//!    size** (see below): segment pruning, lazily-loaded synopsis blocks
+//!    and a merged-synopsis cache keep a point query from touching cold
+//!    segments at all.
+//!
+//! ## Read path
+//!
+//! Three layers make reads skip work without changing a single bit of any
+//! answer (the equivalence is pinned bitwise by `tests/store_read_path.rs`
+//! and the `pds_store_pipeline --read-gate` bench gate):
+//!
+//! * **Segment pruning.**  Every sealed segment carries prune metadata in
+//!   its blob: the item-range fence and a small presence filter over the
+//!   items its synopsis actually supports.  [`SynopsisStore::range_estimate`]
+//!   and [`SnapshotView`] consult the fence/filter first and skip segments
+//!   whose metadata proves a zero contribution.  Skipping is
+//!   **bit-invisible** because a skipped segment's range sum is exactly
+//!   `0.0` and the accumulation order of the remaining terms is preserved
+//!   (segments in install order, then the live memtable, then each frozen
+//!   memtable).  The [`StoreConfig::prune`] knob (default on) disables it
+//!   for A/B runs; `pds_store_segments_{visited,pruned}_total` count the
+//!   effect.
+//! * **Lazy synopsis blocks.**  Blobs are block-structured (see below), so
+//!   [`SynopsisStore::open_with_wal`] verifies and maps only each blob's
+//!   footer and prune-metadata block at recovery; the synopsis block loads
+//!   on first touch — a pruned-away or never-queried segment is never read
+//!   from disk again.  Loads go through the fault-injectable vfs under the
+//!   `block-read` site: a corrupt or unreadable block surfaces at first
+//!   touch as the sticky degraded mode (the segment contributes `0.0`;
+//!   reads keep serving; a clean reopen recovers), while
+//!   [`StoreConfig::lazy_blocks`]` = false` restores the eager contract —
+//!   every block verified at open, corruption fails the open.
+//! * **Merged-synopsis cache.**  [`SynopsisStore::merge_global`] memoises
+//!   its result keyed on the store's version counter (bumped at every
+//!   structural commit: a sealed-segment install or a compaction swap) and
+//!   the bucket budget; a repeat merge over a structurally unchanged store
+//!   replays the cached histogram bit-identically.
+//!   `pds_store_merge_cache_{hits,misses}_total` make the hit rate
+//!   observable.
+//!
+//! Query bounds share one contract, `clamp_range`: an empty store, a
+//! window past the domain, or an inverted window answers `0.0` (the
+//! server pins this as the literal `OK 0` wire line); an in-domain `lo`
+//! with an oversized `hi` clamps to the last item.
 //!
 //! ## Crash durability
 //!
@@ -35,8 +78,12 @@
 //! * **WAL** ([`wal`]) — every routed record, CRC-framed, group-committed
 //!   once per ingest call/batch; covers the live and mid-seal window.
 //! * **Segment blobs** — at install, each sealed segment is published as
-//!   `seg-<p>-<seq>.bin` (`PDSG` encoding + CRC-32 trailer, atomic
-//!   tmp-rename).
+//!   `seg-<p>-<seq>.bin` in the block-structured `PDSB` v2 container
+//!   ([`blob`]): a prune-metadata block (item fence + presence filter) and
+//!   the `PDSG` synopsis block, each CRC-checked, behind an index footer —
+//!   so reopen can verify and map the metadata without reading the
+//!   synopsis bytes (atomic tmp-rename publish; v1 single-block blobs
+//!   still decode, eagerly).
 //! * **`MANIFEST`** ([`manifest`]) — the append-only, versioned record of
 //!   which blobs are live; *a manifest entry is a seal's commit point*, and
 //!   compaction replaces entries through an atomic tmp-rename publish.
@@ -56,12 +103,13 @@
 //! | **installed** | reloaded from its blob via the manifest | `manifest-install` unfreezes and degrades (the published blob becomes an orphan, swept at the next reopen); a failed `wal-retire` afterwards is counted, never fatal — the manifest entry already covers the log |
 //! | mid-compaction (merge or swap) | inputs stay authoritative until the manifest publish; the half-done output blob is swept at reopen | `manifest-replace` degrades with the inputs still authoritative; a failed superseded-blob `cleanup` is counted, never fatal |
 //! | being recovered at reopen | n/a | `recovery-read` / `recovery-commit` abort [`SynopsisStore::open_with_wal`] with a [`PdsError`] — an open never half-succeeds or degrades |
+//! | installed, synopsis block loaded lazily at first query | n/a (blocks reload from the blob) | `block-read` degrades at first touch: the segment contributes `0.0`, reads keep serving, writes refuse; a clean reopen recovers (eager mode moves the failure to the open instead) |
 //!
 //! Every deliverable of that table is pinned by the deterministic
 //! crash-injection matrix (`tests/store_crash_matrix.rs`, labels in
 //! [`crashpoint`]), the exhaustive **fault matrix**
 //! (`tests/store_fault_matrix.rs`: every [`FAULT_SITES`] label × every
-//! `pds_core::vfs::fault::ErrorClass`, 55 rows) and the corruption/fault
+//! `pds_core::vfs::fault::ErrorClass`, 60 rows) and the corruption/fault
 //! property suites: a torn file replays exactly the acknowledged prefix, a
 //! bit-flipped blob or frame is a [`PdsError`], an injected EIO/ENOSPC/
 //! short-write/fsync/rename failure is retried, degraded or counted per
@@ -106,7 +154,11 @@
 //! histograms for WAL group commits, seal builds, durable seal commits,
 //! compaction rounds and every query operation
 //! (`estimate`/`range_estimate`/`merge_global`/`snapshot_view`), a
-//! recovery-time gauge, and a bounded event ring of recent notable events
+//! recovery-time gauge, read-path effectiveness counters
+//! (`pds_store_segments_{visited,pruned}_total`,
+//! `pds_store_block_loads_total`,
+//! `pds_store_merge_cache_{hits,misses}_total`), and a bounded event ring
+//! of recent notable events
 //! (seal installed, compaction committed, WAL rotated, recovery).  The
 //! fault-injectable I/O layer feeds the same surface: retry counts
 //! (`pds_store_io_retries_total`), I/O errors split by injected/real
@@ -143,6 +195,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod blob;
 mod compaction;
 pub mod crashpoint;
 pub mod manifest;

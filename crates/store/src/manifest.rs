@@ -289,10 +289,14 @@ impl Manifest {
         Ok((manifest, entries))
     }
 
-    /// Deletes `seg-*.bin` blobs (and stale `.bin.tmp` staging files) that
-    /// no live manifest entry references.  Removal failures are counted as
-    /// cleanup errors, never fatal: an unremoved orphan is swept again at
-    /// the next open.
+    /// Deletes `seg-*.bin` blobs that no live manifest entry references —
+    /// the sweep keys on the name, not the contents, so v1 CRC-trailed and
+    /// v2 block-structured blobs are recognised alike — and any stale
+    /// `*.tmp` staging file (blob, manifest or WAL-recovery) left by a
+    /// crash between stage and rename: every publish re-stages from
+    /// scratch, so a leftover `.tmp` is always garbage.  Removal failures
+    /// are counted as cleanup errors, never fatal: an unremoved orphan is
+    /// swept again at the next open.
     fn remove_orphan_blobs(&self) -> Result<()> {
         let entries = vfs::read_dir("recovery-read", &self.dir)
             .map_err(|e| io_err("listing the store directory", e))?;
@@ -300,7 +304,7 @@ impl Manifest {
             let entry = entry.map_err(|e| io_err("listing the store directory", e))?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if name.ends_with(".bin.tmp") {
+            if name.ends_with(".tmp") {
                 self.policy
                     .cleanup("cleanup", vfs::remove_file("cleanup", &entry.path()));
                 continue;
@@ -505,11 +509,15 @@ mod tests {
             let (mut m, _) = Manifest::open(&dir, WalSync::Flush).unwrap();
             m.install(0, 0).unwrap();
         }
-        // A blob whose manifest record never landed, a stale blob staging
-        // file and a stale manifest staging file: all swept at open.
+        // A blob whose manifest record never landed (the sweep is
+        // name-keyed, so its contents — v1, v2 block-structured or
+        // garbage — are irrelevant), a stale blob staging file, a stale
+        // manifest staging file and a stale WAL-recovery staging file:
+        // all swept at open.
         fs::write(dir.join(segment_blob_name(0, 9)), b"orphan").unwrap();
         fs::write(dir.join("seg-0-3.bin.tmp"), b"stale").unwrap();
         fs::write(dir.join("MANIFEST.tmp"), b"stale").unwrap();
+        fs::write(dir.join("wal-0.log.tmp"), b"stale").unwrap();
         // The live blob survives.
         fs::write(dir.join(segment_blob_name(0, 0)), b"live").unwrap();
         let (_m, live) = Manifest::open(&dir, WalSync::Flush).unwrap();
@@ -517,6 +525,8 @@ mod tests {
         assert!(dir.join(segment_blob_name(0, 0)).exists());
         assert!(!dir.join(segment_blob_name(0, 9)).exists());
         assert!(!dir.join("seg-0-3.bin.tmp").exists());
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        assert!(!dir.join("wal-0.log.tmp").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -258,19 +258,26 @@ impl Segment {
         Segment::new(start, records, synopsis)
     }
 
-    /// Serialises the segment as a **durable blob**: the compact binary
-    /// encoding ([`Segment::to_binary`]) plus a 4-byte CRC-32 trailer —
-    /// the exact bytes of an install-time `seg-<p>-<seq>.bin` file.
+    /// Serialises the segment as a **durable blob** — the exact bytes of
+    /// an install-time `seg-<p>-<seq>.bin` file.  Since format v2 this is
+    /// the block-structured [`blob`](crate::blob) container (`PDSB`):
+    /// prune metadata in a front block, the compact binary encoding
+    /// ([`Segment::to_binary`]) as a lazily-loadable synopsis block, and
+    /// a CRC'd index footer.
     pub fn to_blob(&self) -> Result<Vec<u8>> {
-        let mut bytes = self.to_binary()?;
-        pds_core::binio::append_crc32(&mut bytes);
-        Ok(bytes)
+        crate::blob::encode_blob(self)
     }
 
-    /// Parses a durable blob written by [`Segment::to_blob`], verifying the
-    /// CRC-32 trailer first so bit rot and truncation surface as
-    /// [`PdsError`]s before the payload is even decoded.
+    /// Parses a durable blob written by [`Segment::to_blob`], dispatching
+    /// on the leading magic: `PDSB` decodes the block-structured v2
+    /// container (every block CRC-verified, prune metadata recomputed and
+    /// cross-checked); legacy `PDSG`-headed v1 blobs (compact binary +
+    /// CRC-32 trailer) stay readable.  Bit rot and truncation surface as
+    /// [`PdsError`]s before any payload is trusted.
     pub fn from_blob(bytes: &[u8]) -> Result<Self> {
+        if bytes.starts_with(&crate::blob::BLOB_MAGIC) {
+            return Ok(crate::blob::decode_blob(bytes)?.0);
+        }
         let payload = pds_core::binio::verify_crc32(bytes, "segment blob")?;
         Segment::from_binary(payload)
     }
@@ -379,6 +386,19 @@ mod tests {
         }
         for cut in 0..blob.len() {
             assert!(Segment::from_blob(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+        // Legacy v1 blobs (compact binary + CRC-32 trailer) still decode
+        // through the magic dispatch, with the same corruption guarantees.
+        let mut v1 = seg.to_binary().unwrap();
+        pds_core::binio::append_crc32(&mut v1);
+        assert_eq!(Segment::from_blob(&v1).unwrap(), seg);
+        for pos in 0..v1.len() {
+            let mut bad = v1.clone();
+            bad[pos] ^= 0x10;
+            assert!(Segment::from_blob(&bad).is_err(), "v1 flip at byte {pos}");
+        }
+        for cut in 0..v1.len() {
+            assert!(Segment::from_blob(&v1[..cut]).is_err(), "v1 cut at {cut}");
         }
     }
 

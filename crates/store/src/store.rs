@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use pds_core::binio::{crc32, ByteReader, ByteWriter};
+use pds_core::binio::{ByteReader, ByteWriter};
 use pds_core::error::{PdsError, Result};
 use pds_core::metrics::ErrorMetric;
 use pds_core::model::ValuePdfModel;
@@ -43,6 +43,7 @@ use pds_histogram::Histogram;
 use pds_wavelet::build_sse_wavelet;
 use serde::{Deserialize, Serialize};
 
+use crate::blob::{self, BlobFooter, BlobMeta, FOOTER_LEN, HEADER_LEN};
 use crate::compaction::CompactionPolicy;
 use crate::crashpoint;
 use crate::manifest::{segment_blob_name, Manifest};
@@ -172,6 +173,27 @@ pub struct StoreConfig {
     /// `io_backoff_ms << k` milliseconds; `0` retries immediately.  A
     /// runtime knob: not persisted by [`SynopsisStore::to_binary`].
     pub io_backoff_ms: u64,
+    /// Segment pruning on the query path (default on): every sealed
+    /// segment carries an item-range *fence* (and, for sparse segments, a
+    /// presence filter) over its synopsis support, and range/point
+    /// estimates skip segments whose fence proves a zero contribution to
+    /// the query window.  Pruning is **bitwise invisible** — a skipped
+    /// segment would have contributed an exact `±0.0`, and the query
+    /// accumulators never hold `-0.0`, so the estimate is bit-identical
+    /// with the knob on or off (pinned by the `store_read_path` suite).
+    /// A runtime knob: not persisted by [`SynopsisStore::to_binary`].
+    pub prune: bool,
+    /// Lazy synopsis-block loading at [`SynopsisStore::open_with_wal`]
+    /// (default on): reopen maps only each blob's footer and meta block
+    /// (fence, filter, record count) and defers the synopsis block to the
+    /// first query that actually needs it — reopen time and resident
+    /// memory stop scaling with total synopsis bytes.  `false` restores
+    /// eager decoding of every blob at open.  Answers are bit-identical
+    /// either way; a block whose deferred read fails contributes zero and
+    /// flips the store into degraded read-only mode (see
+    /// [`SynopsisStore::degraded`]).  A runtime knob: not persisted by
+    /// [`SynopsisStore::to_binary`].
+    pub lazy_blocks: bool,
 }
 
 impl StoreConfig {
@@ -193,6 +215,8 @@ impl StoreConfig {
             telemetry: true,
             io_retries: 2,
             io_backoff_ms: 1,
+            prune: true,
+            lazy_blocks: true,
         }
     }
 }
@@ -266,15 +290,171 @@ impl StoreStats {
 }
 
 /// One sealed segment as held by its shard: the seal sequence, the shared
-/// segment handle (cheap to clone for compaction and queries) and, when
-/// known, the segment's cached `PDSG` encoding — computed once at install
-/// (or decode) so [`SynopsisStore::to_binary`] and the durable blob never
-/// re-serialise an installed segment.
+/// (possibly lazily-backed) segment handle and, when known, the segment's
+/// cached `PDSG` encoding — computed once at install (or decode) so
+/// [`SynopsisStore::to_binary`] never re-serialises an installed segment.
 #[derive(Debug, Clone)]
 struct SealedSegment {
     seq: u64,
-    segment: Arc<Segment>,
+    handle: Arc<SegmentHandle>,
     binary: Option<Arc<Vec<u8>>>,
+}
+
+/// A shared handle to one sealed segment's synopsis, decoded **at most
+/// once**: segments installed by a seal, a compaction or an eager open
+/// carry their [`Segment`] from construction; segments installed by a
+/// lazy [`SynopsisStore::open_with_wal`] carry only their decoded meta
+/// block (header fields + prune metadata) plus a [`BlobSource`], and the
+/// synopsis block is read and decoded on the first query that actually
+/// needs it.  The meta block alone answers `records()` and every pruning
+/// decision, so a fully pruned (or never-queried) segment never touches
+/// its blob again after reopen.
+///
+/// Handles are shared by `Arc` between shards, snapshot views and
+/// compaction tasks, so one load serves every reader.  Loading never runs
+/// under a shard lock — query paths clone the handle `Arc`s out of the
+/// guard window first.
+#[derive(Debug)]
+struct SegmentHandle {
+    meta: BlobMeta,
+    synopsis: OnceLock<Arc<Segment>>,
+    source: Option<BlobSource>,
+}
+
+impl SegmentHandle {
+    /// A handle around an already-decoded segment, computing its prune
+    /// metadata (a pure function of the synopsis — see
+    /// [`blob::PruneMeta::of`]).
+    fn eager(segment: Arc<Segment>) -> SegmentHandle {
+        Self::preloaded(BlobMeta::of(&segment), segment)
+    }
+
+    /// A handle around an already-decoded segment whose meta block is
+    /// also already known (the eager-open path decodes both).
+    fn preloaded(meta: BlobMeta, segment: Arc<Segment>) -> SegmentHandle {
+        let synopsis = OnceLock::new();
+        let _ = synopsis.set(segment);
+        SegmentHandle {
+            meta,
+            synopsis,
+            source: None,
+        }
+    }
+
+    /// A handle that defers its synopsis block to the first use.
+    fn lazy(meta: BlobMeta, source: BlobSource) -> SegmentHandle {
+        SegmentHandle {
+            meta,
+            synopsis: OnceLock::new(),
+            source: Some(source),
+        }
+    }
+
+    /// Records sealed into the segment — answered from the meta block,
+    /// never loading the synopsis.
+    fn records(&self) -> u64 {
+        self.meta.records
+    }
+
+    /// Whether the segment may contribute a nonzero amount to the clamped
+    /// global query window `[lo, hi]` — the prune gate, answered from the
+    /// meta block alone (`false` proves a bitwise-exact zero
+    /// contribution, see [`blob::PruneMeta::may_overlap`]).
+    fn may_overlap(&self, lo: usize, hi: usize) -> bool {
+        self.meta.prune.may_overlap(self.meta.start, lo, hi)
+    }
+
+    /// The decoded synopsis: the cached `Arc` when present, otherwise one
+    /// bounded-retry read + decode of the blob's synopsis block, cached on
+    /// success so every later call (from any sharer of the handle) is an
+    /// `Arc` clone.  Failures are **not** cached — a transient fault that
+    /// outlives the retry budget degrades the owning store, but a reopen
+    /// (or a later call under a healed disk) can still succeed.
+    fn load(&self) -> Result<Arc<Segment>> {
+        if let Some(segment) = self.synopsis.get() {
+            return Ok(Arc::clone(segment));
+        }
+        let Some(source) = &self.source else {
+            // Unreachable by construction — eager handles pre-set the
+            // cell — but the query path degrades rather than panics.
+            return Err(PdsError::InvalidParameter {
+                message: "store: segment handle has neither a synopsis nor a blob source".into(),
+            });
+        };
+        let segment = source.fetch(&self.meta)?;
+        Ok(Arc::clone(self.synopsis.get_or_init(|| Arc::new(segment))))
+    }
+
+    /// The segment's estimated mass over the inclusive global range
+    /// `[lo, hi]`.  A synopsis block that cannot be loaded contributes
+    /// `0.0` — the degraded latch (set by the failed load) records the
+    /// cause, and queries keep serving everything still readable.
+    fn range_sum(&self, lo: usize, hi: usize) -> f64 {
+        match self.load() {
+            Ok(segment) => segment.range_sum(lo, hi),
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// Where (and how) a lazy [`SegmentHandle`] finds its synopsis block: the
+/// blob path, the block's offset/length/CRC from the footer, and the I/O
+/// policy ingredients — shared telemetry plus the owning store's degraded
+/// latch, so a view or compaction task loading through the handle reports
+/// exactly like the store itself would.
+#[derive(Debug)]
+struct BlobSource {
+    path: PathBuf,
+    syn_off: u64,
+    syn_len: usize,
+    syn_crc: u32,
+    telemetry: Arc<StoreTelemetry>,
+    degraded: Arc<OnceLock<String>>,
+    io_retries: u32,
+    io_backoff_ms: u64,
+}
+
+impl BlobSource {
+    /// Reads and decodes the synopsis block (bounded retry at the
+    /// `block-read` fault site), verifying the block CRC and that the
+    /// decoded synopsis reproduces the meta block it was installed under.
+    fn fetch(&self, meta: &BlobMeta) -> Result<Segment> {
+        let policy = IoPolicy::new(
+            self.io_retries,
+            self.io_backoff_ms,
+            Some(Arc::clone(&self.telemetry)),
+        );
+        let bytes = policy
+            .run("block-read", || {
+                vfs::read_range("block-read", &self.path, self.syn_off, self.syn_len)
+            })
+            .map_err(|e| {
+                self.degrade(format!(
+                    "reading the synopsis block of {}: {e}",
+                    self.path.display()
+                ))
+            })?;
+        self.telemetry.record_block_load();
+        blob::decode_synopsis_block(&bytes, self.syn_crc, meta).map_err(|e| {
+            self.degrade(format!(
+                "decoding the synopsis block of {}: {e}",
+                self.path.display()
+            ))
+        })
+    }
+
+    /// Trips the owning store's sticky degraded latch (same contract as
+    /// `StoreInner::degrade`, reachable without the store — snapshot
+    /// views and compaction tasks load through shared handles).
+    fn degrade(&self, cause: String) -> PdsError {
+        let cause = format!("block-read: {cause}");
+        if self.degraded.set(cause.clone()).is_ok() {
+            self.telemetry.record_degraded("block-read");
+        }
+        PdsError::Degraded {
+            cause: self.degraded.get().cloned().unwrap_or(cause),
+        }
+    }
 }
 
 /// One partition's mutable state: the live memtable, the sealed segments
@@ -326,7 +506,36 @@ struct StoreInner {
     /// the first durable-path failure that survives the retry budget.
     /// Every mutating path checks it and returns [`PdsError::Degraded`];
     /// queries never look at it.  Only reopening the store clears it.
-    degraded: OnceLock<String>,
+    /// Shared (`Arc`) with every lazy [`BlobSource`], so a deferred
+    /// synopsis-block read that fails degrades the store exactly like an
+    /// install-time failure would.
+    degraded: Arc<OnceLock<String>>,
+    /// Counts **structural commits** — seal installs and compaction swaps,
+    /// bumped inside the owning shard's write lock.  Two uses: the
+    /// optimistic snapshot-view capture loop (equal loads before/after the
+    /// per-shard captures prove no structural commit interleaved, so the
+    /// cross-shard view is consistent) and the merged-synopsis cache key
+    /// (an entry stamped with an older version can never be served).
+    /// Record-level ingest does not bump it: live memtable contents are
+    /// outside both protocols (the merge covers sealed state only, and a
+    /// shard's memtable is captured atomically under its own lock).
+    version: AtomicU64,
+    /// The memoised [`SynopsisStore::merge_global`] result: one entry,
+    /// keyed on `(version, b)`.  Structural commits invalidate it purely
+    /// by bumping `version` — nothing is recomputed until the next merge
+    /// asks.  Stamped with the version read *before* the pieces were
+    /// extracted, so a commit racing the computation can only make the
+    /// stamp stale (a needless later recompute), never serve a wrong
+    /// histogram.
+    merge_cache: Mutex<Option<MergeCache>>,
+}
+
+/// One memoised global merge (see `StoreInner::merge_cache`).
+#[derive(Debug)]
+struct MergeCache {
+    version: u64,
+    b: usize,
+    histogram: Histogram,
 }
 
 impl StoreInner {
@@ -384,12 +593,13 @@ struct SealTask {
 
 /// A compaction round selected by the policy (or requested manually): the
 /// reserved output sequence and the cloned input segment handles, merged
-/// off-lock and swapped in under a short write lock.
+/// off-lock and swapped in under a short write lock.  Lazily-backed input
+/// handles load during the (already off-lock) merge.
 #[derive(Debug)]
 struct CompactTask {
     partition: usize,
     out_seq: u64,
-    inputs: Vec<(u64, Arc<Segment>)>,
+    inputs: Vec<(u64, Arc<SegmentHandle>)>,
 }
 
 /// Work items of the background workers.
@@ -474,7 +684,7 @@ pub struct SynopsisStore {
 impl Clone for SynopsisStore {
     fn clone(&self) -> Self {
         let mut folded_back = 0u64;
-        let shards: Vec<RwLock<Shard>> = self
+        let shards: Vec<Shard> = self
             .inner
             .shards
             .iter()
@@ -489,16 +699,29 @@ impl Clone for SynopsisStore {
                     memtable.absorb_front((**frozen).clone());
                     folded_back += 1;
                 }
-                RwLock::new(Shard {
+                Shard {
                     memtable,
                     frozen: Vec::new(),
                     segments: shard.segments.clone(),
                     next_seq: shard.next_seq,
                     compacting: false,
                     wal: None,
-                })
+                }
             })
             .collect();
+        // The clone shares the original's segment handles, and the
+        // original's compaction may delete a lazily-backed handle's blob
+        // file at any time — force every deferred synopsis into memory now
+        // (off the shard guards), where it is safe from file deletion.  A
+        // block that is already unreadable keeps answering 0.0 through the
+        // shared handle; the original store's degraded latch records the
+        // cause (a clone has no durable substrate of its own to degrade).
+        for shard in &shards {
+            for sealed in &shard.segments {
+                let _ = sealed.handle.load();
+            }
+        }
+        let shards: Vec<RwLock<Shard>> = shards.into_iter().map(RwLock::new).collect();
         // The folded-back freezes' records are live again in the clone, so
         // they are no longer seals *of the clone*: a seal is counted when a
         // memtable freezes, and these memtables just un-froze.  (The counter
@@ -523,7 +746,9 @@ impl Clone for SynopsisStore {
                 )),
                 // A clone has no durable substrate, so nothing can fail
                 // durably: it starts healthy even off a degraded original.
-                degraded: OnceLock::new(),
+                degraded: Arc::new(OnceLock::new()),
+                version: AtomicU64::new(0),
+                merge_cache: Mutex::new(None),
                 config: self.inner.config.clone(),
             }),
             sealer: None,
@@ -587,7 +812,9 @@ impl SynopsisStore {
                 seals: AtomicU64::new(0),
                 split_tuples: AtomicU64::new(0),
                 telemetry,
-                degraded: OnceLock::new(),
+                degraded: Arc::new(OnceLock::new()),
+                version: AtomicU64::new(0),
+                merge_cache: Mutex::new(None),
             }),
             sealer: None,
         })
@@ -661,33 +888,43 @@ impl SynopsisStore {
                 });
             }
             let path = dir.join(segment_blob_name(p, seq));
-            let mut bytes =
-                vfs::read("recovery-read", &path).map_err(|e| PdsError::InvalidParameter {
-                    message: format!("store: reading segment blob {}: {e}", path.display()),
-                })?;
-            let segment = Segment::from_blob(&bytes)?;
             let (start, width) = store.inner.config.partitions.range(p);
-            if segment.start() != start || segment.width() != width {
+            // Lazy open (the default) maps only the blob's footer and meta
+            // block; eager open — configured, or the v1 fallback when the
+            // blob has no footer — decodes the whole synopsis now.
+            let lazy = match store.inner.config.lazy_blocks {
+                true => Self::open_blob_lazy(&store, &path)?,
+                false => None,
+            };
+            let (handle, binary, records) = match lazy {
+                Some(handle) => {
+                    let records = handle.records();
+                    (handle, None, records)
+                }
+                None => {
+                    let (handle, binary) = Self::open_blob_eager(&path)?;
+                    let records = handle.records();
+                    (handle, Some(Arc::new(binary)), records)
+                }
+            };
+            if handle.meta.start != start || handle.meta.width != width {
                 return Err(PdsError::InvalidParameter {
                     message: format!(
                         "segment blob {} covers [{}, {}] but partition {p} is [{start}, {}]",
                         path.display(),
-                        segment.start(),
-                        segment.end(),
+                        handle.meta.start,
+                        handle.meta.start + handle.meta.width - 1,
                         start + width - 1
                     ),
                 });
             }
-            loaded_records += segment.records();
+            loaded_records += records;
             loaded_segments += 1;
-            // The blob minus its CRC trailer is exactly the PDSG bytes;
-            // truncate in place rather than copying (startup path).
-            bytes.truncate(bytes.len() - 4);
             let mut shard = store.write_shard(p);
             shard.segments.push(SealedSegment {
                 seq,
-                segment: Arc::new(segment),
-                binary: Some(Arc::new(bytes)),
+                handle: Arc::new(handle),
+                binary,
             });
             shard.next_seq = shard.next_seq.max(seq + 1);
         }
@@ -746,6 +983,102 @@ impl SynopsisStore {
             loaded_records + replayed_records,
         );
         Ok(store)
+    }
+
+    /// The lazy half of blob recovery: reads the fixed footer and the meta
+    /// block (three small `recovery-read` accesses), validates the blob's
+    /// geometry against the real file length, and returns a handle whose
+    /// synopsis block loads on first use.  Returns `Ok(None)` when the
+    /// file carries no valid v2 footer — a v1 blob (`PDSG` + CRC trailer)
+    /// from an older store, which the caller decodes eagerly instead.
+    fn open_blob_lazy(store: &SynopsisStore, path: &Path) -> Result<Option<SegmentHandle>> {
+        let blob_io = |e: std::io::Error| PdsError::InvalidParameter {
+            message: format!("store: reading segment blob {}: {e}", path.display()),
+        };
+        let file_len = vfs::path_len("recovery-read", path).map_err(blob_io)?;
+        if file_len < (HEADER_LEN + FOOTER_LEN) as u64 {
+            return Ok(None);
+        }
+        let tail = vfs::read_range(
+            "recovery-read",
+            path,
+            file_len - FOOTER_LEN as u64,
+            FOOTER_LEN,
+        )
+        .map_err(blob_io)?;
+        // No footer CRC+magic at the tail: not a v2 blob.  (A *corrupt* v2
+        // blob also lands here and falls back — the eager decode then
+        // reports the corruption precisely.)
+        let Ok(footer) = BlobFooter::decode(&tail) else {
+            return Ok(None);
+        };
+        // The footer is authentic (CRC over its fields), so from here on a
+        // mismatch is corruption, not version skew: fail loudly.
+        let body = (HEADER_LEN as u64)
+            .checked_add(u64::from(footer.meta_len))
+            .and_then(|v| v.checked_add(footer.syn_len))
+            .and_then(|v| v.checked_add(FOOTER_LEN as u64));
+        if body != Some(footer.total_len) || footer.total_len != file_len {
+            return Err(PdsError::InvalidParameter {
+                message: format!(
+                    "store: segment blob {} is {file_len} bytes but its footer describes \
+                     a {}-byte blob",
+                    path.display(),
+                    footer.total_len
+                ),
+            });
+        }
+        let prefix = vfs::read_range(
+            "recovery-read",
+            path,
+            0,
+            HEADER_LEN + footer.meta_len as usize,
+        )
+        .map_err(blob_io)?;
+        let meta = blob::decode_meta_block(&prefix, footer.meta_crc)?;
+        let inner = &store.inner;
+        Ok(Some(SegmentHandle::lazy(
+            meta,
+            BlobSource {
+                path: path.to_path_buf(),
+                syn_off: footer.synopsis_offset(),
+                syn_len: footer.syn_len as usize,
+                syn_crc: footer.syn_crc,
+                telemetry: Arc::clone(&inner.telemetry),
+                degraded: Arc::clone(&inner.degraded),
+                io_retries: inner.config.io_retries,
+                io_backoff_ms: inner.config.io_backoff_ms,
+            },
+        )))
+    }
+
+    /// The eager half of blob recovery: reads and fully decodes the blob
+    /// (v2 block-structured or the v1 `PDSG`+CRC layout) and returns the
+    /// pre-loaded handle plus the exact `PDSG` bytes to cache for
+    /// [`SynopsisStore::to_binary`].
+    fn open_blob_eager(path: &Path) -> Result<(SegmentHandle, Vec<u8>)> {
+        let mut bytes =
+            vfs::read("recovery-read", path).map_err(|e| PdsError::InvalidParameter {
+                message: format!("store: reading segment blob {}: {e}", path.display()),
+            })?;
+        if bytes.starts_with(&blob::BLOB_MAGIC) {
+            let (segment, meta) = blob::decode_blob(&bytes)?;
+            // decode_blob validated the footer geometry, so the synopsis
+            // block slice — exactly the PDSG bytes — is in bounds.
+            let footer = blob::decode_footer(&bytes)?;
+            let off = footer.synopsis_offset() as usize;
+            let pdsg = bytes
+                .get(off..off + footer.syn_len as usize)
+                .map(<[u8]>::to_vec)
+                .unwrap_or_default();
+            Ok((SegmentHandle::preloaded(meta, Arc::new(segment)), pdsg))
+        } else {
+            let segment = Segment::from_blob(&bytes)?;
+            // The v1 blob minus its CRC trailer is exactly the PDSG bytes;
+            // truncate in place rather than copying (startup path).
+            bytes.truncate(bytes.len().saturating_sub(4));
+            Ok((SegmentHandle::eager(Arc::new(segment)), bytes))
+        }
     }
 
     /// Validates (or, on first use, writes) the WAL directory's partition
@@ -964,18 +1297,27 @@ impl SynopsisStore {
     }
 
     /// A point-in-time copy of partition `p`'s sealed segments, oldest
-    /// (lowest seal sequence) first.
+    /// (lowest seal sequence) first.  Lazily-backed segments are decoded
+    /// on the way out (off the shard lock); a segment whose synopsis
+    /// block cannot be loaded is skipped — the failed load has already
+    /// tripped the degraded latch with the cause
+    /// ([`SynopsisStore::degraded`]).
     ///
     /// # Panics
     ///
     /// Panics when `p >= num_partitions()` (like slice indexing).
     pub fn segments(&self, p: usize) -> Vec<Segment> {
-        self.inner.shards[p]
+        let handles: Vec<Arc<SegmentHandle>> = self.inner.shards[p]
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .segments
             .iter()
-            .map(|s| (*s.segment).clone())
+            .map(|s| Arc::clone(&s.handle))
+            .collect();
+        handles
+            .iter()
+            .filter_map(|h| h.load().ok())
+            .map(|segment| (*segment).clone())
             .collect()
     }
 
@@ -1410,20 +1752,21 @@ impl SynopsisStore {
         Ok((segment, binary))
     }
 
-    /// Publishes a segment's durable blob — the `PDSG` bytes plus a CRC-32
-    /// trailer — as `seg-<p>-<seq>.bin` via an atomic tmp-rename.  Both
-    /// halves are idempotent (staging re-creates the tmp from scratch,
-    /// rename/dir-sync re-issue cleanly), so each gets the policy's bounded
-    /// retry.  On failure, the faulting site (`blob-write` or
-    /// `blob-publish`) is returned alongside the error so the caller can
-    /// degrade with an accurate label.
+    /// Publishes a segment's durable blob — the block-structured `PDSB`
+    /// encoding, self-framed by its footer and per-block CRCs — as
+    /// `seg-<p>-<seq>.bin` via an atomic tmp-rename.  Both halves are
+    /// idempotent (staging re-creates the tmp from scratch, rename/dir-sync
+    /// re-issue cleanly), so each gets the policy's bounded retry.  On
+    /// failure, the faulting site (`blob-write` or `blob-publish`) is
+    /// returned alongside the error so the caller can degrade with an
+    /// accurate label.
     fn write_segment_blob(
         durable: &Durable,
         policy: &IoPolicy,
         sync: WalSync,
         partition: usize,
         seq: u64,
-        binary: &[u8],
+        blob: &[u8],
     ) -> std::result::Result<(), (&'static str, PdsError)> {
         let blob_io = |context: &str, e: std::io::Error| PdsError::InvalidParameter {
             message: format!("store: {context}: {e}"),
@@ -1432,17 +1775,9 @@ impl SynopsisStore {
         let tmp = durable.dir.join(format!("{name}.tmp"));
         policy
             .run("blob-write", || {
-                // Two writes (payload, 4-byte CRC trailer) instead of
-                // copying the whole encoding just to append the trailer.
                 // `create` truncates, so a retry restages from byte zero.
                 let mut staged = vfs::create("blob-write", &tmp)?;
-                vfs::write_all("blob-write", &tmp, &mut staged, binary)?;
-                vfs::write_all(
-                    "blob-write",
-                    &tmp,
-                    &mut staged,
-                    &crc32(binary).to_le_bytes(),
-                )?;
+                vfs::write_all("blob-write", &tmp, &mut staged, blob)?;
                 if sync == WalSync::Fsync {
                     vfs::sync_data("blob-write", &tmp, &staged)?;
                 }
@@ -1494,6 +1829,10 @@ impl SynopsisStore {
                     Some(b) => b,
                     None => segment.to_binary()?,
                 };
+                // The disk blob is the block-structured v2 encoding; the
+                // in-memory cache stays the raw PDSG bytes (the store
+                // binary format embeds those directly).
+                let blob = segment.to_blob()?;
                 let sw = inner.telemetry.maybe_start();
                 let policy = inner.io_policy();
                 Self::write_segment_blob(
@@ -1502,7 +1841,7 @@ impl SynopsisStore {
                     inner.config.wal_sync,
                     partition,
                     seq,
-                    &binary,
+                    &blob,
                 )
                 .map_err(|(site, e)| inner.degrade(site, e))?;
                 durable
@@ -1511,7 +1850,7 @@ impl SynopsisStore {
                     .expect("manifest lock poisoned")
                     .install(partition, seq)
                     .map_err(|e| inner.degrade("manifest-install", e))?;
-                inner.telemetry.record_seal_commit(sw, binary.len() as u64);
+                inner.telemetry.record_seal_commit(sw, blob.len() as u64);
                 crashpoint::reached("installed-pre-wal-retire");
                 Ok(Some(Arc::new(binary)))
             }
@@ -1550,11 +1889,14 @@ impl SynopsisStore {
             pos,
             SealedSegment {
                 seq,
-                segment: Arc::new(segment),
+                handle: Arc::new(SegmentHandle::eager(Arc::new(segment))),
                 binary,
             },
         );
         shard.frozen.retain(|&(s, _)| s != seq);
+        // A structural commit, made visible under this shard's write lock:
+        // invalidates the merge cache and fences snapshot-view captures.
+        inner.version.fetch_add(1, Ordering::SeqCst);
         Self::maybe_compaction(inner, shard, partition)
     }
 
@@ -1592,14 +1934,14 @@ impl SynopsisStore {
         let sizes: Vec<(u64, u64)> = shard
             .segments
             .iter()
-            .map(|s| (s.seq, s.segment.records()))
+            .map(|s| (s.seq, s.handle.records()))
             .collect();
         let selected = policy.select(&sizes)?;
         let inputs = shard
             .segments
             .iter()
             .filter(|s| selected.contains(&s.seq))
-            .map(|s| (s.seq, Arc::clone(&s.segment)))
+            .map(|s| (s.seq, Arc::clone(&s.handle)))
             .collect();
         let out_seq = shard.next_seq;
         shard.next_seq += 1;
@@ -1761,19 +2103,29 @@ impl SynopsisStore {
 
     /// The summed piecewise-constant summary of partition `p`'s sealed
     /// segments (`None` when the partition has no segments or `p` is out of
-    /// range).  Poison-recovering (see `read_shard`).
+    /// range).  Poison-recovering (see `read_shard`).  Handles are cloned
+    /// out of the read guard first, so a lazily-backed segment's block
+    /// read never runs under a shard lock; an unreadable block fails the
+    /// merge (which must be complete or an error, never silently partial).
     fn partition_pieces(&self, p: usize) -> Result<Option<Vec<Piece>>> {
-        let Some(shard) = self.read_shard(p) else {
-            return Ok(None);
+        let handles: Vec<Arc<SegmentHandle>> = {
+            let Some(shard) = self.read_shard(p) else {
+                return Ok(None);
+            };
+            shard
+                .segments
+                .iter()
+                .map(|s| Arc::clone(&s.handle))
+                .collect()
         };
-        match shard.segments.len() {
+        let mut layers: Vec<Vec<Piece>> = Vec::with_capacity(handles.len());
+        for handle in &handles {
+            layers.push(handle.load()?.pieces());
+        }
+        match layers.len() {
             0 => Ok(None),
-            1 => Ok(Some(shard.segments[0].segment.pieces())),
-            _ => {
-                let layers: Vec<Vec<Piece>> =
-                    shard.segments.iter().map(|s| s.segment.pieces()).collect();
-                sum_pieces(&layers).map(Some)
-            }
+            1 => Ok(layers.pop()),
+            _ => sum_pieces(&layers).map(Some),
         }
     }
 
@@ -1784,7 +2136,13 @@ impl SynopsisStore {
         inner: &StoreInner,
         task: &CompactTask,
     ) -> Result<(Segment, Option<Vec<u8>>)> {
-        let layers: Vec<Vec<Piece>> = task.inputs.iter().map(|(_, s)| s.pieces()).collect();
+        // Lazily-backed inputs load here, with no lock held; a block that
+        // cannot be read fails the round (the inputs stay authoritative)
+        // rather than merging a silently incomplete set.
+        let mut layers: Vec<Vec<Piece>> = Vec::with_capacity(task.inputs.len());
+        for (_, handle) in &task.inputs {
+            layers.push(handle.load()?.pieces());
+        }
         let summed = sum_pieces(&layers)?;
         let (start, width) = inner.config.partitions.range(task.partition);
         let budget = inner.config.segment_budget.min(width);
@@ -1803,7 +2161,7 @@ impl SynopsisStore {
                 SegmentSynopsis::Wavelet(build_sse_wavelet(&relation, budget)?)
             }
         };
-        let records = task.inputs.iter().map(|(_, s)| s.records()).sum();
+        let records = task.inputs.iter().map(|(_, h)| h.records()).sum();
         let segment = Segment::new(start, records, synopsis)?;
         let binary = match inner.durable {
             Some(_) => Some(segment.to_binary()?),
@@ -1869,16 +2227,24 @@ impl SynopsisStore {
         // seal installs).  A crash before the publish leaves the inputs
         // authoritative and the output blob an orphan (swept at open); a
         // crash after it reopens compacted.
+        let mut blob_bytes = 0u64;
         if let Some(durable) = &inner.durable {
             let policy = inner.io_policy();
-            let bytes = binary.as_deref().expect("durable compaction encodes");
+            let blob = match merged.to_blob() {
+                Ok(blob) => blob,
+                Err(e) => {
+                    clear_flag();
+                    return Err(e);
+                }
+            };
+            blob_bytes = blob.len() as u64;
             if let Err((site, e)) = Self::write_segment_blob(
                 durable,
                 &policy,
                 inner.config.wal_sync,
                 task.partition,
                 task.out_seq,
-                bytes,
+                &blob,
             ) {
                 clear_flag();
                 return Err(inner.degrade(site, e));
@@ -1907,7 +2273,6 @@ impl SynopsisStore {
         }
         // Short write lock: swap the output in, release, then delete the
         // superseded blobs (the manifest no longer names them).
-        let blob_bytes = binary.as_ref().map_or(0, |b| b.len() as u64);
         let next = {
             let mut shard = inner.shards[task.partition]
                 .write()
@@ -1918,11 +2283,13 @@ impl SynopsisStore {
                 pos,
                 SealedSegment {
                     seq: task.out_seq,
-                    segment: Arc::new(merged),
+                    handle: Arc::new(SegmentHandle::eager(Arc::new(merged))),
                     binary: binary.map(Arc::new),
                 },
             );
             shard.compacting = false;
+            // The swap is a structural commit (see `StoreInner::version`).
+            inner.version.fetch_add(1, Ordering::SeqCst);
             Self::maybe_compaction(inner, &mut shard, task.partition)
         };
         inner.telemetry.record_compaction(
@@ -1970,7 +2337,7 @@ impl SynopsisStore {
             let inputs = shard
                 .segments
                 .iter()
-                .map(|s| (s.seq, Arc::clone(&s.segment)))
+                .map(|s| (s.seq, Arc::clone(&s.handle)))
                 .collect();
             let out_seq = shard.next_seq;
             shard.next_seq += 1;
@@ -2008,12 +2375,38 @@ impl SynopsisStore {
 
     /// The untimed body of [`SynopsisStore::merge_global`] (the public
     /// wrapper only adds the query-latency observation).
+    ///
+    /// Memoised: the result is cached keyed on `(version, b)` (see
+    /// `StoreInner::version`), so repeated merges over a quiet store are
+    /// one mutex lock and a histogram clone — `O(b)`, not a re-run of the
+    /// merge DP.  Any seal install or compaction swap bumps the version
+    /// and the next merge recomputes; the cached value is always exactly
+    /// what the recompute would produce (pinned by the
+    /// `store_read_path` suite).
     fn merge_global_core(&self, b: usize) -> Result<Histogram> {
         if b == 0 {
             return Err(PdsError::InvalidParameter {
                 message: "merge_global needs a bucket budget of at least 1".into(),
             });
         }
+        // Read the version BEFORE extracting pieces: a structural commit
+        // racing the computation can only make the stamp stale (a needless
+        // later recompute), never a wrong cache hit.
+        let v0 = self.inner.version.load(Ordering::SeqCst);
+        {
+            let cache = self
+                .inner
+                .merge_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = cache.as_ref() {
+                if entry.version == v0 && entry.b == b {
+                    self.inner.telemetry.record_merge_cache(true);
+                    return Ok(entry.histogram.clone());
+                }
+            }
+        }
+        self.inner.telemetry.record_merge_cache(false);
         let per_partition = pool::parallel_map((0..self.num_partitions()).collect(), |p| {
             self.partition_pieces(p)
         });
@@ -2039,7 +2432,17 @@ impl SynopsisStore {
                 ),
             });
         }
-        optimal_piecewise_histogram(&pieces, b)
+        let merged = optimal_piecewise_histogram(&pieces, b)?;
+        *self
+            .inner
+            .merge_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(MergeCache {
+            version: v0,
+            b,
+            histogram: merged.clone(),
+        });
+        Ok(merged)
     }
 
     /// Estimated expected total frequency over the **global** inclusive
@@ -2063,14 +2466,9 @@ impl SynopsisStore {
     /// `op="estimate"` sample, never an extra `op="range_estimate"` one.
     /// Same panic-free serving contract as the public wrapper.
     fn range_estimate_core(&self, lo: usize, hi: usize) -> f64 {
-        let n = self.n();
-        if n == 0 {
+        let Some((lo, hi)) = clamp_range(self.n(), lo, hi) else {
             return 0.0;
-        }
-        let hi = hi.min(n - 1);
-        if lo > hi {
-            return 0.0;
-        }
+        };
         // `lo <= hi < n`, so both lookups are in-domain; degrade to an
         // empty answer rather than panic if that invariant ever breaks.
         let (Ok(first), Ok(last)) = (
@@ -2079,21 +2477,51 @@ impl SynopsisStore {
         ) else {
             return 0.0;
         };
+        let prune = self.inner.config.prune;
+        let mut visited = 0u64;
+        let mut pruned = 0u64;
         let mut total = 0.0;
         for p in first..=last {
+            // Capture the shard's state under a brief read guard, then sum
+            // off-guard: a lazily-backed handle's first touch reads its
+            // synopsis block from disk, which must never run under a shard
+            // lock.  The summation order is load-bearing — segments in
+            // install order, then the live memtable, then each frozen
+            // memtable individually (f64 addition is order- and
+            // grouping-sensitive) — so the pruned, lazy and eager paths all
+            // answer bitwise the same value (see `StoreConfig::prune` for
+            // why skipping a fenced-out segment is exact).
             let Some(shard) = self.read_shard(p) else {
                 continue;
             };
-            for sealed in &shard.segments {
-                total += sealed.segment.range_sum(lo, hi);
-            }
-            total += shard.memtable.range_sum(lo, hi);
+            let handles: Vec<Arc<SegmentHandle>> = shard
+                .segments
+                .iter()
+                .map(|s| Arc::clone(&s.handle))
+                .collect();
+            let live = shard.memtable.range_sum(lo, hi);
             // A memtable frozen for an in-flight background seal still
             // carries its mass until the segment installs.
-            for (_, frozen) in &shard.frozen {
-                total += frozen.range_sum(lo, hi);
+            let frozen_sums: Vec<f64> = shard
+                .frozen
+                .iter()
+                .map(|(_, m)| m.range_sum(lo, hi))
+                .collect();
+            drop(shard);
+            for handle in &handles {
+                if prune && !handle.may_overlap(lo, hi) {
+                    pruned += 1;
+                    continue;
+                }
+                visited += 1;
+                total += handle.range_sum(lo, hi);
+            }
+            total += live;
+            for sum in frozen_sums {
+                total += sum;
             }
         }
+        self.inner.telemetry.record_scan(visited, pruned);
         total
     }
 
@@ -2122,26 +2550,78 @@ impl SynopsisStore {
     }
 
     /// The untimed body of [`SynopsisStore::snapshot_view`].
+    ///
+    /// Consistency: capturing shard by shard under per-shard read locks can
+    /// interleave with a concurrent structural commit and observe partition
+    /// `p` from *before* it and partition `q` from *after* it — a torn
+    /// view (historically possible; now excluded).  The capture runs an
+    /// optimistic loop against the store-wide structural version counter:
+    /// read `v0`, capture every shard, re-read `v1` — equal versions prove
+    /// no seal install or compaction swap landed inside the capture
+    /// window, so the captured parts form one consistent cut.  Under
+    /// sustained structural churn the loop falls back (after a bounded
+    /// number of retries) to holding **all** shard read locks at once,
+    /// acquired in ascending partition order: a capture that is consistent
+    /// by construction and merely delays concurrent installs briefly.
     fn snapshot_view_core(&self) -> SnapshotView {
-        let parts = self
+        const CAPTURE_RETRIES: usize = 8;
+        for _ in 0..CAPTURE_RETRIES {
+            let v0 = self.inner.version.load(Ordering::SeqCst);
+            let parts = self.capture_parts();
+            let v1 = self.inner.version.load(Ordering::SeqCst);
+            if v0 == v1 {
+                return self.view_from(parts);
+            }
+        }
+        // Fallback: with every shard read-locked for the whole capture no
+        // structural commit can interleave, so the cut is consistent.
+        let guards: Vec<_> = self
             .inner
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        let parts = guards.iter().map(|g| Self::capture_one(g)).collect();
+        drop(guards);
+        self.view_from(parts)
+    }
+
+    /// Captures one shard's contents as a [`ViewPartition`]: `Arc` clones
+    /// for the segment handles and frozen memtables, one live-memtable
+    /// copy.  No I/O, no allocation proportional to data volume.
+    fn capture_one(shard: &Shard) -> ViewPartition {
+        ViewPartition {
+            segments: shard
+                .segments
+                .iter()
+                .map(|s| Arc::clone(&s.handle))
+                .collect(),
+            memtable: shard.memtable.clone(),
+            frozen: shard.frozen.iter().map(|(_, m)| Arc::clone(m)).collect(),
+        }
+    }
+
+    /// Captures every shard one at a time under brief per-shard read
+    /// locks.  The caller must validate cross-shard consistency (see
+    /// `snapshot_view_core`) — a single pass on its own can tear.
+    fn capture_parts(&self) -> Vec<ViewPartition> {
+        self.inner
             .shards
             .iter()
             .map(|s| {
                 let shard = s.read().unwrap_or_else(|e| e.into_inner());
-                ViewPartition {
-                    segments: shard
-                        .segments
-                        .iter()
-                        .map(|sealed| Arc::clone(&sealed.segment))
-                        .collect(),
-                    memtable: shard.memtable.clone(),
-                    frozen: shard.frozen.iter().map(|(_, m)| Arc::clone(m)).collect(),
-                }
+                Self::capture_one(&shard)
             })
-            .collect();
+            .collect()
+    }
+
+    /// Wraps captured parts into a [`SnapshotView`], stamping the store's
+    /// partition spec and prune knob so the view answers queries exactly
+    /// as the store would have at capture time.
+    fn view_from(&self, parts: Vec<ViewPartition>) -> SnapshotView {
         SnapshotView {
             partitions: self.inner.config.partitions.clone(),
+            prune: self.inner.config.prune,
             parts,
         }
     }
@@ -2196,23 +2676,33 @@ impl SynopsisStore {
         w.put_varint(self.inner.seals.load(Ordering::Relaxed));
         w.put_varint(self.inner.split_tuples.load(Ordering::Relaxed));
         for shard in &self.inner.shards {
-            let shard = shard.read().unwrap_or_else(|e| e.into_inner());
-            w.put_varint(shard.segments.len() as u64);
-            for sealed in &shard.segments {
-                // Installed segments carry their encoding from install (or
-                // decode) time: the incremental-snapshot path — nothing
-                // already serialised is serialised again.
-                let encoded;
-                let blob: &[u8] = match &sealed.binary {
+            // Capture the handles under a brief read guard, then encode
+            // off-guard: the cold fallback below may lazily load a
+            // synopsis block from disk, which must never run under a
+            // shard lock.
+            // A segment's handle plus its cached install-time blob bytes.
+            type CapturedBlob = (Arc<SegmentHandle>, Option<Arc<Vec<u8>>>);
+            let sealed: Vec<CapturedBlob> = {
+                let shard = shard.read().unwrap_or_else(|e| e.into_inner());
+                shard
+                    .segments
+                    .iter()
+                    .map(|s| (Arc::clone(&s.handle), s.binary.clone()))
+                    .collect()
+            };
+            w.put_varint(sealed.len() as u64);
+            for (handle, binary) in sealed {
+                // Installed segments carry their PDSG encoding from install
+                // (or decode) time: the incremental-snapshot path — nothing
+                // already serialised is serialised again.  The cold
+                // fallback covers lazily reopened stores whose synopsis
+                // block was never cached alongside the handle.
+                let blob: Arc<Vec<u8>> = match binary {
                     Some(cached) => cached,
-                    None => {
-                        // analyze:allow(lock-discipline) cold fallback for segments installed before blob caching: an in-memory encode under a read guard, no file I/O
-                        encoded = sealed.segment.to_binary()?;
-                        &encoded
-                    }
+                    None => Arc::new(handle.load()?.to_binary()?),
                 };
                 w.put_varint(blob.len() as u64);
-                w.put_bytes(blob);
+                w.put_bytes(&blob);
             }
         }
         Ok(w.into_bytes())
@@ -2293,7 +2783,7 @@ impl SynopsisStore {
                 }
                 shard.segments.push(SealedSegment {
                     seq: seq as u64,
-                    segment: Arc::new(segment),
+                    handle: Arc::new(SegmentHandle::eager(Arc::new(segment))),
                     binary: Some(Arc::new(blob.to_vec())),
                 });
             }
@@ -2361,12 +2851,29 @@ fn decode_synopsis_kind(r: &mut ByteReader<'_>) -> Result<SynopsisKind> {
     }
 }
 
-/// One partition of a [`SnapshotView`]: the `Arc`-shared sealed segments,
-/// the `Arc`-shared frozen memtables and a copy of the live memtable at
-/// capture time.
+/// The one bound-handling contract shared by every read path: clamps the
+/// inclusive query range `[lo, hi]` to the store domain `[0, n)`.
+/// Returns `None` — the caller answers `0.0` — when the domain is empty,
+/// `lo` lies at or past the domain end, or the range is inverted
+/// (`hi < lo`); otherwise `Some((lo, min(hi, n - 1)))`.  Factoring this
+/// into one helper keeps [`SynopsisStore::range_estimate`],
+/// [`SynopsisStore::estimate`] and [`SnapshotView::range_estimate`] from
+/// drifting apart on edge cases — historically each open-coded its own
+/// clamp — and the server pins the resulting wire behaviour: an
+/// out-of-domain `RANGE`/`EST` answers `OK 0`, never an error.
+fn clamp_range(n: usize, lo: usize, hi: usize) -> Option<(usize, usize)> {
+    if n == 0 || lo >= n || hi < lo {
+        return None;
+    }
+    Some((lo, hi.min(n - 1)))
+}
+
+/// One partition of a [`SnapshotView`]: the `Arc`-shared sealed-segment
+/// handles, the `Arc`-shared frozen memtables and a copy of the live
+/// memtable at capture time.
 #[derive(Debug, Clone)]
 struct ViewPartition {
-    segments: Vec<Arc<Segment>>,
+    segments: Vec<Arc<SegmentHandle>>,
     memtable: Memtable,
     frozen: Vec<Arc<Memtable>>,
 }
@@ -2381,6 +2888,9 @@ struct ViewPartition {
 #[derive(Debug, Clone)]
 pub struct SnapshotView {
     partitions: PartitionSpec,
+    /// The store's [`StoreConfig::prune`] knob at capture time, so the
+    /// view prunes (or not) exactly as its store would have.
+    prune: bool,
     parts: Vec<ViewPartition>,
 }
 
@@ -2414,27 +2924,30 @@ impl SnapshotView {
     /// [`SynopsisStore::range_estimate`] on the store the view was taken
     /// from.  Panic-free on any input.
     pub fn range_estimate(&self, lo: usize, hi: usize) -> f64 {
-        let n = self.n();
-        if n == 0 {
+        let Some((lo, hi)) = clamp_range(self.n(), lo, hi) else {
             return 0.0;
-        }
-        let hi = hi.min(n - 1);
-        if lo > hi {
-            return 0.0;
-        }
+        };
         let (Ok(first), Ok(last)) = (
             self.partitions.partition_of(lo),
             self.partitions.partition_of(hi),
         ) else {
             return 0.0;
         };
+        // Same clamp, same prune gate, same summation order as
+        // `range_estimate_core`, so the view's answer is bitwise the
+        // store's answer at capture time.  Views intentionally do not
+        // record scan telemetry: they are detached from the store and may
+        // outlive it.
         let mut total = 0.0;
         for p in first..=last {
             let Some(part) = self.parts.get(p) else {
                 continue;
             };
-            for segment in &part.segments {
-                total += segment.range_sum(lo, hi);
+            for handle in &part.segments {
+                if self.prune && !handle.may_overlap(lo, hi) {
+                    continue;
+                }
+                total += handle.range_sum(lo, hi);
             }
             total += part.memtable.range_sum(lo, hi);
             for frozen in &part.frozen {

@@ -53,7 +53,7 @@ pub(crate) mod event {
 /// One label per distinct durable operation the store performs; the
 /// `cleanup` label covers every best-effort removal (stale recovery
 /// tmps, absorbed frozen logs, orphan/superseded blobs).
-pub const FAULT_SITES: [&str; 11] = [
+pub const FAULT_SITES: [&str; 12] = [
     "wal-append",
     "wal-commit",
     "wal-rotate",
@@ -64,6 +64,7 @@ pub const FAULT_SITES: [&str; 11] = [
     "manifest-replace",
     "blob-write",
     "blob-publish",
+    "block-read",
     "cleanup",
 ];
 
@@ -133,6 +134,11 @@ pub(crate) struct StoreTelemetry {
     recovery_seconds: Arc<Gauge>,
     recovered_records: Arc<Counter>,
     query_seconds: Vec<Arc<LatencyHistogram>>,
+    segments_visited: Arc<Counter>,
+    segments_pruned: Arc<Counter>,
+    block_loads: Arc<Counter>,
+    merge_cache_hits: Arc<Counter>,
+    merge_cache_misses: Arc<Counter>,
     io_retries: Arc<Counter>,
     io_errors_injected: Arc<Counter>,
     io_errors_real: Arc<Counter>,
@@ -180,6 +186,11 @@ impl StoreTelemetry {
                 .iter()
                 .map(|(_, labels)| registry.histogram("pds_store_query_seconds", labels))
                 .collect(),
+            segments_visited: registry.counter("pds_store_segments_visited_total", ""),
+            segments_pruned: registry.counter("pds_store_segments_pruned_total", ""),
+            block_loads: registry.counter("pds_store_block_loads_total", ""),
+            merge_cache_hits: registry.counter("pds_store_merge_cache_hits_total", ""),
+            merge_cache_misses: registry.counter("pds_store_merge_cache_misses_total", ""),
             io_retries: registry.counter("pds_store_io_retries_total", ""),
             io_errors_injected: registry.counter("pds_store_io_errors_total", "kind=\"injected\""),
             io_errors_real: registry.counter("pds_store_io_errors_total", "kind=\"real\""),
@@ -347,6 +358,42 @@ impl StoreTelemetry {
         self.degraded.set(1.0);
         if self.enabled {
             self.events.push(event::DEGRADED, site_index(site), 0, 0);
+        }
+    }
+
+    /// One sealed-segment scan decision on the live query path:
+    /// `visited` segments had their synopsis consulted, `pruned` were
+    /// skipped by fence/filter metadata.  Detached [`SnapshotView`]
+    /// queries do not report here — the counters describe live store
+    /// traffic (and the `--read-gate` prune ratio is measured on them).
+    ///
+    /// [`SnapshotView`]: crate::SnapshotView
+    pub(crate) fn record_scan(&self, visited: u64, pruned: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.segments_visited.add(visited);
+        self.segments_pruned.add(pruned);
+    }
+
+    /// One lazy synopsis block loaded from a blob on first touch.
+    pub(crate) fn record_block_load(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.block_loads.inc();
+    }
+
+    /// One `merge_global` call served from (or missing) the
+    /// version-stamped merged-synopsis cache.
+    pub(crate) fn record_merge_cache(&self, hit: bool) {
+        if !self.enabled {
+            return;
+        }
+        if hit {
+            self.merge_cache_hits.inc();
+        } else {
+            self.merge_cache_misses.inc();
         }
     }
 
@@ -527,6 +574,10 @@ mod tests {
         tel.record_frozen(0, 0, true);
         tel.record_recovery(1.0, 1, 2);
         tel.record_batch(None);
+        tel.record_scan(5, 3);
+        tel.record_block_load();
+        tel.record_merge_cache(true);
+        tel.record_merge_cache(false);
         let stats = StoreStats {
             ingested_records: 0,
             live_records: 0,
@@ -538,6 +589,11 @@ mod tests {
         assert!(text.contains("pds_store_telemetry_enabled 0"));
         assert!(text.contains("pds_store_ingest_records_total{partition=\"0\"} 0"));
         assert!(text.contains("pds_store_freezes_total 0"));
+        assert!(text.contains("pds_store_segments_visited_total 0"));
+        assert!(text.contains("pds_store_segments_pruned_total 0"));
+        assert!(text.contains("pds_store_block_loads_total 0"));
+        assert!(text.contains("pds_store_merge_cache_hits_total 0"));
+        assert!(text.contains("pds_store_merge_cache_misses_total 0"));
         assert!(tel.render_events().is_empty());
     }
 
@@ -555,6 +611,11 @@ mod tests {
         let sw = tel.maybe_start();
         tel.record_compaction(sw, 1, 9, 3, 77);
         tel.record_recovery(0.25, 2, 500);
+        tel.record_scan(10, 7);
+        tel.record_block_load();
+        tel.record_merge_cache(true);
+        tel.record_merge_cache(true);
+        tel.record_merge_cache(false);
         let stats = StoreStats {
             ingested_records: 3,
             live_records: 1,
@@ -573,6 +634,11 @@ mod tests {
         assert!(text.contains("pds_store_compaction_rounds_total 1"));
         assert!(text.contains("pds_store_compaction_input_segments_total 3"));
         assert!(text.contains("pds_store_recovery_seconds 0.25"));
+        assert!(text.contains("pds_store_segments_visited_total 10"));
+        assert!(text.contains("pds_store_segments_pruned_total 7"));
+        assert!(text.contains("pds_store_block_loads_total 1"));
+        assert!(text.contains("pds_store_merge_cache_hits_total 2"));
+        assert!(text.contains("pds_store_merge_cache_misses_total 1"));
         assert!(text.contains("pds_store_ingested_records_total 3"));
         assert!(text.contains("pds_store_segments 2"));
         let events = tel.render_events();

@@ -1,5 +1,6 @@
 //! Byte-pinned golden fixtures for the on-disk formats: `PDSG` (segment),
-//! `PDST` (whole store), the CRC-trailed segment blob and the `MANIFEST`.
+//! `PDST` (whole store), the block-structured `PDSB` segment blob (and its
+//! v1 CRC-trailed predecessor) and the `MANIFEST`.
 //!
 //! The fixtures in `tests/golden/` are checked into the repository.  Every
 //! test here (a) re-encodes a deterministic artefact and asserts the bytes
@@ -16,6 +17,7 @@ use std::path::PathBuf;
 
 use pds_core::metrics::ErrorMetric;
 use pds_core::stream::StreamRecord;
+use pds_store::blob;
 use pds_store::manifest::Manifest;
 use pds_store::{PartitionSpec, Segment, StoreConfig, SynopsisKind, SynopsisStore, WalSync};
 
@@ -92,11 +94,42 @@ fn segment_pdsg_format_is_pinned() {
 fn segment_blob_format_is_pinned() {
     let store = fixture_store();
     let segment = &store.segments(1)[0];
-    let blob = segment.to_blob().unwrap();
-    check_golden("segment.blob", &blob);
-    let decoded =
-        Segment::from_blob(&std::fs::read(golden_dir().join("segment.blob")).unwrap()).unwrap();
+    let encoded = segment.to_blob().unwrap();
+    check_golden("segment.blob", &encoded);
+    let fixture = std::fs::read(golden_dir().join("segment.blob")).unwrap();
+    let decoded = Segment::from_blob(&fixture).unwrap();
     assert_eq!(&decoded, segment);
+    // The v2 block structure itself is pinned, not just the whole-blob
+    // round trip: the footer describes the fixture's exact geometry, the
+    // meta block decodes on its own (the lazy-open path reads nothing
+    // else), and the synopsis block is byte-for-byte the segment's PDSG
+    // encoding (the lazy-load path decodes it in isolation).
+    let footer = blob::decode_footer(&fixture).unwrap();
+    assert_eq!(footer.total_len, fixture.len() as u64);
+    let meta = blob::decode_blob_meta(&fixture).unwrap();
+    assert_eq!(meta.start, segment.start());
+    assert_eq!(meta.width, segment.width());
+    assert_eq!(meta.records, segment.records());
+    let syn_off = footer.synopsis_offset() as usize;
+    let syn = &fixture[syn_off..syn_off + footer.syn_len as usize];
+    assert_eq!(syn, segment.to_binary().unwrap().as_slice());
+    let block = blob::decode_synopsis_block(syn, footer.syn_crc, &meta).unwrap();
+    assert_eq!(&block, segment);
+}
+
+#[test]
+fn segment_blob_v1_format_still_decodes() {
+    // v1 blobs (raw PDSG bytes + CRC-32 trailer) predate the
+    // block-structured PDSB container; directories written by older builds
+    // must keep opening, so the v1 fixture is pinned decode-only.
+    let store = fixture_store();
+    let segment = &store.segments(1)[0];
+    let fixture = std::fs::read(golden_dir().join("segment-v1.blob")).unwrap();
+    let decoded = Segment::from_blob(&fixture).unwrap();
+    assert_eq!(&decoded, segment);
+    // And a v1 blob is recognisably *not* a v2 container: the lazy opener
+    // relies on the footer probe failing cleanly to fall back to eager.
+    assert!(blob::decode_footer(&fixture).is_err());
 }
 
 #[test]

@@ -331,38 +331,49 @@ fn wal_covers_concurrent_batch_ingest() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Answers within float-reassociation noise of a helper, flagging the
-/// per-point relative error.
-fn assert_estimates_close(got: &[f64], reference: &[f64], ctx: &str) {
-    assert_eq!(got.len(), reference.len());
-    for (i, (g, r)) in got.iter().zip(reference).enumerate() {
-        let tol = 1e-9 * r.abs().max(1.0);
-        assert!(
-            (g - r).abs() <= tol,
-            "{ctx}: point {i} diverged beyond reassociation noise: {g} vs {r}"
-        );
-    }
+/// The bitwise fingerprint of one partition as a snapshot view answers it:
+/// every point estimate in the partition's item range plus the
+/// whole-partition range sum.  Two states of the same partition that differ
+/// at all differ in this vector, and bit-equality here means the view
+/// observed exactly one committed state of the partition.
+fn partition_fingerprint(
+    view: &pds_store::SnapshotView,
+    spec: &PartitionSpec,
+    p: usize,
+) -> Vec<u64> {
+    let (start, width) = spec.range(p);
+    let mut out: Vec<u64> = (start..start + width)
+        .map(|i| view.estimate(i).to_bits())
+        .collect();
+    out.push(view.range_estimate(start, start + width - 1).to_bits());
+    out
 }
 
-/// Snapshot views captured while another thread commits compaction rounds
-/// always answer like the quiesced store.  The segment budget here equals
-/// the domain size, so seal and compaction are lossless: the only change a
-/// merge may introduce is floating-point *reassociation* of the bucket
-/// sums (last-ULP noise).  Every view must therefore match the quiesced
-/// reference to within 1e-9 relative — a torn view (one shard pre-swap,
-/// another post-swap of different record mass) or a half-installed merge
-/// would diverge by whole record weights.  Runs at a 4-wide pool (the
+/// Snapshot views captured while another thread commits one compaction per
+/// partition (in partition order) are always **bitwise** consistent cuts of
+/// the commit chain.  Per partition, exactly two states ever exist: the
+/// sealed pre-compaction segments and the single merged post-compaction
+/// segment, so every view's per-partition fingerprint must bit-equal one of
+/// the two quiesced references — a torn capture (half a swap, or mixed
+/// record mass) would produce a third value.  Because the compactor commits
+/// partitions in ascending order, the set of post-compaction partitions any
+/// single consistent cut can observe is a *prefix*: seeing partition `j`
+/// compacted while some `i < j` is still uncompacted means the view mixed
+/// two points in time.  Across successive views the observation is also
+/// monotone — commits never revert.  Runs at a 4-wide pool (the
 /// `PDS_THREADS=4` shape of the rest of this suite).
 #[test]
 fn snapshot_views_race_compaction_commits_consistently() {
     pool::set_num_threads(Some(4));
+    const PARTS: usize = 4;
+    let spec = PartitionSpec::uniform(N, PARTS).unwrap();
     let cfg = StoreConfig::new(
-        PartitionSpec::uniform(N, 4).unwrap(),
+        spec.clone(),
         50,
         N, // lossless: N buckets represent the N-item domain exactly
         SynopsisKind::Histogram(ErrorMetric::Sse),
     );
-    let store = SynopsisStore::new(cfg).unwrap();
+    let store = SynopsisStore::new(cfg.clone()).unwrap();
     let records: Vec<StreamRecord> = basic_stream(BasicStreamConfig {
         n: N,
         skew: 0.6,
@@ -377,45 +388,97 @@ fn snapshot_views_race_compaction_commits_consistently() {
         "need several segments per partition for compaction to race against"
     );
 
-    // Quiesced reference, captured through the same snapshot-view path.
+    // Quiesced pre-compaction reference, per partition, captured through
+    // the same snapshot-view path the racing reads use.
     let quiesced = store.snapshot_view();
-    let reference: Vec<f64> = (0..N)
-        .flat_map(|lo| [quiesced.estimate(lo), quiesced.range_estimate(lo, N - 1)])
+    let pre: Vec<Vec<u64>> = (0..PARTS)
+        .map(|p| partition_fingerprint(&quiesced, &spec, p))
         .collect();
+    drop(quiesced);
 
-    std::thread::scope(|scope| {
+    // Race: the compactor commits partition 0, then 1, 2, 3 (one merge
+    // each — `compact_partition` folds every sealed segment into one, so
+    // the per-partition chain has exactly two states).  The main thread
+    // records what each racing view saw; verdicts are checked once the
+    // post-compaction references exist.
+    let observed: Vec<Vec<Vec<u64>>> = std::thread::scope(|scope| {
         let compactor = scope.spawn(|| {
-            for _ in 0..25 {
-                store.compact_all().unwrap();
+            for p in 0..PARTS {
+                store.compact_partition(p).unwrap();
             }
         });
-        let mut views = 0usize;
-        while !compactor.is_finished() || views == 0 {
+        let mut seen = Vec::new();
+        while !compactor.is_finished() || seen.is_empty() {
             let view = store.snapshot_view();
-            let got: Vec<f64> = (0..N)
-                .flat_map(|lo| [view.estimate(lo), view.range_estimate(lo, N - 1)])
-                .collect();
-            assert_estimates_close(&got, &reference, &format!("racing view {views}"));
-            views += 1;
+            seen.push(
+                (0..PARTS)
+                    .map(|p| partition_fingerprint(&view, &spec, p))
+                    .collect::<Vec<_>>(),
+            );
         }
         compactor.join().unwrap();
+        seen
     });
 
+    // Quiesced post-compaction reference (the store is now fully merged).
+    let quiesced = store.snapshot_view();
+    let post: Vec<Vec<u64>> = (0..PARTS)
+        .map(|p| partition_fingerprint(&quiesced, &spec, p))
+        .collect();
+
+    // Every racing view: each partition bit-equals exactly pre or post,
+    // the post-compaction partitions form a prefix within a view, and the
+    // observation never regresses across successive views.
+    let mut frontier = [false; PARTS]; // partitions already seen post
+    for (v, fingerprints) in observed.iter().enumerate() {
+        let mut saw_pre = false;
+        for (p, got) in fingerprints.iter().enumerate() {
+            let is_pre = *got == pre[p];
+            let is_post = *got == post[p];
+            assert!(
+                is_pre || is_post,
+                "racing view {v}, partition {p}: fingerprint matches neither \
+                 the pre- nor the post-compaction state bitwise — torn view"
+            );
+            // `is_pre && is_post` (compaction changed nothing bitwise) is
+            // compatible with both sides of the chain; skip it.
+            if is_pre && is_post {
+                continue;
+            }
+            if is_post {
+                assert!(
+                    !saw_pre,
+                    "racing view {v}: partition {p} observed post-compaction \
+                     after an earlier partition was still pre-compaction — \
+                     commits land in partition order, so this cut never existed"
+                );
+                frontier[p] = true;
+            } else {
+                saw_pre = true;
+                assert!(
+                    !frontier[p],
+                    "racing view {v}: partition {p} regressed to its \
+                     pre-compaction state after a prior view saw it compacted"
+                );
+            }
+        }
+    }
+
     // Fully quiesced rebuild: a fresh store over the same stream, sealed
-    // and compacted, answers identically to every racing view.
-    let rebuilt = SynopsisStore::new(StoreConfig::new(
-        PartitionSpec::uniform(N, 4).unwrap(),
-        50,
-        N,
-        SynopsisKind::Histogram(ErrorMetric::Sse),
-    ))
-    .unwrap();
+    // and compacted the same way, bit-equals the raced store partition by
+    // partition (seal and merge are deterministic at every pool width).
+    let rebuilt = SynopsisStore::new(cfg).unwrap();
     rebuilt.ingest_batch(records).unwrap();
     rebuilt.seal_all().unwrap();
     rebuilt.compact_all().unwrap();
-    let rebuilt_estimates: Vec<f64> = (0..N)
-        .flat_map(|lo| [rebuilt.estimate(lo), rebuilt.range_estimate(lo, N - 1)])
-        .collect();
-    assert_estimates_close(&rebuilt_estimates, &reference, "quiesced rebuild");
+    let rebuilt_view = rebuilt.snapshot_view();
+    for (p, expected) in post.iter().enumerate() {
+        assert_eq!(
+            &partition_fingerprint(&rebuilt_view, &spec, p),
+            expected,
+            "quiesced rebuild, partition {p}: compacted fingerprint drifted \
+             from the raced store"
+        );
+    }
     pool::set_num_threads(None);
 }

@@ -164,9 +164,13 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    /// Bit-flipping or truncating a segment blob is detected by its CRC-32
-    /// trailer at reopen: an error naming the blob, never a panic, never a
-    /// store that silently answers from corrupt bytes.
+    /// Bit-flipping or truncating a segment blob is detected by the blob
+    /// CRCs at **eager** reopen: an error naming the blob, never a panic,
+    /// never a store that silently answers from corrupt bytes.  (Under the
+    /// default lazy opening only the footer and meta block are verified at
+    /// open; a corrupt *synopsis block* is caught at first touch and
+    /// degrades instead — pinned by
+    /// `lazy_reopen_defers_synopsis_corruption_to_first_touch` below.)
     #[test]
     fn corrupted_segment_blobs_fail_reopen_cleanly(
         records in prop::collection::vec((0..N, 0.01f64..0.9), 12..40),
@@ -175,6 +179,11 @@ proptest! {
         truncate_frac in 0.0f64..1.0,
         case in 0u64..u64::MAX,
     ) {
+        let config = || {
+            let mut cfg = config();
+            cfg.lazy_blocks = false;
+            cfg
+        };
         let dir = unique_dir("blob-corrupt", case);
         let _ = std::fs::remove_dir_all(&dir);
         {
@@ -485,4 +494,61 @@ proptest! {
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// Under the default lazy opening, a corrupt **synopsis block** is not
+/// verified at reopen — only the footer and meta block are — so the open
+/// succeeds and the corruption surfaces at the first query touching the
+/// segment: the store degrades (sticky, cause-recorded, naming the
+/// `block-read` site) and the unreadable segment stops contributing to
+/// answers, rather than panicking or serving corrupt bytes.  Restoring
+/// the original bytes and reopening recovers a healthy store.  The
+/// eager-mode companion contract (corruption anywhere fails the open) is
+/// `corrupted_segment_blobs_fail_reopen_cleanly` above.
+#[test]
+fn lazy_reopen_defers_synopsis_corruption_to_first_touch() {
+    let dir = unique_dir("blob-lazy-corrupt", 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = SynopsisStore::open_with_wal(config(), &dir).unwrap();
+        for i in 0..N {
+            store
+                .ingest(StreamRecord::Basic { item: i, prob: 0.5 })
+                .unwrap();
+        }
+        store.seal_all().unwrap();
+    }
+    let blob_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".bin"))
+        })
+        .expect("a sealed store leaves at least one blob");
+    let blob = std::fs::read(&blob_path).unwrap();
+    let footer = pds_store::blob::decode_footer(&blob).unwrap();
+    let mut corrupt = blob.clone();
+    let pos = footer.synopsis_offset() as usize + footer.syn_len as usize / 2;
+    corrupt[pos] ^= 0x01;
+    std::fs::write(&blob_path, &corrupt).unwrap();
+
+    // The footer and meta block still verify, so the lazy open succeeds…
+    let store = SynopsisStore::open_with_wal(config(), &dir).unwrap();
+    assert!(store.degraded().is_none());
+    // …and the corruption surfaces at the first touch as a degrade, with
+    // the rest of the store still serving.
+    let _ = store.range_estimate(0, N - 1);
+    let cause = store.degraded().expect("first touch must degrade");
+    assert!(cause.contains("block-read"), "unexpected cause: {cause}");
+    drop(store);
+
+    // Restoring the bytes restores a healthy store.
+    std::fs::write(&blob_path, &blob).unwrap();
+    let healthy = SynopsisStore::open_with_wal(config(), &dir).unwrap();
+    let _ = healthy.range_estimate(0, N - 1);
+    assert!(healthy.degraded().is_none());
+    let _ = std::fs::remove_dir_all(&dir);
 }

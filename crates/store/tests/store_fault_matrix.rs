@@ -1,6 +1,6 @@
 //! The deterministic I/O fault matrix: every labelled fault site
 //! ([`pds_store::FAULT_SITES`]) crossed with every injectable error class
-//! ([`ErrorClass::ALL`]) — 55 rows.  Each row arms the vfs fault injector
+//! ([`ErrorClass::ALL`]) — 60 rows.  Each row arms the vfs fault injector
 //! at one site, drives the store operation that crosses it, and asserts
 //! the robustness contract:
 //!
@@ -649,4 +649,113 @@ fn degraded_store_serves_full_query_surface() {
         "the degraded gauge must be set:\n{metrics}"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `block-read` × every class: the lazily deferred synopsis-block load is
+/// the one fault site that fires *inside a query* rather than inside a
+/// write or an open.  A persistent failure degrades the store at first
+/// touch — sticky, write-refusing, with a cause naming the site — while
+/// the rest of the query surface keeps serving (the unreadable segment
+/// simply stops contributing), and a reopen after the fault clears
+/// restores bitwise-correct answers.
+#[test]
+fn block_read_faults_degrade_at_first_touch_and_keep_serving() {
+    for class in ErrorClass::ALL {
+        let ctx = format!("block-read/{}", class.name());
+        let dir = unique_dir("block-read", class);
+        let mirror = SynopsisStore::new(config()).unwrap();
+        {
+            let store = SynopsisStore::open_with_wal(config(), &dir).unwrap();
+            for record in acked_records(6) {
+                mirror.ingest(record.clone()).unwrap();
+                store.ingest(record).unwrap();
+            }
+            store.seal_partition(0).unwrap();
+        }
+        mirror.seal_partition(0).unwrap();
+
+        // The (default) lazy reopen never crosses the block-read site…
+        let guard = fault::arm(FaultSpec::persistent("block-read", class).scoped(&dir));
+        let store = SynopsisStore::open_with_wal(config(), &dir).unwrap();
+        assert!(
+            store.degraded().is_none(),
+            "the open must not touch synopsis blocks ({ctx})"
+        );
+
+        // …the first query touching the segment does.
+        let before = fault::injected_total();
+        let _ = store.range_estimate(0, N - 1);
+        assert!(fault::injected_total() > before, "no injection ({ctx})");
+        let cause = store
+            .degraded()
+            .unwrap_or_else(|| panic!("the first touch must degrade ({ctx})"));
+        assert!(
+            cause.starts_with("block-read"),
+            "the cause must name the site ({ctx}): {cause}"
+        );
+
+        // Degradation gates writes…
+        assert_degraded(store.ingest(failing_record()), &ctx);
+        // …but the query surface keeps serving: every acknowledged record
+        // was sealed into the now-unreadable segment, so the answers are
+        // exactly the empty 0.0 — never a panic, never a torn value.
+        for (lo, hi) in [(0usize, N - 1), (0, 9), (5, 5)] {
+            assert_eq!(store.range_estimate(lo, hi), 0.0, "({ctx})");
+        }
+        let _ = store.stats();
+        let view = store.snapshot_view();
+        let _ = view.range_estimate(0, N - 1);
+
+        drop(store);
+        drop(guard);
+        assert_clean_reopen(&dir, &mirror, &ctx);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Transient `block-read` faults are absorbed by the bounded retry: the
+/// first touch succeeds after the retry, the store stays healthy, the
+/// retry and the block load are visible in telemetry, and every answer is
+/// bitwise what an eager open would have given.
+#[test]
+fn transient_block_read_is_retried_away() {
+    for class in ErrorClass::ALL {
+        let ctx = format!("transient block-read/{}", class.name());
+        let dir = unique_dir("transient-block-read", class);
+        let mirror = SynopsisStore::new(config()).unwrap();
+        {
+            let store = SynopsisStore::open_with_wal(config(), &dir).unwrap();
+            for record in acked_records(6) {
+                mirror.ingest(record.clone()).unwrap();
+                store.ingest(record).unwrap();
+            }
+            store.seal_partition(0).unwrap();
+        }
+        mirror.seal_partition(0).unwrap();
+
+        let guard = fault::arm(FaultSpec::transient("block-read", class, 1, 1).scoped(&dir));
+        let store = SynopsisStore::open_with_wal(config(), &dir).unwrap();
+        let before = fault::injected_total();
+        assert_same_estimates(&store, &mirror, &format!("after absorbed fault ({ctx})"));
+        assert!(fault::injected_total() > before, "no injection ({ctx})");
+        drop(guard);
+
+        assert!(
+            store.degraded().is_none(),
+            "a survived transient must not degrade ({ctx})"
+        );
+        let metrics = store.render_metrics();
+        assert!(
+            metric_value(&metrics, "pds_store_io_retries_total") >= 1,
+            "the retry must be visible in telemetry ({ctx}):\n{metrics}"
+        );
+        assert!(
+            metric_value(&metrics, "pds_store_block_loads_total") >= 1,
+            "the deferred load must be counted ({ctx}):\n{metrics}"
+        );
+
+        drop(store);
+        assert_clean_reopen(&dir, &mirror, &ctx);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

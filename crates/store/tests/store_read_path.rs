@@ -1,0 +1,258 @@
+//! Read-path acceleration equivalence suite: segment pruning, lazy
+//! synopsis blocks and the merged-synopsis cache must all be **bitwise
+//! invisible** — every estimate, view answer and merged histogram is
+//! bit-identical with each knob on or off, at every pool width — while
+//! the telemetry counters prove the fast paths actually engaged.
+
+use pds_core::metrics::ErrorMetric;
+use pds_core::pool;
+use pds_core::stream::StreamRecord;
+use pds_store::{PartitionSpec, StoreConfig, SynopsisKind, SynopsisStore};
+
+/// Domain and partitioning: 4 partitions of 12 items each.
+const N: usize = 48;
+const PARTS: usize = 4;
+const BAND: usize = 2;
+const BANDS: usize = 6;
+
+fn config() -> StoreConfig {
+    StoreConfig::new(
+        PartitionSpec::uniform(N, PARTS).unwrap(),
+        1 << 20, // manual seals only: bursts control segment fences
+        8,
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    )
+}
+
+/// One burst of records confined to band `k` of every partition: items
+/// `p*12 + [2k, 2k+2)`.  Sealing after each burst yields `BANDS` segments
+/// per partition with narrow, disjoint support fences — the shape pruning
+/// exists for.
+fn burst(k: usize) -> Vec<StreamRecord> {
+    let width = N / PARTS;
+    let mut records = Vec::new();
+    for p in 0..PARTS {
+        for j in 0..BAND {
+            let item = p * width + k * BAND + j;
+            for rep in 0..4usize {
+                let prob = 0.05 + ((item * 7 + rep * 3) % 17) as f64 * 0.05;
+                records.push(StreamRecord::Basic { item, prob });
+            }
+        }
+    }
+    records
+}
+
+/// Builds a store segment-band by segment-band under `cfg`.
+fn banded_store(cfg: StoreConfig) -> SynopsisStore {
+    let store = SynopsisStore::new(cfg).unwrap();
+    for k in 0..BANDS {
+        store.ingest_batch(burst(k)).unwrap();
+        store.seal_all().unwrap();
+    }
+    assert_eq!(store.stats().segments, PARTS * BANDS);
+    store
+}
+
+/// The full bitwise answer surface: every point estimate, a grid of range
+/// estimates, and the matching snapshot-view answers.
+fn answer_bits(store: &SynopsisStore) -> Vec<u64> {
+    let view = store.snapshot_view();
+    let mut out = Vec::new();
+    for lo in 0..N {
+        out.push(store.estimate(lo).to_bits());
+        out.push(view.estimate(lo).to_bits());
+        for hi in [lo, lo + 2, lo + 11, N - 1, N + 100] {
+            out.push(store.range_estimate(lo, hi).to_bits());
+            out.push(view.range_estimate(lo, hi).to_bits());
+        }
+    }
+    out
+}
+
+/// The value of one counter in the Prometheus-style exposition.
+fn metric(store: &SynopsisStore, name: &str) -> u64 {
+    let text = store.render_metrics();
+    text.lines()
+        .find_map(|line| {
+            line.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+}
+
+/// Pruning answers bit-identically to the unpruned path — per point, per
+/// range, per view — at every pool width, while actually skipping most
+/// segments on narrow queries.
+#[test]
+fn pruning_is_bitwise_invisible_at_every_pool_width() {
+    let mut reference: Option<Vec<u64>> = None;
+    for threads in [1usize, 2, 4] {
+        pool::set_num_threads(Some(threads));
+        let pruned = banded_store(config());
+        let unpruned = banded_store(StoreConfig {
+            prune: false,
+            ..config()
+        });
+
+        let bits = answer_bits(&pruned);
+        assert_eq!(
+            bits,
+            answer_bits(&unpruned),
+            "pruned vs unpruned diverged at {threads} threads"
+        );
+        match &reference {
+            None => reference = Some(bits),
+            Some(reference) => assert_eq!(
+                &bits, reference,
+                "answers drifted across pool widths at {threads} threads"
+            ),
+        }
+
+        // The knob did real work: narrow queries skipped segments on the
+        // pruning store and visited everything on the other.
+        assert!(
+            metric(&pruned, "pds_store_segments_pruned_total") > 0,
+            "banded narrow queries must prune segments"
+        );
+        assert_eq!(metric(&unpruned, "pds_store_segments_pruned_total"), 0);
+    }
+    pool::set_num_threads(None);
+}
+
+/// A point query inside a segment's fence but outside its synopsis
+/// support is pruned by the presence filter — the fence alone could not
+/// have skipped it.
+#[test]
+fn point_queries_consult_the_presence_filter() {
+    let store = SynopsisStore::new(StoreConfig::new(
+        PartitionSpec::uniform(N, PARTS).unwrap(),
+        1 << 20,
+        N / PARTS, // lossless per partition: support is exactly the fed items
+        SynopsisKind::Histogram(ErrorMetric::Sse),
+    ))
+    .unwrap();
+    // Support {0, 5} in partition 0: the fence is [0, 5], so only the
+    // filter can prove item 3 absent.
+    for item in [0usize, 5] {
+        for _ in 0..3 {
+            store
+                .ingest(StreamRecord::Basic { item, prob: 0.4 })
+                .unwrap();
+        }
+    }
+    store.seal_all().unwrap();
+    assert_eq!(store.stats().segments, 1);
+
+    let before = metric(&store, "pds_store_segments_pruned_total");
+    assert_eq!(store.range_estimate(3, 3).to_bits(), 0f64.to_bits());
+    assert_eq!(
+        metric(&store, "pds_store_segments_pruned_total"),
+        before + 1,
+        "an in-fence point miss must be pruned by the filter"
+    );
+    // The supported item is visited, not pruned, and answers its mass.
+    let before = metric(&store, "pds_store_segments_pruned_total");
+    assert!(store.range_estimate(5, 5) > 0.0);
+    assert_eq!(metric(&store, "pds_store_segments_pruned_total"), before);
+}
+
+/// Lazy reopen answers bit-identically to an eager reopen, loads no
+/// synopsis block until a query touches it, and loads only the touched
+/// segments for a narrow query.
+#[test]
+fn lazy_reopen_is_bitwise_identical_and_loads_on_touch() {
+    let dir = std::env::temp_dir().join(format!("pds-read-path-lazy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = SynopsisStore::open_with_wal(config(), &dir).unwrap();
+        for k in 0..BANDS {
+            store.ingest_batch(burst(k)).unwrap();
+            store.seal_all().unwrap();
+        }
+    }
+
+    let lazy = SynopsisStore::open_with_wal(config(), &dir).unwrap();
+    assert_eq!(
+        metric(&lazy, "pds_store_block_loads_total"),
+        0,
+        "a lazy reopen must not read any synopsis block"
+    );
+    // A one-band query in one partition touches exactly one segment.
+    let narrow = lazy.range_estimate(0, BAND - 1);
+    assert!(narrow > 0.0);
+    assert_eq!(metric(&lazy, "pds_store_block_loads_total"), 1);
+
+    let lazy_bits = answer_bits(&lazy);
+    assert!(
+        metric(&lazy, "pds_store_block_loads_total") <= (PARTS * BANDS) as u64,
+        "each block loads at most once"
+    );
+
+    let eager = SynopsisStore::open_with_wal(
+        StoreConfig {
+            lazy_blocks: false,
+            ..config()
+        },
+        &dir,
+    )
+    .unwrap();
+    assert_eq!(
+        lazy_bits,
+        answer_bits(&eager),
+        "lazy vs eager reopen diverged"
+    );
+    drop(lazy);
+    drop(eager);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A repeated `merge_global` over a structurally unchanged store replays
+/// the cached histogram bit-identically; a seal or compaction invalidates
+/// the entry and the recomputed merge matches a cache-less store.
+#[test]
+fn merge_cache_replays_bitwise_and_invalidates_on_structural_commits() {
+    let store = banded_store(config());
+    let cold = store.merge_global(6).unwrap();
+    assert_eq!(metric(&store, "pds_store_merge_cache_misses_total"), 1);
+
+    let warm = store.merge_global(6).unwrap();
+    assert_eq!(
+        cold.to_binary().unwrap(),
+        warm.to_binary().unwrap(),
+        "cache replay must be byte-identical"
+    );
+    assert_eq!(metric(&store, "pds_store_merge_cache_hits_total"), 1);
+
+    // A different budget is a different merge — never served from the
+    // cached entry.
+    let other = store.merge_global(4).unwrap();
+    assert_eq!(other.num_buckets(), 4);
+    assert_eq!(metric(&store, "pds_store_merge_cache_misses_total"), 2);
+
+    // A structural commit (a sealed install) invalidates; the recomputed
+    // merge equals the merge of a fresh store with the same content.
+    store.ingest_batch(burst(0)).unwrap();
+    store.seal_all().unwrap();
+    let after = store.merge_global(6).unwrap();
+    assert_eq!(metric(&store, "pds_store_merge_cache_misses_total"), 3);
+
+    let mirror = SynopsisStore::new(config()).unwrap();
+    for k in 0..BANDS {
+        mirror.ingest_batch(burst(k)).unwrap();
+        mirror.seal_all().unwrap();
+    }
+    mirror.ingest_batch(burst(0)).unwrap();
+    mirror.seal_all().unwrap();
+    assert_eq!(
+        after.to_binary().unwrap(),
+        mirror.merge_global(6).unwrap().to_binary().unwrap(),
+        "post-invalidation merge must equal a cache-cold rebuild"
+    );
+
+    // Compaction is a structural commit too.
+    store.compact_all().unwrap();
+    let compacted = store.merge_global(6).unwrap();
+    assert_eq!(metric(&store, "pds_store_merge_cache_misses_total"), 4);
+    let _ = compacted;
+}

@@ -121,6 +121,231 @@ fn run_telemetry_gate() -> Result<()> {
     Ok(())
 }
 
+/// `--read-gate`: instead of the full pipeline, gate the three read-path
+/// accelerations — segment pruning, the merged-synopsis cache and lazy
+/// synopsis blocks — against their slow-path twins: every answer bitwise
+/// identical, pruned point queries touching ≤ 10% of the unpruned
+/// segment visits, a cached repeat-`MERGE` ≥ 10x faster than a cold one,
+/// and a lazy reopen ≥ 5x faster than an eager one.
+fn read_gate_arg() -> bool {
+    std::env::args().skip(1).any(|a| a == "--read-gate")
+}
+
+/// One counter's value in a store's Prometheus-style text exposition.
+fn scrape_counter(store: &SynopsisStore, name: &str) -> u64 {
+    let text = store.render_metrics();
+    text.lines()
+        .find_map(|line| {
+            line.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing from scrape"))
+}
+
+/// The `--read-gate` benchmark and equivalence gate.
+fn run_read_gate() -> Result<()> {
+    // ------------------------------------------------- phase A: pruning
+    // 40 bursts per partition, each confined to a disjoint 16-item band,
+    // sealed burst by burst: 8 partitions x 40 bands = 320 segments whose
+    // support fences tile the domain — the shape pruning exists for.
+    const BANDS: usize = 40;
+    const BAND_WIDTH: usize = 16;
+    let part_width = N / PARTITIONS;
+    let burst = |k: usize| -> Vec<StreamRecord> {
+        let mut records = Vec::new();
+        for p in 0..PARTITIONS {
+            for j in 0..BAND_WIDTH {
+                let item = p * part_width + k * BAND_WIDTH + j;
+                for rep in 0..4usize {
+                    let prob = 0.05 + ((item * 7 + rep * 3) % 17) as f64 * 0.05;
+                    records.push(StreamRecord::Basic { item, prob });
+                }
+            }
+        }
+        records
+    };
+    let banded = |prune: bool| -> Result<SynopsisStore> {
+        let mut config = StoreConfig::new(
+            PartitionSpec::uniform(N, PARTITIONS)?,
+            usize::MAX, // manual seals: one segment per burst per partition
+            SEGMENT_BUCKETS,
+            SynopsisKind::Histogram(ErrorMetric::Sse),
+        );
+        config.prune = prune;
+        let store = SynopsisStore::new(config)?;
+        for k in 0..BANDS {
+            store.ingest_batch(burst(k))?;
+            store.seal_all()?;
+        }
+        Ok(store)
+    };
+    let pruned = banded(true)?;
+    let unpruned = banded(false)?;
+    let segments = pruned.stats().segments;
+    assert!(
+        segments >= 200,
+        "the prune phase needs >= 200 segments, built {segments}"
+    );
+
+    // Point queries and narrow ranges across the covered region, answered
+    // by both stores: bitwise-equal values, order-of-magnitude fewer
+    // segment visits on the pruning store.
+    let covered = BANDS * BAND_WIDTH;
+    for q in 0..2_000usize {
+        let item = (q / PARTITIONS) * 131 % covered + (q % PARTITIONS) * part_width;
+        let hi = (item + q % BAND_WIDTH).min(N - 1);
+        assert_eq!(
+            pruned.range_estimate(item, item).to_bits(),
+            unpruned.range_estimate(item, item).to_bits(),
+            "pruned point estimate diverged at item {item}"
+        );
+        assert_eq!(
+            pruned.range_estimate(item, hi).to_bits(),
+            unpruned.range_estimate(item, hi).to_bits(),
+            "pruned range estimate diverged at [{item}, {hi}]"
+        );
+    }
+    let pruned_visits = scrape_counter(&pruned, "pds_store_segments_visited_total");
+    let full_visits = scrape_counter(&unpruned, "pds_store_segments_visited_total");
+    let visit_ratio = pruned_visits as f64 / full_visits as f64;
+    println!(
+        "prune phase: {segments} segments, 4 000 queries — {pruned_visits} pruned-path \
+         segment visits vs {full_visits} full-walk ({:.2}% touched), all bitwise-equal",
+        visit_ratio * 100.0,
+    );
+    assert!(
+        visit_ratio <= 0.10,
+        "pruned queries touched {:.2}% of the unpruned segment visits (budget 10%)",
+        visit_ratio * 100.0,
+    );
+
+    // -------------------------------------------- phase B: merge cache
+    // Alternating rounds: evict with a different budget, time a cold
+    // merge, time the cached repeat; min-of-N against scheduler noise.
+    const MERGE_ROUNDS: usize = 3;
+    let (mut cold_min, mut warm_min) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..MERGE_ROUNDS {
+        pruned.merge_global(GLOBAL_BUCKETS - 1)?; // evict the cached entry
+        let t = Instant::now();
+        let cold = pruned.merge_global(GLOBAL_BUCKETS)?;
+        cold_min = cold_min.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let warm = pruned.merge_global(GLOBAL_BUCKETS)?;
+        warm_min = warm_min.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            cold.to_binary()?,
+            warm.to_binary()?,
+            "cached MERGE must replay byte-identically"
+        );
+    }
+    assert!(scrape_counter(&pruned, "pds_store_merge_cache_hits_total") >= MERGE_ROUNDS as u64);
+    let merge_speedup = cold_min / warm_min;
+    println!(
+        "merge-cache phase: cold merge {:.3}ms, cached repeat {:.3}ms — {merge_speedup:.0}x, \
+         byte-identical",
+        cold_min * 1e3,
+        warm_min * 1e3,
+    );
+    assert!(
+        merge_speedup >= 10.0,
+        "cached repeat-MERGE speedup {merge_speedup:.1}x is under the 10x bar"
+    );
+
+    // -------------------------------------------- phase C: lazy blocks
+    // A durable store of 256 wavelet segments with dense coefficient
+    // blocks (~tens of KB each): an eager reopen must read, CRC and
+    // decode every block; a lazy reopen maps footers and prune metadata
+    // only.
+    const LAZY_PARTS: usize = 4;
+    const LAZY_ROUNDS: usize = 64;
+    let lazy_config = |lazy_blocks: bool| -> Result<StoreConfig> {
+        let mut config = StoreConfig::new(
+            PartitionSpec::uniform(N, LAZY_PARTS)?,
+            usize::MAX,
+            N / LAZY_PARTS, // keep every Haar coefficient: decode-heavy blobs
+            SynopsisKind::Wavelet,
+        );
+        config.lazy_blocks = lazy_blocks;
+        Ok(config)
+    };
+    let dir = std::env::temp_dir().join(format!("pds-read-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = SynopsisStore::open_with_wal(lazy_config(true)?, &dir)?;
+        let mut stream = basic_stream(BasicStreamConfig {
+            n: N,
+            skew: 0.4,
+            seed: 9,
+        });
+        for _ in 0..LAZY_ROUNDS {
+            store.ingest_batch(stream.by_ref().take(3_000))?;
+            store.seal_all()?;
+        }
+        assert_eq!(store.stats().segments, LAZY_PARTS * LAZY_ROUNDS);
+    }
+
+    let time_reopen = |lazy_blocks: bool| -> Result<(f64, SynopsisStore)> {
+        let config = lazy_config(lazy_blocks)?;
+        let t = Instant::now();
+        let store = SynopsisStore::open_with_wal(config, &dir)?;
+        Ok((t.elapsed().as_secs_f64(), store))
+    };
+    // Warm-up pair (page cache), then alternating timed rounds.
+    time_reopen(false)?;
+    time_reopen(true)?;
+    let (mut eager_min, mut lazy_min) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let (eager_secs, _) = time_reopen(false)?;
+        let (lazy_secs, lazy_store) = time_reopen(true)?;
+        eager_min = eager_min.min(eager_secs);
+        lazy_min = lazy_min.min(lazy_secs);
+        assert_eq!(
+            scrape_counter(&lazy_store, "pds_store_block_loads_total"),
+            0,
+            "a lazy reopen must not touch any synopsis block"
+        );
+    }
+    let reopen_speedup = eager_min / lazy_min;
+    println!(
+        "lazy-reopen phase: {} segments — eager {:.2}ms, lazy {:.2}ms ({reopen_speedup:.1}x)",
+        LAZY_PARTS * LAZY_ROUNDS,
+        eager_min * 1e3,
+        lazy_min * 1e3,
+    );
+    assert!(
+        reopen_speedup >= 5.0,
+        "lazy reopen speedup {reopen_speedup:.1}x is under the 5x bar"
+    );
+
+    // Bitwise equivalence of the two reopen modes over a query grid (this
+    // is what forces the lazy store to actually load blocks).
+    let grid = |store: &SynopsisStore| -> Vec<u64> {
+        let mut out = Vec::new();
+        for lo in (0..N).step_by(97) {
+            out.push(store.estimate(lo).to_bits());
+            out.push(store.range_estimate(lo, lo + 250).to_bits());
+            out.push(store.range_estimate(lo, N - 1).to_bits());
+        }
+        out
+    };
+    let (_, eager_store) = time_reopen(false)?;
+    let eager_grid = grid(&eager_store);
+    drop(eager_store);
+    let (_, lazy_store) = time_reopen(true)?;
+    assert_eq!(
+        grid(&lazy_store),
+        eager_grid,
+        "lazy and eager reopens diverged on the query grid"
+    );
+    drop(lazy_store);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "read gate passed: <= 10% segment touches, {merge_speedup:.0}x cached MERGE, \
+         {reopen_speedup:.1}x lazy reopen, all bitwise-equal"
+    );
+    Ok(())
+}
+
 /// `--vfs-gate`: instead of the full pipeline, replay a WAL-shaped durable
 /// write workload twice — once through the `pds_core::vfs` passthrough the
 /// store's durable paths route through, once through the raw `std::fs`
@@ -365,6 +590,9 @@ fn main() -> Result<()> {
     }
     if vfs_gate_arg() {
         return run_vfs_gate();
+    }
+    if read_gate_arg() {
+        return run_read_gate();
     }
     // ------------------------------------------------------------ ingestion
     let threads = threads_arg();
